@@ -1,0 +1,35 @@
+//! E15 — fence overhead (the Yoo et al. shape): TL2 throughput on each
+//! standard workload under {no fence, selective fence, fence-after-every}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{mix_throughput, standard_workloads, FencePolicy, MixCfg, StmKind};
+
+fn bench_cfg(cfg: &MixCfg) -> MixCfg {
+    // Smaller batches per measurement iteration than the report binary.
+    MixCfg { txns_per_thread: cfg.txns_per_thread / 10, ..*cfg }
+}
+
+fn fence_overhead(c: &mut Criterion) {
+    // Independent of core count: fence overhead needs concurrent (possibly
+    // oversubscribed) transactions to exist.
+    let threads = 4;
+    let mut g = c.benchmark_group("fence_overhead");
+    g.sample_size(10);
+    for (name, cfg) in standard_workloads() {
+        let cfg = bench_cfg(&cfg);
+        g.throughput(Throughput::Elements(threads as u64 * cfg.txns_per_thread));
+        for policy in FencePolicy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(name, policy.label()),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| mix_throughput(StmKind::Tl2, threads, &cfg, policy));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fence_overhead);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E15b — fence latency scaling: the cost of one transactional fence as a
+//! function of the number of threads running transactions concurrently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tm_bench::lcg;
+use tm_stm::prelude::*;
+
+fn fence_scaling(c: &mut Criterion) {
+    let max_bg = 3; // fixed: fence latency vs number of active transactions
+    let mut g = c.benchmark_group("fence_latency");
+    g.sample_size(20);
+    for bg in [0usize, 1, 2, max_bg].into_iter().filter(|&b| b <= max_bg) {
+        g.bench_with_input(BenchmarkId::new("active_threads", bg), &bg, |b, &bg| {
+            let stm = Tl2Stm::new(256, bg + 1);
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut workers = Vec::new();
+            for t in 0..bg {
+                let stm = stm.clone();
+                let stop = Arc::clone(&stop);
+                workers.push(std::thread::spawn(move || {
+                    let mut h = stm.handle(1 + t);
+                    let mut s = t as u64 + 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        s = lcg(s);
+                        let x = (s >> 33) as usize % 256;
+                        h.atomic(|tx| {
+                            let v = tx.read(x)?;
+                            tx.write(x, v.wrapping_add(1) | 1)
+                        });
+                    }
+                }));
+            }
+            let mut h = stm.handle(0);
+            b.iter(|| h.fence());
+            stop.store(true, Ordering::Relaxed);
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fence_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E16 — STM comparison: TL2 vs NOrec vs global lock, throughput scaling
+//! with thread count on read-mostly and write-heavy mixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{mix_throughput, FencePolicy, MixCfg, StmKind};
+
+fn stm_compare(c: &mut Criterion) {
+    let max_threads = 4; // fixed: relative shapes matter, not absolute scaling
+    let shapes = [
+        (
+            "readmostly",
+            MixCfg {
+                nregs: 2048,
+                txn_len: 8,
+                write_pct: 10,
+                txns_per_thread: 2_000,
+                privatize_every: 0,
+                direct_ops: 0,
+            },
+        ),
+        (
+            "writeheavy",
+            MixCfg {
+                nregs: 2048,
+                txn_len: 8,
+                write_pct: 80,
+                txns_per_thread: 2_000,
+                privatize_every: 0,
+                direct_ops: 0,
+            },
+        ),
+    ];
+    for (shape, cfg) in shapes {
+        let mut g = c.benchmark_group(format!("stm_compare/{shape}"));
+        g.sample_size(10);
+        for threads in [1usize, 2, 4].into_iter().filter(|&t| t <= max_threads) {
+            g.throughput(Throughput::Elements(threads as u64 * cfg.txns_per_thread));
+            for kind in StmKind::ALL {
+                g.bench_with_input(
+                    BenchmarkId::new(kind.label(), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter(|| mix_throughput(kind, threads, &cfg, FencePolicy::None));
+                    },
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, stm_compare);
+criterion_main!(benches);

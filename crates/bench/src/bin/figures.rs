@@ -1,0 +1,63 @@
+//! Regenerate the paper's figure-level results (E1–E6, E14): for each litmus
+//! program, the DRF verdict under strong atomicity and the postcondition /
+//! divergence verdict under every TM configuration.
+//!
+//! Usage:
+//!   figures                # the full matrix
+//!   figures fig1a          # only litmus tests whose name contains "fig1a"
+
+use tm_lang::explorer::Limits;
+use tm_lang::prelude::ImplicitFence;
+use tm_litmus::{check_drf_atomic, programs, run, Divergence, TmKind};
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let limits = Limits::default();
+    let tms = [
+        TmKind::Atomic { spurious_aborts: true },
+        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+        TmKind::Tl2 { implicit_fence: ImplicitFence::AfterEvery },
+        TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly },
+        TmKind::UndoEager,
+        TmKind::Glock,
+    ];
+
+    println!("Safe Privatization in TM — litmus verdict matrix");
+    println!("(ok = postcondition holds on all explored outcomes; DIV = divergence,");
+    println!(" i.e. the doomed-transaction symptom; VIOL(n) = n violating outcomes)\n");
+
+    print!("{:<18} {:>5} ", "litmus", "DRF");
+    for tm in &tms {
+        print!("{:>14} ", tm.label());
+    }
+    println!();
+    println!("{}", "-".repeat(18 + 7 + 15 * tms.len()));
+
+    for l in programs::all() {
+        if !l.name.contains(&filter) {
+            continue;
+        }
+        let drf = check_drf_atomic(&l, &limits);
+        print!("{:<18} {:>5} ", l.name, if drf.drf { "yes" } else { "RACY" });
+        for tm in &tms {
+            let r = run(&l, *tm, &limits);
+            let cell = if r.violations > 0 {
+                format!("VIOL({})", r.violations)
+            } else if r.diverged && l.divergence == Divergence::Forbidden {
+                "DIV".to_string()
+            } else {
+                "ok".to_string()
+            };
+            print!("{cell:>14} ");
+        }
+        println!();
+    }
+
+    println!();
+    println!("Expected (paper): fig1a/fig1b/pmp unfenced are racy and fail under");
+    println!("plain TL2 (delayed commit / doomed transaction); their fenced variants");
+    println!("are DRF and safe everywhere (Theorem 5.3). fig2/fig6 are DRF as");
+    println!("written. fig3 is racy and unfixable by fences. gccbug_unfenced is");
+    println!("protected by tl2+qall (quiesce after every txn) but NOT by tl2+qbug");
+    println!("(quiescence elided after read-only transactions — the GCC bug [43]).");
+}

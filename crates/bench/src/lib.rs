@@ -1,0 +1,359 @@
+//! Shared workload generators and measurement helpers for the benchmark
+//! harness (experiments E15–E17 in DESIGN.md).
+//!
+//! The workloads are STAMP-shaped synthetics: parameterized transaction
+//! length, write share, register count (contention), thread count, and
+//! fence policy — the knobs that drive the fence-overhead results of Yoo et
+//! al. cited in the paper's Sec 1.
+
+use std::time::Instant;
+use tm_stm::prelude::*;
+
+/// Deterministic splitmix-style RNG step.
+#[inline]
+pub fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+/// Which STM implementation to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StmKind {
+    Tl2,
+    Norec,
+    Glock,
+}
+
+impl StmKind {
+    pub const ALL: [StmKind; 3] = [StmKind::Tl2, StmKind::Norec, StmKind::Glock];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            StmKind::Tl2 => "tl2",
+            StmKind::Norec => "norec",
+            StmKind::Glock => "glock",
+        }
+    }
+}
+
+/// Fence policy for the overhead experiments (E15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FencePolicy {
+    /// No fences at all (unsafe for privatizing programs; the lower bound).
+    None,
+    /// Fences only where the privatization discipline needs them.
+    Selective,
+    /// A fence after every transaction (the conservative placement whose
+    /// cost Yoo et al. measured at 32% avg / 107% worst case).
+    AfterEvery,
+}
+
+impl FencePolicy {
+    pub const ALL: [FencePolicy; 3] =
+        [FencePolicy::None, FencePolicy::Selective, FencePolicy::AfterEvery];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FencePolicy::None => "no-fence",
+            FencePolicy::Selective => "selective",
+            FencePolicy::AfterEvery => "fence-all",
+        }
+    }
+}
+
+/// A transactional mix workload with periodic privatization episodes.
+///
+/// Register 0 is the privatization flag; registers `1..=priv_regs` form the
+/// privatizable region; the rest are ordinary shared registers.
+#[derive(Clone, Copy, Debug)]
+pub struct MixCfg {
+    pub nregs: usize,
+    /// Reads+writes per transaction.
+    pub txn_len: usize,
+    /// Percentage of operations that are writes.
+    pub write_pct: u32,
+    /// Transactions per thread.
+    pub txns_per_thread: u64,
+    /// Every k transactions, run a privatize → direct work → publish episode
+    /// (0 = never). Selective fencing fences exactly here.
+    pub privatize_every: u64,
+    /// Direct operations per private phase.
+    pub direct_ops: usize,
+}
+
+/// Named workload shapes used across E15 reports and benches.
+pub fn standard_workloads() -> Vec<(&'static str, MixCfg)> {
+    vec![
+        (
+            "short-readmostly",
+            MixCfg {
+                nregs: 1024,
+                txn_len: 4,
+                write_pct: 10,
+                txns_per_thread: 20_000,
+                privatize_every: 64,
+                direct_ops: 8,
+            },
+        ),
+        (
+            "short-writeheavy",
+            MixCfg {
+                nregs: 1024,
+                txn_len: 4,
+                write_pct: 80,
+                txns_per_thread: 20_000,
+                privatize_every: 64,
+                direct_ops: 8,
+            },
+        ),
+        (
+            "long-readmostly",
+            MixCfg {
+                nregs: 4096,
+                txn_len: 32,
+                write_pct: 10,
+                txns_per_thread: 5_000,
+                privatize_every: 64,
+                direct_ops: 16,
+            },
+        ),
+        (
+            "long-writeheavy",
+            MixCfg {
+                nregs: 4096,
+                txn_len: 32,
+                write_pct: 50,
+                txns_per_thread: 5_000,
+                privatize_every: 64,
+                direct_ops: 16,
+            },
+        ),
+        (
+            "contended",
+            MixCfg {
+                nregs: 32,
+                txn_len: 8,
+                write_pct: 50,
+                txns_per_thread: 10_000,
+                privatize_every: 32,
+                direct_ops: 4,
+            },
+        ),
+    ]
+}
+
+/// Run the mix on one handle. `scratch` is a register private to this
+/// thread, used as the privatized object (flag and data in one), so the
+/// fenced workload is DRF: transactions of other threads never touch it.
+/// Values are kept nonzero; op sequences are derived deterministically from
+/// the per-transaction seed so retries replay the same accesses.
+pub fn mix_worker<H: StmHandle>(
+    h: &mut H,
+    cfg: &MixCfg,
+    scratch: usize,
+    seed: u64,
+    policy: FencePolicy,
+) {
+    let mut s = seed | 1;
+    let mut ops: Vec<(usize, Option<u64>)> = Vec::with_capacity(cfg.txn_len);
+    for i in 0..cfg.txns_per_thread {
+        ops.clear();
+        for _ in 0..cfg.txn_len {
+            s = lcg(s);
+            let x = (s >> 33) as usize % cfg.nregs;
+            let is_write = (s >> 8) % 100 < u64::from(cfg.write_pct);
+            ops.push((x, is_write.then_some(s | 1)));
+        }
+        let ops_ref = &ops;
+        h.atomic(|tx| {
+            let mut acc = 0u64;
+            for &(x, w) in ops_ref {
+                match w {
+                    Some(v) => tx.write(x, v)?,
+                    None => acc = acc.wrapping_add(tx.read(x)?),
+                }
+            }
+            Ok(acc)
+        });
+        if policy == FencePolicy::AfterEvery {
+            h.fence();
+        }
+        // Privatization episode: selective fencing pays exactly here.
+        if cfg.privatize_every != 0 && (i + 1) % cfg.privatize_every == 0 {
+            h.atomic(|tx| tx.write(scratch, 1));
+            if policy != FencePolicy::None {
+                h.fence();
+            }
+            for _ in 0..cfg.direct_ops {
+                s = lcg(s);
+                h.write_direct(scratch, s | 1);
+                let _ = h.read_direct(scratch);
+            }
+            h.atomic(|tx| tx.write(scratch, 2));
+            if policy == FencePolicy::AfterEvery {
+                h.fence();
+            }
+        }
+    }
+}
+
+/// Measure mix throughput (transactions/second) across `threads` threads.
+/// `threads` extra registers serve as per-thread privatized objects.
+pub fn mix_throughput(kind: StmKind, threads: usize, cfg: &MixCfg, policy: FencePolicy) -> f64 {
+    let total_regs = cfg.nregs + threads;
+    macro_rules! run {
+        ($stm:expr) => {{
+            let stm = $stm;
+            std::thread::scope(|sc| {
+                for t in 0..threads {
+                    let stm = stm.clone();
+                    let cfg = *cfg;
+                    sc.spawn(move || {
+                        let mut h = stm.handle(t);
+                        let scratch = cfg.nregs + t;
+                        mix_worker(&mut h, &cfg, scratch, (t as u64 + 1) * 0x9E37_79B9, policy);
+                    });
+                }
+            });
+        }};
+    }
+    let start = Instant::now();
+    match kind {
+        StmKind::Tl2 => run!(Tl2Stm::new(total_regs, threads)),
+        StmKind::Norec => run!(NorecStm::new(total_regs, threads)),
+        StmKind::Glock => run!(GlockStm::new(total_regs, threads)),
+    }
+    let total = (threads as u64 * cfg.txns_per_thread) as f64;
+    total / start.elapsed().as_secs_f64()
+}
+
+/// A privatization-phase workload (E16): one owner cycles
+/// privatize → (fence?) → direct work → publish, while workers run guarded
+/// transactions on the shared region.
+#[derive(Clone, Copy, Debug)]
+pub struct PrivCfg {
+    pub data_regs: usize,
+    /// Direct (non-transactional) operations per private phase.
+    pub direct_ops: usize,
+    pub rounds: u64,
+    /// Guarded transactions per worker per round (approximate pacing).
+    pub worker_txns: u64,
+}
+
+/// Run the privatization workload and return (owner rounds/sec, lost
+/// updates). `use_fence=false` is only safe for NOrec/Glock.
+pub fn privatization_throughput(
+    kind: StmKind,
+    workers: usize,
+    cfg: &PrivCfg,
+    use_fence: bool,
+) -> (f64, u64) {
+    const FLAG: usize = 0;
+    let nregs = 1 + cfg.data_regs;
+    let threads = workers + 1;
+    let start = Instant::now();
+    let lost: u64;
+
+    macro_rules! run {
+        ($stm:expr) => {{
+            let stm = $stm;
+            let mut lost_local = 0u64;
+            std::thread::scope(|sc| {
+                let owner_stm = stm.clone();
+                let cfg = *cfg;
+                let owner = sc.spawn(move || {
+                    let mut h = owner_stm.handle(0);
+                    let mut lost = 0u64;
+                    for round in 1..=cfg.rounds {
+                        h.atomic(|tx| tx.write(FLAG, 1));
+                        if use_fence {
+                            h.fence();
+                        }
+                        let mut s = round;
+                        for k in 0..cfg.direct_ops {
+                            s = lcg(s);
+                            let x = 1 + (s as usize % cfg.data_regs);
+                            let marker = (round << 20) | k as u64 | 0x4000_0000_0000_0000;
+                            h.write_direct(x, marker);
+                            if h.read_direct(x) != marker {
+                                lost += 1;
+                            }
+                        }
+                        h.atomic(|tx| tx.write(FLAG, 2));
+                    }
+                    lost
+                });
+                for w in 0..workers {
+                    let stm = stm.clone();
+                    sc.spawn(move || {
+                        let mut h = stm.handle(1 + w);
+                        let mut s = w as u64 + 7;
+                        for _ in 0..cfg.rounds * cfg.worker_txns {
+                            s = lcg(s);
+                            let x = 1 + (s as usize % cfg.data_regs);
+                            h.atomic(|tx| {
+                                let flag = tx.read(FLAG)?;
+                                if flag != 1 {
+                                    let v = tx.read(x)?;
+                                    tx.write(x, v.wrapping_add(s) | 1)?;
+                                }
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+                lost_local = owner.join().unwrap();
+            });
+            lost_local
+        }};
+    }
+
+    lost = match kind {
+        StmKind::Tl2 => run!(Tl2Stm::new(nregs, threads)),
+        StmKind::Norec => run!(NorecStm::new(nregs, threads)),
+        StmKind::Glock => run!(GlockStm::new(nregs, threads)),
+    };
+    let rps = cfg.rounds as f64 / start.elapsed().as_secs_f64();
+    (rps, lost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mix() -> MixCfg {
+        MixCfg {
+            nregs: 64,
+            txn_len: 4,
+            write_pct: 50,
+            txns_per_thread: 200,
+            privatize_every: 16,
+            direct_ops: 4,
+        }
+    }
+
+    #[test]
+    fn mix_runs_on_all_stms() {
+        for kind in StmKind::ALL {
+            let tput = mix_throughput(kind, 2, &tiny_mix(), FencePolicy::Selective);
+            assert!(tput > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fence_all_policy_runs() {
+        let tput = mix_throughput(StmKind::Tl2, 2, &tiny_mix(), FencePolicy::AfterEvery);
+        assert!(tput > 0.0);
+    }
+
+    #[test]
+    fn privatization_with_fence_loses_nothing() {
+        let cfg = PrivCfg { data_regs: 8, direct_ops: 16, rounds: 300, worker_txns: 2 };
+        let (rps, lost) = privatization_throughput(StmKind::Tl2, 2, &cfg, true);
+        assert!(rps > 0.0);
+        assert_eq!(lost, 0, "fenced TL2 privatization must not lose updates");
+        let (_, lost) = privatization_throughput(StmKind::Norec, 2, &cfg, false);
+        assert_eq!(lost, 0, "NOrec without fences must not lose updates");
+        let (_, lost) = privatization_throughput(StmKind::Glock, 2, &cfg, false);
+        assert_eq!(lost, 0, "glock without fences must not lose updates");
+    }
+}

@@ -1,0 +1,213 @@
+//! Actions: the alphabet of traces (paper Fig 4 plus primitive actions).
+//!
+//! A *TM interface action* marks the control flow of a thread crossing the
+//! boundary between the program and the TM: request actions transfer control
+//! to the TM, response actions transfer it back. A *primitive action* denotes
+//! execution of a thread-local primitive command; it never appears in
+//! histories (which are traces projected onto TM interface actions).
+
+use crate::ids::{ActionId, Reg, ThreadId, Value};
+use std::fmt;
+
+/// Opaque token identifying a primitive command instance.
+///
+/// The language layer (`tm-lang`) encodes enough information here (program
+/// point and, where relevant, the value assigned) so that token equality is
+/// command equality, which is what observational equivalence (Def 5.1)
+/// compares.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrimTag(pub u64);
+
+/// The kind of an action (Fig 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    // ----- request actions -----
+    /// `(a, t, txbegin)`: entering an atomic block.
+    TxBegin,
+    /// `(a, t, txcommit)`: the transaction tries to commit.
+    TxCommit,
+    /// `(a, t, write(x, v))`: invocation of `x.write(v)`.
+    Write(Reg, Value),
+    /// `(a, t, read(x))`: invocation of `x.read()`.
+    Read(Reg),
+    /// `(a, t, fbegin)`: a transactional fence starts.
+    FBegin,
+
+    // ----- response actions -----
+    /// `(a, t, ok)`: successful response to `txbegin`.
+    Ok,
+    /// `(a, t, committed)`: the transaction committed.
+    Committed,
+    /// `(a, t, aborted)`: the TM aborted the transaction. May respond to any
+    /// transactional request.
+    Aborted,
+    /// `(a, t, ret(⊥))`: response to a `write`.
+    RetUnit,
+    /// `(a, t, ret(v))`: response to a `read`, annotated with the value read.
+    RetVal(Value),
+    /// `(a, t, fend)`: the fence completed.
+    FEnd,
+
+    // ----- primitive actions (trace-only, never in histories) -----
+    /// `(a, t, c)` for a primitive command `c` over thread-local variables.
+    Prim(PrimTag),
+}
+
+/// One computation step: `(a, t, kind)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Action {
+    pub id: ActionId,
+    pub thread: ThreadId,
+    pub kind: Kind,
+}
+
+impl Kind {
+    /// Is this a TM interface action (request or response)?
+    #[inline]
+    pub fn is_tm_interface(self) -> bool {
+        !matches!(self, Kind::Prim(_))
+    }
+
+    /// Is this a request action?
+    #[inline]
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            Kind::TxBegin | Kind::TxCommit | Kind::Write(..) | Kind::Read(_) | Kind::FBegin
+        )
+    }
+
+    /// Is this a response action?
+    #[inline]
+    pub fn is_response(self) -> bool {
+        matches!(
+            self,
+            Kind::Ok | Kind::Committed | Kind::Aborted | Kind::RetUnit | Kind::RetVal(_) | Kind::FEnd
+        )
+    }
+
+    /// The register accessed, if this is a read/write request.
+    #[inline]
+    pub fn accessed_reg(self) -> Option<Reg> {
+        match self {
+            Kind::Write(x, _) | Kind::Read(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Is this a write request?
+    #[inline]
+    pub fn is_write_req(self) -> bool {
+        matches!(self, Kind::Write(..))
+    }
+
+    /// Is this a read request?
+    #[inline]
+    pub fn is_read_req(self) -> bool {
+        matches!(self, Kind::Read(_))
+    }
+
+    /// Is `resp` a legal response to `self` per Fig 4?
+    pub fn matches_response(self, resp: Kind) -> bool {
+        match (self, resp) {
+            (Kind::TxBegin, Kind::Ok | Kind::Aborted) => true,
+            (Kind::TxCommit, Kind::Committed | Kind::Aborted) => true,
+            (Kind::Write(..), Kind::RetUnit | Kind::Aborted) => true,
+            (Kind::Read(_), Kind::RetVal(_) | Kind::Aborted) => true,
+            (Kind::FBegin, Kind::FEnd) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Action {
+    pub fn new(id: u64, thread: ThreadId, kind: Kind) -> Self {
+        Action { id: ActionId(id), thread, kind }
+    }
+}
+
+impl fmt::Debug for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Kind::TxBegin => write!(f, "txbegin"),
+            Kind::TxCommit => write!(f, "txcommit"),
+            Kind::Write(x, v) => write!(f, "write({x},{v})"),
+            Kind::Read(x) => write!(f, "read({x})"),
+            Kind::FBegin => write!(f, "fbegin"),
+            Kind::Ok => write!(f, "ok"),
+            Kind::Committed => write!(f, "committed"),
+            Kind::Aborted => write!(f, "aborted"),
+            Kind::RetUnit => write!(f, "ret(⊥)"),
+            Kind::RetVal(v) => write!(f, "ret({v})"),
+            Kind::FEnd => write!(f, "fend"),
+            Kind::Prim(PrimTag(p)) => write!(f, "prim#{p}"),
+        }
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?},{},{:?})", self.id, self.thread, self.kind)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_partition() {
+        let reqs = [
+            Kind::TxBegin,
+            Kind::TxCommit,
+            Kind::Write(Reg(0), 1),
+            Kind::Read(Reg(0)),
+            Kind::FBegin,
+        ];
+        let resps = [
+            Kind::Ok,
+            Kind::Committed,
+            Kind::Aborted,
+            Kind::RetUnit,
+            Kind::RetVal(3),
+            Kind::FEnd,
+        ];
+        for r in reqs {
+            assert!(r.is_request() && !r.is_response() && r.is_tm_interface());
+        }
+        for r in resps {
+            assert!(r.is_response() && !r.is_request() && r.is_tm_interface());
+        }
+        let p = Kind::Prim(PrimTag(0));
+        assert!(!p.is_request() && !p.is_response() && !p.is_tm_interface());
+    }
+
+    #[test]
+    fn matching_per_fig4() {
+        assert!(Kind::TxBegin.matches_response(Kind::Ok));
+        assert!(Kind::TxBegin.matches_response(Kind::Aborted));
+        assert!(!Kind::TxBegin.matches_response(Kind::Committed));
+        assert!(Kind::TxCommit.matches_response(Kind::Committed));
+        assert!(Kind::TxCommit.matches_response(Kind::Aborted));
+        assert!(Kind::Write(Reg(1), 5).matches_response(Kind::RetUnit));
+        assert!(Kind::Write(Reg(1), 5).matches_response(Kind::Aborted));
+        assert!(!Kind::Write(Reg(1), 5).matches_response(Kind::RetVal(5)));
+        assert!(Kind::Read(Reg(1)).matches_response(Kind::RetVal(5)));
+        assert!(Kind::Read(Reg(1)).matches_response(Kind::Aborted));
+        assert!(Kind::FBegin.matches_response(Kind::FEnd));
+        assert!(!Kind::FBegin.matches_response(Kind::Aborted));
+    }
+
+    #[test]
+    fn accessed_reg() {
+        assert_eq!(Kind::Write(Reg(2), 9).accessed_reg(), Some(Reg(2)));
+        assert_eq!(Kind::Read(Reg(3)).accessed_reg(), Some(Reg(3)));
+        assert_eq!(Kind::TxBegin.accessed_reg(), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! The idealized atomic TM `H_atomic` (Sec 2.4): membership checking for
+//! non-interleaved histories via completions and legal reads (Def B.7).
+
+use crate::action::{Action, Kind};
+use crate::history::{HistoryIndex, Owner, TxnStatus};
+use crate::ids::V_INIT;
+use crate::trace::History;
+
+/// Why a history is not in `H_atomic`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtomicityViolation {
+    /// Actions of a transaction interleave with another transaction or a
+    /// non-transactional access.
+    Interleaved { txn: usize, foreign_action: usize },
+    /// No completion makes every read legal; the payload is the index of an
+    /// illegal read response in the best attempt.
+    NoLegalCompletion { read_resp: usize },
+    /// Too many commit-pending transactions to enumerate completions.
+    TooManyPending,
+}
+
+/// Is the history non-interleaved: no action of another transaction or of a
+/// non-transactional access occurs strictly inside a transaction's span?
+/// (Fence actions are neither, so they may interleave.)
+pub fn is_non_interleaved(ix: &HistoryIndex) -> Result<(), AtomicityViolation> {
+    for (tid, txn) in ix.txns.iter().enumerate() {
+        let (lo, hi) = (txn.first(), txn.last());
+        for i in lo..=hi {
+            match ix.owner[i] {
+                Owner::Txn(o) if o != tid => {
+                    return Err(AtomicityViolation::Interleaved { txn: tid, foreign_action: i })
+                }
+                Owner::Ntx(_) => {
+                    return Err(AtomicityViolation::Interleaved { txn: tid, foreign_action: i })
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All completions of a non-interleaved history: every commit-pending
+/// transaction gets a `committed` or `aborted` response inserted directly
+/// after its `txcommit` (this preserves non-interleaving). Capped at 2^16.
+pub fn completions(h: &History, ix: &HistoryIndex) -> Result<Vec<History>, AtomicityViolation> {
+    let pending: Vec<usize> = ix
+        .txns
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == TxnStatus::CommitPending)
+        .map(|(i, _)| i)
+        .collect();
+    if pending.len() > 16 {
+        return Err(AtomicityViolation::TooManyPending);
+    }
+    let max_id = h.actions().iter().map(|a| a.id.0).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(1 << pending.len());
+    for mask in 0u32..(1 << pending.len()) {
+        let mut acts: Vec<Action> = h.actions().to_vec();
+        // Insert from the back so earlier indices stay valid.
+        let mut inserts: Vec<(usize, Action)> = Vec::new();
+        for (k, &txid) in pending.iter().enumerate() {
+            let commit_req = ix.txns[txid].last();
+            let kind = if mask & (1 << k) != 0 { Kind::Committed } else { Kind::Aborted };
+            inserts.push((
+                commit_req + 1,
+                Action::new(max_id + 1 + k as u64, ix.txns[txid].thread, kind),
+            ));
+        }
+        inserts.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
+        for (pos, a) in inserts {
+            acts.insert(pos, a);
+        }
+        out.push(History::new(acts));
+    }
+    Ok(out)
+}
+
+/// Check all reads legal (Def B.7) in a completed, non-interleaved history:
+/// every read response returns the value of the last preceding write not
+/// located in an aborted or live transaction different from the reader's own;
+/// `v_init` if there is none. Returns the index of the first illegal read
+/// response on failure.
+pub fn legal_reads(h: &History, ix: &HistoryIndex) -> Result<(), usize> {
+    let acts = h.actions();
+    // Per-register stack of (owner, value) for write requests seen so far.
+    let nregs = ix.nregs;
+    let mut writes: Vec<Vec<(Owner, u64)>> = vec![Vec::new(); nregs];
+    // Map responses back to requests.
+    let mut req_of: Vec<Option<usize>> = vec![None; acts.len()];
+    for (req, resp) in ix.resp_of.iter().enumerate() {
+        if let Some(r) = *resp {
+            req_of[r] = Some(req);
+        }
+    }
+    for (i, a) in acts.iter().enumerate() {
+        match a.kind {
+            Kind::Write(x, v) => {
+                // Only record writes that get a non-abort response or no
+                // response yet: a write answered by `aborted` still belongs
+                // to its (aborted) transaction, which the status check skips
+                // anyway, so recording all writes is correct.
+                writes[x.idx()].push((ix.owner[i], v));
+            }
+            Kind::RetVal(v) => {
+                let Some(ri) = req_of[i] else { continue };
+                let Kind::Read(x) = acts[ri].kind else { continue };
+                let reader = ix.owner[ri];
+                let expected = writes[x.idx()]
+                    .iter()
+                    .rev()
+                    .find(|(owner, _)| match *owner {
+                        Owner::Txn(t) => {
+                            let st = ix.txns[t].status;
+                            let visible = matches!(st, TxnStatus::Committed)
+                                || matches!(st, TxnStatus::CommitPending);
+                            visible || Owner::Txn(t) == reader
+                        }
+                        Owner::Ntx(_) => true,
+                        Owner::Fence(_) => unreachable!(),
+                    })
+                    .map(|&(_, v)| v)
+                    .unwrap_or(V_INIT);
+                if v != expected {
+                    return Err(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Is `h ∈ H_atomic`? (Sec 2.4: non-interleaved and some completion has all
+/// reads legal.)
+pub fn in_atomic_tm(h: &History) -> Result<(), AtomicityViolation> {
+    let ix = HistoryIndex::new(h);
+    is_non_interleaved(&ix)?;
+    let comps = completions(h, &ix)?;
+    let mut first_bad = None;
+    for c in &comps {
+        let cix = HistoryIndex::new(c);
+        match legal_reads(c, &cix) {
+            Ok(()) => return Ok(()),
+            Err(i) => first_bad = Some(first_bad.unwrap_or(i)),
+        }
+    }
+    Err(AtomicityViolation::NoLegalCompletion { read_resp: first_bad.unwrap_or(0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Reg, ThreadId};
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    /// The paper's example H0 (Sec 2.4): committed-pending t1 writing x=1,
+    /// live t2 writing x=2, and a non-transactional read of 1 by t3.
+    /// H0 ∈ H_atomic via the completion committing t1.
+    #[test]
+    fn paper_h0_in_atomic() {
+        let h = History::new(vec![
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 1, Kind::Write(Reg(0), 1)),
+            a(3, 1, Kind::RetUnit),
+            a(4, 1, Kind::TxCommit),
+            a(5, 2, Kind::TxBegin),
+            a(6, 2, Kind::Ok),
+            a(7, 2, Kind::Write(Reg(0), 2)),
+            a(8, 3, Kind::Read(Reg(0))),
+            a(9, 3, Kind::RetVal(1)),
+        ]);
+        assert_eq!(in_atomic_tm(&h), Ok(()));
+    }
+
+    /// Same shape but the read returns the live transaction's value: not
+    /// atomic (a live transaction's writes are invisible).
+    #[test]
+    fn read_from_live_txn_not_atomic() {
+        let h = History::new(vec![
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 1, Kind::Write(Reg(0), 1)),
+            a(3, 1, Kind::RetUnit),
+            a(4, 1, Kind::TxCommit),
+            a(5, 2, Kind::TxBegin),
+            a(6, 2, Kind::Ok),
+            a(7, 2, Kind::Write(Reg(0), 2)),
+            a(8, 3, Kind::Read(Reg(0))),
+            a(9, 3, Kind::RetVal(2)),
+        ]);
+        assert!(matches!(
+            in_atomic_tm(&h),
+            Err(AtomicityViolation::NoLegalCompletion { .. })
+        ));
+    }
+
+    /// Interleaved transactions are rejected.
+    #[test]
+    fn interleaving_rejected() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 1, Kind::TxBegin), // t1 interleaves inside t0's txn
+            a(3, 1, Kind::Ok),
+            a(4, 1, Kind::TxCommit),
+            a(5, 1, Kind::Committed),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+        ]);
+        assert!(matches!(
+            in_atomic_tm(&h),
+            Err(AtomicityViolation::Interleaved { .. })
+        ));
+    }
+
+    /// A read inside a transaction sees the transaction's own earlier write.
+    #[test]
+    fn own_writes_visible() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::Read(Reg(0))),
+            a(5, 0, Kind::RetVal(5)),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+        ]);
+        assert_eq!(in_atomic_tm(&h), Ok(()));
+    }
+
+    /// An aborted transaction's writes are invisible to later readers.
+    #[test]
+    fn aborted_writes_invisible() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Aborted),
+            a(6, 1, Kind::Read(Reg(0))),
+            a(7, 1, Kind::RetVal(0)), // v_init
+        ]);
+        assert_eq!(in_atomic_tm(&h), Ok(()));
+
+        let bad = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Aborted),
+            a(6, 1, Kind::Read(Reg(0))),
+            a(7, 1, Kind::RetVal(5)),
+        ]);
+        assert!(in_atomic_tm(&bad).is_err());
+    }
+
+    /// Non-transactional writes are visible to everyone after them.
+    #[test]
+    fn ntx_write_visible() {
+        let h = History::new(vec![
+            a(0, 0, Kind::Write(Reg(0), 9)),
+            a(1, 0, Kind::RetUnit),
+            a(2, 1, Kind::TxBegin),
+            a(3, 1, Kind::Ok),
+            a(4, 1, Kind::Read(Reg(0))),
+            a(5, 1, Kind::RetVal(9)),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+        ]);
+        assert_eq!(in_atomic_tm(&h), Ok(()));
+    }
+
+    #[test]
+    fn completions_enumeration() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::TxCommit),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let comps = completions(&h, &ix).unwrap();
+        assert_eq!(comps.len(), 2);
+        let statuses: Vec<TxnStatus> = comps
+            .iter()
+            .map(|c| HistoryIndex::new(c).txns[0].status)
+            .collect();
+        assert!(statuses.contains(&TxnStatus::Committed));
+        assert!(statuses.contains(&TxnStatus::Aborted));
+    }
+}

@@ -1,0 +1,245 @@
+//! Dense bit-matrix relations over action (or node) indices, with transitive
+//! closure specialized for execution-order-respecting edge sets (every edge
+//! goes from a smaller to a larger index), which is what all the paper's
+//! relations satisfy.
+
+/// A binary relation on `{0, …, n-1}` stored as a bit matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitRel {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitRel {
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitRel { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] |= 1 << (j % 64);
+    }
+
+    #[inline]
+    pub fn has(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Union in place.
+    pub fn union_with(&mut self, other: &BitRel) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Successors of `i` as an iterator of indices.
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = self.row(i);
+        row.iter().enumerate().flat_map(move |(w, &word)| {
+            BitIter { word, base: w * 64 }
+        })
+    }
+
+    /// Transitive closure, assuming every edge `(i, j)` has `i < j` (true of
+    /// all relations derived from execution order). Runs right-to-left:
+    /// `reach[i] = edges[i] ∪ ⋃_{j ∈ edges[i]} reach[j]`; row `j > i` is
+    /// already final when row `i` is processed.
+    pub fn closure_forward(&self) -> BitRel {
+        let mut reach = self.clone();
+        let wpr = self.words_per_row;
+        let mut succs: Vec<usize> = Vec::new();
+        for i in (0..self.n).rev() {
+            succs.clear();
+            succs.extend(self.succs(i));
+            for &j in &succs {
+                debug_assert!(j > i, "closure_forward requires forward edges");
+                let (left, right) = reach.bits.split_at_mut(j * wpr);
+                let dst = &mut left[i * wpr..(i + 1) * wpr];
+                let src = &right[..wpr];
+                for w in 0..wpr {
+                    dst[w] |= src[w];
+                }
+            }
+        }
+        reach
+    }
+
+    /// Does the relation (viewed as a digraph) contain a cycle?
+    pub fn has_cycle(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// Topological sort (Kahn). `None` if cyclic. Ties are broken by smallest
+    /// index first, so the output is the lexicographically-least topological
+    /// order — deterministic and "closest to" the original order.
+    pub fn topo_sort(&self) -> Option<Vec<usize>> {
+        let n = self.n;
+        let mut indeg = vec![0usize; n];
+        for i in 0..n {
+            for j in self.succs(i) {
+                indeg[j] += 1;
+            }
+        }
+        // Min-heap on index for deterministic output.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&i| indeg[i] == 0).map(Reverse).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(Reverse(i)) = heap.pop() {
+            out.push(i);
+            for j in self.succs(i) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    heap.push(Reverse(j));
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl std::fmt::Debug for BitRel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitRel{{")?;
+        let mut first = true;
+        for i in 0..self.n {
+            for j in self.succs(i) {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{i}->{j}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut r = BitRel::new(100);
+        r.add(3, 70);
+        r.add(3, 5);
+        assert!(r.has(3, 70));
+        assert!(r.has(3, 5));
+        assert!(!r.has(5, 3));
+        assert_eq!(r.succs(3).collect::<Vec<_>>(), vec![5, 70]);
+    }
+
+    #[test]
+    fn closure_chain() {
+        let mut r = BitRel::new(5);
+        r.add(0, 1);
+        r.add(1, 2);
+        r.add(2, 3);
+        r.add(3, 4);
+        let c = r.closure_forward();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(c.has(i, j), i < j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_diamond() {
+        let mut r = BitRel::new(4);
+        r.add(0, 1);
+        r.add(0, 2);
+        r.add(1, 3);
+        r.add(2, 3);
+        let c = r.closure_forward();
+        assert!(c.has(0, 3));
+        assert!(!c.has(1, 2));
+        assert!(!c.has(2, 1));
+    }
+
+    #[test]
+    fn topo_sort_dag() {
+        let mut r = BitRel::new(4);
+        r.add(2, 0);
+        r.add(0, 1);
+        r.add(0, 3);
+        let order = r.topo_sort().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (k, &i) in order.iter().enumerate() {
+                p[i] = k;
+            }
+            p
+        };
+        assert!(pos[2] < pos[0]);
+        assert!(pos[0] < pos[1]);
+        assert!(pos[0] < pos[3]);
+        assert!(!r.has_cycle());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut r = BitRel::new(3);
+        r.add(0, 1);
+        r.add(1, 2);
+        r.add(2, 0);
+        assert!(r.has_cycle());
+        assert!(r.topo_sort().is_none());
+    }
+
+    #[test]
+    fn topo_sort_is_deterministic_min_index() {
+        let r = BitRel::new(3);
+        assert_eq!(r.topo_sort().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitRel::new(3);
+        a.add(0, 1);
+        let mut b = BitRel::new(3);
+        b.add(1, 2);
+        a.union_with(&b);
+        assert!(a.has(0, 1) && a.has(1, 2));
+    }
+}

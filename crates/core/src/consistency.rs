@@ -1,0 +1,240 @@
+//! History consistency (Defs 6.1 and 6.2): local accesses and the basic
+//! read-dependency sanity every opaque history must satisfy.
+
+use crate::action::Kind;
+use crate::history::{HistoryIndex, TxnStatus};
+use crate::ids::{Reg, Value, V_INIT};
+use crate::trace::History;
+
+/// Why a history is inconsistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// A local read did not return the transaction's most recent write.
+    LocalReadWrongValue { read_resp: usize },
+    /// A non-local read returned a value whose (unique) write is local,
+    /// missing, or inside an aborted/live transaction.
+    BadReadSource { read_resp: usize },
+}
+
+/// Is the write request at `i` *local* to its transaction (Def 6.1): is it
+/// followed by another write to the same register in the same transaction?
+pub fn write_is_local(h: &History, ix: &HistoryIndex, i: usize) -> bool {
+    let Kind::Write(x, _) = h.actions()[i].kind else {
+        return false;
+    };
+    let Some(t) = ix.txn_of(i) else {
+        return false; // non-transactional writes are never local
+    };
+    ix.txns[t]
+        .actions
+        .iter()
+        .any(|&j| j > i && matches!(h.actions()[j].kind, Kind::Write(y, _) if y == x))
+}
+
+/// Is the read request at `i` local (Def 6.1): preceded by a write to the
+/// same register in the same transaction?
+pub fn read_is_local(h: &History, ix: &HistoryIndex, i: usize) -> bool {
+    let Kind::Read(x) = h.actions()[i].kind else {
+        return false;
+    };
+    let Some(t) = ix.txn_of(i) else {
+        return false;
+    };
+    ix.txns[t]
+        .actions
+        .iter()
+        .any(|&j| j < i && matches!(h.actions()[j].kind, Kind::Write(y, _) if y == x))
+}
+
+/// The most recent write to `x` before index `i` in transaction `t`.
+fn last_own_write(h: &History, ix: &HistoryIndex, t: usize, x: Reg, i: usize) -> Option<Value> {
+    ix.txns[t]
+        .actions
+        .iter()
+        .rev()
+        .filter(|&&j| j < i)
+        .find_map(|&j| match h.actions()[j].kind {
+            Kind::Write(y, v) if y == x => Some(v),
+            _ => None,
+        })
+}
+
+/// Check `cons(H)` (Def 6.2). Every matched read request/response must be
+/// consistent:
+///
+/// * local reads return the transaction's most recent preceding write;
+/// * non-local reads return either `v_init` or a value written by a
+///   *non-local* write that is not inside an aborted or live transaction.
+///
+/// Commit-pending writers are permitted sources (cf. Sec 2.4's treatment of
+/// commit-pending transactions).
+pub fn check_consistency(h: &History, ix: &HistoryIndex) -> Result<(), Inconsistency> {
+    let acts = h.actions();
+    // value -> write request index (writes are unique).
+    let mut writer_of = std::collections::HashMap::new();
+    for (i, a) in acts.iter().enumerate() {
+        if let Kind::Write(_, v) = a.kind {
+            writer_of.insert(v, i);
+        }
+    }
+    for (req, resp) in ix.resp_of.iter().enumerate() {
+        let Some(resp) = *resp else { continue };
+        let Kind::Read(x) = acts[req].kind else { continue };
+        let Kind::RetVal(v) = acts[resp].kind else { continue };
+
+        if read_is_local(h, ix, req) {
+            let t = ix.txn_of(req).unwrap();
+            let expected = last_own_write(h, ix, t, x, req).unwrap();
+            if v != expected {
+                return Err(Inconsistency::LocalReadWrongValue { read_resp: resp });
+            }
+        } else if v != V_INIT {
+            let Some(&wi) = writer_of.get(&v) else {
+                return Err(Inconsistency::BadReadSource { read_resp: resp });
+            };
+            // The write must be on the same register, non-local, and not in
+            // an aborted or live transaction.
+            let same_reg = matches!(acts[wi].kind, Kind::Write(y, _) if y == x);
+            let nonlocal = !write_is_local(h, ix, wi);
+            let status_ok = match ix.txn_of(wi) {
+                None => true,
+                Some(t) => matches!(
+                    ix.txns[t].status,
+                    TxnStatus::Committed | TxnStatus::CommitPending
+                ),
+            };
+            if !(same_reg && nonlocal && status_ok) {
+                return Err(Inconsistency::BadReadSource { read_resp: resp });
+            }
+        }
+        // Non-local reads of v_init are always consistent at this level;
+        // stale-initial-value reads are ruled out by anti-dependency edges in
+        // the opacity graph, not by cons(H).
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::ThreadId;
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    #[test]
+    fn locality() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)), // local (overwritten at 6)
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::Read(Reg(0))), // local (preceded by write at 2)
+            a(5, 0, Kind::RetVal(1)),
+            a(6, 0, Kind::Write(Reg(0), 2)), // non-local (last write)
+            a(7, 0, Kind::RetUnit),
+            a(8, 0, Kind::Read(Reg(1))), // non-local (no write to x1)
+            a(9, 0, Kind::RetVal(0)),
+            a(10, 0, Kind::TxCommit),
+            a(11, 0, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert!(write_is_local(&h, &ix, 2));
+        assert!(!write_is_local(&h, &ix, 6));
+        assert!(read_is_local(&h, &ix, 4));
+        assert!(!read_is_local(&h, &ix, 8));
+        assert_eq!(check_consistency(&h, &ix), Ok(()));
+    }
+
+    #[test]
+    fn local_read_must_see_latest_own_write() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::Write(Reg(0), 2)),
+            a(5, 0, Kind::RetUnit),
+            a(6, 0, Kind::Read(Reg(0))),
+            a(7, 0, Kind::RetVal(1)), // stale: should be 2
+            a(8, 0, Kind::TxCommit),
+            a(9, 0, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(
+            check_consistency(&h, &ix),
+            Err(Inconsistency::LocalReadWrongValue { read_resp: 7 })
+        );
+    }
+
+    #[test]
+    fn read_from_aborted_txn_inconsistent() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Aborted),
+            a(6, 1, Kind::Read(Reg(0))),
+            a(7, 1, Kind::RetVal(5)),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(
+            check_consistency(&h, &ix),
+            Err(Inconsistency::BadReadSource { read_resp: 7 })
+        );
+    }
+
+    #[test]
+    fn read_from_commit_pending_ok() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(6, 1, Kind::Read(Reg(0))),
+            a(7, 1, Kind::RetVal(5)),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(check_consistency(&h, &ix), Ok(()));
+    }
+
+    #[test]
+    fn read_of_local_write_from_other_txn_inconsistent() {
+        // t0's write of 1 is local (overwritten by 2); t1 must not read 1.
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::Write(Reg(0), 2)),
+            a(5, 0, Kind::RetUnit),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+            a(8, 1, Kind::Read(Reg(0))),
+            a(9, 1, Kind::RetVal(1)),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(
+            check_consistency(&h, &ix),
+            Err(Inconsistency::BadReadSource { read_resp: 9 })
+        );
+    }
+
+    #[test]
+    fn vinit_read_consistent_even_after_writes() {
+        // cons(H) does not rule this out; the opacity graph does.
+        let h = History::new(vec![
+            a(0, 0, Kind::Write(Reg(0), 3)),
+            a(1, 0, Kind::RetUnit),
+            a(2, 1, Kind::Read(Reg(0))),
+            a(3, 1, Kind::RetVal(0)),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(check_consistency(&h, &ix), Ok(()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Observational equivalence (Def 5.1) and the constructive Rearrangement
+//! Lemma (Lemma B.1): a trace whose history `H` satisfies `H ⊑ S` can be
+//! reordered into an observationally equivalent trace with history `S`.
+
+use crate::action::Action;
+use crate::history::HistoryIndex;
+use crate::ids::{ActionId, ThreadId};
+use crate::trace::{History, Trace};
+use std::collections::{HashMap, HashSet};
+
+/// The set of action ids belonging to non-transactional *accesses* (not
+/// fences) of a trace.
+fn ntx_access_ids(tr: &Trace) -> HashSet<ActionId> {
+    let h = tr.history();
+    let ix = HistoryIndex::new(&h);
+    let mut ids = HashSet::new();
+    for acc in &ix.ntx {
+        ids.insert(h.actions()[acc.req].id);
+        if let Some(r) = acc.resp {
+            ids.insert(h.actions()[r].id);
+        }
+    }
+    ids
+}
+
+/// `τ |nontx`: the subsequence of actions from non-transactional accesses.
+pub fn project_nontx(tr: &Trace) -> Vec<Action> {
+    let ids = ntx_access_ids(tr);
+    tr.actions().iter().copied().filter(|a| ids.contains(&a.id)).collect()
+}
+
+/// Observational equivalence `τ ~ τ'` (Def 5.1): equal per-thread projections
+/// and equal non-transactional-access projections.
+pub fn observationally_equivalent(t1: &Trace, t2: &Trace) -> bool {
+    let threads: HashSet<ThreadId> = t1
+        .actions()
+        .iter()
+        .chain(t2.actions())
+        .map(|a| a.thread)
+        .collect();
+    for t in threads {
+        if t1.per_thread(t) != t2.per_thread(t) {
+            return false;
+        }
+    }
+    project_nontx(t1) == project_nontx(t2)
+}
+
+/// Rearrangement (Lemma B.1, constructive): given a trace `tr` with
+/// `history(tr) = H` and a witness history `S` that is a permutation of `H`,
+/// build the trace `tr_s` with `history(tr_s) = S` and `tr_s ~ tr`.
+///
+/// Construction: walk `S`; before emitting a TM action of thread `t`, emit
+/// the primitive actions of `t` that preceded it in `tr|t`. Left-over
+/// primitives (after a thread's last TM action) are appended at the end.
+pub fn rearrange(tr: &Trace, s: &History) -> Trace {
+    // For each TM action id: the primitive actions (of the same thread) that
+    // immediately precede it in tr.
+    let mut prims_before: HashMap<ActionId, Vec<Action>> = HashMap::new();
+    let mut pending: HashMap<ThreadId, Vec<Action>> = HashMap::new();
+    for &a in tr.actions() {
+        if a.kind.is_tm_interface() {
+            let v = pending.remove(&a.thread).unwrap_or_default();
+            prims_before.insert(a.id, v);
+        } else {
+            pending.entry(a.thread).or_default().push(a);
+        }
+    }
+
+    let mut out: Vec<Action> = Vec::with_capacity(tr.len());
+    for &a in s.actions() {
+        if let Some(ps) = prims_before.remove(&a.id) {
+            out.extend(ps);
+        }
+        out.push(a);
+    }
+    // Trailing primitives, deterministic thread order.
+    let mut rest: Vec<(ThreadId, Vec<Action>)> = pending.into_iter().collect();
+    rest.sort_by_key(|(t, _)| *t);
+    for (_, ps) in rest {
+        out.extend(ps);
+    }
+    Trace::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Kind, PrimTag};
+    use crate::ids::Reg;
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    #[test]
+    fn equivalence_reflexive() {
+        let tr = Trace::new(vec![
+            a(0, 0, Kind::Prim(PrimTag(1))),
+            a(1, 0, Kind::Read(Reg(0))),
+            a(2, 0, Kind::RetVal(0)),
+        ]);
+        assert!(observationally_equivalent(&tr, &tr));
+    }
+
+    #[test]
+    fn reordering_across_threads_is_equivalent_if_ntx_order_kept() {
+        let t1 = Trace::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 1, Kind::TxBegin),
+            a(3, 1, Kind::Ok),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+        ]);
+        let t2 = Trace::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(2, 1, Kind::TxBegin),
+            a(3, 1, Kind::Ok),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+        ]);
+        assert!(observationally_equivalent(&t1, &t2));
+    }
+
+    #[test]
+    fn ntx_reorder_not_equivalent() {
+        let t1 = Trace::new(vec![
+            a(0, 0, Kind::Write(Reg(0), 1)),
+            a(1, 0, Kind::RetUnit),
+            a(2, 1, Kind::Write(Reg(1), 2)),
+            a(3, 1, Kind::RetUnit),
+        ]);
+        let t2 = Trace::new(vec![
+            a(2, 1, Kind::Write(Reg(1), 2)),
+            a(3, 1, Kind::RetUnit),
+            a(0, 0, Kind::Write(Reg(0), 1)),
+            a(1, 0, Kind::RetUnit),
+        ]);
+        assert!(!observationally_equivalent(&t1, &t2));
+    }
+
+    #[test]
+    fn rearrange_produces_witness_history_and_equivalent_trace() {
+        // Trace: t0 prim, txn(t0) and txn(t1) interleaved, prims interspersed.
+        let tr = Trace::new(vec![
+            a(100, 0, Kind::Prim(PrimTag(1))),
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 1, Kind::TxBegin),
+            a(3, 1, Kind::Ok),
+            a(101, 1, Kind::Prim(PrimTag(2))),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+            a(102, 0, Kind::Prim(PrimTag(3))),
+        ]);
+        // Witness: t1's txn first, then t0's.
+        let s = History::new(vec![
+            a(2, 1, Kind::TxBegin),
+            a(3, 1, Kind::Ok),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+        ]);
+        let rs = rearrange(&tr, &s);
+        assert_eq!(rs.history().actions(), s.actions());
+        assert!(observationally_equivalent(&tr, &rs));
+    }
+
+    #[test]
+    fn project_nontx_excludes_fences_and_txn_actions() {
+        let tr = Trace::new(vec![
+            a(0, 0, Kind::FBegin),
+            a(1, 0, Kind::FEnd),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 1, Kind::TxBegin),
+            a(5, 1, Kind::Ok),
+            a(6, 1, Kind::Read(Reg(0))),
+            a(7, 1, Kind::RetVal(1)),
+            a(8, 1, Kind::TxCommit),
+            a(9, 1, Kind::Committed),
+        ]);
+        let p = project_nontx(&tr);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].id, ActionId(2));
+        assert_eq!(p[1].id, ActionId(3));
+    }
+}

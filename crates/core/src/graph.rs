@@ -1,0 +1,535 @@
+//! Opacity graphs (Def 6.3) and their fenced extension (Def B.5), including
+//! visibility/write-order selection strategies, anti-dependency derivation,
+//! acyclicity, and the Theorem 6.6 small-cycle premise.
+
+use crate::action::Kind;
+use crate::bitrel::BitRel;
+use crate::history::{HistoryIndex, TxnStatus};
+use crate::ids::{Reg, V_INIT};
+use crate::relations::HbBuilder;
+use crate::trace::History;
+
+/// A node of the opacity graph: a transaction or a non-transactional access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    Txn(usize),
+    Ntx(usize),
+}
+
+/// The opacity graph `G = (N, vis, HB, WR, WW, RW)`.
+pub struct OpacityGraph {
+    /// Nodes: transactions first, then non-transactional accesses.
+    pub nodes: Vec<Node>,
+    /// Visibility predicate per node.
+    pub vis: Vec<bool>,
+    /// Node-level happens-before (lifted from hb(H)).
+    pub hb: BitRel,
+    /// Read-dependencies: (from, to, register) — `to` reads from `from`.
+    pub wr: Vec<(usize, usize, Reg)>,
+    /// Per register: the chosen total order over visible writer nodes.
+    pub ww: Vec<Vec<usize>>,
+    /// Anti-dependencies derived from WR and WW per Def 6.3.
+    pub rw: Vec<(usize, usize, Reg)>,
+}
+
+/// How to order visible writers of each register (the WW component).
+#[derive(Clone, Debug)]
+pub enum WwStrategy {
+    /// Order by completion position: a transaction's last action index, a
+    /// non-transactional access's response index. Matches write-back-at-
+    /// commit TMs such as TL2.
+    CompletionOrder,
+    /// Order by first write-request index. Matches in-place TMs.
+    FirstWriteOrder,
+    /// Explicit per-transaction keys (e.g. TL2 write timestamps), with
+    /// non-transactional accesses keyed by a position scaled to interleave:
+    /// key = `ntx_key[access]` when provided, else completion position.
+    TxnKeys { txn_key: Vec<Option<u64>> },
+    /// Fully explicit orders: for each register, the visible writer nodes in
+    /// WW order. Used by the checker's brute-force fallback.
+    Explicit(Vec<Vec<usize>>),
+}
+
+impl OpacityGraph {
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the node owning a transaction / ntx access.
+    pub fn txn_node(&self, t: usize) -> usize {
+        t
+    }
+    pub fn ntx_node(&self, ix: &HistoryIndex, a: usize) -> usize {
+        ix.txns.len() + a
+    }
+
+    /// All dependency edges (WR ∪ WW ∪ RW) as pairs.
+    pub fn dep_edges(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> =
+            self.wr.iter().map(|&(a, b, _)| (a, b)).collect();
+        for order in &self.ww {
+            for w in order.windows(2) {
+                out.push((w[0], w[1]));
+            }
+        }
+        out.extend(self.rw.iter().map(|&(a, b, _)| (a, b)));
+        out
+    }
+
+    /// Combined digraph HB ∪ WR ∪ WW ∪ RW over nodes.
+    pub fn combined(&self) -> BitRel {
+        let mut g = self.hb.clone();
+        for (a, b) in self.dep_edges() {
+            if a != b {
+                g.add(a, b);
+            }
+        }
+        g
+    }
+
+    /// Is the graph acyclic (`acyclic(G)`)?
+    pub fn is_acyclic(&self) -> bool {
+        !self.combined().has_cycle()
+    }
+
+    /// Theorem 6.6 premise: `(HB ; (WR ∪ WW ∪ RW))` is irreflexive, i.e. no
+    /// dependency edge directly opposes a happens-before edge.
+    pub fn small_cycle_premise(&self) -> bool {
+        self.dep_edges().iter().all(|&(u, v)| !self.hb.has(v, u))
+    }
+}
+
+/// First/last action index of a node.
+fn node_span(ix: &HistoryIndex, n: Node) -> (usize, usize) {
+    match n {
+        Node::Txn(t) => (ix.txns[t].first(), ix.txns[t].last()),
+        Node::Ntx(a) => {
+            let acc = &ix.ntx[a];
+            (acc.req, acc.last())
+        }
+    }
+}
+
+/// Does node `n` write to register `x` non-locally (i.e., is it a "writer"
+/// for WW purposes)? For transactions this means: contains any write to `x`
+/// (the last one is non-local by definition).
+fn node_writes(h: &History, ix: &HistoryIndex, n: Node, x: Reg) -> bool {
+    match n {
+        Node::Txn(t) => ix.txns[t]
+            .actions
+            .iter()
+            .any(|&i| matches!(h.actions()[i].kind, Kind::Write(y, _) if y == x)),
+        Node::Ntx(a) => ix.ntx[a].reg == x && ix.ntx[a].is_write(),
+    }
+}
+
+/// Build the opacity graph for a history given a visibility choice for
+/// commit-pending transactions and a WW strategy.
+///
+/// `pending_vis[k]` gives visibility for the k-th commit-pending transaction
+/// (in transaction order). Committed transactions and ntx accesses are always
+/// visible; aborted and live transactions never are (Def 6.3).
+pub fn build_graph(
+    h: &History,
+    ix: &HistoryIndex,
+    hb_actions: &BitRel,
+    pending_vis: &[bool],
+    strategy: &WwStrategy,
+) -> OpacityGraph {
+    let ntxn = ix.txns.len();
+    let nnodes = ntxn + ix.ntx.len();
+    let mut nodes = Vec::with_capacity(nnodes);
+    for t in 0..ntxn {
+        nodes.push(Node::Txn(t));
+    }
+    for a in 0..ix.ntx.len() {
+        nodes.push(Node::Ntx(a));
+    }
+
+    // Visibility.
+    let mut vis = vec![false; nnodes];
+    let mut pk = 0;
+    for (t, txn) in ix.txns.iter().enumerate() {
+        vis[t] = match txn.status {
+            TxnStatus::Committed => true,
+            TxnStatus::Aborted | TxnStatus::Live => false,
+            TxnStatus::CommitPending => {
+                let v = pending_vis.get(pk).copied().unwrap_or(false);
+                pk += 1;
+                v
+            }
+        };
+    }
+    for a in 0..ix.ntx.len() {
+        vis[ntxn + a] = true;
+    }
+
+    // Node-level HB: n -> n' iff some action of n happens-before some action
+    // of n'. Since hb respects execution order we only need to test pairs of
+    // actions once; node action lists are short.
+    let mut hb = BitRel::new(nnodes);
+    let node_actions: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&n| match n {
+            Node::Txn(t) => ix.txns[t].actions.clone(),
+            Node::Ntx(a) => {
+                let acc = &ix.ntx[a];
+                match acc.resp {
+                    Some(r) => vec![acc.req, r],
+                    None => vec![acc.req],
+                }
+            }
+        })
+        .collect();
+    for i in 0..nnodes {
+        for j in 0..nnodes {
+            if i == j {
+                continue;
+            }
+            'outer: for &ai in &node_actions[i] {
+                for &aj in &node_actions[j] {
+                    if hb_actions.has(ai, aj) {
+                        hb.add(i, j);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // WR edges at node level from the action-level read dependencies.
+    let rd = HbBuilder::build(h, ix).read_deps;
+    let owner_node = |i: usize| -> Option<usize> {
+        match ix.owner[i] {
+            crate::history::Owner::Txn(t) => Some(t),
+            crate::history::Owner::Ntx(a) => Some(ntxn + a),
+            crate::history::Owner::Fence(_) => None,
+        }
+    };
+    let mut wr = Vec::new();
+    for &(wi, rj, x) in &rd.edges {
+        let (Some(nw), Some(nr)) = (owner_node(wi), owner_node(rj)) else {
+            continue;
+        };
+        if nw != nr {
+            wr.push((nw, nr, x));
+        }
+    }
+
+    // WW: per register, the visible writers in the strategy's order.
+    let nregs = ix.nregs;
+    let mut ww: Vec<Vec<usize>> = Vec::with_capacity(nregs);
+    for xr in 0..nregs {
+        let x = Reg(xr as u32);
+        let mut writers: Vec<usize> = (0..nnodes)
+            .filter(|&n| vis[n] && node_writes(h, ix, nodes[n], x))
+            .collect();
+        match strategy {
+            WwStrategy::Explicit(orders) => {
+                let order = &orders[xr];
+                debug_assert_eq!(order.len(), writers.len());
+                writers = order.clone();
+            }
+            _ => writers.sort_by_key(|&n| ww_key(ix, nodes[n], strategy)),
+        }
+        ww.push(writers);
+    }
+
+    // RW derivation (Def 6.3):
+    //   n -RWx-> n'  iff  n ≠ n' ∧ ( (∃n''. n'' -WWx-> n' ∧ n'' -WRx-> n)
+    //                              ∨ (vis(n') ∧ n' writes x ∧ n read v_init from x) )
+    let mut rw = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for xr in 0..nregs {
+        let x = Reg(xr as u32);
+        let order = &ww[xr];
+        let pos_in_ww = |n: usize| order.iter().position(|&m| m == n);
+        // First disjunct: for each WR edge n''->n on x, n gets RW to every
+        // writer after n'' in WWx.
+        for &(nw, nr, xx) in &wr {
+            if xx != x {
+                continue;
+            }
+            if let Some(p) = pos_in_ww(nw) {
+                for &later in &order[p + 1..] {
+                    if later != nr && seen.insert((nr, later, xr)) {
+                        rw.push((nr, later, x));
+                    }
+                }
+            }
+        }
+        // Second disjunct: nodes that read v_init from x anti-depend on every
+        // visible writer of x.
+        for (n, acts) in node_actions.iter().enumerate() {
+            // Does node n contain a read of x returning v_init? The request
+            // directly precedes its response in the node's action list.
+            let reads_init = acts.windows(2).any(|w| {
+                h.actions()[w[1]].kind == Kind::RetVal(V_INIT)
+                    && matches!(h.actions()[w[0]].kind, Kind::Read(y) if y == x)
+            });
+            if !reads_init {
+                continue;
+            }
+            for &w in order {
+                if w != n && seen.insert((n, w, xr)) {
+                    rw.push((n, w, x));
+                }
+            }
+        }
+    }
+
+    OpacityGraph { nodes, vis, hb, wr, ww, rw }
+}
+
+fn ww_key(ix: &HistoryIndex, n: Node, strategy: &WwStrategy) -> (u64, u64) {
+    match strategy {
+        WwStrategy::Explicit(_) => unreachable!("explicit orders bypass keying"),
+        WwStrategy::CompletionOrder => match n {
+            Node::Txn(t) => (ix.txns[t].last() as u64, 0),
+            Node::Ntx(a) => (ix.ntx[a].last() as u64, 0),
+        },
+        WwStrategy::FirstWriteOrder => match n {
+            Node::Txn(t) => (ix.txns[t].first() as u64, 0),
+            Node::Ntx(a) => (ix.ntx[a].req as u64, 0),
+        },
+        WwStrategy::TxnKeys { txn_key } => match n {
+            // Transactions with keys sort by (key); ones without and ntx
+            // accesses fall back to completion position. The secondary
+            // component keeps the sort total and deterministic.
+            Node::Txn(t) => match txn_key.get(t).copied().flatten() {
+                Some(k) => (k, ix.txns[t].last() as u64),
+                None => (ix.txns[t].last() as u64, 1),
+            },
+            Node::Ntx(a) => (ix.ntx[a].last() as u64, 1),
+        },
+    }
+}
+
+/// A node of the fenced graph (Def B.5): graph nodes plus individual fence
+/// actions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FNode {
+    Graph(usize),
+    FBegin(usize),
+    FEnd(usize),
+}
+
+/// The fenced opacity graph: used to linearize a witness history including
+/// fence actions.
+pub struct FencedGraph {
+    pub fnodes: Vec<FNode>,
+    pub edges: BitRel,
+}
+
+/// Build the fenced graph: nodes are the opacity-graph nodes plus each fence
+/// action; edges are the lifted hb plus the graph's dependency edges. The
+/// node list is sorted by first-action position so that the deterministic
+/// topological sort stays close to the original history order.
+pub fn build_fenced(
+    ix: &HistoryIndex,
+    g: &OpacityGraph,
+    hb_actions: &BitRel,
+) -> FencedGraph {
+    let mut fnodes: Vec<FNode> = (0..g.node_count()).map(FNode::Graph).collect();
+    for (f, fence) in ix.fences.iter().enumerate() {
+        fnodes.push(FNode::FBegin(f));
+        if fence.fend.is_some() {
+            fnodes.push(FNode::FEnd(f));
+        }
+    }
+    // Sort by position of first action.
+    let pos = |fnode: &FNode| -> usize {
+        match *fnode {
+            FNode::Graph(n) => node_span(ix, g.nodes[n]).0,
+            FNode::FBegin(f) => ix.fences[f].fbegin,
+            FNode::FEnd(f) => ix.fences[f].fend.unwrap(),
+        }
+    };
+    fnodes.sort_by_key(pos);
+    let rev: std::collections::HashMap<FNode, usize> = fnodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+
+    let actions_of = |fnode: &FNode| -> Vec<usize> {
+        match *fnode {
+            FNode::Graph(n) => match g.nodes[n] {
+                Node::Txn(t) => ix.txns[t].actions.clone(),
+                Node::Ntx(a) => {
+                    let acc = &ix.ntx[a];
+                    match acc.resp {
+                        Some(r) => vec![acc.req, r],
+                        None => vec![acc.req],
+                    }
+                }
+            },
+            FNode::FBegin(f) => vec![ix.fences[f].fbegin],
+            FNode::FEnd(f) => vec![ix.fences[f].fend.unwrap()],
+        }
+    };
+
+    let n = fnodes.len();
+    let mut edges = BitRel::new(n);
+    let all_actions: Vec<Vec<usize>> = fnodes.iter().map(actions_of).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            'outer: for &ai in &all_actions[i] {
+                for &aj in &all_actions[j] {
+                    if hb_actions.has(ai, aj) {
+                        edges.add(i, j);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    // Dependency edges between graph nodes.
+    for (u, v) in g.dep_edges() {
+        if u != v {
+            let (ui, vi) = (rev[&FNode::Graph(u)], rev[&FNode::Graph(v)]);
+            edges.add(ui, vi);
+        }
+    }
+    FencedGraph { fnodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::ThreadId;
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    /// Committed writer, then a reader transaction: WR edge, no RW, acyclic.
+    #[test]
+    fn simple_wr_graph() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(6, 1, Kind::TxBegin),
+            a(7, 1, Kind::Ok),
+            a(8, 1, Kind::Read(Reg(0))),
+            a(9, 1, Kind::RetVal(1)),
+            a(10, 1, Kind::TxCommit),
+            a(11, 1, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        let g = build_graph(&h, &ix, &hb, &[], &WwStrategy::CompletionOrder);
+        assert_eq!(g.nodes.len(), 2);
+        assert!(g.vis[0] && g.vis[1]);
+        assert_eq!(g.wr, vec![(0, 1, Reg(0))]);
+        assert!(g.rw.is_empty());
+        assert!(g.is_acyclic());
+        assert!(g.small_cycle_premise());
+    }
+
+    /// Reader of v_init anti-depends on the later visible writer; still
+    /// acyclic when the read happened before the write committed.
+    #[test]
+    fn vinit_antidependency() {
+        let h = History::new(vec![
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 1, Kind::Read(Reg(0))),
+            a(3, 1, Kind::RetVal(0)),
+            a(4, 1, Kind::TxCommit),
+            a(5, 1, Kind::Committed),
+            a(6, 0, Kind::TxBegin),
+            a(7, 0, Kind::Ok),
+            a(8, 0, Kind::Write(Reg(0), 1)),
+            a(9, 0, Kind::RetUnit),
+            a(10, 0, Kind::TxCommit),
+            a(11, 0, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        let g = build_graph(&h, &ix, &hb, &[], &WwStrategy::CompletionOrder);
+        // txn 0 in history = t1's reader (created first), txn 1 = t0's writer.
+        assert!(g.rw.contains(&(0, 1, Reg(0))));
+        assert!(g.is_acyclic());
+    }
+
+    /// Write-write conflict ordering: two committed writers are totally
+    /// ordered by WW; a reader of the first writer anti-depends on the second.
+    #[test]
+    fn ww_and_derived_rw() {
+        let h = History::new(vec![
+            // T0 writes 1 and commits.
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            // T1 reads 1.
+            a(6, 1, Kind::TxBegin),
+            a(7, 1, Kind::Ok),
+            a(8, 1, Kind::Read(Reg(0))),
+            a(9, 1, Kind::RetVal(1)),
+            a(10, 1, Kind::TxCommit),
+            a(11, 1, Kind::Committed),
+            // T2 writes 2 and commits.
+            a(12, 2, Kind::TxBegin),
+            a(13, 2, Kind::Ok),
+            a(14, 2, Kind::Write(Reg(0), 2)),
+            a(15, 2, Kind::RetUnit),
+            a(16, 2, Kind::TxCommit),
+            a(17, 2, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        let g = build_graph(&h, &ix, &hb, &[], &WwStrategy::CompletionOrder);
+        assert_eq!(g.ww[0], vec![0, 2]); // T0 before T2
+        assert!(g.rw.contains(&(1, 2, Reg(0)))); // reader T1 -> overwriter T2
+        assert!(g.is_acyclic());
+    }
+
+    /// An aborted transaction is never visible and never in WW.
+    #[test]
+    fn aborted_not_visible() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Aborted),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        let g = build_graph(&h, &ix, &hb, &[], &WwStrategy::CompletionOrder);
+        assert!(!g.vis[0]);
+        assert!(g.ww[0].is_empty());
+    }
+
+    /// Commit-pending visibility is caller-controlled.
+    #[test]
+    fn pending_vis_choice() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        let g0 = build_graph(&h, &ix, &hb, &[false], &WwStrategy::CompletionOrder);
+        assert!(!g0.vis[0]);
+        let g1 = build_graph(&h, &ix, &hb, &[true], &WwStrategy::CompletionOrder);
+        assert!(g1.vis[0]);
+        assert_eq!(g1.ww[0], vec![0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Conflicts, data races, and data-race freedom (Defs 3.1–3.3), built on the
+//! happens-before relation of Def 3.4.
+
+use crate::action::Kind;
+use crate::bitrel::BitRel;
+use crate::history::HistoryIndex;
+use crate::relations::HbBuilder;
+use crate::trace::History;
+
+/// A data race: two conflicting actions unordered by happens-before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Index of the non-transactional request action.
+    pub ntx_action: usize,
+    /// Index of the transactional request action.
+    pub txn_action: usize,
+}
+
+/// The result of analyzing a history: happens-before plus any races.
+pub struct HbAnalysis {
+    pub hb: BitRel,
+    pub races: Vec<Race>,
+}
+
+/// Do two request actions conflict (Def 3.1)? `i` must be non-transactional
+/// and `j` transactional (or vice versa); they conflict if executed by
+/// different threads, access the same register, and at least one writes.
+fn conflicting(h: &History, i: usize, j: usize) -> bool {
+    let (a, b) = (h.actions()[i], h.actions()[j]);
+    if a.thread == b.thread {
+        return false;
+    }
+    match (a.kind.accessed_reg(), b.kind.accessed_reg()) {
+        (Some(x), Some(y)) if x == y => a.kind.is_write_req() || b.kind.is_write_req(),
+        _ => false,
+    }
+}
+
+/// Analyze a history: compute `hb(H)` and enumerate all data races.
+pub fn analyze(h: &History, ix: &HistoryIndex) -> HbAnalysis {
+    let hb = HbBuilder::build(h, ix).closure();
+    let races = find_races(h, ix, &hb);
+    HbAnalysis { hb, races }
+}
+
+/// Enumerate data races given a closed happens-before matrix.
+pub fn find_races(h: &History, ix: &HistoryIndex, hb: &BitRel) -> Vec<Race> {
+    // Collect transactional access request indices and ntx request indices.
+    let mut txn_reqs: Vec<usize> = Vec::new();
+    for txn in &ix.txns {
+        for &i in &txn.actions {
+            let k = h.actions()[i].kind;
+            if matches!(k, Kind::Read(_) | Kind::Write(..)) {
+                txn_reqs.push(i);
+            }
+        }
+    }
+    let mut races = Vec::new();
+    for ntx in &ix.ntx {
+        let i = ntx.req;
+        for &j in &txn_reqs {
+            if conflicting(h, i, j) && !hb.has(i, j) && !hb.has(j, i) {
+                races.push(Race { ntx_action: i, txn_action: j });
+            }
+        }
+    }
+    races
+}
+
+/// Is the history data-race free (Def 3.2)?
+pub fn is_drf(h: &History) -> bool {
+    let ix = HistoryIndex::new(h);
+    analyze(h, &ix).races.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::{Reg, ThreadId};
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    /// Fig 3 shape: T (t0) writes x,y; ν1,ν2 (t1) read x,y concurrently.
+    /// The non-transactional reads race with the transactional writes.
+    #[test]
+    fn racy_fig3() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 1, Kind::Read(Reg(0))), // ν1 interleaves with T
+            a(5, 1, Kind::RetVal(1)),
+            a(6, 0, Kind::Write(Reg(1), 2)),
+            a(7, 0, Kind::RetUnit),
+            a(8, 1, Kind::Read(Reg(1))), // ν2
+            a(9, 1, Kind::RetVal(0)),
+            a(10, 0, Kind::TxCommit),
+            a(11, 0, Kind::Committed),
+        ]);
+        assert!(!is_drf(&h));
+        let ix = HistoryIndex::new(&h);
+        let an = analyze(&h, &ix);
+        // ν1 (4) races with the write to x0 (2); ν2 (8) with the write to x1 (6).
+        assert!(an.races.contains(&Race { ntx_action: 4, txn_action: 2 }));
+        assert!(an.races.contains(&Race { ntx_action: 8, txn_action: 6 }));
+    }
+
+    /// Fig 1 with a fence between T1 and ν: T2 ended before the fence, so the
+    /// bf edge orders T2's accesses before ν — no race.
+    #[test]
+    fn privatization_with_fence_is_drf() {
+        let h = History::new(vec![
+            // T2 (t1): reads flag x0 (=0: not private), writes x1 := 42.
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 1, Kind::Read(Reg(0))),
+            a(3, 1, Kind::RetVal(0)),
+            a(4, 1, Kind::Write(Reg(1), 42)),
+            a(5, 1, Kind::RetUnit),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+            // T1 (t0): privatizes, setting flag x0 := 1.
+            a(8, 0, Kind::TxBegin),
+            a(9, 0, Kind::Ok),
+            a(10, 0, Kind::Write(Reg(0), 1)),
+            a(11, 0, Kind::RetUnit),
+            a(12, 0, Kind::TxCommit),
+            a(13, 0, Kind::Committed),
+            // fence (t0)
+            a(14, 0, Kind::FBegin),
+            a(15, 0, Kind::FEnd),
+            // ν (t0): non-transactional write x1 := 7.
+            a(16, 0, Kind::Write(Reg(1), 7)),
+            a(17, 0, Kind::RetUnit),
+        ]);
+        assert!(is_drf(&h));
+        // Sanity: T2's write (4) happens-before ν's write (16) via bf.
+        let ix = HistoryIndex::new(&h);
+        let an = analyze(&h, &ix);
+        assert!(an.hb.has(4, 16));
+    }
+
+    /// Same shape WITHOUT the fence: T2's accesses to x1 race with ν.
+    #[test]
+    fn privatization_without_fence_racy() {
+        let h = History::new(vec![
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 1, Kind::Read(Reg(0))),
+            a(3, 1, Kind::RetVal(0)),
+            a(4, 1, Kind::Write(Reg(1), 42)),
+            a(5, 1, Kind::RetUnit),
+            a(6, 1, Kind::TxCommit),
+            a(7, 1, Kind::Committed),
+            a(8, 0, Kind::TxBegin),
+            a(9, 0, Kind::Ok),
+            a(10, 0, Kind::Write(Reg(0), 1)),
+            a(11, 0, Kind::RetUnit),
+            a(12, 0, Kind::TxCommit),
+            a(13, 0, Kind::Committed),
+            a(16, 0, Kind::Write(Reg(1), 7)),
+            a(17, 0, Kind::RetUnit),
+        ]);
+        assert!(!is_drf(&h));
+    }
+
+    /// Fig 6 shape: privatization by agreement outside transactions. The
+    /// client order cl orders ν (flag write) before ν′ (flag read), hence
+    /// T's write before ν′′ — DRF.
+    #[test]
+    fn privatization_by_agreement_is_drf() {
+        let h = History::new(vec![
+            // T (t0): writes x1 := 42 transactionally.
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(1), 42)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            // ν (t0): sets the flag non-transactionally x0 := 1.
+            a(6, 0, Kind::Write(Reg(0), 1)),
+            a(7, 0, Kind::RetUnit),
+            // ν′ (t1): reads the flag = 1.
+            a(8, 1, Kind::Read(Reg(0))),
+            a(9, 1, Kind::RetVal(1)),
+            // ν′′ (t1): reads x1.
+            a(10, 1, Kind::Read(Reg(1))),
+            a(11, 1, Kind::RetVal(42)),
+        ]);
+        assert!(is_drf(&h));
+        let ix = HistoryIndex::new(&h);
+        let an = analyze(&h, &ix);
+        // T's write (2) hb ν′′ (10) via po;cl.
+        assert!(an.hb.has(2, 10));
+    }
+
+    /// Conflicts require different threads.
+    #[test]
+    fn same_thread_never_races() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(6, 0, Kind::Write(Reg(0), 2)),
+            a(7, 0, Kind::RetUnit),
+        ]);
+        assert!(is_drf(&h));
+    }
+
+    /// Two non-transactional accesses never race (SC base model).
+    #[test]
+    fn ntx_ntx_never_races() {
+        let h = History::new(vec![
+            a(0, 0, Kind::Write(Reg(0), 1)),
+            a(1, 0, Kind::RetUnit),
+            a(2, 1, Kind::Write(Reg(0), 2)),
+            a(3, 1, Kind::RetUnit),
+        ]);
+        assert!(is_drf(&h));
+    }
+
+    /// Read-read pairs do not conflict even across the txn/ntx boundary.
+    #[test]
+    fn read_read_no_conflict() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Read(Reg(0))),
+            a(3, 0, Kind::RetVal(0)),
+            a(4, 1, Kind::Read(Reg(0))),
+            a(5, 1, Kind::RetVal(0)),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+        ]);
+        assert!(is_drf(&h));
+    }
+}

@@ -1,0 +1,346 @@
+//! Structural index over a history: transactions (`txns(H)`), their statuses,
+//! non-transactional accesses (`nontxn(H)`), fences, and request/response
+//! matching. Everything downstream (happens-before, graphs, the checker)
+//! works off this index.
+
+use crate::action::Kind;
+use crate::ids::{Reg, ThreadId, Value};
+use crate::trace::History;
+
+/// Status of a transaction in a history (Sec 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnStatus {
+    /// Ends with a `committed` action.
+    Committed,
+    /// Ends with an `aborted` action.
+    Aborted,
+    /// Ends with a `txcommit` request without a response.
+    CommitPending,
+    /// Anything else.
+    Live,
+}
+
+/// A transaction: a maximal subsequence of a thread's actions starting at
+/// `txbegin`, ending at `committed`/`aborted` if completed.
+#[derive(Clone, Debug)]
+pub struct Txn {
+    pub thread: ThreadId,
+    /// Indices (into the history) of the transaction's actions, in order.
+    pub actions: Vec<usize>,
+    pub status: TxnStatus,
+}
+
+/// A non-transactional access: a matching read/write request/response pair
+/// outside any transaction. The response may be missing at the very end of a
+/// history prefix.
+#[derive(Clone, Debug)]
+pub struct NtxAccess {
+    pub thread: ThreadId,
+    pub req: usize,
+    pub resp: Option<usize>,
+    pub reg: Reg,
+    /// `Some(v)` if this is a write of `v`, `None` for a read.
+    pub write: Option<Value>,
+    /// For reads with a response: the value returned.
+    pub read_value: Option<Value>,
+}
+
+/// A fence execution: fbegin and (if completed) fend.
+#[derive(Clone, Debug)]
+pub struct Fence {
+    pub thread: ThreadId,
+    pub fbegin: usize,
+    pub fend: Option<usize>,
+}
+
+/// Which structural entity an action belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Owner {
+    Txn(usize),
+    Ntx(usize),
+    Fence(usize),
+}
+
+/// Index over a history. Built once, O(n).
+#[derive(Clone, Debug)]
+pub struct HistoryIndex {
+    pub txns: Vec<Txn>,
+    pub ntx: Vec<NtxAccess>,
+    pub fences: Vec<Fence>,
+    /// For each action index: the entity owning it.
+    pub owner: Vec<Owner>,
+    /// For each request index: the index of its matching response, if present.
+    pub resp_of: Vec<Option<usize>>,
+    /// Number of threads (max thread id + 1).
+    pub nthreads: usize,
+    /// Number of registers (max register id + 1).
+    pub nregs: usize,
+}
+
+impl Txn {
+    pub fn first(&self) -> usize {
+        self.actions[0]
+    }
+    pub fn last(&self) -> usize {
+        *self.actions.last().unwrap()
+    }
+    pub fn is_completed(&self) -> bool {
+        matches!(self.status, TxnStatus::Committed | TxnStatus::Aborted)
+    }
+}
+
+impl NtxAccess {
+    pub fn is_write(&self) -> bool {
+        self.write.is_some()
+    }
+    pub fn last(&self) -> usize {
+        self.resp.unwrap_or(self.req)
+    }
+}
+
+impl HistoryIndex {
+    /// Build the index. The history must be well-formed (`validate()`), which
+    /// the debug assertion checks.
+    pub fn new(h: &History) -> Self {
+        debug_assert_eq!(h.validate(), Ok(()), "history must be well-formed");
+        let acts = h.actions();
+        let nthreads = acts.iter().map(|a| a.thread.0 + 1).max().unwrap_or(0) as usize;
+        let nregs = acts
+            .iter()
+            .filter_map(|a| a.kind.accessed_reg())
+            .map(|r| r.0 + 1)
+            .max()
+            .unwrap_or(0) as usize;
+
+        let mut txns: Vec<Txn> = Vec::new();
+        let mut ntx: Vec<NtxAccess> = Vec::new();
+        let mut fences: Vec<Fence> = Vec::new();
+        let mut owner: Vec<Owner> = Vec::with_capacity(acts.len());
+        let mut resp_of: Vec<Option<usize>> = vec![None; acts.len()];
+
+        // Per-thread state.
+        let mut cur_txn: Vec<Option<usize>> = vec![None; nthreads];
+        let mut cur_ntx: Vec<Option<usize>> = vec![None; nthreads];
+        let mut cur_fence: Vec<Option<usize>> = vec![None; nthreads];
+        let mut pending_req: Vec<Option<usize>> = vec![None; nthreads];
+
+        for (i, a) in acts.iter().enumerate() {
+            let t = a.thread.idx();
+            match a.kind {
+                Kind::TxBegin => {
+                    let id = txns.len();
+                    txns.push(Txn {
+                        thread: a.thread,
+                        actions: vec![i],
+                        status: TxnStatus::Live,
+                    });
+                    cur_txn[t] = Some(id);
+                    pending_req[t] = Some(i);
+                    owner.push(Owner::Txn(id));
+                }
+                Kind::FBegin => {
+                    let id = fences.len();
+                    fences.push(Fence { thread: a.thread, fbegin: i, fend: None });
+                    cur_fence[t] = Some(id);
+                    pending_req[t] = Some(i);
+                    owner.push(Owner::Fence(id));
+                }
+                Kind::FEnd => {
+                    let id = cur_fence[t].take().expect("fend matches fbegin");
+                    fences[id].fend = Some(i);
+                    if let Some(r) = pending_req[t].take() {
+                        resp_of[r] = Some(i);
+                    }
+                    owner.push(Owner::Fence(id));
+                }
+                Kind::Read(x) | Kind::Write(x, _) => {
+                    pending_req[t] = Some(i);
+                    if let Some(txid) = cur_txn[t] {
+                        txns[txid].actions.push(i);
+                        owner.push(Owner::Txn(txid));
+                    } else {
+                        let id = ntx.len();
+                        let write = match a.kind {
+                            Kind::Write(_, v) => Some(v),
+                            _ => None,
+                        };
+                        ntx.push(NtxAccess {
+                            thread: a.thread,
+                            req: i,
+                            resp: None,
+                            reg: x,
+                            write,
+                            read_value: None,
+                        });
+                        cur_ntx[t] = Some(id);
+                        owner.push(Owner::Ntx(id));
+                    }
+                }
+                Kind::TxCommit => {
+                    let txid = cur_txn[t].expect("txcommit inside a transaction");
+                    txns[txid].actions.push(i);
+                    txns[txid].status = TxnStatus::CommitPending;
+                    pending_req[t] = Some(i);
+                    owner.push(Owner::Txn(txid));
+                }
+                Kind::Ok => {
+                    let txid = cur_txn[t].expect("ok inside a transaction");
+                    txns[txid].actions.push(i);
+                    if let Some(r) = pending_req[t].take() {
+                        resp_of[r] = Some(i);
+                    }
+                    owner.push(Owner::Txn(txid));
+                }
+                Kind::Committed => {
+                    let txid = cur_txn[t].take().expect("committed inside a transaction");
+                    txns[txid].actions.push(i);
+                    txns[txid].status = TxnStatus::Committed;
+                    if let Some(r) = pending_req[t].take() {
+                        resp_of[r] = Some(i);
+                    }
+                    owner.push(Owner::Txn(txid));
+                }
+                Kind::Aborted => {
+                    let txid = cur_txn[t].take().expect("aborted inside a transaction");
+                    txns[txid].actions.push(i);
+                    txns[txid].status = TxnStatus::Aborted;
+                    if let Some(r) = pending_req[t].take() {
+                        resp_of[r] = Some(i);
+                    }
+                    owner.push(Owner::Txn(txid));
+                }
+                Kind::RetUnit | Kind::RetVal(_) => {
+                    if let Some(r) = pending_req[t].take() {
+                        resp_of[r] = Some(i);
+                    }
+                    if let Some(txid) = cur_txn[t] {
+                        txns[txid].actions.push(i);
+                        owner.push(Owner::Txn(txid));
+                    } else {
+                        let id = cur_ntx[t].take().expect("response matches ntx access");
+                        ntx[id].resp = Some(i);
+                        if let Kind::RetVal(v) = a.kind {
+                            ntx[id].read_value = Some(v);
+                        }
+                        owner.push(Owner::Ntx(id));
+                    }
+                }
+                Kind::Prim(_) => unreachable!("histories contain no primitive actions"),
+            }
+        }
+
+        HistoryIndex { txns, ntx, fences, owner, resp_of, nthreads, nregs }
+    }
+
+    /// The transaction containing action `i`, if any.
+    pub fn txn_of(&self, i: usize) -> Option<usize> {
+        match self.owner[i] {
+            Owner::Txn(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Is action `i` transactional (inside a transaction)?
+    pub fn is_transactional(&self, i: usize) -> bool {
+        matches!(self.owner[i], Owner::Txn(_))
+    }
+
+    /// Is action `i` non-transactional (a TM interface action outside any
+    /// transaction — includes fence actions, per Sec 2.2)?
+    pub fn is_nontransactional(&self, i: usize) -> bool {
+        !self.is_transactional(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::ThreadId;
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    fn sample() -> History {
+        // t0: committed txn writing x0=1; then ntx read of x0.
+        // t1: live txn that read x0; t2: a fence.
+        History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 1)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::TxCommit),
+            a(5, 0, Kind::Committed),
+            a(6, 2, Kind::FBegin),
+            a(7, 2, Kind::FEnd),
+            a(8, 1, Kind::TxBegin),
+            a(9, 1, Kind::Ok),
+            a(10, 1, Kind::Read(Reg(0))),
+            a(11, 1, Kind::RetVal(1)),
+            a(12, 0, Kind::Read(Reg(0))),
+            a(13, 0, Kind::RetVal(1)),
+        ])
+    }
+
+    #[test]
+    fn index_structure() {
+        let h = sample();
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(ix.txns.len(), 2);
+        assert_eq!(ix.txns[0].status, TxnStatus::Committed);
+        assert_eq!(ix.txns[0].actions, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(ix.txns[1].status, TxnStatus::Live);
+        assert_eq!(ix.ntx.len(), 1);
+        assert_eq!(ix.ntx[0].req, 12);
+        assert_eq!(ix.ntx[0].resp, Some(13));
+        assert_eq!(ix.ntx[0].read_value, Some(1));
+        assert!(!ix.ntx[0].is_write());
+        assert_eq!(ix.fences.len(), 1);
+        assert_eq!(ix.fences[0].fend, Some(7));
+        assert_eq!(ix.nthreads, 3);
+        assert_eq!(ix.nregs, 1);
+    }
+
+    #[test]
+    fn owners_and_matching() {
+        let h = sample();
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(ix.owner[0], Owner::Txn(0));
+        assert_eq!(ix.owner[6], Owner::Fence(0));
+        assert_eq!(ix.owner[12], Owner::Ntx(0));
+        assert_eq!(ix.resp_of[0], Some(1));
+        assert_eq!(ix.resp_of[2], Some(3));
+        assert_eq!(ix.resp_of[4], Some(5));
+        assert_eq!(ix.resp_of[6], Some(7));
+        assert_eq!(ix.resp_of[10], Some(11));
+        assert_eq!(ix.resp_of[12], Some(13));
+        assert!(ix.is_transactional(10));
+        assert!(ix.is_nontransactional(12));
+        assert!(ix.is_nontransactional(6));
+    }
+
+    #[test]
+    fn commit_pending_status() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::TxCommit),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(ix.txns[0].status, TxnStatus::CommitPending);
+    }
+
+    #[test]
+    fn aborted_status() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Read(Reg(0))),
+            a(3, 0, Kind::Aborted),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(ix.txns[0].status, TxnStatus::Aborted);
+        assert_eq!(ix.txns[0].actions, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Basic identifier types shared across the trace model.
+
+use std::fmt;
+
+/// Identifier of a thread, `t ∈ ThreadID = {0, …, N-1}`.
+///
+/// The paper numbers threads from 1; we use zero-based indices throughout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a shared register object, `x ∈ Reg`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// Unique identifier of an action in a trace (`a ∈ ActionId`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u64);
+
+/// Values stored in registers.
+///
+/// The paper assumes integer-valued registers where every write in an
+/// execution writes a unique value distinct from [`V_INIT`] (Def 2.1).
+pub type Value = u64;
+
+/// The initial value `v_init` of every register.
+pub const V_INIT: Value = 0;
+
+impl ThreadId {
+    /// Index usable for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    /// Index usable for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(Reg(7).to_string(), "x7");
+        assert_eq!(format!("{:?}", ActionId(9)), "a9");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(ThreadId(5).idx(), 5);
+        assert_eq!(Reg(11).idx(), 11);
+    }
+}

@@ -1,0 +1,78 @@
+//! # tm-core — the formal model of *Safe Privatization in Transactional Memory*
+//!
+//! This crate makes the definitions of Khyzha, Attiya, Gotsman and Rinetzky
+//! (PPoPP 2018) executable:
+//!
+//! * **Traces and histories** ([`trace`], [`action`]): the action alphabet of
+//!   Fig 4 and the well-formedness conditions of Def 2.1/A.1, including the
+//!   fence blocking discipline.
+//! * **Happens-before and DRF** ([`relations`], [`hb`]): the relations
+//!   `po`, `cl`, `af`, `bf`, `xpo ; txwr` of Sec 3, the happens-before
+//!   closure of Def 3.4, conflicts (Def 3.1) and data races (Def 3.2).
+//! * **The atomic TM** ([`atomic_tm`]): membership in `H_atomic` (Sec 2.4)
+//!   via completions and legal reads — the strongly atomic baseline.
+//! * **Strong opacity** ([`consistency`], [`graph`], [`opacity`]): history
+//!   consistency (Def 6.2), opacity graphs with visibility, read/write/anti
+//!   dependencies (Def 6.3), the fenced graphs of Def B.5, and an end-to-end
+//!   checker that builds a witness per Lemma 6.4 and re-verifies `H ⊑ S`
+//!   (Def 4.1) and `S ∈ H_atomic`.
+//! * **Observational refinement** ([`equiv`]): observational equivalence
+//!   (Def 5.1) and the constructive Rearrangement Lemma (Lemma B.1), the
+//!   engine behind the Fundamental Property (Theorem 5.3).
+//!
+//! Downstream crates build on this: `tm-lang` explores programs and checks
+//! their histories here; `tm-stm` records real concurrent executions and
+//! validates them with the same checker.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_core::prelude::*;
+//!
+//! // A committed transaction writes x0; another thread then reads it
+//! // non-transactionally — safe only because a transactional fence
+//! // separates them (the bf edge orders the commit before the fence's end).
+//! let h = History::new(vec![
+//!     Action::new(0, ThreadId(0), Kind::TxBegin),
+//!     Action::new(1, ThreadId(0), Kind::Ok),
+//!     Action::new(2, ThreadId(0), Kind::Write(Reg(0), 1)),
+//!     Action::new(3, ThreadId(0), Kind::RetUnit),
+//!     Action::new(4, ThreadId(0), Kind::TxCommit),
+//!     Action::new(5, ThreadId(0), Kind::Committed),
+//!     Action::new(6, ThreadId(1), Kind::FBegin),
+//!     Action::new(7, ThreadId(1), Kind::FEnd),
+//!     Action::new(8, ThreadId(1), Kind::Read(Reg(0))),
+//!     Action::new(9, ThreadId(1), Kind::RetVal(1)),
+//! ]);
+//! assert!(h.validate().is_ok());
+//! assert!(tm_core::hb::is_drf(&h));
+//! let witness = tm_core::opacity::check_strong_opacity(
+//!     &h, &tm_core::opacity::CheckOptions::default()).unwrap();
+//! assert_eq!(witness.sequential.len(), h.len());
+//! ```
+
+pub mod action;
+pub mod atomic_tm;
+pub mod bitrel;
+pub mod consistency;
+pub mod equiv;
+pub mod graph;
+pub mod hb;
+pub mod history;
+pub mod ids;
+pub mod opacity;
+pub mod relations;
+pub mod textio;
+pub mod trace;
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::action::{Action, Kind, PrimTag};
+    pub use crate::atomic_tm::in_atomic_tm;
+    pub use crate::equiv::{observationally_equivalent, rearrange};
+    pub use crate::hb::is_drf;
+    pub use crate::history::{HistoryIndex, TxnStatus};
+    pub use crate::ids::{ActionId, Reg, ThreadId, Value, V_INIT};
+    pub use crate::opacity::{check_strong_opacity, CheckOptions};
+    pub use crate::trace::{History, Trace};
+}

@@ -1,0 +1,332 @@
+//! The relations of Sec 3 over the actions of a history, and the real-time
+//! order of Sec 4. All relations are represented by *generator* edge sets
+//! whose transitive closure equals the closure of the paper's relations —
+//! exactness matters: an over-approximate happens-before hides data races,
+//! an under-approximate one rejects DRF programs.
+
+use crate::action::Kind;
+use crate::bitrel::BitRel;
+use crate::history::HistoryIndex;
+use crate::ids::Value;
+use crate::trace::History;
+use std::collections::HashMap;
+
+/// Read-dependency `wr_x`: pairs (write-request index, read-response index)
+/// where the read returns the value the write wrote. Because writes are
+/// unique (Def 2.1), value equality identifies the writer.
+#[derive(Clone, Debug, Default)]
+pub struct ReadDeps {
+    /// (write request idx, read response idx, register).
+    pub edges: Vec<(usize, usize, crate::ids::Reg)>,
+}
+
+/// Generator edges for `hb(H)` (Def 3.4) plus diagnostics.
+pub struct HbBuilder<'h> {
+    pub history: &'h History,
+    pub index: &'h HistoryIndex,
+    pub read_deps: ReadDeps,
+    /// Generator edge set; closure = hb(H).
+    pub generators: BitRel,
+}
+
+/// Compute `wr_x` for all registers: match each read response returning
+/// `v ≠ v_init` with the unique write request of `v` on the same register.
+pub fn read_dependencies(h: &History, ix: &HistoryIndex) -> ReadDeps {
+    let acts = h.actions();
+    // value -> (write request index, register)
+    let mut writer_of: HashMap<Value, (usize, crate::ids::Reg)> = HashMap::new();
+    for (i, a) in acts.iter().enumerate() {
+        if let Kind::Write(x, v) = a.kind {
+            writer_of.insert(v, (i, x));
+        }
+    }
+    // Invert resp_of to map each response back to its request.
+    let mut req_of: Vec<Option<usize>> = vec![None; acts.len()];
+    for (req, resp) in ix.resp_of.iter().enumerate() {
+        if let Some(r) = *resp {
+            req_of[r] = Some(req);
+        }
+    }
+    let mut edges = Vec::new();
+    for (j, a) in acts.iter().enumerate() {
+        let Kind::RetVal(v) = a.kind else { continue };
+        if v == crate::ids::V_INIT {
+            continue;
+        }
+        let Some(&(wi, wx)) = writer_of.get(&v) else { continue };
+        // The response j matches a read request on the same register and the
+        // write precedes the response in execution order.
+        if let Some(ri) = req_of[j] {
+            if let Kind::Read(rx) = acts[ri].kind {
+                if rx == wx && wi < j {
+                    edges.push((wi, j, wx));
+                }
+            }
+        }
+    }
+    ReadDeps { edges }
+}
+
+impl<'h> HbBuilder<'h> {
+    /// Build the generators of `hb(H)`:
+    ///
+    /// * `po`: per-thread successor chain;
+    /// * `cl`: successor chain over *non-transactional* actions (all TM
+    ///   interface actions outside transactions, including fence actions);
+    /// * `af`: `fbegin → txbegin` for every txbegin after the fbegin;
+    /// * `bf`: `committed/aborted → fend` for every fend after it;
+    /// * `xpo ; txwr_x`: edge `p → read-response`, where `p` is the last
+    ///   same-thread action *before* the `txbegin` of the writing
+    ///   transaction. Composing with po-closure yields exactly
+    ///   `xpo(H) ; txwr_x(H)` (the txbegin itself is *not* related, matching
+    ///   the strict "a txbegin between α and α′" side condition).
+    pub fn build(h: &'h History, ix: &'h HistoryIndex) -> Self {
+        let acts = h.actions();
+        let n = acts.len();
+        let mut g = BitRel::new(n);
+
+        // po chains.
+        let mut last_of_thread: Vec<Option<usize>> = vec![None; ix.nthreads];
+        for (i, a) in acts.iter().enumerate() {
+            let t = a.thread.idx();
+            if let Some(p) = last_of_thread[t] {
+                g.add(p, i);
+            }
+            last_of_thread[t] = Some(i);
+        }
+
+        // cl chain over non-transactional actions.
+        let mut last_ntx: Option<usize> = None;
+        for i in 0..n {
+            if ix.is_nontransactional(i) {
+                if let Some(p) = last_ntx {
+                    g.add(p, i);
+                }
+                last_ntx = Some(i);
+            }
+        }
+
+        // af: fbegin → every later txbegin.
+        for f in &ix.fences {
+            for txn in &ix.txns {
+                let b = txn.first();
+                if f.fbegin < b {
+                    g.add(f.fbegin, b);
+                }
+            }
+        }
+
+        // bf: committed/aborted → every later fend.
+        for txn in &ix.txns {
+            if !txn.is_completed() {
+                continue;
+            }
+            let end = txn.last();
+            for f in &ix.fences {
+                if let Some(fe) = f.fend {
+                    if end < fe {
+                        g.add(end, fe);
+                    }
+                }
+            }
+        }
+
+        // xpo ; txwr.
+        let read_deps = read_dependencies(h, ix);
+        for &(wi, rj, _x) in &read_deps.edges {
+            // Both endpoints must be transactional for txwr.
+            let (Some(wt), Some(rt)) = (ix.txn_of(wi), ix.txn_of(rj)) else {
+                continue;
+            };
+            if wt == rt {
+                continue; // same transaction: not a synchronization edge
+            }
+            let wtxn = &ix.txns[wt];
+            let b = wtxn.first();
+            // p = last action of the writer's thread strictly before txbegin.
+            let thread = wtxn.thread;
+            let p = (0..b).rev().find(|&k| acts[k].thread == thread);
+            if let Some(p) = p {
+                if p < rj {
+                    g.add(p, rj);
+                }
+            }
+        }
+
+        HbBuilder { history: h, index: ix, read_deps, generators: g }
+    }
+
+    /// The happens-before relation as a closed bit matrix.
+    pub fn closure(&self) -> BitRel {
+        self.generators.closure_forward()
+    }
+}
+
+/// Real-time order `rt(H)` on actions (Sec 4): `committed/aborted → txbegin`
+/// pairs in execution order. Lifted to transactions by [`rt_txns`].
+pub fn rt_txns(ix: &HistoryIndex) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, ti) in ix.txns.iter().enumerate() {
+        if !ti.is_completed() {
+            continue;
+        }
+        let end = ti.last();
+        for (j, tj) in ix.txns.iter().enumerate() {
+            if i != j && end < tj.first() {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::{Reg, ThreadId};
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    /// Fig 5(a): transaction begins after the fence begins → af edge.
+    #[test]
+    fn af_edge_fig5a() {
+        let h = History::new(vec![
+            a(0, 0, Kind::FBegin),
+            a(1, 1, Kind::TxBegin),
+            a(2, 1, Kind::Ok),
+            a(3, 1, Kind::TxCommit),
+            a(4, 1, Kind::Committed),
+            a(5, 0, Kind::FEnd),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        // fbegin (0) happens-before txbegin (1).
+        assert!(hb.has(0, 1));
+    }
+
+    /// Fig 5(b): transaction ends before the fence does → bf edge.
+    #[test]
+    fn bf_edge_fig5b() {
+        let h = History::new(vec![
+            a(0, 1, Kind::TxBegin),
+            a(1, 1, Kind::Ok),
+            a(2, 0, Kind::FBegin),
+            a(3, 1, Kind::TxCommit),
+            a(4, 1, Kind::Committed),
+            a(5, 0, Kind::FEnd),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        // committed (4) happens-before fend (5).
+        assert!(hb.has(4, 5));
+        // and hence txbegin (0) → fend (5) via po;bf.
+        assert!(hb.has(0, 5));
+    }
+
+    #[test]
+    fn po_and_cl_chains() {
+        let h = History::new(vec![
+            a(0, 0, Kind::Write(Reg(0), 1)),
+            a(1, 0, Kind::RetUnit),
+            a(2, 1, Kind::Read(Reg(0))),
+            a(3, 1, Kind::RetVal(1)),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let hb = HbBuilder::build(&h, &ix).closure();
+        // po within threads.
+        assert!(hb.has(0, 1));
+        assert!(hb.has(2, 3));
+        // cl across threads (both accesses non-transactional).
+        assert!(hb.has(0, 2));
+        assert!(hb.has(1, 3));
+        assert!(!hb.has(3, 0));
+    }
+
+    /// Publication (Fig 2 shape): ν ; T1 writes flag ; T2 reads flag. The
+    /// write in ν must happen-before T2's actions via xpo;txwr.
+    #[test]
+    fn xpo_txwr_publication() {
+        let h = History::new(vec![
+            // ν: t0 writes x1 := 42 non-transactionally.
+            a(0, 0, Kind::Write(Reg(1), 42)),
+            a(1, 0, Kind::RetUnit),
+            // T1 (t0): writes flag x0 := 7 transactionally, commits.
+            a(2, 0, Kind::TxBegin),
+            a(3, 0, Kind::Ok),
+            a(4, 0, Kind::Write(Reg(0), 7)),
+            a(5, 0, Kind::RetUnit),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+            // T2 (t1): reads flag x0 = 7, then reads x1.
+            a(8, 1, Kind::TxBegin),
+            a(9, 1, Kind::Ok),
+            a(10, 1, Kind::Read(Reg(0))),
+            a(11, 1, Kind::RetVal(7)),
+            a(12, 1, Kind::Read(Reg(1))),
+            a(13, 1, Kind::RetVal(42)),
+            a(14, 1, Kind::TxCommit),
+            a(15, 1, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let b = HbBuilder::build(&h, &ix);
+        // txwr on flag: write req 4 → read resp 11.
+        assert!(b.read_deps.edges.contains(&(4, 11, Reg(0))));
+        let hb = b.closure();
+        // ν's write (0) happens-before the flag read response (11):
+        // 0 <po 1 <gen 11 (generator from po-predecessor of txbegin 2).
+        assert!(hb.has(0, 11));
+        assert!(hb.has(1, 11));
+        // The txbegin itself is NOT xpo-related... but po+txwr generator puts
+        // edge from action 1 (predecessor of txbegin 2). txbegin (2) must not
+        // reach 11 through the xpo;txwr generator alone; the paper's hb does
+        // not include it (footnote 2: writes may be flushed in any order).
+        assert!(!hb.has(2, 10) || hb.has(2, 10) == hb.has(2, 11));
+    }
+
+    /// Within-transaction reads do not generate synchronization edges.
+    #[test]
+    fn same_txn_read_no_edge() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Write(Reg(0), 5)),
+            a(3, 0, Kind::RetUnit),
+            a(4, 0, Kind::Read(Reg(0))),
+            a(5, 0, Kind::RetVal(5)),
+            a(6, 0, Kind::TxCommit),
+            a(7, 0, Kind::Committed),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        let b = HbBuilder::build(&h, &ix);
+        // wr edge exists (2 → 5) but contributes nothing beyond po.
+        assert!(b.read_deps.edges.contains(&(2, 5, Reg(0))));
+        let hb = b.closure();
+        assert!(hb.has(0, 7)); // po only
+    }
+
+    #[test]
+    fn rt_on_txns() {
+        let h = History::new(vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::TxCommit),
+            a(3, 0, Kind::Committed),
+            a(4, 1, Kind::TxBegin),
+            a(5, 1, Kind::Ok),
+        ]);
+        let ix = HistoryIndex::new(&h);
+        assert_eq!(rt_txns(&ix), vec![(0, 1)]);
+    }
+
+    /// A read of v_init produces no read dependency.
+    #[test]
+    fn vinit_read_no_dep() {
+        let h = History::new(vec![a(0, 0, Kind::Read(Reg(0))), a(1, 0, Kind::RetVal(0))]);
+        let ix = HistoryIndex::new(&h);
+        let b = HbBuilder::build(&h, &ix);
+        assert!(b.read_deps.edges.is_empty());
+    }
+}

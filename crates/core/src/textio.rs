@@ -1,0 +1,149 @@
+//! A tiny line-oriented text format for histories, used to persist recorded
+//! executions and to ship counterexamples between tools without pulling in a
+//! serialization dependency.
+//!
+//! Format: one action per line, `<id> <thread> <kind>[ <args>]`, e.g.
+//! ```text
+//! 0 0 txbegin
+//! 1 0 ok
+//! 2 0 write 3 42
+//! 3 0 ret_unit
+//! ```
+
+use crate::action::{Action, Kind};
+use crate::ids::{Reg, ThreadId};
+use crate::trace::History;
+use std::fmt::Write as _;
+
+/// Serialize a history to the text format.
+pub fn to_text(h: &History) -> String {
+    let mut s = String::new();
+    for a in h.actions() {
+        let _ = write!(s, "{} {} ", a.id.0, a.thread.0);
+        match a.kind {
+            Kind::TxBegin => s.push_str("txbegin"),
+            Kind::TxCommit => s.push_str("txcommit"),
+            Kind::Write(x, v) => {
+                let _ = write!(s, "write {} {}", x.0, v);
+            }
+            Kind::Read(x) => {
+                let _ = write!(s, "read {}", x.0);
+            }
+            Kind::FBegin => s.push_str("fbegin"),
+            Kind::Ok => s.push_str("ok"),
+            Kind::Committed => s.push_str("committed"),
+            Kind::Aborted => s.push_str("aborted"),
+            Kind::RetUnit => s.push_str("ret_unit"),
+            Kind::RetVal(v) => {
+                let _ = write!(s, "ret_val {}", v);
+            }
+            Kind::FEnd => s.push_str("fend"),
+            Kind::Prim(_) => unreachable!("histories contain no primitive actions"),
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the text format back into a history.
+pub fn from_text(text: &str) -> Result<History, String> {
+    let mut actions = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| format!("line {}: {}", ln + 1, what);
+        let id: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing id"))?
+            .parse()
+            .map_err(|_| err("bad id"))?;
+        let t: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing thread"))?
+            .parse()
+            .map_err(|_| err("bad thread"))?;
+        let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
+            "txbegin" => Kind::TxBegin,
+            "txcommit" => Kind::TxCommit,
+            "write" => {
+                let x: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("missing reg"))?
+                    .parse()
+                    .map_err(|_| err("bad reg"))?;
+                let v: u64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing value"))?
+                    .parse()
+                    .map_err(|_| err("bad value"))?;
+                Kind::Write(Reg(x), v)
+            }
+            "read" => {
+                let x: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("missing reg"))?
+                    .parse()
+                    .map_err(|_| err("bad reg"))?;
+                Kind::Read(Reg(x))
+            }
+            "fbegin" => Kind::FBegin,
+            "ok" => Kind::Ok,
+            "committed" => Kind::Committed,
+            "aborted" => Kind::Aborted,
+            "ret_unit" => Kind::RetUnit,
+            "ret_val" => {
+                let v: u64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing value"))?
+                    .parse()
+                    .map_err(|_| err("bad value"))?;
+                Kind::RetVal(v)
+            }
+            "fend" => Kind::FEnd,
+            other => return Err(err(&format!("unknown kind {other:?}"))),
+        };
+        actions.push(Action::new(id, ThreadId(t), kind));
+    }
+    Ok(History::new(actions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = History::new(vec![
+            Action::new(0, ThreadId(0), Kind::TxBegin),
+            Action::new(1, ThreadId(0), Kind::Ok),
+            Action::new(2, ThreadId(0), Kind::Write(Reg(3), 42)),
+            Action::new(3, ThreadId(0), Kind::RetUnit),
+            Action::new(4, ThreadId(0), Kind::TxCommit),
+            Action::new(5, ThreadId(0), Kind::Committed),
+            Action::new(6, ThreadId(1), Kind::Read(Reg(3))),
+            Action::new(7, ThreadId(1), Kind::RetVal(42)),
+            Action::new(8, ThreadId(2), Kind::FBegin),
+            Action::new(9, ThreadId(2), Kind::FEnd),
+            Action::new(10, ThreadId(1), Kind::TxBegin),
+            Action::new(11, ThreadId(1), Kind::Aborted),
+        ]);
+        let text = to_text(&h);
+        let h2 = from_text(&text).unwrap();
+        assert_eq!(h.actions(), h2.actions());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let h = from_text("# header\n\n0 0 txbegin\n1 0 ok\n").unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        assert!(from_text("0 0 frobnicate").unwrap_err().contains("line 1"));
+        assert!(from_text("x 0 txbegin").unwrap_err().contains("bad id"));
+    }
+}

@@ -1,0 +1,527 @@
+//! Traces and their well-formedness conditions (paper Def 2.1 / Def A.1).
+
+use crate::action::{Action, Kind};
+use crate::ids::{ActionId, ThreadId, V_INIT};
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+
+/// A finite sequence of actions. Invariants (Def A.1) are *checked*, not
+/// enforced by construction; producers (the language explorer, the STM
+/// recorder) are tested to only emit well-formed traces.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Trace {
+    actions: Vec<Action>,
+}
+
+/// A trace containing only TM interface actions (no primitive actions).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct History {
+    actions: Vec<Action>,
+}
+
+/// A violation of one of the well-formedness clauses of Def A.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WfError {
+    /// Clause 1: duplicate action identifier.
+    DuplicateId { id: ActionId },
+    /// Clause 3: a write value is repeated or equals `v_init`.
+    NonUniqueWrite { index: usize },
+    /// Clause 4: a request is immediately followed (in thread order) by a
+    /// primitive action.
+    PrimAfterRequest { index: usize },
+    /// Clause 5: request/response actions are not properly matched.
+    BadMatching { thread: ThreadId, index: usize },
+    /// Clause 6: txbegin / committed / aborted actions do not alternate.
+    BadTxnBracketing { thread: ThreadId, index: usize },
+    /// Clause 7: a non-transactional access is not immediately followed by
+    /// its response (non-transactional accesses execute atomically).
+    NonAtomicNtxAccess { index: usize },
+    /// Clause 8: a non-transactional access was aborted.
+    NtxAborted { index: usize },
+    /// Clause 9: a fence action occurs inside a transaction.
+    FenceInsideTxn { index: usize },
+    /// Clause 10: a transaction spans a complete fence.
+    TxnSpansFence { txbegin: usize, fbegin: usize, fend: usize },
+}
+
+impl Trace {
+    pub fn new(actions: Vec<Action>) -> Self {
+        Trace { actions }
+    }
+
+    pub fn push(&mut self, a: Action) {
+        self.actions.push(a);
+    }
+
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// `history(τ)`: the projection onto TM interface actions.
+    pub fn history(&self) -> History {
+        History {
+            actions: self
+                .actions
+                .iter()
+                .copied()
+                .filter(|a| a.kind.is_tm_interface())
+                .collect(),
+        }
+    }
+
+    /// `τ|t`: the projection onto the actions of thread `t`.
+    pub fn per_thread(&self, t: ThreadId) -> Vec<Action> {
+        self.actions.iter().copied().filter(|a| a.thread == t).collect()
+    }
+
+    /// Validate all mechanically checkable clauses of Def A.1.
+    ///
+    /// Clause 2 (primitive commands only touch the executing thread's local
+    /// variables) is structural in the language layer: `tm-lang` programs
+    /// cannot name another thread's variables, so it cannot be violated.
+    pub fn validate(&self) -> Result<(), WfError> {
+        validate_actions(&self.actions)
+    }
+}
+
+impl History {
+    /// Build a history; panics if a primitive action is present (histories
+    /// contain only TM interface actions by definition).
+    pub fn new(actions: Vec<Action>) -> Self {
+        assert!(
+            actions.iter().all(|a| a.kind.is_tm_interface()),
+            "histories contain only TM interface actions"
+        );
+        History { actions }
+    }
+
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    pub fn per_thread(&self, t: ThreadId) -> Vec<Action> {
+        self.actions.iter().copied().filter(|a| a.thread == t).collect()
+    }
+
+    pub fn validate(&self) -> Result<(), WfError> {
+        validate_actions(&self.actions)
+    }
+
+    /// Prefix of the first `n` actions.
+    pub fn prefix(&self, n: usize) -> History {
+        History { actions: self.actions[..n].to_vec() }
+    }
+}
+
+impl Deref for Trace {
+    type Target = [Action];
+    fn deref(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
+impl Deref for History {
+    type Target = [Action];
+    fn deref(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Trace[")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            writeln!(f, "  {i:3}: {a:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "History[")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            writeln!(f, "  {i:3}: {a:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Per-thread scanning state used by the validator.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    /// Outside any transaction.
+    Outside,
+    /// Inside a transaction (after txbegin, before committed/aborted).
+    Inside,
+}
+
+fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
+    let max_tid = actions.iter().map(|a| a.thread.0).max().unwrap_or(0) as usize;
+    let nthreads = max_tid + 1;
+
+    // Clause 1: unique identifiers.
+    let mut ids = HashSet::with_capacity(actions.len());
+    for a in actions {
+        if !ids.insert(a.id) {
+            return Err(WfError::DuplicateId { id: a.id });
+        }
+    }
+
+    // Clause 3: unique write values, distinct from v_init.
+    let mut written = HashSet::new();
+    for (i, a) in actions.iter().enumerate() {
+        if let Kind::Write(_, v) = a.kind {
+            if v == V_INIT || !written.insert(v) {
+                return Err(WfError::NonUniqueWrite { index: i });
+            }
+        }
+    }
+
+    // Per-thread scans: clauses 4, 5, 6 and transaction phase tracking for
+    // clauses 7, 8, 9, 10.
+    let mut pending_req: Vec<Option<(usize, Kind)>> = vec![None; nthreads];
+    let mut phase = vec![TxnPhase::Outside; nthreads];
+    // Clause 10 bookkeeping: for each thread, index of the txbegin of its
+    // currently open transaction (if any).
+    let mut open_txbegin: Vec<Option<usize>> = vec![None; nthreads];
+    // Fences currently executing: (thread, fbegin index, set of transactions
+    // open at fbegin that must complete before fend).
+    let mut open_fences: Vec<(ThreadId, usize, Vec<usize>)> = Vec::new();
+
+    for (i, a) in actions.iter().enumerate() {
+        let t = a.thread.idx();
+        match a.kind {
+            Kind::Prim(_) => {
+                // Clause 4: no primitive action directly after a request in τ|t.
+                if pending_req[t].is_some() {
+                    return Err(WfError::PrimAfterRequest { index: i });
+                }
+            }
+            k if k.is_request() => {
+                // Clause 5: no nested requests per thread.
+                if pending_req[t].is_some() {
+                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                }
+                match k {
+                    Kind::TxBegin => {
+                        // Clause 6: txbegin only outside a transaction.
+                        if phase[t] == TxnPhase::Inside {
+                            return Err(WfError::BadTxnBracketing { thread: a.thread, index: i });
+                        }
+                    }
+                    Kind::FBegin => {
+                        // Clause 9: fences only outside transactions.
+                        if phase[t] == TxnPhase::Inside {
+                            return Err(WfError::FenceInsideTxn { index: i });
+                        }
+                        // Clause 10: record transactions open right now.
+                        let open: Vec<usize> = open_txbegin
+                            .iter()
+                            .filter_map(|o| *o)
+                            .collect();
+                        open_fences.push((a.thread, i, open));
+                    }
+                    Kind::Read(_) | Kind::Write(..) => {
+                        // Clause 7 is checked when we look at the next action.
+                    }
+                    Kind::TxCommit => {
+                        if phase[t] == TxnPhase::Outside {
+                            return Err(WfError::BadTxnBracketing { thread: a.thread, index: i });
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                pending_req[t] = Some((i, k));
+                // Clause 7: a non-transactional access must be immediately
+                // followed (globally) by its response.
+                if matches!(k, Kind::Read(_) | Kind::Write(..)) && phase[t] == TxnPhase::Outside {
+                    match actions.get(i + 1) {
+                        Some(next)
+                            if next.thread == a.thread && k.matches_response(next.kind) => {}
+                        // A trailing pending non-transactional access (end of
+                        // trace) is tolerated: prefixes of well-formed traces
+                        // may cut between request and response only at the
+                        // very end of the trace.
+                        None => {}
+                        Some(_) => return Err(WfError::NonAtomicNtxAccess { index: i }),
+                    }
+                }
+            }
+            k => {
+                // Response action. Clause 5: must match the pending request.
+                let Some((req_i, req_k)) = pending_req[t].take() else {
+                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                };
+                if !req_k.matches_response(k) {
+                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                }
+                match k {
+                    Kind::Ok => {
+                        phase[t] = TxnPhase::Inside;
+                        open_txbegin[t] = Some(req_i);
+                    }
+                    Kind::Committed => {
+                        phase[t] = TxnPhase::Outside;
+                        open_txbegin[t] = None;
+                        complete_txn(&mut open_fences, req_i, &actions[..=i], t);
+                    }
+                    Kind::Aborted => {
+                        // Clause 8: non-transactional accesses never abort.
+                        // `aborted` in response to txbegin ends the (empty)
+                        // transaction immediately.
+                        if phase[t] == TxnPhase::Outside && !matches!(req_k, Kind::TxBegin) {
+                            return Err(WfError::NtxAborted { index: i });
+                        }
+                        phase[t] = TxnPhase::Outside;
+                        open_txbegin[t] = None;
+                        complete_txn(&mut open_fences, req_i, &actions[..=i], t);
+                    }
+                    Kind::FEnd => {
+                        // Clause 10: all transactions open at fbegin must have
+                        // completed by now (they were removed from the list on
+                        // completion).
+                        let pos = open_fences
+                            .iter()
+                            .position(|(th, _, _)| *th == a.thread)
+                            .expect("fend matches an open fence");
+                        let (_, fbegin, still_open) = open_fences.swap_remove(pos);
+                        if let Some(&txb) = still_open.first() {
+                            return Err(WfError::TxnSpansFence {
+                                txbegin: txb,
+                                fbegin,
+                                fend: i,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A transaction of thread `t` completed; drop its txbegin from every open
+/// fence's wait set. `req_i` is the index of the request that got the
+/// committed/aborted response; walk back per-thread to find the txbegin.
+fn complete_txn(
+    open_fences: &mut [(ThreadId, usize, Vec<usize>)],
+    req_i: usize,
+    prefix: &[Action],
+    t: usize,
+) {
+    // Find the txbegin of the transaction that just completed.
+    let txb = prefix[..=req_i]
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, a)| a.thread.idx() == t && a.kind == Kind::TxBegin)
+        .map(|(i, _)| i);
+    if let Some(txb) = txb {
+        for (_, _, open) in open_fences.iter_mut() {
+            open.retain(|&b| b != txb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+
+    fn a(id: u64, t: u32, kind: Kind) -> Action {
+        Action::new(id, ThreadId(t), kind)
+    }
+
+    /// A committed single-write transaction by thread `t`, ids starting at `base`.
+    fn txn_write(base: u64, t: u32, x: Reg, v: u64) -> Vec<Action> {
+        vec![
+            a(base, t, Kind::TxBegin),
+            a(base + 1, t, Kind::Ok),
+            a(base + 2, t, Kind::Write(x, v)),
+            a(base + 3, t, Kind::RetUnit),
+            a(base + 4, t, Kind::TxCommit),
+            a(base + 5, t, Kind::Committed),
+        ]
+    }
+
+    #[test]
+    fn valid_simple_history() {
+        let mut v = txn_write(0, 0, Reg(0), 1);
+        v.extend([a(10, 1, Kind::Read(Reg(0))), a(11, 1, Kind::RetVal(1))]);
+        let h = History::new(v);
+        assert_eq!(h.validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let v = vec![a(0, 0, Kind::TxBegin), a(0, 0, Kind::Ok)];
+        assert_eq!(
+            Trace::new(v).validate(),
+            Err(WfError::DuplicateId { id: ActionId(0) })
+        );
+    }
+
+    #[test]
+    fn duplicate_write_values_rejected() {
+        let mut v = txn_write(0, 0, Reg(0), 7);
+        v.extend(txn_write(20, 1, Reg(1), 7));
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::NonUniqueWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn write_of_vinit_rejected() {
+        let v = txn_write(0, 0, Reg(0), V_INIT);
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::NonUniqueWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn prim_after_request_rejected() {
+        use crate::action::PrimTag;
+        // Inside a transaction so the non-transactional-atomicity clause does
+        // not fire first.
+        let v = vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::Read(Reg(0))),
+            a(3, 0, Kind::Prim(PrimTag(0))),
+            a(4, 0, Kind::RetVal(0)),
+        ];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::PrimAfterRequest { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_response_rejected() {
+        let v = vec![a(0, 0, Kind::TxBegin), a(1, 0, Kind::Committed)];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::BadMatching { .. })
+        ));
+    }
+
+    #[test]
+    fn nontx_access_must_be_atomic() {
+        // Another thread's action slipped between request and response.
+        let v = vec![
+            a(0, 0, Kind::Read(Reg(0))),
+            a(1, 1, Kind::TxBegin),
+            a(2, 0, Kind::RetVal(0)),
+            a(3, 1, Kind::Ok),
+        ];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::NonAtomicNtxAccess { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn nontx_abort_rejected() {
+        let v = vec![a(0, 0, Kind::Read(Reg(0))), a(1, 0, Kind::Aborted)];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::NtxAborted { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn aborted_txbegin_is_fine() {
+        let v = vec![a(0, 0, Kind::TxBegin), a(1, 0, Kind::Aborted)];
+        assert_eq!(Trace::new(v).validate(), Ok(()));
+    }
+
+    #[test]
+    fn fence_inside_txn_rejected() {
+        let v = vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 0, Kind::FBegin),
+        ];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::FenceInsideTxn { index: 2 })
+        ));
+    }
+
+    #[test]
+    fn txn_spanning_fence_rejected() {
+        // t0 opens a transaction; t1 runs a complete fence while it is open.
+        let v = vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 1, Kind::FBegin),
+            a(3, 1, Kind::FEnd),
+        ];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::TxnSpansFence { .. })
+        ));
+    }
+
+    #[test]
+    fn fence_waits_for_txn_ok() {
+        // The open transaction completes before fend: allowed.
+        let v = vec![
+            a(0, 0, Kind::TxBegin),
+            a(1, 0, Kind::Ok),
+            a(2, 1, Kind::FBegin),
+            a(3, 0, Kind::TxCommit),
+            a(4, 0, Kind::Committed),
+            a(5, 1, Kind::FEnd),
+        ];
+        assert_eq!(Trace::new(v).validate(), Ok(()));
+    }
+
+    #[test]
+    fn txn_beginning_after_fbegin_need_not_complete() {
+        // Transaction begins after fbegin: the fence need not wait for it.
+        let v = vec![
+            a(0, 1, Kind::FBegin),
+            a(1, 0, Kind::TxBegin),
+            a(2, 0, Kind::Ok),
+            a(3, 1, Kind::FEnd),
+        ];
+        assert_eq!(Trace::new(v).validate(), Ok(()));
+    }
+
+    #[test]
+    fn history_projection_drops_prims() {
+        use crate::action::PrimTag;
+        let v = vec![
+            a(0, 0, Kind::Prim(PrimTag(1))),
+            a(1, 0, Kind::Read(Reg(0))),
+            a(2, 0, Kind::RetVal(0)),
+        ];
+        let t = Trace::new(v);
+        let h = t.history();
+        assert_eq!(h.len(), 2);
+        assert!(h.actions().iter().all(|x| x.kind.is_tm_interface()));
+    }
+
+    #[test]
+    fn commit_outside_txn_rejected() {
+        let v = vec![a(0, 0, Kind::TxCommit), a(1, 0, Kind::Committed)];
+        assert!(matches!(
+            Trace::new(v).validate(),
+            Err(WfError::BadTxnBracketing { .. })
+        ));
+    }
+}

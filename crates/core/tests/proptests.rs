@@ -1,0 +1,312 @@
+//! Property-based tests for the tm-core machinery.
+//!
+//! A seeded generator produces *phased, serialized* executions: rounds of
+//! random committed/aborted transactions by all threads, then a fence by an
+//! owner thread, then a non-transactional burst by that owner, then another
+//! fence. Such histories are well-formed, DRF (every mixed conflict is
+//! ordered through po/cl/af/bf), members of `H_atomic`, and strongly opaque
+//! — which exercises every relation of Def 3.4 plus the full checker
+//! pipeline on thousands of distinct inputs. A second generator interleaves
+//! transaction bodies (keeping commit order) to exercise the witness
+//! reordering machinery.
+
+use proptest::prelude::*;
+use tm_core::atomic_tm::in_atomic_tm;
+use tm_core::bitrel::BitRel;
+use tm_core::consistency::check_consistency;
+use tm_core::equiv::{observationally_equivalent, rearrange};
+use tm_core::hb::{analyze, is_drf};
+use tm_core::history::HistoryIndex;
+use tm_core::opacity::{check_strong_opacity, in_opacity_relation, CheckOptions};
+use tm_core::prelude::*;
+use tm_core::textio;
+use tm_core::trace::Trace;
+
+/// Deterministic RNG (splitmix64).
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct Gen {
+    actions: Vec<Action>,
+    next_id: u64,
+    next_val: u64,
+    /// Committed value per register (for legal read generation).
+    regs: Vec<u64>,
+}
+
+impl Gen {
+    fn new(nregs: usize) -> Self {
+        Gen { actions: Vec::new(), next_id: 0, next_val: 1, regs: vec![0; nregs] }
+    }
+    fn emit(&mut self, t: u32, kind: Kind) {
+        self.actions.push(Action::new(self.next_id, ThreadId(t), kind));
+        self.next_id += 1;
+    }
+    fn fresh_val(&mut self) -> u64 {
+        let v = self.next_val;
+        self.next_val += 1;
+        v
+    }
+
+    /// A complete serialized transaction by thread `t`: random reads (legal
+    /// values) and buffered writes; commits or aborts at the end.
+    fn txn(&mut self, rng: &mut Rng, t: u32, nregs: usize, commit: bool) {
+        self.emit(t, Kind::TxBegin);
+        self.emit(t, Kind::Ok);
+        let mut buffered: Vec<(usize, u64)> = Vec::new();
+        let ops = 1 + rng.below(4);
+        for _ in 0..ops {
+            let x = rng.below(nregs as u64) as usize;
+            if rng.below(2) == 0 {
+                // Read: own buffer first, then committed state.
+                let v = buffered
+                    .iter()
+                    .rev()
+                    .find(|&&(r, _)| r == x)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(self.regs[x]);
+                self.emit(t, Kind::Read(Reg(x as u32)));
+                self.emit(t, Kind::RetVal(v));
+            } else {
+                let v = self.fresh_val();
+                self.emit(t, Kind::Write(Reg(x as u32), v));
+                self.emit(t, Kind::RetUnit);
+                buffered.push((x, v));
+            }
+        }
+        self.emit(t, Kind::TxCommit);
+        if commit {
+            for (x, v) in buffered {
+                self.regs[x] = v;
+            }
+            self.emit(t, Kind::Committed);
+        } else {
+            self.emit(t, Kind::Aborted);
+        }
+    }
+
+    fn fence(&mut self, t: u32) {
+        self.emit(t, Kind::FBegin);
+        self.emit(t, Kind::FEnd);
+    }
+
+    fn ntx_burst(&mut self, rng: &mut Rng, t: u32, nregs: usize) {
+        let ops = 1 + rng.below(3);
+        for _ in 0..ops {
+            let x = rng.below(nregs as u64) as usize;
+            if rng.below(2) == 0 {
+                self.emit(t, Kind::Read(Reg(x as u32)));
+                self.emit(t, Kind::RetVal(self.regs[x]));
+            } else {
+                let v = self.fresh_val();
+                self.emit(t, Kind::Write(Reg(x as u32), v));
+                self.emit(t, Kind::RetUnit);
+                self.regs[x] = v;
+            }
+        }
+    }
+}
+
+/// Phased serialized history: always DRF, atomic, opaque.
+fn phased_history(seed: u64, nthreads: u32, nregs: usize, rounds: u32) -> History {
+    let mut rng = Rng(seed);
+    let mut g = Gen::new(nregs);
+    for _ in 0..rounds {
+        // Transaction phase: every thread runs one transaction.
+        for t in 0..nthreads {
+            let commit = rng.below(4) != 0;
+            g.txn(&mut rng, t, nregs, commit);
+        }
+        // Privatization phase by a random owner: fence, ntx burst, fence.
+        let owner = rng.below(nthreads as u64) as u32;
+        g.fence(owner);
+        g.ntx_burst(&mut rng, owner, nregs);
+        g.fence(owner);
+    }
+    History::new(g.actions)
+}
+
+/// Interleaved variant: bodies of one transaction per thread are shuffled
+/// together (no ntx accesses), with commits happening in a serial order —
+/// serializable, hence opaque, but heavily interleaved.
+fn interleaved_history(seed: u64, nthreads: u32, nregs: usize) -> History {
+    let mut rng = Rng(seed);
+    let mut g = Gen::new(nregs);
+    // Pre-generate per-thread scripts: writes only (disjoint values), reads
+    // of the initial state (v_init) — consistent regardless of interleaving.
+    let mut scripts: Vec<Vec<Kind>> = Vec::new();
+    let mut buffered: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nthreads as usize];
+    for t in 0..nthreads as usize {
+        let mut script = vec![Kind::TxBegin];
+        let ops = 1 + rng.below(3);
+        for _ in 0..ops {
+            // Each thread touches its own register partition.
+            let x = t * nregs + rng.below(nregs as u64) as usize;
+            let v = g.next_val;
+            g.next_val += 1;
+            script.push(Kind::Write(Reg(x as u32), v));
+            buffered[t].push((x, v));
+        }
+        script.push(Kind::TxCommit);
+        scripts.push(script);
+    }
+    // Interleave.
+    let mut pos = vec![0usize; nthreads as usize];
+    loop {
+        let live: Vec<usize> =
+            (0..nthreads as usize).filter(|&t| pos[t] < scripts[t].len()).collect();
+        if live.is_empty() {
+            break;
+        }
+        let t = live[rng.below(live.len() as u64) as usize];
+        let kind = scripts[t][pos[t]];
+        pos[t] += 1;
+        match kind {
+            Kind::TxBegin => {
+                g.emit(t as u32, Kind::TxBegin);
+                g.emit(t as u32, Kind::Ok);
+            }
+            Kind::Write(x, v) => {
+                g.emit(t as u32, Kind::Write(x, v));
+                g.emit(t as u32, Kind::RetUnit);
+            }
+            Kind::TxCommit => {
+                g.emit(t as u32, Kind::TxCommit);
+                g.emit(t as u32, Kind::Committed);
+            }
+            _ => unreachable!(),
+        }
+    }
+    History::new(g.actions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phased histories are well-formed, consistent, DRF, in H_atomic, and
+    /// strongly opaque with a verified witness.
+    #[test]
+    fn phased_histories_fully_check(seed in any::<u64>(),
+                                    nthreads in 1u32..4,
+                                    nregs in 1usize..4,
+                                    rounds in 1u32..4) {
+        let h = phased_history(seed, nthreads, nregs, rounds);
+        prop_assert_eq!(h.validate(), Ok(()));
+        let ix = HistoryIndex::new(&h);
+        prop_assert_eq!(check_consistency(&h, &ix), Ok(()));
+        prop_assert!(is_drf(&h), "phased history racy:\n{}", textio::to_text(&h));
+        prop_assert!(in_atomic_tm(&h).is_ok());
+        let w = check_strong_opacity(&h, &CheckOptions::default());
+        prop_assert!(w.is_ok(), "not opaque: {:?}\n{}", w.err(), textio::to_text(&h));
+        let w = w.unwrap();
+        // Re-verify via public APIs.
+        prop_assert!(in_opacity_relation(&h, &w.sequential).is_ok());
+        prop_assert!(in_atomic_tm(&w.sequential).is_ok());
+    }
+
+    /// Interleaved disjoint-write histories are opaque; their witnesses
+    /// reorder whole transactions.
+    #[test]
+    fn interleaved_histories_opaque(seed in any::<u64>(), nthreads in 2u32..4, nregs in 1usize..3) {
+        let h = interleaved_history(seed, nthreads, nregs);
+        prop_assert_eq!(h.validate(), Ok(()));
+        let w = check_strong_opacity(&h, &CheckOptions::default());
+        prop_assert!(w.is_ok(), "not opaque: {:?}\n{}", w.err(), textio::to_text(&h));
+        let s = w.unwrap().sequential;
+        prop_assert!(in_atomic_tm(&s).is_ok());
+        // Witness preserves per-thread order.
+        let max_t = h.actions().iter().map(|a| a.thread.0).max().unwrap();
+        for t in 0..=max_t {
+            prop_assert_eq!(h.per_thread(ThreadId(t)), s.per_thread(ThreadId(t)));
+        }
+    }
+
+    /// hb is contained in execution order and irreflexive; reported races
+    /// are conflicting and hb-unordered.
+    #[test]
+    fn hb_respects_execution_order(seed in any::<u64>()) {
+        let h = phased_history(seed, 3, 3, 2);
+        let ix = HistoryIndex::new(&h);
+        let an = analyze(&h, &ix);
+        for i in 0..h.len() {
+            prop_assert!(!an.hb.has(i, i));
+            for j in an.hb.succs(i) {
+                prop_assert!(i < j, "hb edge against execution order: {i} -> {j}");
+            }
+        }
+    }
+
+    /// Text serialization round-trips.
+    #[test]
+    fn textio_roundtrip(seed in any::<u64>()) {
+        let h = phased_history(seed, 2, 3, 2);
+        let h2 = textio::from_text(&textio::to_text(&h)).unwrap();
+        prop_assert_eq!(h.actions(), h2.actions());
+    }
+
+    /// Rearranging a trace along the checker's witness yields an
+    /// observationally equivalent trace with exactly the witness history.
+    #[test]
+    fn rearrangement_along_witness(seed in any::<u64>(), nthreads in 2u32..4) {
+        let h = interleaved_history(seed, nthreads, 2);
+        // Sprinkle primitive actions after each response to build a trace.
+        let mut rng = Rng(seed ^ 0xABCD);
+        let mut acts = Vec::new();
+        let mut next_id = 10_000u64;
+        for &a in h.actions() {
+            acts.push(a);
+            if a.kind.is_response() && rng.below(2) == 0 {
+                acts.push(Action::new(next_id, a.thread, Kind::Prim(PrimTag(rng.next()))));
+                next_id += 1;
+            }
+        }
+        let tr = Trace::new(acts);
+        let tr_hist = tr.history();
+        prop_assert_eq!(tr_hist.actions(), h.actions());
+        let w = check_strong_opacity(&h, &CheckOptions::default()).unwrap();
+        let ts = rearrange(&tr, &w.sequential);
+        let ts_hist = ts.history();
+        prop_assert_eq!(ts_hist.actions(), w.sequential.actions());
+        prop_assert!(observationally_equivalent(&tr, &ts));
+    }
+
+    /// BitRel closure agrees with naive Floyd–Warshall on forward DAGs.
+    #[test]
+    fn closure_matches_naive(edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let n = 12;
+        let mut r = BitRel::new(n);
+        let mut naive = vec![vec![false; n]; n];
+        for (a, b) in edges {
+            let (a, b) = if a < b { (a, b) } else if b < a { (b, a) } else { continue };
+            r.add(a, b);
+            naive[a][b] = true;
+        }
+        let c = r.closure_forward();
+        // Floyd–Warshall.
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if naive[i][k] && naive[k][j] {
+                        naive[i][j] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(c.has(i, j), naive[i][j], "({}, {})", i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The command language of Sec 2.1:
+//!
+//! ```text
+//! C ::= c | C ; C | if (b) then C else C | while (b) do C
+//!     | l := atomic {C} | l := x.read() | x.write(e) | fence
+//! ```
+//!
+//! plus `Program` — a parallel composition of one command per thread.
+
+use crate::expr::{BExpr, Expr, Var};
+use tm_core::ids::Reg;
+
+/// Primitive commands operating on local variables.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PComm {
+    /// `l := e`
+    Assign(Var, Expr),
+    /// No-op (useful as an `else` branch).
+    Nop,
+}
+
+/// Commands.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Com {
+    Prim(PComm),
+    Seq(Vec<Com>),
+    If(BExpr, Box<Com>, Box<Com>),
+    While(BExpr, Box<Com>),
+    /// `l := atomic { C }` — `l` receives `COMMITTED` or `ABORTED`.
+    Atomic(Var, Box<Com>),
+    /// `l := x.read()`
+    Read(Var, Reg),
+    /// `x.write(e)`
+    Write(Reg, Expr),
+    Fence,
+}
+
+/// A program: one command per thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    pub threads: Vec<Com>,
+    /// Number of local variables per thread (max index + 1).
+    pub nvars: Vec<u16>,
+    /// Number of registers (max index + 1).
+    pub nregs: u32,
+}
+
+/// Structural errors caught at program construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Nested `atomic` blocks are forbidden (Sec 2.1).
+    NestedAtomic,
+    /// `fence` may only be used outside transactions (Sec 2.1).
+    FenceInsideAtomic,
+}
+
+impl Program {
+    /// Build and validate a program.
+    pub fn new(threads: Vec<Com>) -> Result<Program, ProgramError> {
+        for c in &threads {
+            check(c, false)?;
+        }
+        let nvars = threads
+            .iter()
+            .map(|c| max_var(c).map_or(0, |v| v + 1))
+            .collect();
+        let nregs = threads
+            .iter()
+            .filter_map(max_reg)
+            .max()
+            .map_or(0, |r| r + 1);
+        Ok(Program { threads, nvars, nregs })
+    }
+
+    pub fn nthreads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+fn check(c: &Com, in_atomic: bool) -> Result<(), ProgramError> {
+    match c {
+        Com::Prim(_) | Com::Read(..) | Com::Write(..) => Ok(()),
+        Com::Seq(cs) => cs.iter().try_for_each(|c| check(c, in_atomic)),
+        Com::If(_, a, b) => {
+            check(a, in_atomic)?;
+            check(b, in_atomic)
+        }
+        Com::While(_, body) => check(body, in_atomic),
+        Com::Atomic(_, body) => {
+            if in_atomic {
+                return Err(ProgramError::NestedAtomic);
+            }
+            check(body, true)
+        }
+        Com::Fence => {
+            if in_atomic {
+                return Err(ProgramError::FenceInsideAtomic);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn max_var(c: &Com) -> Option<u16> {
+    match c {
+        Com::Prim(PComm::Assign(v, e)) => Some(v.0).max(e.max_var()),
+        Com::Prim(PComm::Nop) => None,
+        Com::Seq(cs) => cs.iter().filter_map(max_var).max(),
+        Com::If(b, x, y) => b.max_var().max(max_var(x)).max(max_var(y)),
+        Com::While(b, body) => b.max_var().max(max_var(body)),
+        Com::Atomic(v, body) => Some(v.0).max(max_var(body)),
+        Com::Read(v, _) => Some(v.0),
+        Com::Write(_, e) => e.max_var(),
+        Com::Fence => None,
+    }
+}
+
+fn max_reg(c: &Com) -> Option<u32> {
+    match c {
+        Com::Prim(_) | Com::Fence => None,
+        Com::Seq(cs) => cs.iter().filter_map(max_reg).max(),
+        Com::If(_, x, y) => max_reg(x).max(max_reg(y)),
+        Com::While(_, body) => max_reg(body),
+        Com::Atomic(_, body) => max_reg(body),
+        Com::Read(_, x) | Com::Write(x, _) => Some(x.0),
+    }
+}
+
+// ---- Builder helpers. ----
+
+pub fn assign(l: Var, e: Expr) -> Com {
+    Com::Prim(PComm::Assign(l, e))
+}
+pub fn nop() -> Com {
+    Com::Prim(PComm::Nop)
+}
+pub fn seq(cs: impl IntoIterator<Item = Com>) -> Com {
+    Com::Seq(cs.into_iter().collect())
+}
+pub fn if_(b: BExpr, then: Com, els: Com) -> Com {
+    Com::If(b, Box::new(then), Box::new(els))
+}
+pub fn if_then(b: BExpr, then: Com) -> Com {
+    if_(b, then, nop())
+}
+pub fn while_(b: BExpr, body: Com) -> Com {
+    Com::While(b, Box::new(body))
+}
+/// `l := atomic { body… }`
+pub fn atomic(l: Var, body: impl IntoIterator<Item = Com>) -> Com {
+    Com::Atomic(l, Box::new(seq(body)))
+}
+pub fn read(l: Var, x: Reg) -> Com {
+    Com::Read(l, x)
+}
+pub fn write(x: Reg, e: Expr) -> Com {
+    Com::Write(x, e)
+}
+pub fn fence() -> Com {
+    Com::Fence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    #[test]
+    fn build_fig1a_shape() {
+        // Fig 1(a): thread 0 privatizes and writes non-transactionally.
+        let l = Var(0);
+        let xp = Reg(0);
+        let x = Reg(1);
+        let p = Program::new(vec![
+            seq([
+                atomic(l, [write(xp, cst(1))]),
+                fence(),
+                if_then(is_committed(l), write(x, cst(2))),
+            ]),
+            seq([atomic(Var(0), [
+                read(Var(1), xp),
+                if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
+            ])]),
+        ])
+        .unwrap();
+        assert_eq!(p.nthreads(), 2);
+        assert_eq!(p.nvars, vec![1, 2]);
+        assert_eq!(p.nregs, 2);
+    }
+
+    #[test]
+    fn nested_atomic_rejected() {
+        let p = Program::new(vec![atomic(Var(0), [atomic(Var(1), [nop()])])]);
+        assert_eq!(p.unwrap_err(), ProgramError::NestedAtomic);
+    }
+
+    #[test]
+    fn fence_inside_atomic_rejected() {
+        let p = Program::new(vec![atomic(Var(0), [fence()])]);
+        assert_eq!(p.unwrap_err(), ProgramError::FenceInsideAtomic);
+    }
+
+    #[test]
+    fn fence_outside_atomic_ok() {
+        assert!(Program::new(vec![seq([fence(), nop()])]).is_ok());
+    }
+
+    #[test]
+    fn var_counting_counts_loop_and_branch_vars() {
+        let p = Program::new(vec![seq([
+            while_(eq(v(Var(3)), cst(0)), read(Var(3), Reg(0))),
+            if_(ne(v(Var(5)), cst(1)), nop(), assign(Var(2), cst(9))),
+        ])])
+        .unwrap();
+        assert_eq!(p.nvars, vec![6]);
+    }
+}

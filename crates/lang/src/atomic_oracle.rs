@@ -1,0 +1,201 @@
+//! The idealized atomic TM oracle: transactions execute without interleaving
+//! with other transactions or non-transactional accesses (Sec 2.4). Driving
+//! programs against this oracle realizes the *strongly atomic semantics*
+//! `[[P]](H_atomic, s)` — it is the reference against which DRF is checked
+//! (Def 3.3 with `H = H_atomic`) and against which weak TMs are compared.
+
+use crate::oracle::{Oracle, Req, Resp};
+use tm_core::ids::{Reg, Value};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AtomicOracle {
+    regs: Vec<Value>,
+    /// The thread whose transaction is currently open, with its write buffer.
+    active: Option<(usize, Vec<(Reg, Value)>)>,
+    pending: Vec<Option<Req>>,
+    /// Offer spurious abort branches at txbegin and txcommit. `H_atomic`
+    /// permits transactions to abort at any time; exploring the abort
+    /// branches makes DRF checking complete for programs that behave
+    /// differently on abort paths.
+    spurious_aborts: bool,
+}
+
+impl AtomicOracle {
+    pub fn new(nregs: u32, nthreads: usize, spurious_aborts: bool) -> Self {
+        AtomicOracle {
+            regs: vec![0; nregs as usize],
+            active: None,
+            pending: vec![None; nthreads],
+            spurious_aborts,
+        }
+    }
+
+    fn buffered(&self, x: Reg) -> Option<Value> {
+        let (_, ws) = self.active.as_ref()?;
+        ws.iter().rev().find(|(y, _)| *y == x).map(|&(_, v)| v)
+    }
+}
+
+impl Oracle for AtomicOracle {
+    fn can_submit(&self, t: usize) -> bool {
+        match &self.active {
+            None => true,
+            Some((owner, _)) => *owner == t,
+        }
+    }
+
+    fn submit(&mut self, t: usize, req: Req) {
+        debug_assert!(self.pending[t].is_none());
+        debug_assert!(self.can_submit(t));
+        self.pending[t] = Some(req);
+    }
+
+    fn step_choices(&self, t: usize) -> u32 {
+        let Some(req) = self.pending[t] else { return 0 };
+        match req {
+            Req::Begin => {
+                if self.active.is_none() {
+                    if self.spurious_aborts { 2 } else { 1 }
+                } else {
+                    0 // wait until the open transaction completes
+                }
+            }
+            Req::Read(_) | Req::Write(..) => 1,
+            Req::Commit => {
+                if self.spurious_aborts { 2 } else { 1 }
+            }
+            Req::FenceBegin => {
+                if self.active.is_none() { 1 } else { 0 }
+            }
+        }
+    }
+
+    fn step(&mut self, t: usize, choice: u32) -> Option<Resp> {
+        let req = self.pending[t].take().expect("no pending request");
+        match req {
+            Req::Begin => {
+                debug_assert!(self.active.is_none());
+                if choice == 1 {
+                    return Some(Resp::Aborted);
+                }
+                self.active = Some((t, Vec::new()));
+                Some(Resp::Ok)
+            }
+            Req::Read(x) => {
+                debug_assert_eq!(self.active.as_ref().map(|a| a.0), Some(t));
+                let v = self.buffered(x).unwrap_or(self.regs[x.idx()]);
+                Some(Resp::Val(v))
+            }
+            Req::Write(x, v) => {
+                debug_assert_eq!(self.active.as_ref().map(|a| a.0), Some(t));
+                self.active.as_mut().unwrap().1.push((x, v));
+                Some(Resp::Unit)
+            }
+            Req::Commit => {
+                let (owner, ws) = self.active.take().expect("commit with no open txn");
+                debug_assert_eq!(owner, t);
+                if choice == 1 {
+                    return Some(Resp::Aborted); // buffered writes discarded
+                }
+                for (x, v) in ws {
+                    self.regs[x.idx()] = v;
+                }
+                Some(Resp::Committed)
+            }
+            Req::FenceBegin => {
+                debug_assert!(self.active.is_none());
+                Some(Resp::FenceEnd)
+            }
+        }
+    }
+
+    fn direct_read(&mut self, _t: usize, x: Reg) -> Value {
+        debug_assert!(self.active.is_none(), "gated by can_submit");
+        self.regs[x.idx()]
+    }
+
+    fn direct_write(&mut self, _t: usize, x: Reg, v: Value) {
+        debug_assert!(self.active.is_none(), "gated by can_submit");
+        self.regs[x.idx()] = v;
+    }
+
+    fn regs(&self) -> &[Value] {
+        &self.regs
+    }
+
+    fn has_pending(&self, t: usize) -> bool {
+        self.pending[t].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_blocks_others() {
+        let mut o = AtomicOracle::new(2, 2, false);
+        o.submit(0, Req::Begin);
+        assert_eq!(o.step(0, 0), Some(Resp::Ok));
+        assert!(!o.can_submit(1));
+        assert!(o.can_submit(0));
+        o.submit(0, Req::Commit);
+        assert_eq!(o.step(0, 0), Some(Resp::Committed));
+        assert!(o.can_submit(1));
+    }
+
+    #[test]
+    fn write_buffering_and_own_reads() {
+        let mut o = AtomicOracle::new(1, 1, false);
+        o.submit(0, Req::Begin);
+        o.step(0, 0);
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0001));
+        assert_eq!(o.step(0, 0), Some(Resp::Unit));
+        // Registers untouched until commit.
+        assert_eq!(o.regs()[0], 0);
+        o.submit(0, Req::Read(Reg(0)));
+        assert_eq!(o.step(0, 0), Some(Resp::Val(0x1_0000_0001)));
+        o.submit(0, Req::Commit);
+        assert_eq!(o.step(0, 0), Some(Resp::Committed));
+        assert_eq!(o.regs()[0], 0x1_0000_0001);
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let mut o = AtomicOracle::new(1, 1, true);
+        o.submit(0, Req::Begin);
+        assert_eq!(o.step_choices(0), 2);
+        o.step(0, 0);
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0007));
+        o.step(0, 0);
+        o.submit(0, Req::Commit);
+        assert_eq!(o.step(0, 1), Some(Resp::Aborted));
+        assert_eq!(o.regs()[0], 0);
+    }
+
+    #[test]
+    fn spurious_abort_at_begin() {
+        let mut o = AtomicOracle::new(1, 1, true);
+        o.submit(0, Req::Begin);
+        assert_eq!(o.step(0, 1), Some(Resp::Aborted));
+        assert!(o.active.is_none());
+    }
+
+    #[test]
+    fn fence_immediate_when_no_txn() {
+        let mut o = AtomicOracle::new(1, 2, false);
+        o.submit(1, Req::FenceBegin);
+        assert_eq!(o.step_choices(1), 1);
+        assert_eq!(o.step(1, 0), Some(Resp::FenceEnd));
+    }
+
+    #[test]
+    fn fence_blocked_while_txn_open() {
+        let mut o = AtomicOracle::new(1, 2, false);
+        o.submit(0, Req::Begin);
+        o.step(0, 0);
+        // A fence submitted earlier by t1 would block; here can_submit
+        // already prevents submission, and step_choices would be 0.
+        assert!(!o.can_submit(1));
+    }
+}

@@ -1,0 +1,559 @@
+//! Systematic exploration of program ⊗ TM-oracle state spaces.
+//!
+//! Two modes:
+//!
+//! * [`explore_outcomes`] — memoized DFS over states; collects the set of
+//!   terminal outcomes (final locals + registers), detects divergence
+//!   (cycles in the state graph, e.g. a doomed transaction's zombie loop)
+//!   and deadlock. Memoization is sound for outcomes because a state fully
+//!   determines its future behaviour.
+//! * [`explore_traces`] — un-memoized DFS that hands every complete trace
+//!   (and every diverged/blocked prefix) to a callback, for the checks that
+//!   quantify over traces: DRF (Def 3.3), strong opacity of each history,
+//!   and the Fundamental Property. Sound pruning here is limited to cutting
+//!   state cycles, since a trace property is not a state property.
+//!
+//! Scheduling points are exactly the visible operations: thread-local
+//! computation runs eagerly inside a move (a sound partial-order reduction —
+//! locals are thread-private), while every TM micro-step is a separate move.
+
+use crate::ast::Program;
+use crate::expr::tagged;
+use crate::machine::{Await, NextVisible, ThreadState, VisOp};
+use crate::oracle::{Oracle, Req, Resp};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tm_core::action::{Action, Kind};
+use tm_core::ids::ThreadId;
+use tm_core::trace::Trace;
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Cap on distinct states (outcome mode) or explored moves (trace mode).
+    pub max_states: usize,
+    /// Cap on complete traces delivered to the callback (trace mode).
+    pub max_traces: usize,
+    /// Budget for thread-local steps inside one move (catches register-free
+    /// infinite loops).
+    pub local_step_budget: u32,
+    /// Safety cap on trace length.
+    pub max_trace_len: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 2_000_000,
+            max_traces: 100_000,
+            local_step_budget: 4_096,
+            max_trace_len: 4_096,
+        }
+    }
+}
+
+/// A terminal outcome: user-visible locals per thread plus user-visible
+/// register contents.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Outcome {
+    pub locals: Vec<Vec<u64>>,
+    pub regs: Vec<u64>,
+}
+
+/// Result of outcome exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreResult {
+    pub outcomes: BTreeSet<Outcome>,
+    /// Some execution path can run forever (state-graph cycle or local-step
+    /// budget exhaustion).
+    pub diverged: bool,
+    /// Some path reaches a state with unfinished threads and no enabled move.
+    pub blocked: bool,
+    pub states: usize,
+    pub truncated: bool,
+}
+
+/// How a delivered trace ended (trace mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathStatus {
+    /// All threads ran to completion.
+    Terminal,
+    /// Unfinished threads but no enabled move.
+    Blocked,
+    /// A state repeated along the path (an infinite execution exists).
+    Diverged,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ExecState<O: Oracle> {
+    threads: Vec<ThreadState>,
+    oracle: O,
+    write_seq: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Move {
+    /// Run thread `t` to its next visible operation and perform/submit it.
+    Program(usize),
+    /// Advance thread `t`'s pending TM request by one micro-step.
+    OracleStep(usize, u32),
+}
+
+fn enabled_moves<O: Oracle>(s: &ExecState<O>) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for (t, th) in s.threads.iter().enumerate() {
+        if s.oracle.has_pending(t) {
+            for c in 0..s.oracle.step_choices(t) {
+                moves.push(Move::OracleStep(t, c));
+            }
+        } else if !th.is_done() && th.awaiting.is_none() && s.oracle.can_submit(t) {
+            moves.push(Move::Program(t));
+        }
+    }
+    moves
+}
+
+fn all_done<O: Oracle>(s: &ExecState<O>) -> bool {
+    s.threads.iter().all(ThreadState::is_done)
+}
+
+fn outcome_of<O: Oracle>(s: &ExecState<O>) -> Outcome {
+    Outcome {
+        locals: s.threads.iter().map(ThreadState::user_locals).collect(),
+        regs: s.oracle.regs().iter().map(|&v| crate::expr::user(v)).collect(),
+    }
+}
+
+/// Emit helper: append an action whose id is its index.
+fn emit(trace: &mut Vec<Action>, t: usize, kind: Kind) {
+    let id = trace.len() as u64;
+    trace.push(Action::new(id, ThreadId(t as u32), kind));
+}
+
+/// Apply a move. Returns `false` if the path must stop (local divergence).
+/// When `trace` is `Some`, actions are appended.
+fn apply_move<O: Oracle>(
+    s: &mut ExecState<O>,
+    mv: Move,
+    limits: &Limits,
+    mut trace: Option<&mut Vec<Action>>,
+) -> bool {
+    let mut prims = Vec::new();
+    match mv {
+        Move::Program(t) => {
+            let nv = s.threads[t].next_visible(limits.local_step_budget, &mut prims);
+            if let Some(tr) = trace.as_deref_mut() {
+                for p in &prims {
+                    emit(tr, t, Kind::Prim(*p));
+                }
+            }
+            prims.clear();
+            match nv {
+                NextVisible::Done => true,
+                NextVisible::LocalDivergence => false,
+                NextVisible::Op(op) => {
+                    let in_txn = s.threads[t].in_txn;
+                    match op {
+                        VisOp::Begin => {
+                            if let Some(tr) = trace.as_deref_mut() {
+                                emit(tr, t, Kind::TxBegin);
+                            }
+                            s.oracle.submit(t, Req::Begin);
+                            s.threads[t].submitted(Await::Begin);
+                        }
+                        VisOp::Commit => {
+                            if let Some(tr) = trace.as_deref_mut() {
+                                emit(tr, t, Kind::TxCommit);
+                            }
+                            s.oracle.submit(t, Req::Commit);
+                            s.threads[t].submitted(Await::Commit);
+                        }
+                        VisOp::Fence => {
+                            if let Some(tr) = trace.as_deref_mut() {
+                                emit(tr, t, Kind::FBegin);
+                            }
+                            s.oracle.submit(t, Req::FenceBegin);
+                            s.threads[t].submitted(Await::Fence);
+                        }
+                        VisOp::Read(l, x) => {
+                            if in_txn {
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    emit(tr, t, Kind::Read(x));
+                                }
+                                s.oracle.submit(t, Req::Read(x));
+                                s.threads[t].submitted(Await::Read(l));
+                            } else {
+                                // Non-transactional access: request, direct
+                                // access and response are one atomic move
+                                // (Def A.1 clause 7).
+                                let v = s.oracle.direct_read(t, x);
+                                s.threads[t].apply_direct_read(l, v, &mut prims);
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    emit(tr, t, Kind::Read(x));
+                                    emit(tr, t, Kind::RetVal(v));
+                                    for p in &prims {
+                                        emit(tr, t, Kind::Prim(*p));
+                                    }
+                                }
+                            }
+                        }
+                        VisOp::Write(x, user_val) => {
+                            let v = tagged(user_val, s.write_seq);
+                            s.write_seq += 1;
+                            if in_txn {
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    emit(tr, t, Kind::Write(x, v));
+                                }
+                                s.oracle.submit(t, Req::Write(x, v));
+                                s.threads[t].submitted(Await::Write);
+                            } else {
+                                s.oracle.direct_write(t, x, v);
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    emit(tr, t, Kind::Write(x, v));
+                                    emit(tr, t, Kind::RetUnit);
+                                }
+                            }
+                        }
+                    }
+                    true
+                }
+            }
+        }
+        Move::OracleStep(t, c) => {
+            if let Some(resp) = s.oracle.step(t, c) {
+                let kind = match resp {
+                    Resp::Ok => Kind::Ok,
+                    Resp::Aborted => Kind::Aborted,
+                    Resp::Val(v) => Kind::RetVal(v),
+                    Resp::Unit => Kind::RetUnit,
+                    Resp::Committed => Kind::Committed,
+                    Resp::FenceEnd => Kind::FEnd,
+                };
+                s.threads[t].apply_response(resp, &mut prims);
+                if let Some(tr) = trace.as_deref_mut() {
+                    emit(tr, t, kind);
+                    for p in &prims {
+                        emit(tr, t, Kind::Prim(*p));
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    OnPath,
+    Done,
+}
+
+/// Memoized outcome exploration.
+pub fn explore_outcomes<O: Oracle>(p: &Program, oracle: O, limits: &Limits) -> ExploreResult {
+    let threads = p
+        .threads
+        .iter()
+        .zip(&p.nvars)
+        .map(|(c, &nv)| ThreadState::new(c.clone(), nv))
+        .collect();
+    let state = ExecState { threads, oracle, write_seq: 1 };
+    let mut visited: HashMap<ExecState<O>, Color> = HashMap::new();
+    let mut result = ExploreResult::default();
+    dfs_outcomes(state, &mut visited, &mut result, limits);
+    result
+}
+
+fn dfs_outcomes<O: Oracle>(
+    state: ExecState<O>,
+    visited: &mut HashMap<ExecState<O>, Color>,
+    result: &mut ExploreResult,
+    limits: &Limits,
+) {
+    match visited.get(&state) {
+        Some(Color::OnPath) => {
+            result.diverged = true;
+            return;
+        }
+        Some(Color::Done) => return,
+        None => {}
+    }
+    if result.states >= limits.max_states {
+        result.truncated = true;
+        return;
+    }
+    result.states += 1;
+    visited.insert(state.clone(), Color::OnPath);
+
+    let moves = enabled_moves(&state);
+    if moves.is_empty() {
+        if all_done(&state) {
+            result.outcomes.insert(outcome_of(&state));
+        } else {
+            result.blocked = true;
+        }
+    }
+    for mv in moves {
+        let mut next = state.clone();
+        if apply_move(&mut next, mv, limits, None) {
+            dfs_outcomes(next, visited, result, limits);
+        } else {
+            result.diverged = true;
+        }
+    }
+    visited.insert(state, Color::Done);
+}
+
+/// Result of trace exploration.
+#[derive(Clone, Debug, Default)]
+pub struct TraceExploreResult {
+    pub traces_delivered: usize,
+    pub truncated: bool,
+}
+
+/// Un-memoized trace enumeration: every complete trace (and every blocked or
+/// diverged prefix) is passed to `on_trace` together with its status. Stops
+/// after `limits.max_traces` deliveries.
+pub fn explore_traces<O: Oracle>(
+    p: &Program,
+    oracle: O,
+    limits: &Limits,
+    on_trace: &mut dyn FnMut(Trace, PathStatus),
+) -> TraceExploreResult {
+    let threads = p
+        .threads
+        .iter()
+        .zip(&p.nvars)
+        .map(|(c, &nv)| ThreadState::new(c.clone(), nv))
+        .collect();
+    let state = ExecState { threads, oracle, write_seq: 1 };
+    let mut on_path: HashSet<ExecState<O>> = HashSet::new();
+    let mut trace: Vec<Action> = Vec::new();
+    let mut result = TraceExploreResult::default();
+    dfs_traces(state, &mut on_path, &mut trace, &mut result, limits, on_trace);
+    result
+}
+
+fn dfs_traces<O: Oracle>(
+    state: ExecState<O>,
+    on_path: &mut HashSet<ExecState<O>>,
+    trace: &mut Vec<Action>,
+    result: &mut TraceExploreResult,
+    limits: &Limits,
+    on_trace: &mut dyn FnMut(Trace, PathStatus),
+) {
+    if result.traces_delivered >= limits.max_traces {
+        result.truncated = true;
+        return;
+    }
+    if !on_path.insert(state.clone()) {
+        // State repeats along this path: an infinite execution exists.
+        result.traces_delivered += 1;
+        on_trace(Trace::new(trace.clone()), PathStatus::Diverged);
+        return;
+    }
+    if trace.len() >= limits.max_trace_len {
+        result.truncated = true;
+        on_path.remove(&state);
+        return;
+    }
+
+    let moves = enabled_moves(&state);
+    if moves.is_empty() {
+        let status = if all_done(&state) { PathStatus::Terminal } else { PathStatus::Blocked };
+        result.traces_delivered += 1;
+        on_trace(Trace::new(trace.clone()), status);
+    }
+    for mv in moves {
+        let mut next = state.clone();
+        let len_before = trace.len();
+        if apply_move(&mut next, mv, limits, Some(trace)) {
+            dfs_traces(next, on_path, trace, result, limits, on_trace);
+        } else {
+            result.traces_delivered += 1;
+            on_trace(Trace::new(trace.clone()), PathStatus::Diverged);
+        }
+        trace.truncate(len_before);
+    }
+    on_path.remove(&state);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::atomic_oracle::AtomicOracle;
+    use crate::expr::*;
+    use crate::glock_oracle::GlockOracle;
+    use crate::tl2_spec::{Tl2Config, Tl2Spec};
+    use tm_core::ids::Reg;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    /// Single-thread increment via a transaction under each oracle.
+    #[test]
+    fn single_thread_txn_all_oracles() {
+        let l = Var(0);
+        let p = Program::new(vec![seq([
+            atomic(l, [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))]),
+        ])])
+        .unwrap();
+
+        let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 1, false), &limits());
+        assert!(!r.diverged && !r.blocked);
+        assert_eq!(r.outcomes.len(), 1);
+        let o = r.outcomes.iter().next().unwrap();
+        assert_eq!(o.regs, vec![1]);
+        assert_eq!(o.locals[0][0], COMMITTED);
+
+        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 1, Tl2Config::default()), &limits());
+        assert_eq!(r.outcomes.iter().next().unwrap().regs, vec![1]);
+
+        let r = explore_outcomes(&p, GlockOracle::new(p.nregs, 1), &limits());
+        assert_eq!(r.outcomes.iter().next().unwrap().regs, vec![1]);
+    }
+
+    /// Two increments race transactionally: under every oracle the final
+    /// value must be 2 (TL2 aborts one on conflict; we retry via a loop).
+    #[test]
+    fn parallel_increment_with_retry() {
+        let thread = || {
+            let l = Var(0);
+            seq([
+                assign(l, cst(ABORTED)),
+                while_(
+                    ne(v(l), cst(COMMITTED)),
+                    atomic(l, [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))]),
+                ),
+            ])
+        };
+        let p = Program::new(vec![thread(), thread()]).unwrap();
+
+        for spurious in [false] {
+            let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 2, spurious), &limits());
+            assert!(!r.blocked);
+            for o in &r.outcomes {
+                assert_eq!(o.regs, vec![2], "atomic outcome {o:?}");
+            }
+        }
+        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        assert!(!r.blocked, "TL2 must not deadlock");
+        for o in &r.outcomes {
+            assert_eq!(o.regs, vec![2], "TL2 outcome {o:?}");
+        }
+    }
+
+    /// Fig 3 shape under the atomic oracle: the non-transactional reads can
+    /// never observe x=1 ∧ y=0 (they never interleave with the transaction).
+    #[test]
+    fn fig3_strongly_atomic_outcomes() {
+        let p = Program::new(vec![
+            atomic(Var(0), [write(Reg(0), cst(1)), write(Reg(1), cst(2))]),
+            seq([read(Var(0), Reg(0)), read(Var(1), Reg(1))]),
+        ])
+        .unwrap();
+        let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 2, false), &limits());
+        for o in &r.outcomes {
+            let (l1, l2) = (o.locals[1][0], o.locals[1][1]);
+            assert!(
+                !(l1 == 1 && l2 == 0),
+                "strong atomicity violated: observed x=1,y=0 in {o:?}"
+            );
+        }
+        // Both all-before and all-after must be present.
+        assert!(r.outcomes.iter().any(|o| o.locals[1] == vec![0, 0]));
+        assert!(r.outcomes.iter().any(|o| o.locals[1] == vec![1, 2]));
+    }
+
+    /// Fig 3 under TL2: the weak TM exposes the intermediate state.
+    #[test]
+    fn fig3_tl2_exposes_intermediate_state() {
+        let p = Program::new(vec![
+            atomic(Var(0), [write(Reg(0), cst(1)), write(Reg(1), cst(2))]),
+            seq([read(Var(0), Reg(0)), read(Var(1), Reg(1))]),
+        ])
+        .unwrap();
+        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        assert!(
+            r.outcomes
+                .iter()
+                .any(|o| o.locals[1][0] == 1 && o.locals[1][1] == 0),
+            "expected the racy intermediate observation under TL2"
+        );
+    }
+
+    /// Zombie divergence: a loop reading a register that never changes while
+    /// a cycle exists is reported as divergence (state-graph cycle).
+    #[test]
+    fn divergence_detected() {
+        let p = Program::new(vec![while_(
+            eq(v(Var(0)), cst(0)),
+            read(Var(0), Reg(0)),
+        )])
+        .unwrap();
+        // Register 0 stays 0 forever: infinite loop.
+        let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 1, false), &limits());
+        assert!(r.diverged);
+        assert!(r.outcomes.is_empty());
+    }
+
+    /// Trace exploration delivers well-formed traces whose histories pass
+    /// validation, and terminal statuses are consistent.
+    #[test]
+    fn traces_are_well_formed() {
+        let p = Program::new(vec![
+            seq([
+                atomic(Var(0), [write(Reg(0), cst(1))]),
+                fence(),
+                write(Reg(1), cst(2)),
+            ]),
+            atomic(Var(0), [read(Var(1), Reg(0))]),
+        ])
+        .unwrap();
+        let mut n = 0;
+        let mut statuses = BTreeSet::new();
+        explore_traces(
+            &p,
+            Tl2Spec::new(p.nregs, 2, Tl2Config::default()),
+            &limits(),
+            &mut |tr, st| {
+                n += 1;
+                statuses.insert(format!("{st:?}"));
+                assert_eq!(tr.validate(), Ok(()), "ill-formed trace: {tr:?}");
+                assert_eq!(tr.history().validate(), Ok(()));
+            },
+        );
+        assert!(n > 10, "expected many interleavings, got {n}");
+        assert!(statuses.contains("Terminal"));
+    }
+
+    /// Outcome sets of TL2 on a DRF program must be included in the atomic
+    /// oracle's outcome set (a pointwise Fundamental-Property check).
+    #[test]
+    fn tl2_outcomes_subset_of_atomic_on_drf_program() {
+        // Privatization with a fence (Fig 1(a) with fence): DRF.
+        let xp = Reg(0);
+        let x = Reg(1);
+        let p = Program::new(vec![
+            seq([
+                atomic(Var(0), [write(xp, cst(1))]),
+                fence(),
+                if_then(is_committed(Var(0)), write(x, cst(2))),
+            ]),
+            atomic(Var(0), [
+                read(Var(1), xp),
+                if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
+            ]),
+        ])
+        .unwrap();
+        let atomic_r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 2, true), &limits());
+        let tl2_r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        assert!(!tl2_r.truncated && !atomic_r.truncated);
+        for o in &tl2_r.outcomes {
+            assert!(
+                atomic_r.outcomes.contains(o),
+                "TL2 outcome {o:?} not reachable under strong atomicity"
+            );
+        }
+    }
+}

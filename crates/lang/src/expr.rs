@@ -1,0 +1,190 @@
+//! Expressions over thread-local variables (paper Sec 2.1).
+//!
+//! Register values carry a *uniqueness tag* in their upper 32 bits so that
+//! every write in a trace writes a distinct value (Def 2.1 clause 3) without
+//! litmus programs having to pick globally unique constants. Programs observe
+//! only the *user part* (lower 32 bits): all comparisons and arithmetic
+//! operate on user parts.
+
+use tm_core::ids::Value;
+
+/// Thread-local variable index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u16);
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The user-visible part of a value.
+#[inline]
+pub fn user(v: Value) -> u64 {
+    v & 0xFFFF_FFFF
+}
+
+/// Tag a user value with a uniqueness sequence number.
+#[inline]
+pub fn tagged(user_value: u64, seq: u32) -> Value {
+    debug_assert!(user_value <= 0xFFFF_FFFF, "user values are 32-bit");
+    (u64::from(seq) << 32) | user_value
+}
+
+/// The value an atomic block's result variable receives on commit.
+pub const COMMITTED: u64 = 0xFFFF_FF01;
+/// The value an atomic block's result variable receives on abort.
+pub const ABORTED: u64 = 0xFFFF_FF02;
+
+/// Integer expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    Const(u64),
+    Var(Var),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+/// Boolean expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BExpr {
+    Const(bool),
+    Eq(Expr, Expr),
+    Ne(Expr, Expr),
+    Lt(Expr, Expr),
+    Le(Expr, Expr),
+    Not(Box<BExpr>),
+    And(Box<BExpr>, Box<BExpr>),
+    Or(Box<BExpr>, Box<BExpr>),
+}
+
+impl Expr {
+    /// Evaluate to a *user* value against the thread's locals (which store
+    /// full tagged values).
+    pub fn eval(&self, locals: &[Value]) -> u64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => user(locals[v.0 as usize]),
+            Expr::Add(a, b) => a.eval(locals).wrapping_add(b.eval(locals)) & 0xFFFF_FFFF,
+            Expr::Sub(a, b) => a.eval(locals).wrapping_sub(b.eval(locals)) & 0xFFFF_FFFF,
+            Expr::Mul(a, b) => a.eval(locals).wrapping_mul(b.eval(locals)) & 0xFFFF_FFFF,
+        }
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<u16> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(v) => Some(v.0),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => a.max_var().max(b.max_var()),
+        }
+    }
+}
+
+impl BExpr {
+    pub fn eval(&self, locals: &[Value]) -> bool {
+        match self {
+            BExpr::Const(b) => *b,
+            BExpr::Eq(a, b) => a.eval(locals) == b.eval(locals),
+            BExpr::Ne(a, b) => a.eval(locals) != b.eval(locals),
+            BExpr::Lt(a, b) => a.eval(locals) < b.eval(locals),
+            BExpr::Le(a, b) => a.eval(locals) <= b.eval(locals),
+            BExpr::Not(a) => !a.eval(locals),
+            BExpr::And(a, b) => a.eval(locals) && b.eval(locals),
+            BExpr::Or(a, b) => a.eval(locals) || b.eval(locals),
+        }
+    }
+
+    pub fn max_var(&self) -> Option<u16> {
+        match self {
+            BExpr::Const(_) => None,
+            BExpr::Eq(a, b) | BExpr::Ne(a, b) | BExpr::Lt(a, b) | BExpr::Le(a, b) => {
+                a.max_var().max(b.max_var())
+            }
+            BExpr::Not(a) => a.max_var(),
+            BExpr::And(a, b) | BExpr::Or(a, b) => a.max_var().max(b.max_var()),
+        }
+    }
+}
+
+// ---- Builder helpers, used pervasively by litmus programs. ----
+
+/// Constant expression.
+pub fn cst(c: u64) -> Expr {
+    Expr::Const(c)
+}
+/// Variable expression.
+pub fn v(x: Var) -> Expr {
+    Expr::Var(x)
+}
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+pub fn eq(a: Expr, b: Expr) -> BExpr {
+    BExpr::Eq(a, b)
+}
+pub fn ne(a: Expr, b: Expr) -> BExpr {
+    BExpr::Ne(a, b)
+}
+pub fn lt(a: Expr, b: Expr) -> BExpr {
+    BExpr::Lt(a, b)
+}
+pub fn le(a: Expr, b: Expr) -> BExpr {
+    BExpr::Le(a, b)
+}
+pub fn not(a: BExpr) -> BExpr {
+    BExpr::Not(Box::new(a))
+}
+pub fn and(a: BExpr, b: BExpr) -> BExpr {
+    BExpr::And(Box::new(a), Box::new(b))
+}
+pub fn or(a: BExpr, b: BExpr) -> BExpr {
+    BExpr::Or(Box::new(a), Box::new(b))
+}
+/// `l = committed` test.
+pub fn is_committed(l: Var) -> BExpr {
+    eq(v(l), cst(COMMITTED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_and_tagging() {
+        let t = tagged(42, 7);
+        assert_eq!(user(t), 42);
+        assert_ne!(t, tagged(42, 8));
+    }
+
+    #[test]
+    fn eval_uses_user_parts() {
+        let locals = vec![tagged(5, 99), tagged(3, 123)];
+        assert_eq!(v(Var(0)).eval(&locals), 5);
+        assert_eq!(add(v(Var(0)), v(Var(1))).eval(&locals), 8);
+        assert_eq!(sub(v(Var(0)), v(Var(1))).eval(&locals), 2);
+        assert!(eq(v(Var(0)), cst(5)).eval(&locals));
+        assert!(ne(v(Var(0)), v(Var(1))).eval(&locals));
+        assert!(lt(v(Var(1)), v(Var(0))).eval(&locals));
+        assert!(le(cst(3), v(Var(1))).eval(&locals));
+        assert!(not(BExpr::Const(false)).eval(&locals));
+        assert!(and(BExpr::Const(true), or(BExpr::Const(false), BExpr::Const(true))).eval(&locals));
+    }
+
+    #[test]
+    fn arithmetic_stays_in_user_range() {
+        let locals = vec![tagged(0xFFFF_FFFF, 1)];
+        assert_eq!(add(v(Var(0)), cst(1)).eval(&locals), 0);
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(add(v(Var(3)), v(Var(7))).max_var(), Some(7));
+        assert_eq!(cst(1).max_var(), None);
+        assert_eq!(and(eq(v(Var(2)), cst(0)), BExpr::Const(true)).max_var(), Some(2));
+    }
+}

@@ -1,0 +1,136 @@
+//! A global-lock TM oracle: every atomic block runs under one global mutex.
+//! Strongly atomic for DRF programs by construction (transactions are
+//! serialized and never abort), at the price of zero concurrency — the
+//! baseline "safe but slow" point in the design space.
+//!
+//! Non-transactional accesses remain uninstrumented: a racy program can still
+//! observe a transaction's intermediate state, just as with a real
+//! single-lock STM.
+
+use crate::oracle::{Oracle, Req, Resp};
+use tm_core::ids::{Reg, Value};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GlockOracle {
+    regs: Vec<Value>,
+    lock_owner: Option<usize>,
+    pending: Vec<Option<Req>>,
+}
+
+impl GlockOracle {
+    pub fn new(nregs: u32, nthreads: usize) -> Self {
+        GlockOracle {
+            regs: vec![0; nregs as usize],
+            lock_owner: None,
+            pending: vec![None; nthreads],
+        }
+    }
+}
+
+impl Oracle for GlockOracle {
+    fn can_submit(&self, _t: usize) -> bool {
+        true
+    }
+
+    fn submit(&mut self, t: usize, req: Req) {
+        debug_assert!(self.pending[t].is_none());
+        self.pending[t] = Some(req);
+    }
+
+    fn step_choices(&self, t: usize) -> u32 {
+        let Some(req) = self.pending[t] else { return 0 };
+        match req {
+            // Begin and fences wait for the lock to be free.
+            Req::Begin | Req::FenceBegin => u32::from(self.lock_owner.is_none()),
+            Req::Read(_) | Req::Write(..) | Req::Commit => 1,
+        }
+    }
+
+    fn step(&mut self, t: usize, _choice: u32) -> Option<Resp> {
+        let req = self.pending[t].take().expect("no pending request");
+        match req {
+            Req::Begin => {
+                debug_assert!(self.lock_owner.is_none());
+                self.lock_owner = Some(t);
+                Some(Resp::Ok)
+            }
+            Req::Read(x) => {
+                debug_assert_eq!(self.lock_owner, Some(t));
+                Some(Resp::Val(self.regs[x.idx()]))
+            }
+            Req::Write(x, v) => {
+                debug_assert_eq!(self.lock_owner, Some(t));
+                self.regs[x.idx()] = v; // in place: commits are trivial
+                Some(Resp::Unit)
+            }
+            Req::Commit => {
+                debug_assert_eq!(self.lock_owner, Some(t));
+                self.lock_owner = None;
+                Some(Resp::Committed)
+            }
+            Req::FenceBegin => {
+                // Lock free means no transaction is active: quiescent.
+                debug_assert!(self.lock_owner.is_none());
+                Some(Resp::FenceEnd)
+            }
+        }
+    }
+
+    fn direct_read(&mut self, _t: usize, x: Reg) -> Value {
+        self.regs[x.idx()] // uninstrumented: ignores the lock
+    }
+
+    fn direct_write(&mut self, _t: usize, x: Reg, v: Value) {
+        self.regs[x.idx()] = v;
+    }
+
+    fn regs(&self) -> &[Value] {
+        &self.regs
+    }
+
+    fn has_pending(&self, t: usize) -> bool {
+        self.pending[t].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialized_transactions() {
+        let mut o = GlockOracle::new(1, 2);
+        o.submit(0, Req::Begin);
+        assert_eq!(o.step(0, 0), Some(Resp::Ok));
+        o.submit(1, Req::Begin);
+        assert_eq!(o.step_choices(1), 0, "t1 blocked while t0 holds the lock");
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0001));
+        o.step(0, 0);
+        o.submit(0, Req::Commit);
+        assert_eq!(o.step(0, 0), Some(Resp::Committed));
+        assert_eq!(o.step_choices(1), 1);
+        assert_eq!(o.step(1, 0), Some(Resp::Ok));
+    }
+
+    #[test]
+    fn fence_waits_for_lock() {
+        let mut o = GlockOracle::new(1, 2);
+        o.submit(0, Req::Begin);
+        o.step(0, 0);
+        o.submit(1, Req::FenceBegin);
+        assert_eq!(o.step_choices(1), 0);
+        o.submit(0, Req::Commit);
+        o.step(0, 0);
+        assert_eq!(o.step(1, 0), Some(Resp::FenceEnd));
+    }
+
+    #[test]
+    fn direct_access_bypasses_lock() {
+        let mut o = GlockOracle::new(1, 2);
+        o.submit(0, Req::Begin);
+        o.step(0, 0);
+        // Racy by definition, but must not block.
+        o.direct_write(1, Reg(0), 0x2_0000_0009);
+        assert_eq!(o.direct_read(1, Reg(0)), 0x2_0000_0009);
+    }
+}

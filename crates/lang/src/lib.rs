@@ -1,0 +1,51 @@
+//! # tm-lang — the paper's programming language, made executable
+//!
+//! Implements Sec 2 and Appendix A of *Safe Privatization in Transactional
+//! Memory* (Khyzha et al., PPoPP 2018):
+//!
+//! * [`ast`]/[`expr`] — the command language `C ::= c | C;C | if | while |
+//!   l := atomic {C} | l := x.read() | x.write(e) | fence` with thread-local
+//!   variables (Sec 2.1);
+//! * [`machine`] — the thread-local small-step semantics of Fig 8, with
+//!   local-variable roll-back on abort (A.2);
+//! * [`oracle`] — the TM interface at micro-step granularity, plus three
+//!   implementations:
+//!   [`atomic_oracle::AtomicOracle`] (the idealized strongly atomic TM of
+//!   Sec 2.4), [`tl2_spec::Tl2Spec`] (a fine-grained executable TL2, Fig 9),
+//!   and [`glock_oracle::GlockOracle`] (a single-global-lock TM);
+//! * [`explorer`] — systematic schedule exploration: terminal outcomes with
+//!   divergence/deadlock detection, and full trace enumeration feeding the
+//!   `tm-core` checkers (DRF, strong opacity, the Fundamental Property).
+//!
+//! Non-transactional accesses are uninstrumented single memory accesses, so
+//! the TL2 model exhibits the paper's delayed-commit and doomed-transaction
+//! anomalies precisely where a real weakly atomic STM would.
+
+pub mod ast;
+pub mod atomic_oracle;
+pub mod explorer;
+pub mod expr;
+pub mod glock_oracle;
+pub mod graph_updates;
+pub mod machine;
+pub mod oracle;
+pub mod tl2_spec;
+pub mod undo_spec;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::ast::{
+        assign, atomic, fence, if_, if_then, nop, read, seq, while_, write, Com, Program,
+    };
+    pub use crate::atomic_oracle::AtomicOracle;
+    pub use crate::explorer::{
+        explore_outcomes, explore_traces, ExploreResult, Limits, Outcome, PathStatus,
+    };
+    pub use crate::expr::{
+        add, and, cst, eq, is_committed, le, lt, ne, not, or, sub, v, Var, ABORTED, COMMITTED,
+    };
+    pub use crate::glock_oracle::GlockOracle;
+    pub use crate::oracle::{Oracle, Req, Resp};
+    pub use crate::tl2_spec::{ImplicitFence, Tl2Config, Tl2Spec};
+    pub use crate::undo_spec::UndoSpec;
+}

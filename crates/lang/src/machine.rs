@@ -1,0 +1,361 @@
+//! Per-thread execution machine: runs the thread-local fragment of the
+//! semantics of Fig 8 (control flow, primitive commands) and yields at each
+//! *visible* operation (TM request, non-transactional access, or fence),
+//! which the explorer then schedules.
+//!
+//! Local-variable roll-back on abort (the `eval` of A.2, which discards the
+//! effects of actions inside aborted transactions) is implemented by
+//! snapshotting locals and continuation at `txbegin` and restoring them when
+//! the transaction aborts.
+
+use crate::ast::{Com, PComm};
+use crate::expr::{Var, ABORTED, COMMITTED};
+use tm_core::action::PrimTag;
+use tm_core::ids::{Reg, Value};
+
+/// A continuation entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Task {
+    Exec(Com),
+    /// After a while-body finishes, re-test the condition.
+    Loop(crate::expr::BExpr, Com),
+    /// Marks the end of an atomic block: reaching it issues `txcommit`.
+    EndAtomic,
+}
+
+/// What response the thread is waiting for, and what to do with it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Await {
+    Begin,
+    Read(Var),
+    Write,
+    Commit,
+    Fence,
+}
+
+/// A visible operation the machine wants to perform next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VisOp {
+    /// `txbegin` of `l := atomic {…}`.
+    Begin,
+    /// Read (transactional or not, depending on `in_txn`).
+    Read(Var, Reg),
+    /// Write of an evaluated *user* value.
+    Write(Reg, u64),
+    /// `txcommit`.
+    Commit,
+    /// `fence`.
+    Fence,
+}
+
+/// Result of running local steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NextVisible {
+    Op(VisOp),
+    /// The thread's command terminated.
+    Done,
+    /// Local step budget exceeded: a register-free infinite loop.
+    LocalDivergence,
+}
+
+/// A primitive-action record produced while running locals: `(tag)` is
+/// emitted as a `Prim` action by the caller.
+pub type PrimRecord = PrimTag;
+
+fn prim_tag(var: Var, value: Value) -> PrimTag {
+    // var(16) | seq mod 2^16 (16) | user value (32): collision-free for
+    // traces with < 2^16 writes, which is far beyond explorer limits.
+    let user = value & 0xFFFF_FFFF;
+    let seq = (value >> 32) & 0xFFFF;
+    PrimTag((u64::from(var.0) << 48) | (seq << 32) | user)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ThreadState {
+    pub stack: Vec<Task>,
+    pub locals: Vec<Value>,
+    pub in_txn: bool,
+    /// The variable receiving committed/aborted for the current atomic block.
+    txn_result: Option<Var>,
+    /// (locals, continuation) captured at txbegin, restored on abort.
+    snapshot: Option<(Vec<Value>, Vec<Task>)>,
+    pub awaiting: Option<Await>,
+}
+
+impl ThreadState {
+    pub fn new(body: Com, nvars: u16) -> Self {
+        ThreadState {
+            stack: vec![Task::Exec(body)],
+            locals: vec![0; nvars as usize],
+            in_txn: false,
+            txn_result: None,
+            snapshot: None,
+            awaiting: None,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.stack.is_empty() && self.awaiting.is_none()
+    }
+
+    /// Run local steps until a visible operation (returned *without* being
+    /// submitted), termination, or the local step budget runs out. Assign
+    /// effects are appended to `prims` for the caller to emit as actions.
+    pub fn next_visible(&mut self, budget: u32, prims: &mut Vec<PrimRecord>) -> NextVisible {
+        assert!(self.awaiting.is_none(), "cannot run while awaiting a response");
+        let mut steps = 0u32;
+        loop {
+            if steps >= budget {
+                return NextVisible::LocalDivergence;
+            }
+            steps += 1;
+            let Some(task) = self.stack.pop() else {
+                return NextVisible::Done;
+            };
+            match task {
+                Task::Exec(c) => match c {
+                    Com::Prim(PComm::Nop) => {}
+                    Com::Prim(PComm::Assign(l, e)) => {
+                        let val = e.eval(&self.locals);
+                        self.locals[l.0 as usize] = val; // user value, tag 0
+                        prims.push(prim_tag(l, val));
+                    }
+                    Com::Seq(cs) => {
+                        for c in cs.into_iter().rev() {
+                            self.stack.push(Task::Exec(c));
+                        }
+                    }
+                    Com::If(b, then, els) => {
+                        let taken = if b.eval(&self.locals) { then } else { els };
+                        self.stack.push(Task::Exec(*taken));
+                    }
+                    Com::While(b, body) => {
+                        if b.eval(&self.locals) {
+                            self.stack.push(Task::Loop(b, (*body).clone()));
+                            self.stack.push(Task::Exec(*body));
+                        }
+                    }
+                    Com::Atomic(l, body) => {
+                        assert!(!self.in_txn, "nested atomic rejected at build time");
+                        // Snapshot the continuation *after* the block.
+                        self.snapshot = Some((self.locals.clone(), self.stack.clone()));
+                        self.txn_result = Some(l);
+                        // Queue body then the commit marker.
+                        self.stack.push(Task::EndAtomic);
+                        self.stack.push(Task::Exec(*body));
+                        return NextVisible::Op(VisOp::Begin);
+                    }
+                    Com::Read(l, x) => return NextVisible::Op(VisOp::Read(l, x)),
+                    Com::Write(x, e) => {
+                        let user = e.eval(&self.locals);
+                        return NextVisible::Op(VisOp::Write(x, user));
+                    }
+                    Com::Fence => {
+                        assert!(!self.in_txn, "fence inside atomic rejected at build time");
+                        return NextVisible::Op(VisOp::Fence);
+                    }
+                },
+                Task::Loop(b, body) => {
+                    if b.eval(&self.locals) {
+                        self.stack.push(Task::Loop(b, body.clone()));
+                        self.stack.push(Task::Exec(body));
+                    }
+                }
+                Task::EndAtomic => return NextVisible::Op(VisOp::Commit),
+            }
+        }
+    }
+
+    /// Apply the result of a non-transactional (direct) read: `l := v`.
+    pub fn apply_direct_read(&mut self, l: Var, v: Value, prims: &mut Vec<PrimRecord>) {
+        debug_assert!(!self.in_txn);
+        self.locals[l.0 as usize] = v;
+        prims.push(prim_tag(l, v));
+    }
+
+    /// Record that the visible op was submitted and what we now await.
+    pub fn submitted(&mut self, a: Await) {
+        debug_assert!(self.awaiting.is_none());
+        if a == Await::Begin {
+            self.in_txn = true;
+        }
+        self.awaiting = Some(a);
+    }
+
+    /// Apply a TM response. Returns prim records to emit (e.g. `l := v`).
+    pub fn apply_response(&mut self, resp: crate::oracle::Resp, prims: &mut Vec<PrimRecord>) {
+        use crate::oracle::Resp;
+        let a = self.awaiting.take().expect("no pending response");
+        match (a, resp) {
+            (Await::Begin, Resp::Ok) => { /* body already queued */ }
+            (Await::Begin, Resp::Aborted) => self.abort_txn(prims),
+            (Await::Read(l), Resp::Val(v)) => {
+                self.locals[l.0 as usize] = v;
+                prims.push(prim_tag(l, v));
+            }
+            (Await::Read(_), Resp::Aborted) => self.abort_txn(prims),
+            (Await::Write, Resp::Unit) => {}
+            (Await::Write, Resp::Aborted) => self.abort_txn(prims),
+            (Await::Commit, Resp::Committed) => {
+                let l = self.txn_result.take().expect("in atomic block");
+                self.snapshot = None;
+                self.in_txn = false;
+                self.locals[l.0 as usize] = COMMITTED;
+                prims.push(prim_tag(l, COMMITTED));
+            }
+            (Await::Commit, Resp::Aborted) => self.abort_txn(prims),
+            (Await::Fence, Resp::FenceEnd) => {}
+            (a, r) => panic!("response {r:?} does not match await {a:?}"),
+        }
+    }
+
+    /// Abort handling: restore locals and continuation from the txbegin
+    /// snapshot (local-variable roll-back per A.2), then store `ABORTED` in
+    /// the result variable.
+    fn abort_txn(&mut self, prims: &mut Vec<PrimRecord>) {
+        let (locals, stack) = self.snapshot.take().expect("abort outside transaction");
+        self.locals = locals;
+        self.stack = stack;
+        self.in_txn = false;
+        let l = self.txn_result.take().expect("in atomic block");
+        self.locals[l.0 as usize] = ABORTED;
+        prims.push(prim_tag(l, ABORTED));
+    }
+
+    /// User-visible values of all locals (for outcome collection).
+    pub fn user_locals(&self) -> Vec<u64> {
+        self.locals.iter().map(|&v| crate::expr::user(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::expr::*;
+    use crate::oracle::Resp;
+
+    fn run_to_op(ts: &mut ThreadState) -> NextVisible {
+        let mut prims = Vec::new();
+        ts.next_visible(10_000, &mut prims)
+    }
+
+    #[test]
+    fn straight_line_locals() {
+        let prog = seq([assign(Var(0), cst(5)), assign(Var(1), add(v(Var(0)), cst(2)))]);
+        let mut ts = ThreadState::new(prog, 2);
+        let mut prims = Vec::new();
+        assert_eq!(ts.next_visible(100, &mut prims), NextVisible::Done);
+        assert_eq!(ts.user_locals(), vec![5, 7]);
+        assert_eq!(prims.len(), 2);
+    }
+
+    #[test]
+    fn if_branches() {
+        let prog = if_(eq(v(Var(0)), cst(0)), assign(Var(1), cst(1)), assign(Var(1), cst(2)));
+        let mut ts = ThreadState::new(prog, 2);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+        assert_eq!(ts.user_locals()[1], 1);
+    }
+
+    #[test]
+    fn while_loop_terminates() {
+        // while (l0 < 3) l0 := l0 + 1
+        let prog = while_(lt(v(Var(0)), cst(3)), assign(Var(0), add(v(Var(0)), cst(1))));
+        let mut ts = ThreadState::new(prog, 1);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+        assert_eq!(ts.user_locals()[0], 3);
+    }
+
+    #[test]
+    fn pure_local_infinite_loop_detected() {
+        let prog = while_(BExpr::Const(true), nop());
+        let mut ts = ThreadState::new(prog, 0);
+        assert_eq!(run_to_op(&mut ts), NextVisible::LocalDivergence);
+    }
+
+    #[test]
+    fn read_yields_visible_op() {
+        let prog = read(Var(0), Reg(3));
+        let mut ts = ThreadState::new(prog, 1);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Read(Var(0), Reg(3))));
+        assert!(!ts.in_txn);
+    }
+
+    #[test]
+    fn write_evaluates_user_value() {
+        let prog = seq([assign(Var(0), cst(6)), write(Reg(1), add(v(Var(0)), cst(1)))]);
+        let mut ts = ThreadState::new(prog, 1);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Write(Reg(1), 7)));
+    }
+
+    #[test]
+    fn atomic_commit_path() {
+        let l = Var(0);
+        let prog = atomic(l, [write(Reg(0), cst(1))]);
+        let mut ts = ThreadState::new(prog, 1);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Begin));
+        ts.submitted(Await::Begin);
+        assert!(ts.in_txn);
+        let mut prims = Vec::new();
+        ts.apply_response(Resp::Ok, &mut prims);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Write(Reg(0), 1)));
+        ts.submitted(Await::Write);
+        ts.apply_response(Resp::Unit, &mut prims);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Commit));
+        ts.submitted(Await::Commit);
+        ts.apply_response(Resp::Committed, &mut prims);
+        assert!(!ts.in_txn);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+        assert_eq!(ts.user_locals()[0], COMMITTED);
+    }
+
+    #[test]
+    fn abort_rolls_back_locals_and_skips_body() {
+        let l = Var(0);
+        // l1 := 10; l1 := atomic { l1 := 99; read... } — abort at the read.
+        let prog = seq([
+            assign(Var(1), cst(10)),
+            atomic(l, [assign(Var(1), cst(99)), read(Var(1), Reg(0)), write(Reg(0), cst(5))]),
+        ]);
+        let mut ts = ThreadState::new(prog, 2);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Begin));
+        ts.submitted(Await::Begin);
+        let mut prims = Vec::new();
+        ts.apply_response(Resp::Ok, &mut prims);
+        // Body runs: l1 := 99, then the read becomes visible.
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Read(Var(1), Reg(0))));
+        assert_eq!(ts.user_locals()[1], 99);
+        ts.submitted(Await::Read(Var(1)));
+        ts.apply_response(Resp::Aborted, &mut prims);
+        // Rolled back: l1 back to 10, result var = ABORTED, body skipped.
+        assert_eq!(ts.user_locals()[1], 10);
+        assert_eq!(ts.user_locals()[0], ABORTED);
+        assert!(!ts.in_txn);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+    }
+
+    #[test]
+    fn abort_at_begin() {
+        let l = Var(0);
+        let prog = atomic(l, [write(Reg(0), cst(1))]);
+        let mut ts = ThreadState::new(prog, 1);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Begin));
+        ts.submitted(Await::Begin);
+        let mut prims = Vec::new();
+        ts.apply_response(Resp::Aborted, &mut prims);
+        assert_eq!(ts.user_locals()[0], ABORTED);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+    }
+
+    #[test]
+    fn fence_visible() {
+        let prog = fence();
+        let mut ts = ThreadState::new(prog, 0);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Fence));
+        ts.submitted(Await::Fence);
+        let mut prims = Vec::new();
+        ts.apply_response(Resp::FenceEnd, &mut prims);
+        assert_eq!(run_to_op(&mut ts), NextVisible::Done);
+    }
+}

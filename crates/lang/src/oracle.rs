@@ -1,0 +1,85 @@
+//! The TM oracle interface: how the explorer drives a TM implementation at
+//! micro-step granularity.
+//!
+//! A thread submits a request (txbegin / transactional read / write /
+//! txcommit / fence); the oracle then advances that request through
+//! *micro-steps*, each corresponding to one shared-memory access of the TM
+//! algorithm. The scheduler interleaves micro-steps of different threads
+//! freely, which is what lets weakly atomic anomalies (delayed commit, doomed
+//! transactions) manifest in the model exactly as they do in a real STM.
+//!
+//! Non-transactional accesses are *uninstrumented* single accesses
+//! ([`Oracle::direct_read`]/[`Oracle::direct_write`]): they bypass all TM
+//! metadata, matching the paper's setting where such accesses are not
+//! instrumented (Sec 1).
+
+use tm_core::ids::{Reg, Value};
+
+/// A request submitted by a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Req {
+    /// `txbegin`.
+    Begin,
+    /// Transactional `x.read()`.
+    Read(Reg),
+    /// Transactional `x.write(v)` (value already uniqueness-tagged).
+    Write(Reg, Value),
+    /// `txcommit`.
+    Commit,
+    /// `fence` begin.
+    FenceBegin,
+}
+
+/// A response completing a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resp {
+    /// `ok` (txbegin succeeded).
+    Ok,
+    /// `aborted` (any transactional request may be answered this way).
+    Aborted,
+    /// `ret(v)` for a read.
+    Val(Value),
+    /// `ret(⊥)` for a write.
+    Unit,
+    /// `committed`.
+    Committed,
+    /// `fend`.
+    FenceEnd,
+}
+
+/// A TM implementation driven at micro-step granularity.
+///
+/// Implementations must be `Clone + Eq + Hash`: the explorer snapshots oracle
+/// state when branching and memoizes visited states.
+pub trait Oracle: Clone + Eq + std::hash::Hash {
+    /// May thread `t` start a new visible operation now? The strongly atomic
+    /// oracle answers `false` for every other thread while a transaction is
+    /// open — that is what makes its histories non-interleaved.
+    fn can_submit(&self, t: usize) -> bool;
+
+    /// Submit a request for thread `t`. Must only be called when `t` has no
+    /// pending request and `can_submit(t)`.
+    fn submit(&mut self, t: usize, req: Req);
+
+    /// Number of distinct outcomes thread `t`'s next micro-step can have.
+    /// `0` means the thread is blocked (e.g. waiting on a lock or a fence).
+    /// `> 1` exposes TM-internal nondeterminism (e.g. spurious aborts) to the
+    /// explorer, which branches over each choice.
+    fn step_choices(&self, t: usize) -> u32;
+
+    /// Advance thread `t`'s pending request by one micro-step, taking the
+    /// given choice. Returns `Some(resp)` when the request completes.
+    fn step(&mut self, t: usize, choice: u32) -> Option<Resp>;
+
+    /// Uninstrumented non-transactional read: a single memory access.
+    fn direct_read(&mut self, t: usize, x: Reg) -> Value;
+
+    /// Uninstrumented non-transactional write: a single memory access.
+    fn direct_write(&mut self, t: usize, x: Reg, v: Value);
+
+    /// Current register contents (used for postconditions on final states).
+    fn regs(&self) -> &[Value];
+
+    /// Does thread `t` have a submitted, unanswered request?
+    fn has_pending(&self, t: usize) -> bool;
+}

@@ -1,0 +1,322 @@
+//! An eager (in-place, undo-log) TM specification — the paper's other
+//! anomaly family: "TMs that make transactional updates in-place and undo
+//! them on abort are subject to a similar problem" (Sec 1).
+//!
+//! Writes acquire an encounter-time lock, log the old value, and update the
+//! register in place. Reads are value-logged and re-validated at commit; on
+//! any conflict the transaction *rolls back its undo log in place* — and each
+//! rollback store is one micro-step, so an aborting doomed transaction can
+//! overwrite a privatized non-transactional write unless a fence kept it out
+//! of the private phase. The fenced Fig 1(a)/(b) litmus programs are safe
+//! under this TM too; the unfenced ones fail through the rollback path
+//! instead of delayed write-back.
+
+use crate::oracle::{Oracle, Req, Resp};
+use tm_core::ids::{Reg, Value};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    BeginSetActive,
+    /// Read `x` in place and log it.
+    ReadLog { x: Reg },
+    /// Lock, log old value, write in place.
+    WriteEager { x: Reg, v: Value },
+    /// Validate `rset[j]` by value (commit).
+    Validate { j: usize },
+    /// Release the lock of `wlog[k]` (commit success path).
+    Unlock { k: usize },
+    /// Roll back `wlog[k]` (abort path; runs newest-first).
+    Rollback { k: usize },
+    /// Fence: snapshot scan / wait (Fig 7 shape).
+    FenceSnap { u: usize, waits: Vec<bool> },
+    FenceWait { u: usize, waits: Vec<bool> },
+}
+
+/// Per-thread transaction metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+struct TxnMeta {
+    /// Value-based read log.
+    rset: Vec<(Reg, Value)>,
+    /// Undo log: (register, old value), in write order.
+    wlog: Vec<(Reg, Value)>,
+}
+
+/// The eager/undo TM oracle.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct UndoSpec {
+    reg: Vec<Value>,
+    lock: Vec<Option<u16>>,
+    active: Vec<bool>,
+    txn: Vec<TxnMeta>,
+    ops: Vec<Option<Op>>,
+}
+
+impl UndoSpec {
+    pub fn new(nregs: u32, nthreads: usize) -> Self {
+        UndoSpec {
+            reg: vec![0; nregs as usize],
+            lock: vec![None; nregs as usize],
+            active: vec![false; nthreads],
+            txn: (0..nthreads).map(|_| TxnMeta::default()).collect(),
+            ops: vec![None; nthreads],
+        }
+    }
+
+    /// Begin the rollback sequence (or finish immediately if nothing to
+    /// undo). The undo log unwinds newest-first.
+    fn start_abort(&mut self, t: usize) -> Option<Resp> {
+        if self.txn[t].wlog.is_empty() {
+            self.finish_abort(t)
+        } else {
+            let k = self.txn[t].wlog.len() - 1;
+            self.ops[t] = Some(Op::Rollback { k });
+            None
+        }
+    }
+
+    fn finish_abort(&mut self, t: usize) -> Option<Resp> {
+        // Release any locks still held (all of them: rollback keeps locks
+        // until the log is fully unwound, then this releases in one step —
+        // releases are not observable separately by this model's clients).
+        for &(x, _) in &self.txn[t].wlog {
+            if self.lock[x.idx()] == Some(t as u16) {
+                self.lock[x.idx()] = None;
+            }
+        }
+        self.txn[t] = TxnMeta::default();
+        self.active[t] = false;
+        Some(Resp::Aborted)
+    }
+}
+
+impl Oracle for UndoSpec {
+    fn can_submit(&self, _t: usize) -> bool {
+        true
+    }
+
+    fn submit(&mut self, t: usize, req: Req) {
+        debug_assert!(self.ops[t].is_none());
+        self.ops[t] = Some(match req {
+            Req::Begin => Op::BeginSetActive,
+            Req::Read(x) => Op::ReadLog { x },
+            Req::Write(x, v) => Op::WriteEager { x, v },
+            Req::Commit => {
+                if self.txn[t].rset.is_empty() {
+                    Op::Unlock { k: 0 }
+                } else {
+                    Op::Validate { j: 0 }
+                }
+            }
+            Req::FenceBegin => {
+                Op::FenceSnap { u: 0, waits: vec![false; self.active.len()] }
+            }
+        });
+    }
+
+    fn step_choices(&self, t: usize) -> u32 {
+        match &self.ops[t] {
+            None => 0,
+            Some(Op::FenceWait { u, waits }) => {
+                let mut u = *u;
+                while u < waits.len() {
+                    if u != t && waits[u] {
+                        return if self.active[u] { 0 } else { 1 };
+                    }
+                    u += 1;
+                }
+                1
+            }
+            Some(_) => 1,
+        }
+    }
+
+    fn step(&mut self, t: usize, _choice: u32) -> Option<Resp> {
+        let op = self.ops[t].take().expect("no pending op");
+        match op {
+            Op::BeginSetActive => {
+                self.active[t] = true;
+                Some(Resp::Ok)
+            }
+            Op::ReadLog { x } => {
+                // Own write? Read in place is correct (we wrote in place).
+                if self.lock[x.idx()].is_some_and(|o| o as usize != t) {
+                    return self.start_abort(t);
+                }
+                let v = self.reg[x.idx()];
+                self.txn[t].rset.push((x, v));
+                Some(Resp::Val(v))
+            }
+            Op::WriteEager { x, v } => {
+                match self.lock[x.idx()] {
+                    Some(o) if o as usize != t => self.start_abort(t),
+                    owned => {
+                        if owned.is_none() {
+                            self.lock[x.idx()] = Some(t as u16);
+                            self.txn[t].wlog.push((x, self.reg[x.idx()]));
+                        }
+                        self.reg[x.idx()] = v;
+                        Some(Resp::Unit)
+                    }
+                }
+            }
+            Op::Validate { j } => {
+                let (x, seen) = self.txn[t].rset[j];
+                let cur = self.reg[x.idx()];
+                let foreign_lock = self.lock[x.idx()].is_some_and(|o| o as usize != t);
+                if cur != seen || foreign_lock {
+                    return self.start_abort(t);
+                }
+                if j + 1 == self.txn[t].rset.len() {
+                    self.ops[t] = Some(Op::Unlock { k: 0 });
+                } else {
+                    self.ops[t] = Some(Op::Validate { j: j + 1 });
+                }
+                None
+            }
+            Op::Unlock { k } => {
+                if k >= self.txn[t].wlog.len() {
+                    self.txn[t] = TxnMeta::default();
+                    self.active[t] = false;
+                    return Some(Resp::Committed);
+                }
+                let (x, _) = self.txn[t].wlog[k];
+                debug_assert_eq!(self.lock[x.idx()], Some(t as u16));
+                self.lock[x.idx()] = None;
+                if k + 1 == self.txn[t].wlog.len() {
+                    self.txn[t] = TxnMeta::default();
+                    self.active[t] = false;
+                    Some(Resp::Committed)
+                } else {
+                    self.ops[t] = Some(Op::Unlock { k: k + 1 });
+                    None
+                }
+            }
+            Op::Rollback { k } => {
+                // THE undo anomaly: this store can overwrite a concurrent
+                // non-transactional write to a just-privatized register.
+                let (x, old) = self.txn[t].wlog[k];
+                self.reg[x.idx()] = old;
+                if k == 0 {
+                    self.finish_abort(t)
+                } else {
+                    self.ops[t] = Some(Op::Rollback { k: k - 1 });
+                    None
+                }
+            }
+            Op::FenceSnap { u, mut waits } => {
+                waits[u] = self.active[u];
+                if u + 1 == waits.len() {
+                    self.ops[t] = Some(Op::FenceWait { u: 0, waits });
+                } else {
+                    self.ops[t] = Some(Op::FenceSnap { u: u + 1, waits });
+                }
+                None
+            }
+            Op::FenceWait { mut u, waits } => {
+                while u < waits.len() {
+                    if u != t && waits[u] && self.active[u] {
+                        break;
+                    }
+                    u += 1;
+                }
+                if u >= waits.len() {
+                    Some(Resp::FenceEnd)
+                } else {
+                    self.ops[t] = Some(Op::FenceWait { u, waits });
+                    None
+                }
+            }
+        }
+    }
+
+    fn direct_read(&mut self, _t: usize, x: Reg) -> Value {
+        self.reg[x.idx()]
+    }
+
+    fn direct_write(&mut self, _t: usize, x: Reg, v: Value) {
+        self.reg[x.idx()] = v;
+    }
+
+    fn regs(&self) -> &[Value] {
+        &self.reg
+    }
+
+    fn has_pending(&self, t: usize) -> bool {
+        self.ops[t].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(o: &mut UndoSpec, t: usize) -> Resp {
+        loop {
+            assert!(o.step_choices(t) > 0, "blocked");
+            if let Some(r) = o.step(t, 0) {
+                return r;
+            }
+        }
+    }
+
+    #[test]
+    fn eager_write_lands_immediately() {
+        let mut o = UndoSpec::new(1, 1);
+        o.submit(0, Req::Begin);
+        drive(&mut o, 0);
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0005));
+        drive(&mut o, 0);
+        assert_eq!(o.regs()[0], 0x1_0000_0005, "in-place write");
+        o.submit(0, Req::Commit);
+        assert_eq!(drive(&mut o, 0), Resp::Committed);
+        assert_eq!(o.lock[0], None);
+    }
+
+    #[test]
+    fn rollback_restores_old_value() {
+        let mut o = UndoSpec::new(1, 2);
+        o.submit(0, Req::Begin);
+        drive(&mut o, 0);
+        // Read something to validate later.
+        o.submit(0, Req::Read(Reg(0)));
+        drive(&mut o, 0);
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0005));
+        drive(&mut o, 0);
+        // Another thread's direct write invalidates the read (value-based).
+        o.direct_write(1, Reg(0), 0x2_0000_0009);
+        o.submit(0, Req::Commit);
+        assert_eq!(drive(&mut o, 0), Resp::Aborted);
+        // The rollback overwrote the direct write — exactly the anomaly.
+        assert_eq!(o.regs()[0], 0, "undo log restored the pre-txn value");
+    }
+
+    #[test]
+    fn write_conflict_aborts_and_unwinds() {
+        let mut o = UndoSpec::new(2, 2);
+        for t in 0..2 {
+            o.submit(t, Req::Begin);
+            drive(&mut o, t);
+        }
+        o.submit(0, Req::Write(Reg(0), 0x1_0000_0002));
+        drive(&mut o, 0);
+        o.submit(1, Req::Write(Reg(0), 0x2_0000_0003));
+        assert_eq!(drive(&mut o, 1), Resp::Aborted);
+        assert_eq!(o.regs()[0], 0x1_0000_0002, "winner's write survives");
+        o.submit(0, Req::Commit);
+        assert_eq!(drive(&mut o, 0), Resp::Committed);
+    }
+
+    #[test]
+    fn fence_waits_for_active() {
+        let mut o = UndoSpec::new(1, 2);
+        o.submit(0, Req::Begin);
+        drive(&mut o, 0);
+        o.submit(1, Req::FenceBegin);
+        assert!(o.step(1, 0).is_none());
+        assert!(o.step(1, 0).is_none());
+        assert_eq!(o.step_choices(1), 0, "fence blocked on active txn");
+        o.submit(0, Req::Commit);
+        assert_eq!(drive(&mut o, 0), Resp::Committed);
+        assert_eq!(drive(&mut o, 1), Resp::FenceEnd);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tm-litmus — the paper's example programs as executable litmus tests
+//!
+//! Each [`Litmus`] bundles a program from the paper (Figs 1(a), 1(b), 2, 3,
+//! 6, the Sec 2.2 privatize–modify–publish idiom, and the GCC read-only-
+//! fence-elision bug class from Sec 1) with its postcondition, its
+//! divergence policy, and its expected DRF verdict.
+//!
+//! The [`runner`] module evaluates a litmus against any TM configuration:
+//! postcondition over all explored outcomes, divergence detection (the
+//! doomed-transaction symptom), DRF checking under the strongly atomic
+//! semantics (the programmer's side of the paper's contract, Theorem 5.3),
+//! and strong-opacity spot checks of explored histories (the TM's side).
+
+pub mod programs;
+pub mod runner;
+
+use tm_lang::explorer::Outcome;
+use tm_lang::prelude::Program;
+
+/// How to treat divergence (an infinite execution) for a litmus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Divergence {
+    /// Divergence is a violation (e.g. a doomed transaction's zombie loop).
+    Forbidden,
+    /// Divergence is expected under unfair schedules (spin loops waiting for
+    /// another thread); ignore it.
+    Ignored,
+}
+
+pub const DIVERGENCE_FORBIDDEN: Divergence = Divergence::Forbidden;
+pub const DIVERGENCE_IGNORED: Divergence = Divergence::Ignored;
+
+/// A litmus test: a program plus its specification.
+pub struct Litmus {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub program: Program,
+    /// Must hold of every terminal outcome under strong atomicity — and, for
+    /// DRF programs, under every correct TM (the Fundamental Property).
+    pub postcondition: fn(&Outcome) -> bool,
+    pub divergence: Divergence,
+    /// Expected DRF verdict under the strongly atomic semantics.
+    pub expect_drf: bool,
+}
+
+pub use runner::{check_drf_atomic, run, DrfReport, RunReport, TmKind};

@@ -1,0 +1,228 @@
+//! Evaluate litmus tests against TM configurations.
+
+use crate::{Divergence, Litmus};
+use tm_core::hb::is_drf;
+use tm_core::opacity::{check_strong_opacity, CheckOptions};
+use tm_lang::explorer::{explore_outcomes, explore_traces, Limits, PathStatus};
+use tm_lang::prelude::*;
+
+/// A TM configuration to run a litmus against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TmKind {
+    /// The idealized strongly atomic TM (Sec 2.4); `spurious_aborts` explores
+    /// abort branches.
+    Atomic { spurious_aborts: bool },
+    /// The TL2 specification (Fig 9) with a post-commit quiescence policy.
+    Tl2 { implicit_fence: ImplicitFence },
+    /// The eager in-place/undo-log TM (the paper's "similar problem": abort
+    /// rollbacks overwrite privatized data).
+    UndoEager,
+    /// Single-global-lock TM.
+    Glock,
+}
+
+impl TmKind {
+    pub fn label(&self) -> String {
+        match self {
+            TmKind::Atomic { spurious_aborts: true } => "atomic+aborts".into(),
+            TmKind::Atomic { spurious_aborts: false } => "atomic".into(),
+            TmKind::Tl2 { implicit_fence: ImplicitFence::None } => "tl2".into(),
+            TmKind::Tl2 { implicit_fence: ImplicitFence::AfterEvery } => "tl2+qall".into(),
+            TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly } => "tl2+qbug".into(),
+            TmKind::UndoEager => "undo".into(),
+            TmKind::Glock => "glock".into(),
+        }
+    }
+}
+
+/// Result of running one litmus against one TM.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub tm: TmKind,
+    /// Number of distinct terminal outcomes.
+    pub outcomes: usize,
+    /// Terminal outcomes violating the postcondition.
+    pub violations: usize,
+    pub diverged: bool,
+    pub blocked: bool,
+    pub states: usize,
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// Did the litmus pass under this TM (postcondition on all outcomes, and
+    /// no divergence if forbidden)?
+    pub fn passed(&self, divergence: Divergence) -> bool {
+        self.violations == 0
+            && !self.blocked
+            && (divergence == Divergence::Ignored || !self.diverged)
+    }
+}
+
+/// Run a litmus against a TM configuration, exploring all outcomes.
+pub fn run(l: &Litmus, tm: TmKind, limits: &Limits) -> RunReport {
+    let p = &l.program;
+    let n = p.nthreads();
+    let r = match tm {
+        TmKind::Atomic { spurious_aborts } => {
+            explore_outcomes(p, AtomicOracle::new(p.nregs, n, spurious_aborts), limits)
+        }
+        TmKind::Tl2 { implicit_fence } => {
+            let cfg = Tl2Config { implicit_fence, check_invariants: false };
+            explore_outcomes(p, Tl2Spec::new(p.nregs, n, cfg), limits)
+        }
+        TmKind::UndoEager => explore_outcomes(p, UndoSpec::new(p.nregs, n), limits),
+        TmKind::Glock => explore_outcomes(p, GlockOracle::new(p.nregs, n), limits),
+    };
+    let violations = r.outcomes.iter().filter(|o| !(l.postcondition)(o)).count();
+    RunReport {
+        tm,
+        outcomes: r.outcomes.len(),
+        violations,
+        diverged: r.diverged,
+        blocked: r.blocked,
+        states: r.states,
+        truncated: r.truncated,
+    }
+}
+
+/// DRF report for a litmus under the strongly atomic semantics.
+#[derive(Clone, Debug)]
+pub struct DrfReport {
+    /// DRF(P, s, H_atomic): every explored history is race free.
+    pub drf: bool,
+    /// Number of maximal traces examined.
+    pub traces: usize,
+    /// Racy histories found (0 if DRF).
+    pub racy_traces: usize,
+    pub truncated: bool,
+}
+
+/// Check `DRF(P, s, H_atomic)` (Def 3.3) by enumerating every maximal trace
+/// of the program under the atomic oracle (with spurious aborts, so abort
+/// paths are covered) and race-checking each history. Races in a prefix
+/// persist in every extension, so checking maximal traces suffices.
+pub fn check_drf_atomic(l: &Litmus, limits: &Limits) -> DrfReport {
+    let p = &l.program;
+    let oracle = AtomicOracle::new(p.nregs, p.nthreads(), true);
+    let mut traces = 0usize;
+    let mut racy = 0usize;
+    let res = explore_traces(p, oracle, limits, &mut |tr, _status| {
+        traces += 1;
+        if !is_drf(&tr.history()) {
+            racy += 1;
+        }
+    });
+    DrfReport { drf: racy == 0, traces, racy_traces: racy, truncated: res.truncated }
+}
+
+/// Spot-check strong opacity of histories the TL2 spec produces for this
+/// program: explore up to `max_checked` maximal traces and verify each
+/// DRF history has a verified atomic witness (Theorem 6.5 / Lemma 6.4).
+/// Returns `(histories_checked, opacity_failures)`.
+pub fn spot_check_tl2_opacity(
+    l: &Litmus,
+    implicit_fence: ImplicitFence,
+    max_checked: usize,
+) -> (usize, usize) {
+    let p = &l.program;
+    let cfg = Tl2Config { implicit_fence, check_invariants: true };
+    let oracle = Tl2Spec::new(p.nregs, p.nthreads(), cfg);
+    let limits = Limits { max_traces: max_checked, ..Limits::default() };
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    explore_traces(p, oracle, &limits, &mut |tr, status| {
+        if status != PathStatus::Terminal {
+            return;
+        }
+        let h = tr.history();
+        if !is_drf(&h) {
+            // Strong opacity quantifies over DRF histories only (Def 4.2).
+            return;
+        }
+        checked += 1;
+        if check_strong_opacity(&h, &CheckOptions::default()).is_err() {
+            failures += 1;
+        }
+    });
+    (checked, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn fig1a_unfenced_violated_by_tl2_but_not_atomic() {
+        let l = programs::fig1a(false);
+        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits());
+        assert!(atomic.passed(l.divergence), "{atomic:?}");
+        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        assert!(tl2.violations > 0, "delayed commit must manifest: {tl2:?}");
+    }
+
+    #[test]
+    fn fig1a_fenced_safe_everywhere() {
+        let l = programs::fig1a(true);
+        for tm in [
+            TmKind::Atomic { spurious_aborts: true },
+            TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+            TmKind::Glock,
+        ] {
+            let r = run(&l, tm, &limits());
+            assert!(r.passed(l.divergence), "{tm:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn fig1b_unfenced_dooms_a_transaction() {
+        let l = programs::fig1b(false);
+        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        assert!(tl2.diverged, "doomed zombie loop must be detected: {tl2:?}");
+        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits());
+        assert!(!atomic.diverged, "strong atomicity forbids the zombie loop");
+    }
+
+    #[test]
+    fn fig1b_fenced_no_divergence() {
+        let l = programs::fig1b(true);
+        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        assert!(tl2.passed(l.divergence), "{tl2:?}");
+    }
+
+    /// The paper's "similar problem" for in-place TMs: the unfenced Fig 1(a)
+    /// fails under the undo TM through the rollback path; the fenced variant
+    /// is safe there too.
+    #[test]
+    fn fig1a_undo_tm_rollback_anomaly() {
+        let l = programs::fig1a(false);
+        let undo = run(&l, TmKind::UndoEager, &limits());
+        assert!(undo.violations > 0, "rollback must clobber ν: {undo:?}");
+        let fenced = programs::fig1a(true);
+        let r = run(&fenced, TmKind::UndoEager, &limits());
+        assert!(r.passed(fenced.divergence), "{r:?}");
+    }
+
+    /// Same for the doomed-transaction shape: under the eager TM a zombie
+    /// can loop on privatized data unless fenced out.
+    #[test]
+    fn fig1b_undo_tm() {
+        let fenced = programs::fig1b(true);
+        let r = run(&fenced, TmKind::UndoEager, &limits());
+        assert!(r.passed(fenced.divergence), "{r:?}");
+    }
+
+    #[test]
+    fn drf_verdicts_match_expectations() {
+        for l in programs::all() {
+            let d = check_drf_atomic(&l, &limits());
+            assert!(!d.truncated, "{}: truncated DRF check", l.name);
+            assert_eq!(d.drf, l.expect_drf, "{}: drf={} expected {}", l.name, d.drf, l.expect_drf);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The public STM interface shared by all implementations.
+
+use std::fmt;
+
+/// A transaction attempt was aborted (conflict, validation failure, or an
+/// explicit user abort). The enclosing `atomic` retries; `try_atomic`
+/// surfaces it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort;
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("transaction aborted")
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Operations available inside a transaction body.
+pub trait TxScope {
+    /// Transactional read of register `x`.
+    fn read(&mut self, x: usize) -> Result<u64, Abort>;
+    /// Transactional write of register `x`.
+    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort>;
+}
+
+/// A per-thread STM handle. Handles are `Send` but not `Sync`: one handle
+/// per thread, typically used with `std::thread::scope`.
+pub trait StmHandle {
+    /// Run `body` as a transaction, retrying until it commits. The body must
+    /// propagate `Abort` errors from reads/writes (use `?`).
+    fn atomic<R>(&mut self, body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R;
+
+    /// Run `body` as a single transaction attempt.
+    fn try_atomic<R>(
+        &mut self,
+        body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
+    ) -> Result<R, Abort>;
+
+    /// Uninstrumented non-transactional read. Only safe (strongly atomic)
+    /// for data-race free usage per the paper's discipline.
+    fn read_direct(&mut self, x: usize) -> u64;
+
+    /// Uninstrumented non-transactional write.
+    fn write_direct(&mut self, x: usize, v: u64);
+
+    /// Transactional fence: blocks until every transaction active at the
+    /// call has committed or aborted (paper Fig 7 lines 33–39).
+    fn fence(&mut self);
+
+    /// Statistics accumulated by this handle.
+    fn stats(&self) -> Stats;
+}
+
+/// Per-handle statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    pub commits: u64,
+    /// Aborts during read validation.
+    pub aborts_read: u64,
+    /// Aborts acquiring commit locks.
+    pub aborts_lock: u64,
+    /// Aborts during commit-time (re)validation.
+    pub aborts_validate: u64,
+    /// Aborts requested by the transaction body.
+    pub aborts_user: u64,
+    pub fences: u64,
+    pub direct_reads: u64,
+    pub direct_writes: u64,
+}
+
+impl Stats {
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts_read + self.aborts_lock + self.aborts_validate + self.aborts_user
+    }
+
+    pub fn merge(&mut self, o: &Stats) {
+        self.commits += o.commits;
+        self.aborts_read += o.aborts_read;
+        self.aborts_lock += o.aborts_lock;
+        self.aborts_validate += o.aborts_validate;
+        self.aborts_user += o.aborts_user;
+        self.fences += o.fences;
+        self.direct_reads += o.direct_reads;
+        self.direct_writes += o.direct_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_and_totals() {
+        let mut a = Stats { commits: 1, aborts_read: 2, ..Default::default() };
+        let b = Stats { commits: 3, aborts_lock: 4, aborts_user: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.commits, 4);
+        assert_eq!(a.aborts_total(), 7);
+    }
+
+    #[test]
+    fn abort_displays() {
+        assert_eq!(Abort.to_string(), "transaction aborted");
+    }
+}

@@ -1,0 +1,57 @@
+//! # tm-stm — concurrent software transactional memory with safe privatization
+//!
+//! The runtime half of the reproduction of *Safe Privatization in
+//! Transactional Memory* (Khyzha et al., PPoPP 2018): real, multi-threaded
+//! STM implementations whose correctness claims are checked against the
+//! paper's theory via recorded histories (`tm-core`).
+//!
+//! * [`tl2`] — TL2 (Fig 9) with buffered writes, a global version clock,
+//!   versioned per-register write-locks, and RCU-style transactional
+//!   [`fences`](api::StmHandle::fence) built on [`tm_quiesce`]. Without a
+//!   fence after a privatizing transaction, uninstrumented non-transactional
+//!   accesses are exposed to the delayed-commit and doomed-transaction
+//!   anomalies of the paper's Fig 1 — with the fence, privatization is safe
+//!   (the paper's DRF discipline).
+//! * [`norec`] — a NOrec-style STM (related work [10]): privatization-safe
+//!   without fences; the comparison point for the fence-cost benchmarks.
+//! * [`glock`] — single-global-lock STM: the trivially strongly atomic
+//!   baseline.
+//! * [`record`] — history recording; recorded executions feed the DRF and
+//!   strong-opacity checkers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_stm::prelude::*;
+//!
+//! let stm = Tl2Stm::new(16, 2);
+//! let mut h = stm.handle(0);
+//! // Transactional transfer.
+//! h.atomic(|tx| {
+//!     let a = tx.read(0)?;
+//!     tx.write(0, a + 50)?;
+//!     tx.write(1, 50)
+//! });
+//! // Privatize register 2 (flag in register 3), then access it directly.
+//! h.atomic(|tx| tx.write(3, 1));
+//! h.fence(); // wait for concurrently active transactions
+//! h.write_direct(2, 999);
+//! assert_eq!(h.read_direct(2), 999);
+//! ```
+
+pub mod api;
+pub mod glock;
+pub mod map;
+pub mod norec;
+pub mod record;
+pub mod tl2;
+pub mod vlock;
+
+pub mod prelude {
+    pub use crate::api::{Abort, Stats, StmHandle, TxScope};
+    pub use crate::glock::{GlockHandle, GlockStm};
+    pub use crate::map::TxMap;
+    pub use crate::norec::{NorecHandle, NorecStm};
+    pub use crate::record::Recorder;
+    pub use crate::tl2::{Tl2Handle, Tl2Stm};
+}

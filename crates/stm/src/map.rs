@@ -1,0 +1,332 @@
+//! A transactional hash map built on STM registers, with *privatized bulk
+//! operations* — the paper's motivating pattern (Sec 1): access the same
+//! data transactionally in the common case, and non-transactionally (after
+//! privatization + fence) for bulk work like iteration, rehashing or
+//! deallocation.
+//!
+//! Layout in the register file, starting at `base`:
+//! `[freeze flag][slot 0 key][slot 0 val][slot 1 key][slot 1 val]…`
+//! Open addressing with linear probing; key encodings: `0` = empty,
+//! `1` = tombstone, user keys are shifted by [`KEY_BIAS`].
+//!
+//! Every transactional operation first reads the freeze flag and aborts if
+//! the map is frozen; because the flag is in the read set, a concurrent
+//! [`freeze`] invalidates in-flight writers, and the fence inside `freeze`
+//! waits them out — precisely the Fig 1(a) discipline. Bulk readers/writers
+//! then use uninstrumented direct access safely.
+
+use crate::api::{Abort, StmHandle, TxScope};
+
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = 1;
+/// User keys are stored as `key + KEY_BIAS` to keep 0/1 reserved.
+pub const KEY_BIAS: u64 = 2;
+
+/// Descriptor of a map living in an STM register region.
+#[derive(Clone, Copy, Debug)]
+pub struct TxMap {
+    base: usize,
+    cap: usize,
+}
+
+impl TxMap {
+    /// A map over `2*cap + 1` registers starting at `base`.
+    pub fn new(base: usize, cap: usize) -> Self {
+        assert!(cap > 0);
+        TxMap { base, cap }
+    }
+
+    /// Number of registers the map occupies.
+    pub fn regs_needed(cap: usize) -> usize {
+        2 * cap + 1
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn flag_reg(&self) -> usize {
+        self.base
+    }
+    fn key_reg(&self, slot: usize) -> usize {
+        self.base + 1 + 2 * slot
+    }
+    fn val_reg(&self, slot: usize) -> usize {
+        self.base + 2 + 2 * slot
+    }
+
+    fn hash(&self, key: u64) -> usize {
+        // splitmix-style mix, reduced to capacity.
+        let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as usize % self.cap
+    }
+
+    /// Abort if the map is currently frozen (bulk-owned); puts the flag in
+    /// the read set so freezing invalidates us.
+    fn check_open(&self, tx: &mut dyn TxScope) -> Result<(), Abort> {
+        if tx.read(self.flag_reg())? != 0 {
+            return Err(Abort);
+        }
+        Ok(())
+    }
+
+    /// Transactional lookup.
+    pub fn get(&self, tx: &mut dyn TxScope, key: u64) -> Result<Option<u64>, Abort> {
+        self.check_open(tx)?;
+        let stored = key + KEY_BIAS;
+        let mut slot = self.hash(key);
+        for _ in 0..self.cap {
+            let k = tx.read(self.key_reg(slot))?;
+            if k == EMPTY {
+                return Ok(None);
+            }
+            if k == stored {
+                return Ok(Some(tx.read(self.val_reg(slot))?));
+            }
+            slot = (slot + 1) % self.cap;
+        }
+        Ok(None)
+    }
+
+    /// Transactional insert-or-update. Returns `false` if the map is full.
+    pub fn insert(&self, tx: &mut dyn TxScope, key: u64, val: u64) -> Result<bool, Abort> {
+        self.check_open(tx)?;
+        let stored = key + KEY_BIAS;
+        let mut slot = self.hash(key);
+        let mut free: Option<usize> = None;
+        for _ in 0..self.cap {
+            let k = tx.read(self.key_reg(slot))?;
+            if k == stored {
+                tx.write(self.val_reg(slot), val)?;
+                return Ok(true);
+            }
+            if k == TOMBSTONE && free.is_none() {
+                free = Some(slot);
+            }
+            if k == EMPTY {
+                let target = free.unwrap_or(slot);
+                tx.write(self.key_reg(target), stored)?;
+                tx.write(self.val_reg(target), val)?;
+                return Ok(true);
+            }
+            slot = (slot + 1) % self.cap;
+        }
+        if let Some(target) = free {
+            tx.write(self.key_reg(target), stored)?;
+            tx.write(self.val_reg(target), val)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Transactional removal. Returns the removed value.
+    pub fn remove(&self, tx: &mut dyn TxScope, key: u64) -> Result<Option<u64>, Abort> {
+        self.check_open(tx)?;
+        let stored = key + KEY_BIAS;
+        let mut slot = self.hash(key);
+        for _ in 0..self.cap {
+            let k = tx.read(self.key_reg(slot))?;
+            if k == EMPTY {
+                return Ok(None);
+            }
+            if k == stored {
+                let v = tx.read(self.val_reg(slot))?;
+                tx.write(self.key_reg(slot), TOMBSTONE)?;
+                return Ok(Some(v));
+            }
+            slot = (slot + 1) % self.cap;
+        }
+        Ok(None)
+    }
+
+    /// Privatize the map for bulk work: set the freeze flag transactionally,
+    /// then fence. After this returns, no transaction is operating on the
+    /// map and new ones abort-and-retry until [`Self::thaw`].
+    pub fn freeze<H: StmHandle>(&self, h: &mut H) {
+        let flag = self.flag_reg();
+        h.atomic(|tx| tx.write(flag, 1));
+        h.fence();
+    }
+
+    /// Publish the map back for transactional access (no fence needed:
+    /// publication is safe by `xpo;txwr`, paper Fig 2).
+    pub fn thaw<H: StmHandle>(&self, h: &mut H) {
+        let flag = self.flag_reg();
+        h.atomic(|tx| tx.write(flag, 0));
+    }
+
+    /// Bulk snapshot with uninstrumented reads. Only safe between
+    /// [`Self::freeze`] and [`Self::thaw`] on the same handle.
+    pub fn iter_frozen<H: StmHandle>(&self, h: &mut H) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for slot in 0..self.cap {
+            let k = h.read_direct(self.key_reg(slot));
+            if k >= KEY_BIAS {
+                out.push((k - KEY_BIAS, h.read_direct(self.val_reg(slot))));
+            }
+        }
+        out
+    }
+
+    /// Bulk rebuild (compaction: drops tombstones) with uninstrumented
+    /// accesses. Only safe while frozen.
+    pub fn compact_frozen<H: StmHandle>(&self, h: &mut H) {
+        let entries = self.iter_frozen(h);
+        for slot in 0..self.cap {
+            h.write_direct(self.key_reg(slot), EMPTY);
+        }
+        for (k, v) in entries {
+            let stored = k + KEY_BIAS;
+            let mut slot = self.hash(k);
+            loop {
+                if h.read_direct(self.key_reg(slot)) == EMPTY {
+                    h.write_direct(self.key_reg(slot), stored);
+                    h.write_direct(self.val_reg(slot), v);
+                    break;
+                }
+                slot = (slot + 1) % self.cap;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tl2::Tl2Stm;
+
+    fn map_and_stm(cap: usize, threads: usize) -> (TxMap, Tl2Stm) {
+        let m = TxMap::new(0, cap);
+        (m, Tl2Stm::new(TxMap::regs_needed(cap), threads))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let (m, stm) = map_and_stm(8, 1);
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            assert_eq!(m.get(tx, 10)?, None);
+            assert!(m.insert(tx, 10, 100)?);
+            assert!(m.insert(tx, 20, 200)?);
+            assert_eq!(m.get(tx, 10)?, Some(100));
+            assert_eq!(m.get(tx, 20)?, Some(200));
+            assert_eq!(m.remove(tx, 10)?, Some(100));
+            assert_eq!(m.get(tx, 10)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (m, stm) = map_and_stm(4, 1);
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            m.insert(tx, 5, 1)?;
+            m.insert(tx, 5, 2)?;
+            assert_eq!(m.get(tx, 5)?, Some(2));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn collisions_and_tombstone_reuse() {
+        let (m, stm) = map_and_stm(4, 1);
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            // Fill the map completely — forces probing over collisions.
+            for k in 0..4u64 {
+                assert!(m.insert(tx, k, k * 10)?);
+            }
+            assert!(!m.insert(tx, 99, 1)?, "full map rejects");
+            // Remove one, insert into the tombstone.
+            assert_eq!(m.remove(tx, 2)?, Some(20));
+            assert!(m.insert(tx, 99, 990)?);
+            assert_eq!(m.get(tx, 99)?, Some(990));
+            // Keys behind the tombstone are still reachable.
+            for k in [0u64, 1, 3] {
+                assert_eq!(m.get(tx, k)?, Some(k * 10));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let (m, stm) = map_and_stm(128, 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t as usize);
+                    for i in 0..16u64 {
+                        let key = t * 100 + i;
+                        h.atomic(|tx| m.insert(tx, key, key * 2).map(|_| ()));
+                    }
+                });
+            }
+        });
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            for t in 0..4u64 {
+                for i in 0..16u64 {
+                    let key = t * 100 + i;
+                    assert_eq!(m.get(tx, key)?, Some(key * 2), "key {key}");
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn freeze_iter_compact_thaw_under_contention() {
+        let (m, stm) = map_and_stm(64, 3);
+        // Seed.
+        {
+            let mut h = stm.handle(0);
+            for k in 0..10u64 {
+                h.atomic(|tx| m.insert(tx, k, k).map(|_| ()));
+            }
+        }
+        std::thread::scope(|s| {
+            // Two mutators continuously inserting/removing their own keys.
+            for t in 1..3u64 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t as usize);
+                    for i in 0..300u64 {
+                        let key = 1000 * t + (i % 8);
+                        h.atomic(|tx| m.insert(tx, key, i).map(|_| ()));
+                        if i % 3 == 0 {
+                            h.atomic(|tx| m.remove(tx, key).map(|_| ()));
+                        }
+                    }
+                });
+            }
+            // Owner: periodic freeze → snapshot → compact → thaw.
+            let mut h = stm.handle(0);
+            for _ in 0..20 {
+                m.freeze(&mut h);
+                let snap = m.iter_frozen(&mut h);
+                // Seeded keys must always be present in every snapshot.
+                for k in 0..10u64 {
+                    assert!(
+                        snap.iter().any(|&(key, v)| key == k && v == k),
+                        "seeded key {k} missing from frozen snapshot"
+                    );
+                }
+                m.compact_frozen(&mut h);
+                m.thaw(&mut h);
+            }
+        });
+        // After everything: seeded keys intact.
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            for k in 0..10u64 {
+                assert_eq!(m.get(tx, k)?, Some(k));
+            }
+            Ok(())
+        });
+    }
+}

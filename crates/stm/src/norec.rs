@@ -1,0 +1,348 @@
+//! NOrec-style STM (Dalessandro, Spear, Scott — paper's related work [10]):
+//! a single global sequence lock, value-based validation, no per-register
+//! ownership records.
+//!
+//! Included as the baseline that is *privatization-safe without fences*
+//! (paper Sec 8): commits are serialized by the global lock and write-back
+//! completes before the commit returns, so there is no delayed-commit
+//! window; and any clock change forces readers to re-validate by value, so
+//! doomed transactions abort instead of reading privatized data. `fence()`
+//! is a no-op.
+
+use crate::api::{Abort, Stats, StmHandle, TxScope};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct NorecInner {
+    /// Global sequence lock: even = stable, odd = a writer is committing.
+    global: CachePadded<AtomicU64>,
+    values: Box<[CachePadded<AtomicU64>]>,
+}
+
+/// The shared NOrec instance.
+#[derive(Clone)]
+pub struct NorecStm {
+    inner: Arc<NorecInner>,
+}
+
+impl NorecStm {
+    pub fn new(nregs: usize, _nthreads: usize) -> Self {
+        let values = (0..nregs)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        NorecStm {
+            inner: Arc::new(NorecInner {
+                global: CachePadded::new(AtomicU64::new(0)),
+                values,
+            }),
+        }
+    }
+
+    pub fn handle(&self, _slot: usize) -> NorecHandle {
+        NorecHandle {
+            inner: Arc::clone(&self.inner),
+            snapshot: 0,
+            rset: Vec::new(),
+            wset: Vec::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn peek(&self, x: usize) -> u64 {
+        self.inner.values[x].load(Ordering::SeqCst)
+    }
+}
+
+/// Per-thread NOrec context.
+pub struct NorecHandle {
+    inner: Arc<NorecInner>,
+    snapshot: u64,
+    /// Value-based read set: (register, value observed).
+    rset: Vec<(usize, u64)>,
+    wset: Vec<(usize, u64)>,
+    stats: Stats,
+}
+
+impl NorecHandle {
+    /// Wait for an even (stable) global and return it.
+    fn wait_even(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let g = self.inner.global.load(Ordering::SeqCst);
+            if g % 2 == 0 {
+                return g;
+            }
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn begin(&mut self) {
+        self.rset.clear();
+        self.wset.clear();
+        self.snapshot = self.wait_even();
+    }
+
+    /// Re-read the read set by value; abort if anything changed. On success,
+    /// the snapshot is advanced to a stable clock at which the read set was
+    /// re-confirmed.
+    fn validate(&mut self) -> Result<u64, Abort> {
+        loop {
+            let s = self.wait_even();
+            for &(x, v) in &self.rset {
+                if self.inner.values[x].load(Ordering::SeqCst) != v {
+                    self.stats.aborts_validate += 1;
+                    return Err(Abort);
+                }
+            }
+            if self.inner.global.load(Ordering::SeqCst) == s {
+                return Ok(s);
+            }
+        }
+    }
+
+    fn tx_read(&mut self, x: usize) -> Result<u64, Abort> {
+        if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            return Ok(self.wset[i].1);
+        }
+        let mut v = self.inner.values[x].load(Ordering::SeqCst);
+        while self.inner.global.load(Ordering::SeqCst) != self.snapshot {
+            self.snapshot = self.validate()?;
+            v = self.inner.values[x].load(Ordering::SeqCst);
+        }
+        self.rset.push((x, v));
+        Ok(v)
+    }
+
+    fn tx_write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        match self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            Ok(i) => self.wset[i].1 = v,
+            Err(i) => self.wset.insert(i, (x, v)),
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<(), Abort> {
+        if self.wset.is_empty() {
+            self.stats.commits += 1;
+            return Ok(()); // read-only: the snapshot was always consistent
+        }
+        // Acquire the sequence lock from a validated snapshot.
+        while self
+            .inner
+            .global
+            .compare_exchange(
+                self.snapshot,
+                self.snapshot + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            self.snapshot = self.validate()?;
+        }
+        for &(x, v) in &self.wset {
+            self.inner.values[x].store(v, Ordering::SeqCst);
+        }
+        // Release: write-back completed before commit returns — the reason
+        // NOrec has no delayed-commit window.
+        self.inner.global.store(self.snapshot + 2, Ordering::SeqCst);
+        self.stats.commits += 1;
+        Ok(())
+    }
+}
+
+struct NorecTx<'a>(&'a mut NorecHandle);
+
+impl TxScope for NorecTx<'_> {
+    fn read(&mut self, x: usize) -> Result<u64, Abort> {
+        self.0.tx_read(x)
+    }
+    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        self.0.tx_write(x, v)
+    }
+}
+
+impl StmHandle for NorecHandle {
+    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
+        loop {
+            if let Ok(r) = self.try_atomic(&mut body) {
+                return r;
+            }
+        }
+    }
+
+    fn try_atomic<R>(
+        &mut self,
+        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        self.begin();
+        let attempt = {
+            let mut tx = NorecTx(self);
+            body(&mut tx)
+        };
+        match attempt {
+            Ok(r) => {
+                self.commit()?;
+                Ok(r)
+            }
+            Err(Abort) => {
+                self.stats.aborts_user += 1;
+                Err(Abort)
+            }
+        }
+    }
+
+    fn read_direct(&mut self, x: usize) -> u64 {
+        self.stats.direct_reads += 1;
+        self.inner.values[x].load(Ordering::SeqCst)
+    }
+
+    fn write_direct(&mut self, x: usize, v: u64) {
+        self.stats.direct_writes += 1;
+        self.inner.values[x].store(v, Ordering::SeqCst);
+    }
+
+    /// NOrec is privatization-safe by design: no quiescence needed.
+    fn fence(&mut self) {
+        self.stats.fences += 1;
+    }
+
+    fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_commit() {
+        let stm = NorecStm::new(2, 1);
+        let mut h = stm.handle(0);
+        let sum = h.atomic(|tx| {
+            tx.write(0, 3)?;
+            tx.write(1, 4)?;
+            Ok(tx.read(0)? + tx.read(1)?)
+        });
+        assert_eq!(sum, 7);
+        assert_eq!(stm.peek(0), 3);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let stm = NorecStm::new(1, 4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for _ in 0..1000 {
+                        h.atomic(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.peek(0), 4000);
+    }
+
+    #[test]
+    fn audit_consistency() {
+        const N: usize = 6;
+        let stm = NorecStm::new(N, 3);
+        {
+            let mut h = stm.handle(0);
+            h.atomic(|tx| {
+                for a in 0..N {
+                    tx.write(a, 100)?;
+                }
+                Ok(())
+            });
+        }
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for i in 0..2000u64 {
+                        let from = (i as usize + t) % N;
+                        let to = (i as usize + t + 3) % N;
+                        h.atomic(|tx| {
+                            let a = tx.read(from)?;
+                            let b = tx.read(to)?;
+                            if from != to && a > 0 {
+                                tx.write(from, a - 1)?;
+                                tx.write(to, b + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            let stm2 = stm.clone();
+            s.spawn(move || {
+                let mut h = stm2.handle(2);
+                for _ in 0..500 {
+                    let sum = h.atomic(|tx| {
+                        let mut s = 0;
+                        for a in 0..N {
+                            s += tx.read(a)?;
+                        }
+                        Ok(s)
+                    });
+                    assert_eq!(sum, 600);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn privatization_without_fence_is_safe() {
+        // Same stress as TL2's fenced test, but with no fence at all: NOrec
+        // must still never lose the private write.
+        let stm = NorecStm::new(2, 2);
+        let rounds = 3000u64;
+        std::thread::scope(|s| {
+            let stm0 = stm.clone();
+            let owner = s.spawn(move || {
+                let mut h = stm0.handle(0);
+                let mut lost = 0u64;
+                for i in 1..=rounds {
+                    h.atomic(|tx| tx.write(0, 1));
+                    // no fence!
+                    let marker = 0x8000_0000_0000_0000 | i;
+                    h.write_direct(1, marker);
+                    if h.read_direct(1) != marker {
+                        lost += 1;
+                    }
+                    h.atomic(|tx| tx.write(0, 2));
+                }
+                lost
+            });
+            let stm1 = stm.clone();
+            s.spawn(move || {
+                let mut h = stm1.handle(1);
+                for i in 1..=rounds {
+                    h.atomic(|tx| {
+                        let flag = tx.read(0)?;
+                        if flag != 1 {
+                            tx.write(1, i)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+            assert_eq!(owner.join().unwrap(), 0, "NOrec lost a privatized write");
+        });
+    }
+}

@@ -1,0 +1,478 @@
+//! The concurrent TL2 STM (paper Fig 9) with RCU-style transactional fences.
+//!
+//! Per register: a value word and a versioned write-lock ([`crate::vlock`]).
+//! Globally: a version clock and an epoch table for fences. Transactions
+//! buffer writes, validate reads against their read timestamp, lock their
+//! write set at commit, re-validate, then write back.
+//!
+//! Non-transactional accesses ([`Tl2Handle::read_direct`] /
+//! [`Tl2Handle::write_direct`]) are single uninstrumented atomic accesses —
+//! they do not touch versions or locks, exactly the setting the paper's DRF
+//! discipline governs. Without fences they reproduce the delayed-commit and
+//! doomed-transaction anomalies on real hardware (see `tests/` and the
+//! `privatization` example).
+//!
+//! Memory ordering: all TM metadata and data accesses use `SeqCst`. The
+//! interesting claims about this STM are checked by recording histories and
+//! running the strong-opacity checker, not argued from orderings; `SeqCst`
+//! keeps the recorded-order argument simple. (Benchmark comparisons between
+//! fence policies are unaffected: all variants pay the same cost.)
+
+use crate::api::{Abort, Stats, StmHandle, TxScope};
+use crate::record::Recorder;
+use crate::vlock::VLock;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tm_core::action::Kind;
+use tm_core::ids::Reg;
+use tm_quiesce::EpochTable;
+
+struct Tl2Inner {
+    clock: CachePadded<AtomicU64>,
+    values: Box<[CachePadded<AtomicU64>]>,
+    vlocks: Box<[CachePadded<VLock>]>,
+    epochs: EpochTable,
+    recorder: Option<Arc<Recorder>>,
+}
+
+/// The shared TL2 instance. Create per-thread handles with [`Tl2Stm::handle`].
+#[derive(Clone)]
+pub struct Tl2Stm {
+    inner: Arc<Tl2Inner>,
+}
+
+impl Tl2Stm {
+    pub fn new(nregs: usize, nthreads: usize) -> Self {
+        Self::with_recorder(nregs, nthreads, None)
+    }
+
+    /// Attach a [`Recorder`]; every handle then logs its TM interface
+    /// actions for offline DRF / strong-opacity checking.
+    pub fn with_recorder(
+        nregs: usize,
+        nthreads: usize,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Self {
+        let values = (0..nregs)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let vlocks = (0..nregs)
+            .map(|_| CachePadded::new(VLock::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Tl2Stm {
+            inner: Arc::new(Tl2Inner {
+                clock: CachePadded::new(AtomicU64::new(0)),
+                values,
+                vlocks,
+                epochs: EpochTable::new(nthreads),
+                recorder,
+            }),
+        }
+    }
+
+    /// A handle bound to thread slot `slot` (< `nthreads`).
+    pub fn handle(&self, slot: usize) -> Tl2Handle {
+        assert!(slot < self.inner.epochs.nthreads());
+        Tl2Handle {
+            inner: Arc::clone(&self.inner),
+            slot: slot as u16,
+            rv: 0,
+            rset: Vec::new(),
+            wset: Vec::new(),
+            stats: Stats::default(),
+            last_txn_wrote: false,
+            wver_of_last_commit: 0,
+        }
+    }
+
+    /// Current register value (unsynchronized snapshot; test/report helper).
+    pub fn peek(&self, x: usize) -> u64 {
+        self.inner.values[x].load(Ordering::SeqCst)
+    }
+}
+
+/// Per-thread TL2 context.
+pub struct Tl2Handle {
+    inner: Arc<Tl2Inner>,
+    slot: u16,
+    /// Read timestamp `rver` of the current transaction.
+    rv: u64,
+    rset: Vec<usize>,
+    /// Sorted by register index; one entry per register.
+    wset: Vec<(usize, u64)>,
+    stats: Stats,
+    /// Did the last completed transaction write anything? Drives the buggy
+    /// read-only fence elision reproduced from [43].
+    last_txn_wrote: bool,
+    /// Write timestamp of the last committed transaction (recorder key).
+    wver_of_last_commit: u64,
+}
+
+impl Tl2Handle {
+    #[inline]
+    fn rec(&self, kind: Kind) {
+        if let Some(r) = &self.inner.recorder {
+            r.record(self.slot as usize, kind);
+        }
+    }
+
+    fn begin(&mut self) {
+        self.rec(Kind::TxBegin);
+        self.inner.epochs.enter(self.slot as usize);
+        self.rv = self.inner.clock.load(Ordering::SeqCst);
+        self.rset.clear();
+        self.wset.clear();
+        self.rec(Kind::Ok);
+    }
+
+    fn tx_read(&mut self, x: usize) -> Result<u64, Abort> {
+        self.rec(Kind::Read(Reg(x as u32)));
+        if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            let v = self.wset[i].1;
+            self.rec(Kind::RetVal(v));
+            return Ok(v);
+        }
+        // Fig 9 lines 17–23: ver, value, lock, ver again.
+        let s1 = self.inner.vlocks[x].sample();
+        let val = self.inner.values[x].load(Ordering::SeqCst);
+        let s2 = self.inner.vlocks[x].sample();
+        if s2.is_locked() || s1 != s2 || self.rv < s2.version {
+            self.stats.aborts_read += 1;
+            self.finish_abort();
+            return Err(Abort);
+        }
+        self.rset.push(x);
+        self.rec(Kind::RetVal(val));
+        Ok(val)
+    }
+
+    fn tx_write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        self.rec(Kind::Write(Reg(x as u32), v));
+        match self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            Ok(i) => self.wset[i].1 = v,
+            Err(i) => self.wset.insert(i, (x, v)),
+        }
+        self.rec(Kind::RetUnit);
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<(), Abort> {
+        self.rec(Kind::TxCommit);
+        // Lock the write set (sorted order; trylock-or-abort per Fig 7).
+        let mut locked = 0usize;
+        for &(x, _) in &self.wset {
+            if self.inner.vlocks[x].try_lock(self.slot).is_err() {
+                for &(y, _) in &self.wset[..locked] {
+                    self.inner.vlocks[y].unlock();
+                }
+                self.stats.aborts_lock += 1;
+                self.finish_abort();
+                return Err(Abort);
+            }
+            locked += 1;
+        }
+        // wver := fetch_and_increment(clock) + 1 (Fig 7 line 19).
+        let wver = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        // Validate the read set (lines 20–26).
+        for &x in &self.rset {
+            let s = self.inner.vlocks[x].sample();
+            if s.is_locked_by_other(self.slot) || self.rv < s.version {
+                for &(y, _) in &self.wset {
+                    self.inner.vlocks[y].unlock();
+                }
+                self.stats.aborts_validate += 1;
+                self.finish_abort();
+                return Err(Abort);
+            }
+        }
+        // Write back and release (lines 27–30).
+        for &(x, v) in &self.wset {
+            self.inner.values[x].store(v, Ordering::SeqCst);
+            self.inner.vlocks[x].unlock_set_version(wver);
+        }
+        self.stats.commits += 1;
+        self.last_txn_wrote = !self.wset.is_empty();
+        self.wver_of_last_commit = wver;
+        // Response recorded before the epoch exit, so a fence that stops
+        // waiting for us is guaranteed to have our committed action in the
+        // history (Def A.1 clause 10 on recorded histories).
+        self.rec(Kind::Committed);
+        self.inner.epochs.exit(self.slot as usize);
+        Ok(())
+    }
+
+    /// Abort epilogue used by failed reads/commits and user aborts.
+    fn finish_abort(&mut self) {
+        self.last_txn_wrote = !self.wset.is_empty();
+        self.rec(Kind::Aborted);
+        self.inner.epochs.exit(self.slot as usize);
+    }
+
+    /// Write timestamp of the most recent committed transaction — the WW
+    /// ordering key handed to the opacity checker.
+    pub fn last_commit_wver(&self) -> u64 {
+        self.wver_of_last_commit
+    }
+
+    /// The *buggy* fence: skipped entirely if this thread's last transaction
+    /// was read-only — the GCC libitm bug class ([43], paper Sec 1). Exposed
+    /// so tests and examples can demonstrate the violation on real hardware.
+    pub fn fence_elide_after_read_only(&mut self) {
+        if self.last_txn_wrote {
+            self.fence();
+        }
+    }
+}
+
+struct Tl2Tx<'a>(&'a mut Tl2Handle);
+
+impl TxScope for Tl2Tx<'_> {
+    fn read(&mut self, x: usize) -> Result<u64, Abort> {
+        self.0.tx_read(x)
+    }
+    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        self.0.tx_write(x, v)
+    }
+}
+
+impl StmHandle for Tl2Handle {
+    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
+        let mut backoff = crossbeam::utils::Backoff::new();
+        loop {
+            match self.try_atomic(&mut body) {
+                Ok(r) => return r,
+                Err(Abort) => {
+                    backoff.snooze();
+                    if backoff.is_completed() {
+                        backoff = crossbeam::utils::Backoff::new();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_atomic<R>(
+        &mut self,
+        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        self.begin();
+        let attempt = {
+            let mut tx = Tl2Tx(self);
+            body(&mut tx)
+        };
+        match attempt {
+            Ok(r) => {
+                self.commit()?;
+                Ok(r)
+            }
+            Err(Abort) => {
+                // Distinguish op-level aborts (already finalized in
+                // tx_read) from user aborts: op-level aborts exited the
+                // epoch already; detect via activity.
+                if self.inner.epochs.is_active(self.slot as usize) {
+                    self.stats.aborts_user += 1;
+                    self.finish_abort();
+                }
+                Err(Abort)
+            }
+        }
+    }
+
+    fn read_direct(&mut self, x: usize) -> u64 {
+        self.rec(Kind::Read(Reg(x as u32)));
+        let v = self.inner.values[x].load(Ordering::SeqCst);
+        self.stats.direct_reads += 1;
+        self.rec(Kind::RetVal(v));
+        v
+    }
+
+    fn write_direct(&mut self, x: usize, v: u64) {
+        self.rec(Kind::Write(Reg(x as u32), v));
+        self.inner.values[x].store(v, Ordering::SeqCst);
+        self.stats.direct_writes += 1;
+        self.rec(Kind::RetUnit);
+    }
+
+    fn fence(&mut self) {
+        self.rec(Kind::FBegin);
+        self.inner.epochs.wait_quiescent(Some(self.slot as usize));
+        self.stats.fences += 1;
+        self.rec(Kind::FEnd);
+    }
+
+    fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_read_write() {
+        let stm = Tl2Stm::new(4, 1);
+        let mut h = stm.handle(0);
+        let out = h.atomic(|tx| {
+            tx.write(0, 11)?;
+            tx.write(1, 22)?;
+            let a = tx.read(0)?;
+            let b = tx.read(1)?;
+            Ok(a + b)
+        });
+        assert_eq!(out, 33);
+        assert_eq!(stm.peek(0), 11);
+        assert_eq!(stm.peek(1), 22);
+        assert_eq!(h.stats().commits, 1);
+    }
+
+    #[test]
+    fn user_abort_discards_writes() {
+        let stm = Tl2Stm::new(1, 1);
+        let mut h = stm.handle(0);
+        let r: Result<(), Abort> = h.try_atomic(|tx| {
+            tx.write(0, 5)?;
+            Err(Abort)
+        });
+        assert_eq!(r, Err(Abort));
+        assert_eq!(stm.peek(0), 0);
+        assert_eq!(h.stats().aborts_user, 1);
+        // The handle is reusable afterwards.
+        h.atomic(|tx| tx.write(0, 7));
+        assert_eq!(stm.peek(0), 7);
+    }
+
+    #[test]
+    fn direct_access_and_fence() {
+        let stm = Tl2Stm::new(2, 1);
+        let mut h = stm.handle(0);
+        h.write_direct(0, 9);
+        assert_eq!(h.read_direct(0), 9);
+        h.fence(); // no active transactions: immediate
+        assert_eq!(h.stats().fences, 1);
+        assert_eq!(h.stats().direct_reads, 1);
+        assert_eq!(h.stats().direct_writes, 1);
+    }
+
+    #[test]
+    fn conflicting_writers_serialize() {
+        let stm = Tl2Stm::new(1, 4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for _ in 0..1000 {
+                        h.atomic(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.peek(0), 4000);
+    }
+
+    #[test]
+    fn bank_invariant_with_readers() {
+        const ACCOUNTS: usize = 8;
+        const TOTAL: u64 = 8000;
+        let stm = Tl2Stm::new(ACCOUNTS, 4);
+        {
+            let mut h = stm.handle(0);
+            h.atomic(|tx| {
+                for a in 0..ACCOUNTS {
+                    tx.write(a, TOTAL / ACCOUNTS as u64)?;
+                }
+                Ok(())
+            });
+        }
+        std::thread::scope(|s| {
+            // Transfer threads.
+            for t in 0..3 {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    let mut rng = t as u64 + 1;
+                    for _ in 0..2000 {
+                        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let from = (rng >> 33) as usize % ACCOUNTS;
+                        let to = (rng >> 13) as usize % ACCOUNTS;
+                        h.atomic(|tx| {
+                            let a = tx.read(from)?;
+                            let b = tx.read(to)?;
+                            if from != to && a > 0 {
+                                tx.write(from, a - 1)?;
+                                tx.write(to, b + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Auditor: the sum must be constant in every snapshot.
+            let stm2 = stm.clone();
+            s.spawn(move || {
+                let mut h = stm2.handle(3);
+                for _ in 0..500 {
+                    let sum = h.atomic(|tx| {
+                        let mut s = 0u64;
+                        for a in 0..ACCOUNTS {
+                            s += tx.read(a)?;
+                        }
+                        Ok(s)
+                    });
+                    assert_eq!(sum, TOTAL, "opacity violation: inconsistent audit");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn fence_provides_privatization_safety() {
+        // Privatization stress: t0 privatizes reg 1 via flag reg 0, fences,
+        // writes it non-transactionally, publishes back. t1 writes reg 1
+        // transactionally while unprivatized. The fenced protocol must never
+        // lose t0's non-transactional write.
+        let stm = Tl2Stm::new(2, 2);
+        let rounds = 3000;
+        std::thread::scope(|s| {
+            let stm0 = stm.clone();
+            let owner = s.spawn(move || {
+                let mut h = stm0.handle(0);
+                let mut lost = 0u64;
+                for i in 1..=rounds {
+                    h.atomic(|tx| tx.write(0, 1)); // privatize
+                    h.fence();
+                    let marker = 0x8000_0000_0000_0000 | i;
+                    h.write_direct(1, marker);
+                    if h.read_direct(1) != marker {
+                        lost += 1;
+                    }
+                    h.atomic(|tx| tx.write(0, 2)); // publish back (flag != 1)
+                    h.fence();
+                }
+                lost
+            });
+            let stm1 = stm.clone();
+            s.spawn(move || {
+                let mut h = stm1.handle(1);
+                for i in 1..=rounds {
+                    h.atomic(|tx| {
+                        let flag = tx.read(0)?;
+                        if flag != 1 {
+                            tx.write(1, i)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+            assert_eq!(owner.join().unwrap(), 0, "fenced privatization lost writes");
+        });
+    }
+}

@@ -1,0 +1,150 @@
+//! Versioned write-locks (TL2's per-register `ver[x]` + `lock[x]`, packed
+//! into one atomic word so version and lock state are read consistently).
+//!
+//! Layout: bits 16..64 hold the version, bits 0..16 hold the owner slot + 1
+//! (0 = unlocked). 48 version bits outlast any realistic run; 16 owner bits
+//! support 65534 threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const OWNER_MASK: u64 = 0xFFFF;
+const VERSION_SHIFT: u32 = 16;
+
+/// A snapshot of a versioned lock word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VLockState {
+    pub version: u64,
+    /// Owner slot if locked.
+    pub owner: Option<u16>,
+}
+
+impl VLockState {
+    #[inline]
+    fn decode(word: u64) -> Self {
+        let owner = (word & OWNER_MASK) as u16;
+        VLockState {
+            version: word >> VERSION_SHIFT,
+            owner: owner.checked_sub(1),
+        }
+    }
+
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    #[inline]
+    pub fn is_locked_by_other(&self, me: u16) -> bool {
+        self.owner.is_some_and(|o| o != me)
+    }
+}
+
+/// The versioned lock word.
+#[derive(Debug, Default)]
+pub struct VLock {
+    word: AtomicU64,
+}
+
+impl VLock {
+    pub fn new() -> Self {
+        VLock { word: AtomicU64::new(0) }
+    }
+
+    /// Read the current (version, owner) pair.
+    #[inline]
+    pub fn sample(&self) -> VLockState {
+        VLockState::decode(self.word.load(Ordering::SeqCst))
+    }
+
+    /// Try to acquire the lock for `owner`, keeping the version. Fails if
+    /// locked (by anyone). Returns the version on success.
+    #[inline]
+    pub fn try_lock(&self, owner: u16) -> Result<u64, VLockState> {
+        let cur = self.word.load(Ordering::SeqCst);
+        if cur & OWNER_MASK != 0 {
+            return Err(VLockState::decode(cur));
+        }
+        let locked = cur | u64::from(owner) + 1;
+        match self
+            .word
+            .compare_exchange(cur, locked, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => Ok(cur >> VERSION_SHIFT),
+            Err(now) => Err(VLockState::decode(now)),
+        }
+    }
+
+    /// Release the lock, installing a new version (TL2 write-back: the store
+    /// of `ver[x] := wver` and `lock[x].unlock()` as one atomic step).
+    #[inline]
+    pub fn unlock_set_version(&self, version: u64) {
+        self.word.store(version << VERSION_SHIFT, Ordering::SeqCst);
+    }
+
+    /// Release the lock, keeping the version (abort path).
+    #[inline]
+    pub fn unlock(&self) {
+        let cur = self.word.load(Ordering::SeqCst);
+        debug_assert_ne!(cur & OWNER_MASK, 0, "unlock of unlocked vlock");
+        self.word.store(cur & !OWNER_MASK, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_cycle() {
+        let l = VLock::new();
+        assert_eq!(l.sample(), VLockState { version: 0, owner: None });
+        assert_eq!(l.try_lock(3), Ok(0));
+        let s = l.sample();
+        assert_eq!(s.owner, Some(3));
+        assert!(s.is_locked());
+        assert!(s.is_locked_by_other(2));
+        assert!(!s.is_locked_by_other(3));
+        assert!(l.try_lock(4).is_err());
+        l.unlock_set_version(9);
+        let s = l.sample();
+        assert_eq!(s, VLockState { version: 9, owner: None });
+    }
+
+    #[test]
+    fn abort_unlock_keeps_version() {
+        let l = VLock::new();
+        l.unlock_set_version(5);
+        l.try_lock(0).unwrap();
+        l.unlock();
+        assert_eq!(l.sample(), VLockState { version: 5, owner: None });
+    }
+
+    #[test]
+    fn owner_zero_distinct_from_unlocked() {
+        let l = VLock::new();
+        l.try_lock(0).unwrap();
+        assert_eq!(l.sample().owner, Some(0));
+    }
+
+    #[test]
+    fn concurrent_trylock_single_winner() {
+        use std::sync::Arc;
+        let l = Arc::new(VLock::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8u16 {
+            let l = Arc::clone(&l);
+            let b = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                b.wait();
+                l.try_lock(t).is_ok()
+            }));
+        }
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(wins, 1, "exactly one thread may win the trylock race");
+    }
+}

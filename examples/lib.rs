@@ -1,0 +1,4 @@
+//! Shared nothing: the example binaries (`quickstart`, `privatization`,
+//! `publication`, `model_check`, `bank`) are each self-contained; see the
+//! files next to this one. This library target exists only so the package
+//! has a root.

@@ -1,0 +1,79 @@
+//! Shared helpers for the cross-crate integration tests of the
+//! Safe-Privatization-in-TM reproduction (see `tests/*.rs`).
+
+use tm_core::atomic_tm::in_atomic_tm;
+use tm_core::equiv::{observationally_equivalent, rearrange};
+use tm_core::hb::is_drf;
+use tm_core::opacity::{check_strong_opacity, CheckOptions};
+use tm_core::trace::Trace;
+use tm_litmus::Litmus;
+use tm_lang::explorer::{explore_traces, Limits, PathStatus};
+use tm_lang::prelude::*;
+
+/// Statistics from validating the Fundamental Property on one program.
+#[derive(Debug, Default)]
+pub struct FpStats {
+    pub terminal_traces: usize,
+    pub drf_histories: usize,
+    pub witnesses_verified: usize,
+    pub rearrangements_verified: usize,
+}
+
+/// Validate Theorem 5.3 concretely for a litmus program: for every explored
+/// TL2 trace (capped), its history must be DRF (Lemma 5.4(2), given the
+/// program is DRF under strong atomicity), strongly opaque with a verified
+/// witness in `H_atomic`, and the rearranged trace must be observationally
+/// equivalent (Lemma B.1).
+pub fn validate_fundamental_property(l: &Litmus, max_traces: usize) -> FpStats {
+    assert!(l.expect_drf, "fundamental property applies to DRF programs");
+    let p = &l.program;
+    let cfg = Tl2Config::default();
+    let oracle = Tl2Spec::new(p.nregs, p.nthreads(), cfg);
+    let limits = Limits { max_traces, ..Limits::default() };
+    let mut stats = FpStats::default();
+    explore_traces(p, oracle, &limits, &mut |tr: Trace, status| {
+        if status != PathStatus::Terminal {
+            return;
+        }
+        stats.terminal_traces += 1;
+        let h = tr.history();
+        assert_eq!(h.validate(), Ok(()), "{}: ill-formed history", l.name);
+        assert!(
+            is_drf(&h),
+            "{}: TL2 history racy though program is DRF under H_atomic\n{}",
+            l.name,
+            tm_core::textio::to_text(&h)
+        );
+        stats.drf_histories += 1;
+        let w = match check_strong_opacity(&h, &CheckOptions::default()) {
+            Ok(w) => w,
+            Err(e) => panic!(
+                "{}: TL2 history not strongly opaque: {e:?}\n{}",
+                l.name,
+                tm_core::textio::to_text(&h)
+            ),
+        };
+        assert!(
+            in_atomic_tm(&w.sequential).is_ok(),
+            "{}: witness not in H_atomic",
+            l.name
+        );
+        stats.witnesses_verified += 1;
+        // Lemma B.1: rearrange the full trace along the witness.
+        let ts = rearrange(&tr, &w.sequential);
+        assert_eq!(
+            ts.history().actions(),
+            w.sequential.actions(),
+            "{}: rearranged trace has the wrong history",
+            l.name
+        );
+        assert!(
+            observationally_equivalent(&tr, &ts),
+            "{}: rearranged trace not observationally equivalent",
+            l.name
+        );
+        stats.rearrangements_verified += 1;
+    });
+    assert!(stats.terminal_traces > 0, "{}: no terminal traces explored", l.name);
+    stats
+}

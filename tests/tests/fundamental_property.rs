@@ -1,0 +1,74 @@
+//! E13 — the Fundamental Property (Theorem 5.3), validated concretely.
+//!
+//! For every DRF litmus program: every explored TL2-spec trace has a DRF
+//! history (Lemma 5.4(2)), every such history is strongly opaque with a
+//! verified witness in `H_atomic` (Theorem 6.5 / Lemma 6.4), the rearranged
+//! trace is observationally equivalent (Lemma B.1), and the program's
+//! outcome set under TL2 is contained in the strongly atomic outcome set.
+
+use tm_integration::validate_fundamental_property;
+use tm_litmus::programs;
+use tm_litmus::{run, TmKind};
+use tm_lang::explorer::Limits;
+use tm_lang::prelude::*;
+
+const TRACE_CAP: usize = 1_500;
+
+#[test]
+fn fp_fig1a_fenced() {
+    let s = validate_fundamental_property(&programs::fig1a(true), TRACE_CAP);
+    assert_eq!(s.terminal_traces, s.witnesses_verified);
+    assert_eq!(s.terminal_traces, s.rearrangements_verified);
+}
+
+#[test]
+fn fp_fig1b_fenced() {
+    let s = validate_fundamental_property(&programs::fig1b(true), TRACE_CAP);
+    assert_eq!(s.terminal_traces, s.witnesses_verified);
+}
+
+#[test]
+fn fp_fig2_publication() {
+    let s = validate_fundamental_property(&programs::fig2(), TRACE_CAP);
+    assert_eq!(s.terminal_traces, s.witnesses_verified);
+}
+
+#[test]
+fn fp_fig6_agreement() {
+    let s = validate_fundamental_property(&programs::fig6(), TRACE_CAP);
+    assert_eq!(s.terminal_traces, s.witnesses_verified);
+}
+
+#[test]
+fn fp_privatize_modify_publish() {
+    let s = validate_fundamental_property(&programs::privatize_modify_publish(true), TRACE_CAP);
+    assert_eq!(s.terminal_traces, s.witnesses_verified);
+}
+
+/// Observational refinement at the outcome level: for every DRF litmus, the
+/// TL2 outcome set is a subset of the strongly atomic outcome set, and the
+/// postcondition (verified under strong atomicity) transfers to TL2.
+#[test]
+fn outcome_refinement_for_drf_programs() {
+    let limits = Limits::default();
+    for l in programs::all().into_iter().filter(|l| l.expect_drf) {
+        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits);
+        assert!(
+            atomic.passed(l.divergence),
+            "{}: postcondition must hold under strong atomicity: {atomic:?}",
+            l.name
+        );
+        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits);
+        assert!(
+            tl2.passed(l.divergence),
+            "{}: Fundamental Property violated under TL2: {tl2:?}",
+            l.name
+        );
+        let glock = run(&l, TmKind::Glock, &limits);
+        assert!(
+            glock.passed(l.divergence),
+            "{}: global-lock TM violated a DRF program: {glock:?}",
+            l.name
+        );
+    }
+}

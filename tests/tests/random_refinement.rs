@@ -1,0 +1,109 @@
+//! Randomized Fundamental-Property checking: generated programs whose
+//! shared accesses are all transactional are trivially DRF (conflicts need a
+//! non-transactional access, Def 3.1), so Theorem 5.3 promises that TL2's
+//! and the undo TM's outcome sets refine the strongly atomic outcome set —
+//! and that every TL2 history is strongly opaque. We verify both on random
+//! programs.
+
+use proptest::prelude::*;
+use tm_core::hb::is_drf;
+use tm_core::opacity::{check_strong_opacity, CheckOptions};
+use tm_lang::explorer::{explore_outcomes, explore_traces, Limits, PathStatus};
+use tm_lang::prelude::*;
+
+/// A random transactional op.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u32),
+    Write(u32, u64),
+}
+
+fn arb_ops(max_regs: u32) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..max_regs).prop_map(Op::Read),
+            (0..max_regs, 1u64..100).prop_map(|(x, v)| Op::Write(x, v)),
+        ],
+        1..4,
+    )
+}
+
+/// Build one thread: a single atomic block from the ops, reading into fresh
+/// locals so outcomes capture what was observed.
+fn build_thread(ops: &[Op]) -> Com {
+    let mut body = Vec::new();
+    let mut next_var = 1u16;
+    for op in ops {
+        match op {
+            Op::Read(x) => {
+                body.push(read(Var(next_var), tm_core::ids::Reg(*x)));
+                next_var += 1;
+            }
+            Op::Write(x, v) => body.push(write(tm_core::ids::Reg(*x), cst(*v))),
+        }
+    }
+    atomic(Var(0), body)
+}
+
+fn limits() -> Limits {
+    Limits { max_traces: 400, ..Limits::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TL2 and the undo TM refine strong atomicity on purely transactional
+    /// programs (outcome-set inclusion).
+    #[test]
+    fn weak_tms_refine_atomic(ops0 in arb_ops(2), ops1 in arb_ops(2)) {
+        let p = Program::new(vec![build_thread(&ops0), build_thread(&ops1)]).unwrap();
+        let atomic_out =
+            explore_outcomes(&p, AtomicOracle::new(p.nregs, 2, true), &limits());
+        prop_assert!(!atomic_out.truncated);
+
+        let tl2_out =
+            explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        for o in &tl2_out.outcomes {
+            prop_assert!(
+                atomic_out.outcomes.contains(o),
+                "TL2 outcome {o:?} unreachable under strong atomicity"
+            );
+        }
+
+        let undo_out = explore_outcomes(&p, UndoSpec::new(p.nregs, 2), &limits());
+        for o in &undo_out.outcomes {
+            prop_assert!(
+                atomic_out.outcomes.contains(o),
+                "undo-TM outcome {o:?} unreachable under strong atomicity"
+            );
+        }
+    }
+
+    /// Every TL2 history of a purely transactional program is DRF and
+    /// strongly opaque (the TM-side contract, checked on random inputs).
+    #[test]
+    fn tl2_histories_opaque_on_random_programs(ops0 in arb_ops(2), ops1 in arb_ops(2)) {
+        let p = Program::new(vec![build_thread(&ops0), build_thread(&ops1)]).unwrap();
+        let mut checked = 0usize;
+        explore_traces(
+            &p,
+            Tl2Spec::new(p.nregs, 2, Tl2Config::default()),
+            &limits(),
+            &mut |tr, status| {
+                if status != PathStatus::Terminal || checked >= 120 {
+                    return;
+                }
+                checked += 1;
+                let h = tr.history();
+                assert!(is_drf(&h), "purely transactional program produced a racy history");
+                if let Err(e) = check_strong_opacity(&h, &CheckOptions::default()) {
+                    panic!(
+                        "TL2 history not strongly opaque: {e:?}\n{}",
+                        tm_core::textio::to_text(&h)
+                    );
+                }
+            },
+        );
+        prop_assert!(checked > 0);
+    }
+}
