@@ -1,0 +1,48 @@
+//! E19 — retry backoff under contention: commits/sec of a shared-counter
+//! workload on TL2 with the retry loop's exponential backoff disabled,
+//! default, and aggressive.
+//!
+//! Expected shape on multi-core hosts: with no backoff, contending threads
+//! re-collide and burn validation aborts; exponential backoff trades a
+//! little latency for fewer wasted attempts. (On a single core the
+//! scheduler serializes transactions and the variants converge.)
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench backoff_bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::contended_counter;
+use tm_stm::prelude::BackoffCfg;
+
+fn backoff(c: &mut Criterion) {
+    const INCS: u64 = 5_000;
+    let variants: [(&str, BackoffCfg); 3] = [
+        ("none", BackoffCfg::none()),
+        ("default", BackoffCfg::default()),
+        (
+            "aggressive",
+            BackoffCfg {
+                spin_base: 64,
+                max_shift: 10,
+                yield_after: 2,
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("backoff");
+    g.sample_size(10);
+    for threads in [2usize, 4] {
+        g.throughput(Throughput::Elements(threads as u64 * INCS));
+        for (name, cfg) in variants {
+            g.bench_with_input(BenchmarkId::new(name, threads), &cfg, |b, &cfg| {
+                b.iter(|| {
+                    let (tput, stats) = contended_counter(threads, INCS, cfg);
+                    assert_eq!(stats.commits, threads as u64 * INCS);
+                    tput
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, backoff);
+criterion_main!(benches);

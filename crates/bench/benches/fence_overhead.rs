@@ -6,7 +6,10 @@ use tm_bench::{mix_throughput, standard_workloads, FencePolicy, MixCfg, StmKind}
 
 fn bench_cfg(cfg: &MixCfg) -> MixCfg {
     // Smaller batches per measurement iteration than the report binary.
-    MixCfg { txns_per_thread: cfg.txns_per_thread / 10, ..*cfg }
+    MixCfg {
+        txns_per_thread: cfg.txns_per_thread / 10,
+        ..*cfg
+    }
 }
 
 fn fence_overhead(c: &mut Criterion) {

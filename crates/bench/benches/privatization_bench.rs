@@ -7,22 +7,23 @@ use tm_bench::{privatization_throughput, PrivCfg, StmKind};
 
 fn privatization(c: &mut Criterion) {
     let max_workers = 3; // fixed worker count; oversubscription is fine here
-    let cfg = PrivCfg { data_regs: 64, direct_ops: 32, rounds: 500, worker_txns: 2 };
+    let cfg = PrivCfg {
+        data_regs: 64,
+        direct_ops: 32,
+        rounds: 500,
+        worker_txns: 2,
+    };
     let mut g = c.benchmark_group("privatization");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cfg.rounds));
     for workers in [1usize, 2, 3].into_iter().filter(|&w| w <= max_workers) {
-        g.bench_with_input(
-            BenchmarkId::new("tl2+fence", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let (rps, lost) = privatization_throughput(StmKind::Tl2, w, &cfg, true);
-                    assert_eq!(lost, 0);
-                    rps
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("tl2+fence", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let (rps, lost) = privatization_throughput(StmKind::Tl2, w, &cfg, true);
+                assert_eq!(lost, 0);
+                rps
+            });
+        });
         g.bench_with_input(
             BenchmarkId::new("norec-nofence", workers),
             &workers,

@@ -1,0 +1,65 @@
+//! E18 — orec storage backends: TL2 throughput with per-register ownership
+//! records vs striped orec tables at several stripe counts, on small and
+//! large register files.
+//!
+//! Expected shape: on large register files with low contention, striping is
+//! competitive while using constant lock metadata; as the stripe count
+//! shrinks toward the write-set size, false conflicts start to bite.
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench storage_bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{mix_throughput, FencePolicy, MixCfg, StmKind};
+
+fn storage_backends(c: &mut Criterion) {
+    let threads = 2;
+    let shapes = [
+        (
+            "small-writeheavy",
+            MixCfg {
+                nregs: 1024,
+                txn_len: 8,
+                write_pct: 50,
+                txns_per_thread: 2_000,
+                privatize_every: 0,
+                direct_ops: 0,
+            },
+        ),
+        (
+            "large-readmostly",
+            MixCfg {
+                nregs: 1 << 16,
+                txn_len: 8,
+                write_pct: 10,
+                txns_per_thread: 2_000,
+                privatize_every: 0,
+                direct_ops: 0,
+            },
+        ),
+    ];
+    // Per-register vs striped at ≥ 2 stripe counts (the acceptance axis):
+    // a small table (false conflicts likely) and a large one.
+    let backends = [
+        StmKind::Tl2,
+        StmKind::Tl2Striped { stripes: 64 },
+        StmKind::Tl2Striped { stripes: 4096 },
+    ];
+    for (shape, cfg) in shapes {
+        let mut g = c.benchmark_group(format!("storage/{shape}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(threads as u64 * cfg.txns_per_thread));
+        for kind in backends {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), threads),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| mix_throughput(kind, threads, &cfg, FencePolicy::None));
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, storage_backends);
+criterion_main!(benches);

@@ -14,10 +14,18 @@ fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default();
     let limits = Limits::default();
     let tms = [
-        TmKind::Atomic { spurious_aborts: true },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::AfterEvery },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly },
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::AfterEvery,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::SkipReadOnly,
+        },
         TmKind::UndoEager,
         TmKind::Glock,
     ];
@@ -38,7 +46,11 @@ fn main() {
             continue;
         }
         let drf = check_drf_atomic(&l, &limits);
-        print!("{:<18} {:>5} ", l.name, if drf.drf { "yes" } else { "RACY" });
+        print!(
+            "{:<18} {:>5} ",
+            l.name,
+            if drf.drf { "yes" } else { "RACY" }
+        );
         for tm in &tms {
             let r = run(&l, *tm, &limits);
             let cell = if r.violations > 0 {

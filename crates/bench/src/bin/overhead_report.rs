@@ -38,9 +38,7 @@ fn main() {
     let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
     let worst = overheads.iter().cloned().fold(f64::MIN, f64::max);
     println!("{}", "-".repeat(80));
-    println!(
-        "fence-after-every-transaction overhead: average {avg:.1}%, worst case {worst:.1}%"
-    );
+    println!("fence-after-every-transaction overhead: average {avg:.1}%, worst case {worst:.1}%");
     println!(
         "(paper Sec 1 cites Yoo et al. [42]: 32% average, 107% worst case on STAMP;\n\
          the expected *shape* is conservative ≫ selective ≈ none, worst ≈ 2x)"

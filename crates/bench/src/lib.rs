@@ -12,25 +12,34 @@ use tm_stm::prelude::*;
 /// Deterministic splitmix-style RNG step.
 #[inline]
 pub fn lcg(s: u64) -> u64 {
-    s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    s.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
 }
 
-/// Which STM implementation to drive.
+/// Which STM implementation (and storage backend) to drive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StmKind {
+    /// TL2 with per-register ownership records.
     Tl2,
+    /// TL2 over a striped orec table.
+    Tl2Striped {
+        stripes: usize,
+    },
     Norec,
     Glock,
 }
 
 impl StmKind {
+    /// The classic algorithm trio (per-register TL2 storage); striped
+    /// variants are enumerated explicitly by the storage benchmarks.
     pub const ALL: [StmKind; 3] = [StmKind::Tl2, StmKind::Norec, StmKind::Glock];
 
-    pub fn label(self) -> &'static str {
+    pub fn label(self) -> String {
         match self {
-            StmKind::Tl2 => "tl2",
-            StmKind::Norec => "norec",
-            StmKind::Glock => "glock",
+            StmKind::Tl2 => "tl2".into(),
+            StmKind::Tl2Striped { stripes } => format!("tl2-striped{stripes}"),
+            StmKind::Norec => "norec".into(),
+            StmKind::Glock => "glock".into(),
         }
     }
 }
@@ -48,8 +57,11 @@ pub enum FencePolicy {
 }
 
 impl FencePolicy {
-    pub const ALL: [FencePolicy; 3] =
-        [FencePolicy::None, FencePolicy::Selective, FencePolicy::AfterEvery];
+    pub const ALL: [FencePolicy; 3] = [
+        FencePolicy::None,
+        FencePolicy::Selective,
+        FencePolicy::AfterEvery,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -219,11 +231,53 @@ pub fn mix_throughput(kind: StmKind, threads: usize, cfg: &MixCfg, policy: Fence
     let start = Instant::now();
     match kind {
         StmKind::Tl2 => run!(Tl2Stm::new(total_regs, threads)),
+        StmKind::Tl2Striped { stripes } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(total_regs, threads).striped(stripes)
+            ))
+        }
         StmKind::Norec => run!(NorecStm::new(total_regs, threads)),
         StmKind::Glock => run!(GlockStm::new(total_regs, threads)),
     }
     let total = (threads as u64 * cfg.txns_per_thread) as f64;
     total / start.elapsed().as_secs_f64()
+}
+
+/// A deliberately contended workload for the backoff experiments: `threads`
+/// threads each increment one shared register `incs_per_thread` times on a
+/// TL2 instance with the given backoff tuning. Returns (commits/sec, merged
+/// per-handle [`Stats`] — whose `retries`/`backoff_ns` are the measurement).
+pub fn contended_counter(
+    threads: usize,
+    incs_per_thread: u64,
+    backoff: BackoffCfg,
+) -> (f64, Stats) {
+    let stm = Tl2Stm::with_config(StmConfig::new(1, threads).backoff(backoff));
+    let start = Instant::now();
+    let stats = std::thread::scope(|sc| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let stm = stm.clone();
+                sc.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for _ in 0..incs_per_thread {
+                        h.atomic(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)
+                        });
+                    }
+                    h.stats()
+                })
+            })
+            .collect();
+        let mut total = Stats::default();
+        for w in workers {
+            total.merge(&w.join().unwrap());
+        }
+        total
+    });
+    let tput = (threads as u64 * incs_per_thread) as f64 / start.elapsed().as_secs_f64();
+    (tput, stats)
 }
 
 /// A privatization-phase workload (E16): one owner cycles
@@ -251,7 +305,6 @@ pub fn privatization_throughput(
     let nregs = 1 + cfg.data_regs;
     let threads = workers + 1;
     let start = Instant::now();
-    let lost: u64;
 
     macro_rules! run {
         ($stm:expr) => {{
@@ -307,8 +360,13 @@ pub fn privatization_throughput(
         }};
     }
 
-    lost = match kind {
+    let lost: u64 = match kind {
         StmKind::Tl2 => run!(Tl2Stm::new(nregs, threads)),
+        StmKind::Tl2Striped { stripes } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(nregs, threads).striped(stripes)
+            ))
+        }
         StmKind::Norec => run!(NorecStm::new(nregs, threads)),
         StmKind::Glock => run!(GlockStm::new(nregs, threads)),
     };
@@ -346,8 +404,40 @@ mod tests {
     }
 
     #[test]
+    fn striped_kind_runs_and_is_labeled() {
+        let kind = StmKind::Tl2Striped { stripes: 16 };
+        assert_eq!(kind.label(), "tl2-striped16");
+        let tput = mix_throughput(kind, 2, &tiny_mix(), FencePolicy::Selective);
+        assert!(tput > 0.0);
+        let cfg = PrivCfg {
+            data_regs: 8,
+            direct_ops: 8,
+            rounds: 100,
+            worker_txns: 2,
+        };
+        let (rps, lost) = privatization_throughput(kind, 2, &cfg, true);
+        assert!(rps > 0.0);
+        assert_eq!(lost, 0, "fenced striped TL2 must not lose updates");
+    }
+
+    #[test]
+    fn contended_counter_reports_backoff_stats() {
+        let (tput, stats) = contended_counter(2, 500, BackoffCfg::default());
+        assert!(tput > 0.0);
+        assert_eq!(stats.commits, 1000);
+        // retries/backoff_ns may be zero on an uncontended (single-core)
+        // run; they must at least be consistent.
+        assert_eq!(stats.retries, stats.aborts_total());
+    }
+
+    #[test]
     fn privatization_with_fence_loses_nothing() {
-        let cfg = PrivCfg { data_regs: 8, direct_ops: 16, rounds: 300, worker_txns: 2 };
+        let cfg = PrivCfg {
+            data_regs: 8,
+            direct_ops: 16,
+            rounds: 300,
+            worker_txns: 2,
+        };
         let (rps, lost) = privatization_throughput(StmKind::Tl2, 2, &cfg, true);
         assert!(rps > 0.0);
         assert_eq!(lost, 0, "fenced TL2 privatization must not lose updates");

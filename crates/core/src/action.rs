@@ -82,7 +82,12 @@ impl Kind {
     pub fn is_response(self) -> bool {
         matches!(
             self,
-            Kind::Ok | Kind::Committed | Kind::Aborted | Kind::RetUnit | Kind::RetVal(_) | Kind::FEnd
+            Kind::Ok
+                | Kind::Committed
+                | Kind::Aborted
+                | Kind::RetUnit
+                | Kind::RetVal(_)
+                | Kind::FEnd
         )
     }
 
@@ -109,20 +114,24 @@ impl Kind {
 
     /// Is `resp` a legal response to `self` per Fig 4?
     pub fn matches_response(self, resp: Kind) -> bool {
-        match (self, resp) {
-            (Kind::TxBegin, Kind::Ok | Kind::Aborted) => true,
-            (Kind::TxCommit, Kind::Committed | Kind::Aborted) => true,
-            (Kind::Write(..), Kind::RetUnit | Kind::Aborted) => true,
-            (Kind::Read(_), Kind::RetVal(_) | Kind::Aborted) => true,
-            (Kind::FBegin, Kind::FEnd) => true,
-            _ => false,
-        }
+        matches!(
+            (self, resp),
+            (Kind::TxBegin, Kind::Ok | Kind::Aborted)
+                | (Kind::TxCommit, Kind::Committed | Kind::Aborted)
+                | (Kind::Write(..), Kind::RetUnit | Kind::Aborted)
+                | (Kind::Read(_), Kind::RetVal(_) | Kind::Aborted)
+                | (Kind::FBegin, Kind::FEnd)
+        )
     }
 }
 
 impl Action {
     pub fn new(id: u64, thread: ThreadId, kind: Kind) -> Self {
-        Action { id: ActionId(id), thread, kind }
+        Action {
+            id: ActionId(id),
+            thread,
+            kind,
+        }
     }
 }
 

@@ -28,10 +28,16 @@ pub fn is_non_interleaved(ix: &HistoryIndex) -> Result<(), AtomicityViolation> {
         for i in lo..=hi {
             match ix.owner[i] {
                 Owner::Txn(o) if o != tid => {
-                    return Err(AtomicityViolation::Interleaved { txn: tid, foreign_action: i })
+                    return Err(AtomicityViolation::Interleaved {
+                        txn: tid,
+                        foreign_action: i,
+                    })
                 }
                 Owner::Ntx(_) => {
-                    return Err(AtomicityViolation::Interleaved { txn: tid, foreign_action: i })
+                    return Err(AtomicityViolation::Interleaved {
+                        txn: tid,
+                        foreign_action: i,
+                    })
                 }
                 _ => {}
             }
@@ -62,7 +68,11 @@ pub fn completions(h: &History, ix: &HistoryIndex) -> Result<Vec<History>, Atomi
         let mut inserts: Vec<(usize, Action)> = Vec::new();
         for (k, &txid) in pending.iter().enumerate() {
             let commit_req = ix.txns[txid].last();
-            let kind = if mask & (1 << k) != 0 { Kind::Committed } else { Kind::Aborted };
+            let kind = if mask & (1 << k) != 0 {
+                Kind::Committed
+            } else {
+                Kind::Aborted
+            };
             inserts.push((
                 commit_req + 1,
                 Action::new(max_id + 1 + k as u64, ix.txns[txid].thread, kind),
@@ -105,7 +115,9 @@ pub fn legal_reads(h: &History, ix: &HistoryIndex) -> Result<(), usize> {
             }
             Kind::RetVal(v) => {
                 let Some(ri) = req_of[i] else { continue };
-                let Kind::Read(x) = acts[ri].kind else { continue };
+                let Kind::Read(x) = acts[ri].kind else {
+                    continue;
+                };
                 let reader = ix.owner[ri];
                 let expected = writes[x.idx()]
                     .iter()
@@ -146,7 +158,9 @@ pub fn in_atomic_tm(h: &History) -> Result<(), AtomicityViolation> {
             Err(i) => first_bad = Some(first_bad.unwrap_or(i)),
         }
     }
-    Err(AtomicityViolation::NoLegalCompletion { read_resp: first_bad.unwrap_or(0) })
+    Err(AtomicityViolation::NoLegalCompletion {
+        read_resp: first_bad.unwrap_or(0),
+    })
 }
 
 #[cfg(test)]

@@ -14,7 +14,11 @@ pub struct BitRel {
 impl BitRel {
     pub fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
-        BitRel { n, words_per_row, bits: vec![0; n * words_per_row] }
+        BitRel {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     #[inline]
@@ -55,9 +59,9 @@ impl BitRel {
     /// Successors of `i` as an iterator of indices.
     pub fn succs(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         let row = self.row(i);
-        row.iter().enumerate().flat_map(move |(w, &word)| {
-            BitIter { word, base: w * 64 }
-        })
+        row.iter()
+            .enumerate()
+            .flat_map(move |(w, &word)| BitIter { word, base: w * 64 })
     }
 
     /// Transitive closure, assuming every edge `(i, j)` has `i < j` (true of

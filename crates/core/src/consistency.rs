@@ -79,8 +79,12 @@ pub fn check_consistency(h: &History, ix: &HistoryIndex) -> Result<(), Inconsist
     }
     for (req, resp) in ix.resp_of.iter().enumerate() {
         let Some(resp) = *resp else { continue };
-        let Kind::Read(x) = acts[req].kind else { continue };
-        let Kind::RetVal(v) = acts[resp].kind else { continue };
+        let Kind::Read(x) = acts[req].kind else {
+            continue;
+        };
+        let Kind::RetVal(v) = acts[resp].kind else {
+            continue;
+        };
 
         if read_is_local(h, ix, req) {
             let t = ix.txn_of(req).unwrap();

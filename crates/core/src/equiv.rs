@@ -26,7 +26,11 @@ fn ntx_access_ids(tr: &Trace) -> HashSet<ActionId> {
 /// `τ |nontx`: the subsequence of actions from non-transactional accesses.
 pub fn project_nontx(tr: &Trace) -> Vec<Action> {
     let ids = ntx_access_ids(tr);
-    tr.actions().iter().copied().filter(|a| ids.contains(&a.id)).collect()
+    tr.actions()
+        .iter()
+        .copied()
+        .filter(|a| ids.contains(&a.id))
+        .collect()
 }
 
 /// Observational equivalence `τ ~ τ'` (Def 5.1): equal per-thread projections

@@ -65,8 +65,7 @@ impl OpacityGraph {
 
     /// All dependency edges (WR ∪ WW ∪ RW) as pairs.
     pub fn dep_edges(&self) -> Vec<(usize, usize)> {
-        let mut out: Vec<(usize, usize)> =
-            self.wr.iter().map(|&(a, b, _)| (a, b)).collect();
+        let mut out: Vec<(usize, usize)> = self.wr.iter().map(|&(a, b, _)| (a, b)).collect();
         for order in &self.ww {
             for w in order.windows(2) {
                 out.push((w[0], w[1]));
@@ -240,6 +239,8 @@ pub fn build_graph(
     //                              ∨ (vis(n') ∧ n' writes x ∧ n read v_init from x) )
     let mut rw = Vec::new();
     let mut seen = std::collections::HashSet::new();
+    // Indexing by register keeps the Def 6.3 transcription literal.
+    #[allow(clippy::needless_range_loop)]
     for xr in 0..nregs {
         let x = Reg(xr as u32);
         let order = &ww[xr];
@@ -278,7 +279,14 @@ pub fn build_graph(
         }
     }
 
-    OpacityGraph { nodes, vis, hb, wr, ww, rw }
+    OpacityGraph {
+        nodes,
+        vis,
+        hb,
+        wr,
+        ww,
+        rw,
+    }
 }
 
 fn ww_key(ix: &HistoryIndex, n: Node, strategy: &WwStrategy) -> (u64, u64) {
@@ -325,11 +333,7 @@ pub struct FencedGraph {
 /// action; edges are the lifted hb plus the graph's dependency edges. The
 /// node list is sorted by first-action position so that the deterministic
 /// topological sort stays close to the original history order.
-pub fn build_fenced(
-    ix: &HistoryIndex,
-    g: &OpacityGraph,
-    hb_actions: &BitRel,
-) -> FencedGraph {
+pub fn build_fenced(ix: &HistoryIndex, g: &OpacityGraph, hb_actions: &BitRel) -> FencedGraph {
     let mut fnodes: Vec<FNode> = (0..g.node_count()).map(FNode::Graph).collect();
     for (f, fence) in ix.fences.iter().enumerate() {
         fnodes.push(FNode::FBegin(f));
@@ -346,11 +350,8 @@ pub fn build_fenced(
         }
     };
     fnodes.sort_by_key(pos);
-    let rev: std::collections::HashMap<FNode, usize> = fnodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let rev: std::collections::HashMap<FNode, usize> =
+        fnodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     let actions_of = |fnode: &FNode| -> Vec<usize> {
         match *fnode {

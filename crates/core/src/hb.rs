@@ -60,7 +60,10 @@ pub fn find_races(h: &History, ix: &HistoryIndex, hb: &BitRel) -> Vec<Race> {
         let i = ntx.req;
         for &j in &txn_reqs {
             if conflicting(h, i, j) && !hb.has(i, j) && !hb.has(j, i) {
-                races.push(Race { ntx_action: i, txn_action: j });
+                races.push(Race {
+                    ntx_action: i,
+                    txn_action: j,
+                });
             }
         }
     }
@@ -105,8 +108,14 @@ mod tests {
         let ix = HistoryIndex::new(&h);
         let an = analyze(&h, &ix);
         // ν1 (4) races with the write to x0 (2); ν2 (8) with the write to x1 (6).
-        assert!(an.races.contains(&Race { ntx_action: 4, txn_action: 2 }));
-        assert!(an.races.contains(&Race { ntx_action: 8, txn_action: 6 }));
+        assert!(an.races.contains(&Race {
+            ntx_action: 4,
+            txn_action: 2
+        }));
+        assert!(an.races.contains(&Race {
+            ntx_action: 8,
+            txn_action: 6
+        }));
     }
 
     /// Fig 1 with a fence between T1 and ν: T2 ended before the fence, so the

@@ -140,7 +140,11 @@ impl HistoryIndex {
                 }
                 Kind::FBegin => {
                     let id = fences.len();
-                    fences.push(Fence { thread: a.thread, fbegin: i, fend: None });
+                    fences.push(Fence {
+                        thread: a.thread,
+                        fbegin: i,
+                        fend: None,
+                    });
                     cur_fence[t] = Some(id);
                     pending_req[t] = Some(i);
                     owner.push(Owner::Fence(id));
@@ -229,7 +233,15 @@ impl HistoryIndex {
             }
         }
 
-        HistoryIndex { txns, ntx, fences, owner, resp_of, nthreads, nregs }
+        HistoryIndex {
+            txns,
+            ntx,
+            fences,
+            owner,
+            resp_of,
+            nthreads,
+            nregs,
+        }
     }
 
     /// The transaction containing action `i`, if any.

@@ -52,7 +52,10 @@ pub struct CheckOptions {
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { txn_ww_keys: None, max_pending_enumeration: 10 }
+        CheckOptions {
+            txn_ww_keys: None,
+            max_pending_enumeration: 10,
+        }
     }
 }
 
@@ -110,7 +113,9 @@ pub fn check_strong_opacity(h: &History, opts: &CheckOptions) -> Result<Witness,
     // Candidate strategies in order of preference.
     let mut strategies: Vec<WwStrategy> = Vec::new();
     if let Some(keys) = &opts.txn_ww_keys {
-        strategies.push(WwStrategy::TxnKeys { txn_key: keys.clone() });
+        strategies.push(WwStrategy::TxnKeys {
+            txn_key: keys.clone(),
+        });
     }
     strategies.push(WwStrategy::CompletionOrder);
     strategies.push(WwStrategy::FirstWriteOrder);
@@ -169,7 +174,9 @@ pub fn check_strong_opacity(h: &History, opts: &CheckOptions) -> Result<Witness,
     }
 
     if saw_acyclic {
-        Err(OpacityError::WitnessRejected("acyclic graph found but no witness verified"))
+        Err(OpacityError::WitnessRejected(
+            "acyclic graph found but no witness verified",
+        ))
     } else {
         Err(OpacityError::NoAcyclicGraph)
     }
@@ -200,8 +207,7 @@ fn brute_force_ww(
         }
     }
 
-    let perms_per_reg: Vec<Vec<Vec<usize>>> =
-        per_reg.iter().map(|ws| permutations(ws)).collect();
+    let perms_per_reg: Vec<Vec<Vec<usize>>> = per_reg.iter().map(|ws| permutations(ws)).collect();
     let mut idx = vec![0usize; perms_per_reg.len()];
     loop {
         let orders: Vec<Vec<usize>> = perms_per_reg
@@ -292,13 +298,16 @@ fn linearize_and_verify(
     let s = History::new(seq);
 
     // Verify H ⊑ S.
-    let theta = in_opacity_relation(h, &s)
-        .map_err(OpacityError::WitnessRejected)?;
+    let theta = in_opacity_relation(h, &s).map_err(OpacityError::WitnessRejected)?;
     // Verify S ∈ H_atomic.
     if in_atomic_tm(&s).is_err() {
         return Err(OpacityError::WitnessRejected("witness not in H_atomic"));
     }
-    Ok(Witness { sequential: s, theta, small_cycle_premise: g.small_cycle_premise() })
+    Ok(Witness {
+        sequential: s,
+        theta,
+        small_cycle_premise: g.small_cycle_premise(),
+    })
 }
 
 #[cfg(test)]

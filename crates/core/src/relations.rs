@@ -53,7 +53,9 @@ pub fn read_dependencies(h: &History, ix: &HistoryIndex) -> ReadDeps {
         if v == crate::ids::V_INIT {
             continue;
         }
-        let Some(&(wi, wx)) = writer_of.get(&v) else { continue };
+        let Some(&(wi, wx)) = writer_of.get(&v) else {
+            continue;
+        };
         // The response j matches a read request on the same register and the
         // write precedes the response in execution order.
         if let Some(ri) = req_of[j] {
@@ -153,7 +155,12 @@ impl<'h> HbBuilder<'h> {
             }
         }
 
-        HbBuilder { history: h, index: ix, read_deps, generators: g }
+        HbBuilder {
+            history: h,
+            index: ix,
+            read_deps,
+            generators: g,
+        }
     }
 
     /// The happens-before relation as a closed bit matrix.

@@ -42,7 +42,11 @@ pub enum WfError {
     /// Clause 9: a fence action occurs inside a transaction.
     FenceInsideTxn { index: usize },
     /// Clause 10: a transaction spans a complete fence.
-    TxnSpansFence { txbegin: usize, fbegin: usize, fend: usize },
+    TxnSpansFence {
+        txbegin: usize,
+        fbegin: usize,
+        fend: usize,
+    },
 }
 
 impl Trace {
@@ -76,7 +80,11 @@ impl Trace {
 
     /// `τ|t`: the projection onto the actions of thread `t`.
     pub fn per_thread(&self, t: ThreadId) -> Vec<Action> {
-        self.actions.iter().copied().filter(|a| a.thread == t).collect()
+        self.actions
+            .iter()
+            .copied()
+            .filter(|a| a.thread == t)
+            .collect()
     }
 
     /// Validate all mechanically checkable clauses of Def A.1.
@@ -109,7 +117,11 @@ impl History {
     }
 
     pub fn per_thread(&self, t: ThreadId) -> Vec<Action> {
-        self.actions.iter().copied().filter(|a| a.thread == t).collect()
+        self.actions
+            .iter()
+            .copied()
+            .filter(|a| a.thread == t)
+            .collect()
     }
 
     pub fn validate(&self) -> Result<(), WfError> {
@@ -118,7 +130,9 @@ impl History {
 
     /// Prefix of the first `n` actions.
     pub fn prefix(&self, n: usize) -> History {
-        History { actions: self.actions[..n].to_vec() }
+        History {
+            actions: self.actions[..n].to_vec(),
+        }
     }
 }
 
@@ -210,13 +224,19 @@ fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
             k if k.is_request() => {
                 // Clause 5: no nested requests per thread.
                 if pending_req[t].is_some() {
-                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                    return Err(WfError::BadMatching {
+                        thread: a.thread,
+                        index: i,
+                    });
                 }
                 match k {
                     Kind::TxBegin => {
                         // Clause 6: txbegin only outside a transaction.
                         if phase[t] == TxnPhase::Inside {
-                            return Err(WfError::BadTxnBracketing { thread: a.thread, index: i });
+                            return Err(WfError::BadTxnBracketing {
+                                thread: a.thread,
+                                index: i,
+                            });
                         }
                     }
                     Kind::FBegin => {
@@ -225,10 +245,7 @@ fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
                             return Err(WfError::FenceInsideTxn { index: i });
                         }
                         // Clause 10: record transactions open right now.
-                        let open: Vec<usize> = open_txbegin
-                            .iter()
-                            .filter_map(|o| *o)
-                            .collect();
+                        let open: Vec<usize> = open_txbegin.iter().filter_map(|o| *o).collect();
                         open_fences.push((a.thread, i, open));
                     }
                     Kind::Read(_) | Kind::Write(..) => {
@@ -236,7 +253,10 @@ fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
                     }
                     Kind::TxCommit => {
                         if phase[t] == TxnPhase::Outside {
-                            return Err(WfError::BadTxnBracketing { thread: a.thread, index: i });
+                            return Err(WfError::BadTxnBracketing {
+                                thread: a.thread,
+                                index: i,
+                            });
                         }
                     }
                     _ => unreachable!(),
@@ -246,8 +266,7 @@ fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
                 // followed (globally) by its response.
                 if matches!(k, Kind::Read(_) | Kind::Write(..)) && phase[t] == TxnPhase::Outside {
                     match actions.get(i + 1) {
-                        Some(next)
-                            if next.thread == a.thread && k.matches_response(next.kind) => {}
+                        Some(next) if next.thread == a.thread && k.matches_response(next.kind) => {}
                         // A trailing pending non-transactional access (end of
                         // trace) is tolerated: prefixes of well-formed traces
                         // may cut between request and response only at the
@@ -260,10 +279,16 @@ fn validate_actions(actions: &[Action]) -> Result<(), WfError> {
             k => {
                 // Response action. Clause 5: must match the pending request.
                 let Some((req_i, req_k)) = pending_req[t].take() else {
-                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                    return Err(WfError::BadMatching {
+                        thread: a.thread,
+                        index: i,
+                    });
                 };
                 if !req_k.matches_response(k) {
-                    return Err(WfError::BadMatching { thread: a.thread, index: i });
+                    return Err(WfError::BadMatching {
+                        thread: a.thread,
+                        index: i,
+                    });
                 }
                 match k {
                     Kind::Ok => {

@@ -10,6 +10,10 @@
 //! transaction bodies (keeping commit order) to exercise the witness
 //! reordering machinery.
 
+// Index-based loops below transcribe Floyd–Warshall and per-thread script
+// interleaving literally.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use tm_core::atomic_tm::in_atomic_tm;
 use tm_core::bitrel::BitRel;
@@ -47,10 +51,16 @@ struct Gen {
 
 impl Gen {
     fn new(nregs: usize) -> Self {
-        Gen { actions: Vec::new(), next_id: 0, next_val: 1, regs: vec![0; nregs] }
+        Gen {
+            actions: Vec::new(),
+            next_id: 0,
+            next_val: 1,
+            regs: vec![0; nregs],
+        }
     }
     fn emit(&mut self, t: u32, kind: Kind) {
-        self.actions.push(Action::new(self.next_id, ThreadId(t), kind));
+        self.actions
+            .push(Action::new(self.next_id, ThreadId(t), kind));
         self.next_id += 1;
     }
     fn fresh_val(&mut self) -> u64 {
@@ -164,8 +174,9 @@ fn interleaved_history(seed: u64, nthreads: u32, nregs: usize) -> History {
     // Interleave.
     let mut pos = vec![0usize; nthreads as usize];
     loop {
-        let live: Vec<usize> =
-            (0..nthreads as usize).filter(|&t| pos[t] < scripts[t].len()).collect();
+        let live: Vec<usize> = (0..nthreads as usize)
+            .filter(|&t| pos[t] < scripts[t].len())
+            .collect();
         if live.is_empty() {
             break;
         }

@@ -69,7 +69,11 @@ impl Program {
             .filter_map(max_reg)
             .max()
             .map_or(0, |r| r + 1);
-        Ok(Program { threads, nvars, nregs })
+        Ok(Program {
+            threads,
+            nvars,
+            nregs,
+        })
     }
 
     pub fn nthreads(&self) -> usize {
@@ -177,10 +181,13 @@ mod tests {
                 fence(),
                 if_then(is_committed(l), write(x, cst(2))),
             ]),
-            seq([atomic(Var(0), [
-                read(Var(1), xp),
-                if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
-            ])]),
+            seq([atomic(
+                Var(0),
+                [
+                    read(Var(1), xp),
+                    if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
+                ],
+            )]),
         ])
         .unwrap();
         assert_eq!(p.nthreads(), 2);

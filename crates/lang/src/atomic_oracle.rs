@@ -55,17 +55,29 @@ impl Oracle for AtomicOracle {
         match req {
             Req::Begin => {
                 if self.active.is_none() {
-                    if self.spurious_aborts { 2 } else { 1 }
+                    if self.spurious_aborts {
+                        2
+                    } else {
+                        1
+                    }
                 } else {
                     0 // wait until the open transaction completes
                 }
             }
             Req::Read(_) | Req::Write(..) => 1,
             Req::Commit => {
-                if self.spurious_aborts { 2 } else { 1 }
+                if self.spurious_aborts {
+                    2
+                } else {
+                    1
+                }
             }
             Req::FenceBegin => {
-                if self.active.is_none() { 1 } else { 0 }
+                if self.active.is_none() {
+                    1
+                } else {
+                    0
+                }
             }
         }
     }

@@ -119,7 +119,12 @@ fn all_done<O: Oracle>(s: &ExecState<O>) -> bool {
 fn outcome_of<O: Oracle>(s: &ExecState<O>) -> Outcome {
     Outcome {
         locals: s.threads.iter().map(ThreadState::user_locals).collect(),
-        regs: s.oracle.regs().iter().map(|&v| crate::expr::user(v)).collect(),
+        regs: s
+            .oracle
+            .regs()
+            .iter()
+            .map(|&v| crate::expr::user(v))
+            .collect(),
     }
 }
 
@@ -229,7 +234,7 @@ fn apply_move<O: Oracle>(
                     Resp::FenceEnd => Kind::FEnd,
                 };
                 s.threads[t].apply_response(resp, &mut prims);
-                if let Some(tr) = trace.as_deref_mut() {
+                if let Some(tr) = trace {
                     emit(tr, t, kind);
                     for p in &prims {
                         emit(tr, t, Kind::Prim(*p));
@@ -255,7 +260,11 @@ pub fn explore_outcomes<O: Oracle>(p: &Program, oracle: O, limits: &Limits) -> E
         .zip(&p.nvars)
         .map(|(c, &nv)| ThreadState::new(c.clone(), nv))
         .collect();
-    let state = ExecState { threads, oracle, write_seq: 1 };
+    let state = ExecState {
+        threads,
+        oracle,
+        write_seq: 1,
+    };
     let mut visited: HashMap<ExecState<O>, Color> = HashMap::new();
     let mut result = ExploreResult::default();
     dfs_outcomes(state, &mut visited, &mut result, limits);
@@ -324,11 +333,22 @@ pub fn explore_traces<O: Oracle>(
         .zip(&p.nvars)
         .map(|(c, &nv)| ThreadState::new(c.clone(), nv))
         .collect();
-    let state = ExecState { threads, oracle, write_seq: 1 };
+    let state = ExecState {
+        threads,
+        oracle,
+        write_seq: 1,
+    };
     let mut on_path: HashSet<ExecState<O>> = HashSet::new();
     let mut trace: Vec<Action> = Vec::new();
     let mut result = TraceExploreResult::default();
-    dfs_traces(state, &mut on_path, &mut trace, &mut result, limits, on_trace);
+    dfs_traces(
+        state,
+        &mut on_path,
+        &mut trace,
+        &mut result,
+        limits,
+        on_trace,
+    );
     result
 }
 
@@ -358,7 +378,11 @@ fn dfs_traces<O: Oracle>(
 
     let moves = enabled_moves(&state);
     if moves.is_empty() {
-        let status = if all_done(&state) { PathStatus::Terminal } else { PathStatus::Blocked };
+        let status = if all_done(&state) {
+            PathStatus::Terminal
+        } else {
+            PathStatus::Blocked
+        };
         result.traces_delivered += 1;
         on_trace(Trace::new(trace.clone()), status);
     }
@@ -394,9 +418,10 @@ mod tests {
     #[test]
     fn single_thread_txn_all_oracles() {
         let l = Var(0);
-        let p = Program::new(vec![seq([
-            atomic(l, [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))]),
-        ])])
+        let p = Program::new(vec![seq([atomic(
+            l,
+            [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))],
+        )])])
         .unwrap();
 
         let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 1, false), &limits());
@@ -406,7 +431,11 @@ mod tests {
         assert_eq!(o.regs, vec![1]);
         assert_eq!(o.locals[0][0], COMMITTED);
 
-        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 1, Tl2Config::default()), &limits());
+        let r = explore_outcomes(
+            &p,
+            Tl2Spec::new(p.nregs, 1, Tl2Config::default()),
+            &limits(),
+        );
         assert_eq!(r.outcomes.iter().next().unwrap().regs, vec![1]);
 
         let r = explore_outcomes(&p, GlockOracle::new(p.nregs, 1), &limits());
@@ -423,7 +452,10 @@ mod tests {
                 assign(l, cst(ABORTED)),
                 while_(
                     ne(v(l), cst(COMMITTED)),
-                    atomic(l, [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))]),
+                    atomic(
+                        l,
+                        [read(Var(1), Reg(0)), write(Reg(0), add(v(Var(1)), cst(1)))],
+                    ),
                 ),
             ])
         };
@@ -436,7 +468,11 @@ mod tests {
                 assert_eq!(o.regs, vec![2], "atomic outcome {o:?}");
             }
         }
-        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        let r = explore_outcomes(
+            &p,
+            Tl2Spec::new(p.nregs, 2, Tl2Config::default()),
+            &limits(),
+        );
         assert!(!r.blocked, "TL2 must not deadlock");
         for o in &r.outcomes {
             assert_eq!(o.regs, vec![2], "TL2 outcome {o:?}");
@@ -473,7 +509,11 @@ mod tests {
             seq([read(Var(0), Reg(0)), read(Var(1), Reg(1))]),
         ])
         .unwrap();
-        let r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        let r = explore_outcomes(
+            &p,
+            Tl2Spec::new(p.nregs, 2, Tl2Config::default()),
+            &limits(),
+        );
         assert!(
             r.outcomes
                 .iter()
@@ -486,11 +526,7 @@ mod tests {
     /// a cycle exists is reported as divergence (state-graph cycle).
     #[test]
     fn divergence_detected() {
-        let p = Program::new(vec![while_(
-            eq(v(Var(0)), cst(0)),
-            read(Var(0), Reg(0)),
-        )])
-        .unwrap();
+        let p = Program::new(vec![while_(eq(v(Var(0)), cst(0)), read(Var(0), Reg(0)))]).unwrap();
         // Register 0 stays 0 forever: infinite loop.
         let r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 1, false), &limits());
         assert!(r.diverged);
@@ -540,14 +576,21 @@ mod tests {
                 fence(),
                 if_then(is_committed(Var(0)), write(x, cst(2))),
             ]),
-            atomic(Var(0), [
-                read(Var(1), xp),
-                if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
-            ]),
+            atomic(
+                Var(0),
+                [
+                    read(Var(1), xp),
+                    if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
+                ],
+            ),
         ])
         .unwrap();
         let atomic_r = explore_outcomes(&p, AtomicOracle::new(p.nregs, 2, true), &limits());
-        let tl2_r = explore_outcomes(&p, Tl2Spec::new(p.nregs, 2, Tl2Config::default()), &limits());
+        let tl2_r = explore_outcomes(
+            &p,
+            Tl2Spec::new(p.nregs, 2, Tl2Config::default()),
+            &limits(),
+        );
         assert!(!tl2_r.truncated && !atomic_r.truncated);
         for o in &tl2_r.outcomes {
             assert!(

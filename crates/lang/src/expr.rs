@@ -172,7 +172,11 @@ mod tests {
         assert!(lt(v(Var(1)), v(Var(0))).eval(&locals));
         assert!(le(cst(3), v(Var(1))).eval(&locals));
         assert!(not(BExpr::Const(false)).eval(&locals));
-        assert!(and(BExpr::Const(true), or(BExpr::Const(false), BExpr::Const(true))).eval(&locals));
+        assert!(and(
+            BExpr::Const(true),
+            or(BExpr::Const(false), BExpr::Const(true))
+        )
+        .eval(&locals));
     }
 
     #[test]
@@ -185,6 +189,9 @@ mod tests {
     fn max_var() {
         assert_eq!(add(v(Var(3)), v(Var(7))).max_var(), Some(7));
         assert_eq!(cst(1).max_var(), None);
-        assert_eq!(and(eq(v(Var(2)), cst(0)), BExpr::Const(true)).max_var(), Some(2));
+        assert_eq!(
+            and(eq(v(Var(2)), cst(0)), BExpr::Const(true)).max_var(),
+            Some(2)
+        );
     }
 }

@@ -146,7 +146,9 @@ pub fn build_incremental(h: &History) -> IncrementalGraph {
     }
 
     for (i, a) in h.actions().iter().enumerate() {
-        let Some(n) = node_of(ix.owner[i]) else { continue };
+        let Some(n) = node_of(ix.owner[i]) else {
+            continue;
+        };
         match a.kind {
             Kind::TxBegin => g.add_node(n, false),
             Kind::Write(x, v) => {
@@ -230,7 +232,10 @@ pub fn diff_with_batch(h: &History) -> Option<String> {
         let empty = Vec::new();
         let iw = inc.ww.get(x).unwrap_or(&empty);
         if &batch.ww[x] != iw {
-            return Some(format!("WW[{x}] differs: batch={:?} inc={:?}", batch.ww[x], iw));
+            return Some(format!(
+                "WW[{x}] differs: batch={:?} inc={:?}",
+                batch.ww[x], iw
+            ));
         }
     }
     None
@@ -257,13 +262,19 @@ mod tests {
                 fence(),
                 if_then(is_committed(Var(0)), write(x, cst(2))),
             ]),
-            atomic(Var(0), [
-                read(Var(1), xp),
-                if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
-            ]),
+            atomic(
+                Var(0),
+                [
+                    read(Var(1), xp),
+                    if_then(eq(v(Var(1)), cst(0)), write(x, cst(42))),
+                ],
+            ),
         ])
         .unwrap();
-        let lim = Limits { max_traces: 600, ..Limits::default() };
+        let lim = Limits {
+            max_traces: 600,
+            ..Limits::default()
+        };
         let mut checked = 0;
         explore_traces(
             &p,
@@ -290,13 +301,19 @@ mod tests {
         let x = CReg(1);
         let p = Program::new(vec![
             seq([write(x, cst(42)), atomic(Var(0), [write(xp, cst(1))])]),
-            atomic(Var(0), [
-                read(Var(1), xp),
-                if_then(eq(v(Var(1)), cst(1)), read(Var(2), x)),
-            ]),
+            atomic(
+                Var(0),
+                [
+                    read(Var(1), xp),
+                    if_then(eq(v(Var(1)), cst(1)), read(Var(2), x)),
+                ],
+            ),
         ])
         .unwrap();
-        let lim = Limits { max_traces: 600, ..Limits::default() };
+        let lim = Limits {
+            max_traces: 600,
+            ..Limits::default()
+        };
         let mut checked = 0;
         explore_traces(
             &p,

@@ -102,7 +102,10 @@ impl ThreadState {
     /// submitted), termination, or the local step budget runs out. Assign
     /// effects are appended to `prims` for the caller to emit as actions.
     pub fn next_visible(&mut self, budget: u32, prims: &mut Vec<PrimRecord>) -> NextVisible {
-        assert!(self.awaiting.is_none(), "cannot run while awaiting a response");
+        assert!(
+            self.awaiting.is_none(),
+            "cannot run while awaiting a response"
+        );
         let mut steps = 0u32;
         loop {
             if steps >= budget {
@@ -242,7 +245,10 @@ mod tests {
 
     #[test]
     fn straight_line_locals() {
-        let prog = seq([assign(Var(0), cst(5)), assign(Var(1), add(v(Var(0)), cst(2)))]);
+        let prog = seq([
+            assign(Var(0), cst(5)),
+            assign(Var(1), add(v(Var(0)), cst(2))),
+        ]);
         let mut ts = ThreadState::new(prog, 2);
         let mut prims = Vec::new();
         assert_eq!(ts.next_visible(100, &mut prims), NextVisible::Done);
@@ -252,7 +258,11 @@ mod tests {
 
     #[test]
     fn if_branches() {
-        let prog = if_(eq(v(Var(0)), cst(0)), assign(Var(1), cst(1)), assign(Var(1), cst(2)));
+        let prog = if_(
+            eq(v(Var(0)), cst(0)),
+            assign(Var(1), cst(1)),
+            assign(Var(1), cst(2)),
+        );
         let mut ts = ThreadState::new(prog, 2);
         assert_eq!(run_to_op(&mut ts), NextVisible::Done);
         assert_eq!(ts.user_locals()[1], 1);
@@ -261,7 +271,10 @@ mod tests {
     #[test]
     fn while_loop_terminates() {
         // while (l0 < 3) l0 := l0 + 1
-        let prog = while_(lt(v(Var(0)), cst(3)), assign(Var(0), add(v(Var(0)), cst(1))));
+        let prog = while_(
+            lt(v(Var(0)), cst(3)),
+            assign(Var(0), add(v(Var(0)), cst(1))),
+        );
         let mut ts = ThreadState::new(prog, 1);
         assert_eq!(run_to_op(&mut ts), NextVisible::Done);
         assert_eq!(ts.user_locals()[0], 3);
@@ -278,13 +291,19 @@ mod tests {
     fn read_yields_visible_op() {
         let prog = read(Var(0), Reg(3));
         let mut ts = ThreadState::new(prog, 1);
-        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Read(Var(0), Reg(3))));
+        assert_eq!(
+            run_to_op(&mut ts),
+            NextVisible::Op(VisOp::Read(Var(0), Reg(3)))
+        );
         assert!(!ts.in_txn);
     }
 
     #[test]
     fn write_evaluates_user_value() {
-        let prog = seq([assign(Var(0), cst(6)), write(Reg(1), add(v(Var(0)), cst(1)))]);
+        let prog = seq([
+            assign(Var(0), cst(6)),
+            write(Reg(1), add(v(Var(0)), cst(1))),
+        ]);
         let mut ts = ThreadState::new(prog, 1);
         assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Write(Reg(1), 7)));
     }
@@ -316,7 +335,14 @@ mod tests {
         // l1 := 10; l1 := atomic { l1 := 99; read... } — abort at the read.
         let prog = seq([
             assign(Var(1), cst(10)),
-            atomic(l, [assign(Var(1), cst(99)), read(Var(1), Reg(0)), write(Reg(0), cst(5))]),
+            atomic(
+                l,
+                [
+                    assign(Var(1), cst(99)),
+                    read(Var(1), Reg(0)),
+                    write(Reg(0), cst(5)),
+                ],
+            ),
         ]);
         let mut ts = ThreadState::new(prog, 2);
         assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Begin));
@@ -324,7 +350,10 @@ mod tests {
         let mut prims = Vec::new();
         ts.apply_response(Resp::Ok, &mut prims);
         // Body runs: l1 := 99, then the read becomes visible.
-        assert_eq!(run_to_op(&mut ts), NextVisible::Op(VisOp::Read(Var(1), Reg(0))));
+        assert_eq!(
+            run_to_op(&mut ts),
+            NextVisible::Op(VisOp::Read(Var(1), Reg(0)))
+        );
         assert_eq!(ts.user_locals()[1], 99);
         ts.submitted(Await::Read(Var(1)));
         ts.apply_response(Resp::Aborted, &mut prims);

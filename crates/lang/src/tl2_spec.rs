@@ -52,7 +52,10 @@ pub struct Tl2Config {
 
 impl Default for Tl2Config {
     fn default() -> Self {
-        Tl2Config { implicit_fence: ImplicitFence::None, check_invariants: false }
+        Tl2Config {
+            implicit_fence: ImplicitFence::None,
+            check_invariants: false,
+        }
     }
 }
 
@@ -96,30 +99,68 @@ enum Op {
     BeginSetActive,
     BeginReadClock,
     /// Read satisfied from the write set (one local step).
-    ReadLocal { x: Reg },
+    ReadLocal {
+        x: Reg,
+    },
     /// Fig 9 line 17: `ts1 := ver[x]`.
-    ReadV1 { x: Reg },
+    ReadV1 {
+        x: Reg,
+    },
     /// line 18: `value := reg[x]`.
-    ReadVal { x: Reg, ts1: u64 },
+    ReadVal {
+        x: Reg,
+        ts1: u64,
+    },
     /// line 19: `locked := lock[x].test()`.
-    ReadLock { x: Reg, ts1: u64, val: Value },
+    ReadLock {
+        x: Reg,
+        ts1: u64,
+        val: Value,
+    },
     /// line 20–23: `ts2 := ver[x]`, then validate.
-    ReadV2 { x: Reg, ts1: u64, val: Value, locked: bool },
+    ReadV2 {
+        x: Reg,
+        ts1: u64,
+        val: Value,
+        locked: bool,
+    },
     /// Buffer the write (line 27 of `write`).
-    WriteBuf { x: Reg, v: Value },
+    WriteBuf {
+        x: Reg,
+        v: Value,
+    },
     /// Commit: acquiring lock for `wset[i]` (lines 11–18).
-    CommitLock { i: usize },
+    CommitLock {
+        i: usize,
+    },
     /// Commit failure: releasing `wset[0..upto]`, then abort.
-    CommitUnlockAbort { k: usize, upto: usize },
+    CommitUnlockAbort {
+        k: usize,
+        upto: usize,
+    },
     /// `wver := fetch_and_increment(clock) + 1` (line 19).
     CommitClock,
     /// Validate `rset[j]` (lines 20–26).
-    CommitValidate { j: usize, wver: u64 },
+    CommitValidate {
+        j: usize,
+        wver: u64,
+    },
     /// Write back `wset[k]` (lines 27–30, one step per register).
-    CommitWriteback { k: usize, wver: u64 },
+    CommitWriteback {
+        k: usize,
+        wver: u64,
+    },
     /// Post-commit implicit quiescence (modelled TMs only).
-    QuiesceSnap { u: usize, waits: Vec<bool>, commit: bool },
-    QuiesceWait { u: usize, waits: Vec<bool>, commit: bool },
+    QuiesceSnap {
+        u: usize,
+        waits: Vec<bool>,
+        commit: bool,
+    },
+    QuiesceWait {
+        u: usize,
+        waits: Vec<bool>,
+        commit: bool,
+    },
 }
 
 /// The TL2 specification oracle.
@@ -176,7 +217,11 @@ impl Tl2Spec {
         if quiesce {
             self.quiescing[t] = true;
             let n = self.active.len();
-            self.ops[t] = Some(Op::QuiesceSnap { u: 0, waits: vec![false; n], commit: true });
+            self.ops[t] = Some(Op::QuiesceSnap {
+                u: 0,
+                waits: vec![false; n],
+                commit: true,
+            });
             None
         } else {
             self.txn[t].reset();
@@ -195,15 +240,26 @@ impl Tl2Spec {
         // INV.7b: all read timestamps are bounded by the clock.
         for (t, m) in self.txn.iter().enumerate() {
             if let Some(rv) = m.rver {
-                assert!(rv <= self.clock, "INV.7b: rver[{t}]={rv} > clock={}", self.clock);
+                assert!(
+                    rv <= self.clock,
+                    "INV.7b: rver[{t}]={rv} > clock={}",
+                    self.clock
+                );
             }
             // Threads with a read set have a read timestamp (INV.7d).
             if !m.rset.is_empty() {
-                assert!(m.rver.is_some(), "INV.7d: rset nonempty but rver unset (t{t})");
+                assert!(
+                    m.rver.is_some(),
+                    "INV.7d: rset nonempty but rver unset (t{t})"
+                );
             }
         }
         for (x, &vx) in self.ver.iter().enumerate() {
-            assert!(vx <= self.clock, "version ver[x{x}]={vx} > clock={}", self.clock);
+            assert!(
+                vx <= self.clock,
+                "version ver[x{x}]={vx} > clock={}",
+                self.clock
+            );
         }
         // INV.8e analog: a held lock belongs to a thread currently committing
         // a write set containing that register.
@@ -220,7 +276,10 @@ impl Tl2Spec {
                             | Op::CommitWriteback { .. }
                     )
                 );
-                assert!(committing, "INV.8e: lock x{x} held by t{t} which is not committing");
+                assert!(
+                    committing,
+                    "INV.8e: lock x{x} held by t{t} which is not committing"
+                );
                 assert!(
                     self.txn[t].wset.iter().any(|&(r, _)| r.idx() == x),
                     "INV.8e: lock x{x} held by t{t} but x not in its write set"
@@ -269,7 +328,11 @@ impl Oracle for Tl2Spec {
             }
             Req::FenceBegin => {
                 let n = self.active.len();
-                Op::QuiesceSnap { u: 0, waits: vec![false; n], commit: false }
+                Op::QuiesceSnap {
+                    u: 0,
+                    waits: vec![false; n],
+                    commit: false,
+                }
             }
         });
     }
@@ -282,9 +345,7 @@ impl Oracle for Tl2Spec {
                 // current one is still active.
                 let mut u = *u;
                 while u < waits.len() {
-                    let skip = u == t
-                        || !waits[u]
-                        || (*commit && self.quiescing[u]);
+                    let skip = u == t || !waits[u] || (*commit && self.quiescing[u]);
                     if !skip && self.active[u] {
                         return 0; // blocked on u
                     }
@@ -312,7 +373,9 @@ impl Oracle for Tl2Spec {
                 Some(Resp::Ok)
             }
             Op::ReadLocal { x } => {
-                let v = self.txn[t].wset_lookup(x).expect("read-local without wset entry");
+                let v = self.txn[t]
+                    .wset_lookup(x)
+                    .expect("read-local without wset entry");
                 Some(Resp::Val(v))
             }
             Op::ReadV1 { x } => {
@@ -327,10 +390,20 @@ impl Oracle for Tl2Spec {
             }
             Op::ReadLock { x, ts1, val } => {
                 let locked = self.locked_by_other(x, t);
-                self.ops[t] = Some(Op::ReadV2 { x, ts1, val, locked });
+                self.ops[t] = Some(Op::ReadV2 {
+                    x,
+                    ts1,
+                    val,
+                    locked,
+                });
                 None
             }
-            Op::ReadV2 { x, ts1, val, locked } => {
+            Op::ReadV2 {
+                x,
+                ts1,
+                val,
+                locked,
+            } => {
                 let ts2 = self.ver[x.idx()];
                 let rver = self.txn[t].rver.expect("read before begin");
                 if locked || ts1 != ts2 || rver < ts2 {
@@ -426,17 +499,33 @@ impl Oracle for Tl2Spec {
                     None
                 }
             }
-            Op::QuiesceSnap { u, mut waits, commit } => {
+            Op::QuiesceSnap {
+                u,
+                mut waits,
+                commit,
+            } => {
                 // One micro-step per scanned flag (Fig 7 lines 35–36).
                 waits[u] = self.active[u];
                 if u + 1 == waits.len() {
-                    self.ops[t] = Some(Op::QuiesceWait { u: 0, waits, commit });
+                    self.ops[t] = Some(Op::QuiesceWait {
+                        u: 0,
+                        waits,
+                        commit,
+                    });
                 } else {
-                    self.ops[t] = Some(Op::QuiesceSnap { u: u + 1, waits, commit });
+                    self.ops[t] = Some(Op::QuiesceSnap {
+                        u: u + 1,
+                        waits,
+                        commit,
+                    });
                 }
                 None
             }
-            Op::QuiesceWait { mut u, waits, commit } => {
+            Op::QuiesceWait {
+                mut u,
+                waits,
+                commit,
+            } => {
                 // Advance past slots that need no waiting or are quiescent.
                 while u < waits.len() {
                     let skip = u == t || !waits[u] || (commit && self.quiescing[u]);
@@ -500,7 +589,10 @@ mod tests {
     }
 
     fn cfg_checked() -> Tl2Config {
-        Tl2Config { implicit_fence: ImplicitFence::None, check_invariants: true }
+        Tl2Config {
+            implicit_fence: ImplicitFence::None,
+            check_invariants: true,
+        }
     }
 
     #[test]
@@ -560,7 +652,7 @@ mod tests {
         drive(&mut o, 1);
         o.submit(1, Req::Commit);
         assert!(o.step(1, 0).is_none()); // CommitLock: lock acquired
-        // t0 reads x0: observes the lock and aborts.
+                                         // t0 reads x0: observes the lock and aborts.
         o.submit(0, Req::Read(Reg(0)));
         assert_eq!(drive(&mut o, 0), Resp::Aborted);
         // Let t1 finish.
@@ -626,7 +718,10 @@ mod tests {
 
     #[test]
     fn implicit_fence_after_writer_commit() {
-        let cfg = Tl2Config { implicit_fence: ImplicitFence::AfterEvery, check_invariants: true };
+        let cfg = Tl2Config {
+            implicit_fence: ImplicitFence::AfterEvery,
+            check_invariants: true,
+        };
         let mut o = Tl2Spec::new(1, 2, cfg);
         // t1 opens a transaction that stays active.
         o.submit(1, Req::Begin);
@@ -651,8 +746,10 @@ mod tests {
 
     #[test]
     fn skip_read_only_does_not_quiesce_ro_commit() {
-        let cfg =
-            Tl2Config { implicit_fence: ImplicitFence::SkipReadOnly, check_invariants: true };
+        let cfg = Tl2Config {
+            implicit_fence: ImplicitFence::SkipReadOnly,
+            check_invariants: true,
+        };
         let mut o = Tl2Spec::new(1, 2, cfg);
         // t1 stays active.
         o.submit(1, Req::Begin);

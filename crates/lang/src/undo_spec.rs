@@ -18,18 +18,35 @@ use tm_core::ids::{Reg, Value};
 enum Op {
     BeginSetActive,
     /// Read `x` in place and log it.
-    ReadLog { x: Reg },
+    ReadLog {
+        x: Reg,
+    },
     /// Lock, log old value, write in place.
-    WriteEager { x: Reg, v: Value },
+    WriteEager {
+        x: Reg,
+        v: Value,
+    },
     /// Validate `rset[j]` by value (commit).
-    Validate { j: usize },
+    Validate {
+        j: usize,
+    },
     /// Release the lock of `wlog[k]` (commit success path).
-    Unlock { k: usize },
+    Unlock {
+        k: usize,
+    },
     /// Roll back `wlog[k]` (abort path; runs newest-first).
-    Rollback { k: usize },
+    Rollback {
+        k: usize,
+    },
     /// Fence: snapshot scan / wait (Fig 7 shape).
-    FenceSnap { u: usize, waits: Vec<bool> },
-    FenceWait { u: usize, waits: Vec<bool> },
+    FenceSnap {
+        u: usize,
+        waits: Vec<bool>,
+    },
+    FenceWait {
+        u: usize,
+        waits: Vec<bool>,
+    },
 }
 
 /// Per-thread transaction metadata.
@@ -107,9 +124,10 @@ impl Oracle for UndoSpec {
                     Op::Validate { j: 0 }
                 }
             }
-            Req::FenceBegin => {
-                Op::FenceSnap { u: 0, waits: vec![false; self.active.len()] }
-            }
+            Req::FenceBegin => Op::FenceSnap {
+                u: 0,
+                waits: vec![false; self.active.len()],
+            },
         });
     }
 
@@ -146,19 +164,17 @@ impl Oracle for UndoSpec {
                 self.txn[t].rset.push((x, v));
                 Some(Resp::Val(v))
             }
-            Op::WriteEager { x, v } => {
-                match self.lock[x.idx()] {
-                    Some(o) if o as usize != t => self.start_abort(t),
-                    owned => {
-                        if owned.is_none() {
-                            self.lock[x.idx()] = Some(t as u16);
-                            self.txn[t].wlog.push((x, self.reg[x.idx()]));
-                        }
-                        self.reg[x.idx()] = v;
-                        Some(Resp::Unit)
+            Op::WriteEager { x, v } => match self.lock[x.idx()] {
+                Some(o) if o as usize != t => self.start_abort(t),
+                owned => {
+                    if owned.is_none() {
+                        self.lock[x.idx()] = Some(t as u16);
+                        self.txn[t].wlog.push((x, self.reg[x.idx()]));
                     }
+                    self.reg[x.idx()] = v;
+                    Some(Resp::Unit)
                 }
-            }
+            },
             Op::Validate { j } => {
                 let (x, seen) = self.txn[t].rset[j];
                 let cur = self.reg[x.idx()];

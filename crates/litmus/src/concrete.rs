@@ -1,0 +1,435 @@
+//! Concrete litmus scenarios for the *runtime* STMs (`tm-stm`), the
+//! executable counterpart of the spec-level programs in
+//! [`crate::programs`]: the same idioms — bank transfer, privatization,
+//! publication — driven through the shared [`StmHandle`] interface on real
+//! threads, against any storage backend, with optional history recording so
+//! the `tm-core` checkers can pass verdicts on what actually ran.
+//!
+//! Every scenario is designed to have a *deterministic final state* under
+//! any correct TM (transfer deltas commute; the privatization owner settles
+//! the data register last, under privatization), so a conformance suite can
+//! assert bit-identical outcomes across backends that schedule completely
+//! differently.
+//!
+//! Histories must have globally unique, non-initial write values (Def A.1
+//! clause 3 — that is how the checkers infer reads-from), so scenarios that
+//! rewrite the same logical state tag every write with a unique nonce and
+//! report the *projected* semantic state (e.g. the balance bits) as their
+//! final registers.
+
+use std::sync::Arc;
+use tm_core::hb::is_drf;
+use tm_core::opacity::{check_strong_opacity, CheckOptions};
+use tm_core::trace::History;
+use tm_stm::prelude::*;
+use tm_stm::runtime::StmConfig;
+
+/// A runtime STM backend to drive a scenario against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// TL2 with one ownership record per register.
+    Tl2PerRegister,
+    /// TL2 over a striped orec table.
+    Tl2Striped {
+        stripes: usize,
+    },
+    Norec,
+    Glock,
+}
+
+impl Backend {
+    pub const ALL: [Backend; 4] = [
+        Backend::Tl2PerRegister,
+        Backend::Tl2Striped { stripes: 8 },
+        Backend::Norec,
+        Backend::Glock,
+    ];
+
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Tl2PerRegister => "tl2/per-register".into(),
+            Backend::Tl2Striped { stripes } => format!("tl2/striped-{stripes}"),
+            Backend::Norec => "norec".into(),
+            Backend::Glock => "glock".into(),
+        }
+    }
+
+    /// Does this backend's `fence()` actually quiesce (and hence appear in
+    /// recorded histories)? NOrec is privatization-safe *without* fences;
+    /// its histories carry no fence actions, so the paper's DRF discipline
+    /// is not obliged to classify its privatizing runs as race-free.
+    pub fn fences_are_real(&self) -> bool {
+        !matches!(self, Backend::Norec)
+    }
+}
+
+/// A concrete scenario over `nregs()` registers and `nthreads()` threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Unconditional ring transfers plus a running audit: purely
+    /// transactional, so DRF for every backend.
+    Bank,
+    /// Flag-guarded privatize → fence → direct writes → publish cycles,
+    /// settled by a final privatized write.
+    Privatization,
+    /// Fig 2: non-transactional payload write published by a transactional
+    /// flag write; safe without fences via `xpo;txwr`.
+    Publication,
+}
+
+impl Scenario {
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Bank,
+        Scenario::Privatization,
+        Scenario::Publication,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Bank => "bank",
+            Scenario::Privatization => "privatization",
+            Scenario::Publication => "publication",
+        }
+    }
+
+    pub fn nregs(&self) -> usize {
+        match self {
+            Scenario::Bank => BANK_ACCOUNTS,
+            Scenario::Privatization | Scenario::Publication => 2,
+        }
+    }
+
+    pub fn nthreads(&self) -> usize {
+        match self {
+            Scenario::Bank => 3,
+            Scenario::Privatization | Scenario::Publication => 2,
+        }
+    }
+
+    /// Does the scenario's history contain fence actions on fencing
+    /// backends?
+    pub fn uses_fences(&self) -> bool {
+        matches!(self, Scenario::Privatization)
+    }
+}
+
+/// Everything one scenario run produces.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    pub backend: Backend,
+    pub scenario: Scenario,
+    /// Snapshot of every register after all threads joined.
+    pub final_regs: Vec<u64>,
+    /// Updates the scenario observed being lost (must be 0 for a correct TM).
+    pub lost_updates: u64,
+    /// The recorded history, when recording was requested.
+    pub history: Option<History>,
+}
+
+/// Offline checker verdicts on a recorded history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckerVerdict {
+    /// Well-formed per Def 2.1/A.1.
+    pub well_formed: bool,
+    /// Data-race free per Def 3.2.
+    pub drf: bool,
+    /// Strongly opaque with a verified witness — only checked for DRF
+    /// histories (strong opacity quantifies over those, Def 4.2).
+    pub opaque: Option<bool>,
+}
+
+/// Run the `tm-core` checkers over a recorded history.
+pub fn check(history: &History) -> CheckerVerdict {
+    let well_formed = history.validate().is_ok();
+    if !well_formed {
+        return CheckerVerdict {
+            well_formed,
+            drf: false,
+            opaque: None,
+        };
+    }
+    let drf = is_drf(history);
+    let opaque = drf.then(|| check_strong_opacity(history, &CheckOptions::default()).is_ok());
+    CheckerVerdict {
+        well_formed,
+        drf,
+        opaque,
+    }
+}
+
+/// Run `scenario` on `backend`, recording a history if `record`.
+pub fn run_scenario(scenario: Scenario, backend: Backend, record: bool) -> ScenarioRun {
+    let nregs = scenario.nregs();
+    let nthreads = scenario.nthreads();
+    let recorder = record.then(|| Arc::new(Recorder::new(nthreads)));
+    let mut cfg = StmConfig::new(nregs, nthreads);
+    cfg.recorder = recorder.clone();
+    let (final_regs, lost_updates) = match backend {
+        Backend::Tl2PerRegister => drive(scenario, Tl2Stm::with_config(cfg)),
+        Backend::Tl2Striped { stripes } => {
+            drive(scenario, Tl2Stm::with_config(cfg.striped(stripes)))
+        }
+        Backend::Norec => drive(scenario, NorecStm::with_config(cfg)),
+        Backend::Glock => drive(scenario, GlockStm::with_config(cfg)),
+    };
+    ScenarioRun {
+        backend,
+        scenario,
+        final_regs,
+        lost_updates,
+        history: recorder.map(|r| r.snapshot_history()),
+    }
+}
+
+fn drive<F: StmFactory>(scenario: Scenario, stm: F) -> (Vec<u64>, u64) {
+    let lost = match scenario {
+        Scenario::Bank => bank(&stm),
+        Scenario::Privatization => privatization(&stm),
+        Scenario::Publication => publication(&stm),
+    };
+    let final_regs = (0..scenario.nregs())
+        .map(|x| project(scenario, x, stm.peek(x)))
+        .collect();
+    (final_regs, lost)
+}
+
+/// Project a raw register value to its semantic content (strip nonces).
+fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
+    match scenario {
+        Scenario::Bank => v & BAL_MASK,
+        Scenario::Privatization if x == PRIV_FLAG => v & PRIV_PHASE_MASK,
+        Scenario::Privatization | Scenario::Publication => v,
+    }
+}
+
+const BANK_ACCOUNTS: usize = 4;
+const BANK_INIT: u64 = 1_000;
+const BANK_ITERS: u64 = 12;
+/// Balances live in the low bits; the rest of the word is a unique nonce
+/// (Def A.1 clause 3 requires globally unique write values).
+const BAL_MASK: u64 = (1 << 24) - 1;
+
+#[inline]
+fn bal(v: u64) -> u64 {
+    v & BAL_MASK
+}
+
+#[inline]
+fn with_nonce(balance: u64, nonce: u64) -> u64 {
+    debug_assert!(balance <= BAL_MASK && nonce > 0);
+    (nonce << 24) | balance
+}
+
+/// Expected deterministic final balances: thread `t` moves `BANK_ITERS`
+/// units from account `t` to account `t + 1`.
+pub fn bank_expected_finals() -> Vec<u64> {
+    let mut regs = vec![BANK_INIT; BANK_ACCOUNTS];
+    for t in 0..3 {
+        regs[t] -= BANK_ITERS;
+        regs[t + 1] += BANK_ITERS;
+    }
+    regs
+}
+
+fn bank<F: StmFactory>(stm: &F) -> u64 {
+    {
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            for a in 0..BANK_ACCOUNTS {
+                tx.write(a, with_nonce(BANK_INIT, 1 + a as u64))?;
+            }
+            Ok(())
+        });
+    }
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(t);
+                let (from, to) = (t, t + 1);
+                // Per-thread disjoint nonce space, above the init nonces.
+                // Advanced *inside* the body: an aborted attempt's writes
+                // stay in the history, so a retry may not repeat values.
+                let mut nonce = 100 + ((t as u64 + 1) << 32);
+                for i in 0..BANK_ITERS {
+                    h.atomic(|tx| {
+                        nonce += 2;
+                        let a = bal(tx.read(from)?);
+                        let b = bal(tx.read(to)?);
+                        tx.write(from, with_nonce(a - 1, nonce))?;
+                        tx.write(to, with_nonce(b + 1, nonce + 1))
+                    });
+                    // Transfers commute, so the audit sum is invariant in
+                    // every consistent snapshot.
+                    if i % 6 == 0 {
+                        let sum = h.atomic(|tx| {
+                            let mut s = 0u64;
+                            for a in 0..BANK_ACCOUNTS {
+                                s += bal(tx.read(a)?);
+                            }
+                            Ok(s)
+                        });
+                        assert_eq!(sum, BANK_INIT * BANK_ACCOUNTS as u64, "inconsistent audit");
+                    }
+                }
+            });
+        }
+    });
+    0
+}
+
+const PRIV_FLAG: usize = 0;
+const PRIV_DATA: usize = 1;
+const PRIV_ROUNDS: u64 = 6;
+/// Low flag bits carry the phase (1 = privatized, 2 = open); the bits above
+/// are a unique per-write nonce. `v_init = 0` reads as phase 0 = open.
+const PRIV_PHASE_MASK: u64 = 3;
+const PRIV_PRIVATE: u64 = 1;
+const PRIV_OPEN: u64 = 2;
+/// The value the owner settles the (still privatized) data register to.
+pub const PRIV_FINAL: u64 = 0xF1A1;
+
+/// Expected deterministic final registers: privatized (flag phase 1),
+/// settled data.
+pub fn privatization_expected_finals() -> Vec<u64> {
+    vec![PRIV_PRIVATE, PRIV_FINAL]
+}
+
+fn privatization<F: StmFactory>(stm: &F) -> u64 {
+    std::thread::scope(|s| {
+        let owner = {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(0);
+                let mut lost = 0u64;
+                // Unique flag values per attempt (aborted attempts keep
+                // their writes in the history).
+                let mut flag_nonce = 0u64;
+                let mut set_flag = |h: &mut F::Handle, phase: u64| {
+                    h.atomic(|tx| {
+                        flag_nonce += 1;
+                        tx.write(PRIV_FLAG, (flag_nonce << 2) | phase)
+                    });
+                };
+                for i in 1..=PRIV_ROUNDS {
+                    set_flag(&mut h, PRIV_PRIVATE);
+                    h.fence();
+                    let marker = 0x4000_0000_0000_0000 | i;
+                    h.write_direct(PRIV_DATA, marker);
+                    if h.read_direct(PRIV_DATA) != marker {
+                        lost += 1;
+                    }
+                    set_flag(&mut h, PRIV_OPEN);
+                    h.fence();
+                }
+                // Settle: privatize once more and leave the data register at
+                // a known value — guarded workers can never overwrite it.
+                set_flag(&mut h, PRIV_PRIVATE);
+                h.fence();
+                h.write_direct(PRIV_DATA, PRIV_FINAL);
+                lost
+            })
+        };
+        {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                let mut data_nonce = 0x2000_0000_0000_0000u64;
+                for _ in 0..2 * PRIV_ROUNDS {
+                    h.atomic(|tx| {
+                        data_nonce += 1;
+                        let flag = tx.read(PRIV_FLAG)?;
+                        if flag & PRIV_PHASE_MASK != PRIV_PRIVATE {
+                            tx.write(PRIV_DATA, data_nonce)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        owner.join().unwrap()
+    })
+}
+
+const PUB_FLAG: usize = 0;
+const PUB_DATA: usize = 1;
+/// The published payload.
+pub const PUB_PAYLOAD: u64 = 0xFEED;
+
+/// Expected deterministic final registers: published flag, intact payload.
+pub fn publication_expected_finals() -> Vec<u64> {
+    vec![1, PUB_PAYLOAD]
+}
+
+fn publication<F: StmFactory>(stm: &F) -> u64 {
+    std::thread::scope(|s| {
+        let consumer = {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                loop {
+                    let seen = h.atomic(|tx| {
+                        if tx.read(PUB_FLAG)? != 0 {
+                            Ok(Some(tx.read(PUB_DATA)?))
+                        } else {
+                            Ok(None)
+                        }
+                    });
+                    if let Some(data) = seen {
+                        return data;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut h = stm.handle(0);
+        h.write_direct(PUB_DATA, PUB_PAYLOAD); // ν: non-transactional
+        h.atomic(|tx| tx.write(PUB_FLAG, 1)); // publish (xpo;txwr edge)
+        let seen = consumer.join().unwrap();
+        u64::from(seen != PUB_PAYLOAD)
+    })
+}
+
+/// Expected deterministic final registers for a scenario.
+pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
+    match scenario {
+        Scenario::Bank => bank_expected_finals(),
+        Scenario::Privatization => privatization_expected_finals(),
+        Scenario::Publication => publication_expected_finals(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_have_deterministic_finals_on_tl2() {
+        for sc in Scenario::ALL {
+            let run = run_scenario(sc, Backend::Tl2PerRegister, false);
+            assert_eq!(run.lost_updates, 0, "{}", sc.label());
+            assert_eq!(run.final_regs, expected_finals(sc), "{}", sc.label());
+        }
+    }
+
+    #[test]
+    fn recorded_bank_history_is_drf_and_opaque() {
+        let run = run_scenario(Scenario::Bank, Backend::Tl2Striped { stripes: 4 }, true);
+        let v = check(run.history.as_ref().unwrap());
+        assert!(v.well_formed);
+        assert!(v.drf);
+        assert_eq!(v.opaque, Some(true));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = Backend::ALL.iter().map(|b| b.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert!(Backend::Norec.label() == "norec");
+        assert!(!Backend::Norec.fences_are_real());
+        assert!(Backend::Tl2PerRegister.fences_are_real());
+    }
+}

@@ -10,7 +10,13 @@
 //! doomed-transaction symptom), DRF checking under the strongly atomic
 //! semantics (the programmer's side of the paper's contract, Theorem 5.3),
 //! and strong-opacity spot checks of explored histories (the TM's side).
+//!
+//! The [`concrete`] module carries the same idioms over to the *runtime*
+//! STMs of `tm-stm`: real threads, any storage backend, recorded histories,
+//! deterministic final states — the substrate of the cross-backend
+//! conformance suite.
 
+pub mod concrete;
 pub mod programs;
 pub mod runner;
 

@@ -5,8 +5,8 @@
 //! since registers start at 0), `X = x1` is the guarded data register.
 
 use crate::{Litmus, DIVERGENCE_FORBIDDEN, DIVERGENCE_IGNORED};
-use tm_lang::prelude::*;
 use tm_core::ids::Reg;
+use tm_lang::prelude::*;
 
 pub const XP: Reg = Reg(0);
 pub const X: Reg = Reg(1);
@@ -27,13 +27,20 @@ pub fn fig1a(with_fence: bool) -> Litmus {
     }
     t0.push(if_then(is_committed(l), write(X, cst(1))));
 
-    let t1 = atomic(Var(0), [
-        read(Var(1), XP),
-        if_then(eq(v(Var(1)), cst(0)), write(X, cst(42))),
-    ]);
+    let t1 = atomic(
+        Var(0),
+        [
+            read(Var(1), XP),
+            if_then(eq(v(Var(1)), cst(0)), write(X, cst(42))),
+        ],
+    );
 
     Litmus {
-        name: if with_fence { "fig1a_fenced" } else { "fig1a_unfenced" },
+        name: if with_fence {
+            "fig1a_fenced"
+        } else {
+            "fig1a_unfenced"
+        },
         description: "Fig 1(a): privatization, delayed commit problem",
         program: Program::new(vec![seq(t0), t1]).unwrap(),
         postcondition: |o| !(o.locals[0][0] == COMMITTED && o.regs[X.idx()] != 1),
@@ -59,19 +66,26 @@ pub fn fig1b(with_fence: bool) -> Litmus {
     }
     t0.push(if_then(is_committed(l), write(X, cst(1))));
 
-    let t1 = atomic(Var(0), [
-        read(Var(1), XP),
-        if_then(
-            eq(v(Var(1)), cst(0)),
-            seq([
-                read(Var(2), X),
-                while_(eq(v(Var(2)), cst(1)), read(Var(2), X)),
-            ]),
-        ),
-    ]);
+    let t1 = atomic(
+        Var(0),
+        [
+            read(Var(1), XP),
+            if_then(
+                eq(v(Var(1)), cst(0)),
+                seq([
+                    read(Var(2), X),
+                    while_(eq(v(Var(2)), cst(1)), read(Var(2), X)),
+                ]),
+            ),
+        ],
+    );
 
     Litmus {
-        name: if with_fence { "fig1b_fenced" } else { "fig1b_unfenced" },
+        name: if with_fence {
+            "fig1b_fenced"
+        } else {
+            "fig1b_unfenced"
+        },
         description: "Fig 1(b): privatization, doomed transaction problem",
         program: Program::new(vec![seq(t0), t1]).unwrap(),
         postcondition: |_| true,
@@ -93,10 +107,13 @@ pub fn fig1b(with_fence: bool) -> Litmus {
 /// Postcondition: `l2 = committed ∧ l4 ≠ 0 ⇒ l4 = 42`.
 pub fn fig2() -> Litmus {
     let t0 = seq([write(X, cst(42)), atomic(Var(0), [write(XP, cst(1))])]);
-    let t1 = atomic(Var(0), [
-        read(Var(1), XP),
-        if_then(eq(v(Var(1)), cst(1)), read(Var(2), X)),
-    ]);
+    let t1 = atomic(
+        Var(0),
+        [
+            read(Var(1), XP),
+            if_then(eq(v(Var(1)), cst(1)), read(Var(2), X)),
+        ],
+    );
     Litmus {
         name: "fig2_publication",
         description: "Fig 2: publication idiom",
@@ -126,7 +143,11 @@ pub fn fig3(with_fence: bool) -> Litmus {
         seq([read(Var(0), Reg(0)), read(Var(1), Reg(1))])
     };
     Litmus {
-        name: if with_fence { "fig3_fenced" } else { "fig3_racy" },
+        name: if with_fence {
+            "fig3_fenced"
+        } else {
+            "fig3_racy"
+        },
         description: "Fig 3: racy mixed access",
         program: Program::new(vec![t0, t1]).unwrap(),
         postcondition: |o| {
@@ -191,15 +212,22 @@ pub fn privatize_modify_publish(with_fence: bool) -> Litmus {
             atomic(Var(2), [write(XP, cst(0))]),
         ]),
     ));
-    let t1 = atomic(Var(0), [
-        read(Var(1), XP),
-        if_then(
-            eq(v(Var(1)), cst(0)),
-            seq([read(Var(2), X), write(X, cst(42))]),
-        ),
-    ]);
+    let t1 = atomic(
+        Var(0),
+        [
+            read(Var(1), XP),
+            if_then(
+                eq(v(Var(1)), cst(0)),
+                seq([read(Var(2), X), write(X, cst(42))]),
+            ),
+        ],
+    );
     Litmus {
-        name: if with_fence { "pmp_fenced" } else { "pmp_unfenced" },
+        name: if with_fence {
+            "pmp_fenced"
+        } else {
+            "pmp_unfenced"
+        },
         description: "Sec 2.2: privatize, modify non-transactionally, publish",
         program: Program::new(vec![seq(t0), t1]).unwrap(),
         postcondition: |o| {
@@ -207,7 +235,9 @@ pub fn privatize_modify_publish(with_fence: bool) -> Litmus {
             let t0_pub = o.locals[0][2];
             let t1_c = o.locals[1][0];
             let t1_seen = o.locals[1][2];
-            if t0_priv == COMMITTED && t0_pub == COMMITTED && t1_c == COMMITTED
+            if t0_priv == COMMITTED
+                && t0_pub == COMMITTED
+                && t1_c == COMMITTED
                 && o.regs[X.idx()] == 42
             {
                 // t1's write of 42 is final: t1 must have run after
@@ -246,12 +276,19 @@ pub fn gcc_bug(with_explicit_fence: bool) -> Litmus {
         and(is_committed(Var(0)), eq(v(Var(1)), cst(1))),
         write(X, cst(7)),
     ));
-    let t2 = atomic(Var(0), [
-        read(Var(1), XP),
-        if_then(eq(v(Var(1)), cst(0)), write(X, cst(42))),
-    ]);
+    let t2 = atomic(
+        Var(0),
+        [
+            read(Var(1), XP),
+            if_then(eq(v(Var(1)), cst(0)), write(X, cst(42))),
+        ],
+    );
     Litmus {
-        name: if with_explicit_fence { "gccbug_fenced" } else { "gccbug_unfenced" },
+        name: if with_explicit_fence {
+            "gccbug_fenced"
+        } else {
+            "gccbug_unfenced"
+        },
         description: "Read-only privatizing observer (GCC libitm bug class)",
         program: Program::new(vec![t0, seq(t1), t2]).unwrap(),
         postcondition: |o| {

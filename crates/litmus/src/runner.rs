@@ -24,11 +24,21 @@ pub enum TmKind {
 impl TmKind {
     pub fn label(&self) -> String {
         match self {
-            TmKind::Atomic { spurious_aborts: true } => "atomic+aborts".into(),
-            TmKind::Atomic { spurious_aborts: false } => "atomic".into(),
-            TmKind::Tl2 { implicit_fence: ImplicitFence::None } => "tl2".into(),
-            TmKind::Tl2 { implicit_fence: ImplicitFence::AfterEvery } => "tl2+qall".into(),
-            TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly } => "tl2+qbug".into(),
+            TmKind::Atomic {
+                spurious_aborts: true,
+            } => "atomic+aborts".into(),
+            TmKind::Atomic {
+                spurious_aborts: false,
+            } => "atomic".into(),
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            } => "tl2".into(),
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::AfterEvery,
+            } => "tl2+qall".into(),
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::SkipReadOnly,
+            } => "tl2+qbug".into(),
             TmKind::UndoEager => "undo".into(),
             TmKind::Glock => "glock".into(),
         }
@@ -68,7 +78,10 @@ pub fn run(l: &Litmus, tm: TmKind, limits: &Limits) -> RunReport {
             explore_outcomes(p, AtomicOracle::new(p.nregs, n, spurious_aborts), limits)
         }
         TmKind::Tl2 { implicit_fence } => {
-            let cfg = Tl2Config { implicit_fence, check_invariants: false };
+            let cfg = Tl2Config {
+                implicit_fence,
+                check_invariants: false,
+            };
             explore_outcomes(p, Tl2Spec::new(p.nregs, n, cfg), limits)
         }
         TmKind::UndoEager => explore_outcomes(p, UndoSpec::new(p.nregs, n), limits),
@@ -113,7 +126,12 @@ pub fn check_drf_atomic(l: &Litmus, limits: &Limits) -> DrfReport {
             racy += 1;
         }
     });
-    DrfReport { drf: racy == 0, traces, racy_traces: racy, truncated: res.truncated }
+    DrfReport {
+        drf: racy == 0,
+        traces,
+        racy_traces: racy,
+        truncated: res.truncated,
+    }
 }
 
 /// Spot-check strong opacity of histories the TL2 spec produces for this
@@ -126,9 +144,15 @@ pub fn spot_check_tl2_opacity(
     max_checked: usize,
 ) -> (usize, usize) {
     let p = &l.program;
-    let cfg = Tl2Config { implicit_fence, check_invariants: true };
+    let cfg = Tl2Config {
+        implicit_fence,
+        check_invariants: true,
+    };
     let oracle = Tl2Spec::new(p.nregs, p.nthreads(), cfg);
-    let limits = Limits { max_traces: max_checked, ..Limits::default() };
+    let limits = Limits {
+        max_traces: max_checked,
+        ..Limits::default()
+    };
     let mut checked = 0usize;
     let mut failures = 0usize;
     explore_traces(p, oracle, &limits, &mut |tr, status| {
@@ -160,9 +184,21 @@ mod tests {
     #[test]
     fn fig1a_unfenced_violated_by_tl2_but_not_atomic() {
         let l = programs::fig1a(false);
-        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits());
+        let atomic = run(
+            &l,
+            TmKind::Atomic {
+                spurious_aborts: true,
+            },
+            &limits(),
+        );
         assert!(atomic.passed(l.divergence), "{atomic:?}");
-        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        let tl2 = run(
+            &l,
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
+            &limits(),
+        );
         assert!(tl2.violations > 0, "delayed commit must manifest: {tl2:?}");
     }
 
@@ -170,8 +206,12 @@ mod tests {
     fn fig1a_fenced_safe_everywhere() {
         let l = programs::fig1a(true);
         for tm in [
-            TmKind::Atomic { spurious_aborts: true },
-            TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+            TmKind::Atomic {
+                spurious_aborts: true,
+            },
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
             TmKind::Glock,
         ] {
             let r = run(&l, tm, &limits());
@@ -182,16 +222,34 @@ mod tests {
     #[test]
     fn fig1b_unfenced_dooms_a_transaction() {
         let l = programs::fig1b(false);
-        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        let tl2 = run(
+            &l,
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
+            &limits(),
+        );
         assert!(tl2.diverged, "doomed zombie loop must be detected: {tl2:?}");
-        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits());
+        let atomic = run(
+            &l,
+            TmKind::Atomic {
+                spurious_aborts: true,
+            },
+            &limits(),
+        );
         assert!(!atomic.diverged, "strong atomicity forbids the zombie loop");
     }
 
     #[test]
     fn fig1b_fenced_no_divergence() {
         let l = programs::fig1b(true);
-        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+        let tl2 = run(
+            &l,
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
+            &limits(),
+        );
         assert!(tl2.passed(l.divergence), "{tl2:?}");
     }
 
@@ -222,7 +280,11 @@ mod tests {
         for l in programs::all() {
             let d = check_drf_atomic(&l, &limits());
             assert!(!d.truncated, "{}: truncated DRF check", l.name);
-            assert_eq!(d.drf, l.expect_drf, "{}: drf={} expected {}", l.name, d.drf, l.expect_drf);
+            assert_eq!(
+                d.drf, l.expect_drf,
+                "{}: drf={} expected {}",
+                l.name, d.drf, l.expect_drf
+            );
         }
     }
 }

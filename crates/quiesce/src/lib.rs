@@ -45,7 +45,7 @@ impl EpochTable {
     #[inline]
     pub fn enter(&self, t: usize) {
         let e = self.epochs[t].fetch_add(1, Ordering::SeqCst);
-        debug_assert!(e % 2 == 0, "enter() on an already-active slot");
+        debug_assert!(e.is_multiple_of(2), "enter() on an already-active slot");
     }
 
     /// Mark slot `t` quiescent. Must currently be active.
@@ -96,7 +96,7 @@ impl EpochTable {
             let mut spins = 0u32;
             while self.epochs[t].load(Ordering::SeqCst) == s {
                 spins += 1;
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();
@@ -154,7 +154,7 @@ impl BoolTable {
             let mut spins = 0u32;
             while self.active[t].load(Ordering::SeqCst) {
                 spins += 1;
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();

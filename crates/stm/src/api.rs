@@ -52,6 +52,19 @@ pub trait StmHandle {
     fn stats(&self) -> Stats;
 }
 
+/// A shared STM instance that can mint per-thread handles — the common
+/// construction surface of every backend, so cross-backend drivers
+/// (conformance suites, benchmarks) can be written once.
+pub trait StmFactory: Clone + Send + Sync + 'static {
+    type Handle: StmHandle + Send;
+
+    /// A handle bound to thread slot `slot`.
+    fn handle(&self, slot: usize) -> Self::Handle;
+
+    /// Current register value (unsynchronized snapshot; test/report helper).
+    fn peek(&self, x: usize) -> u64;
+}
+
 /// Per-handle statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -67,6 +80,11 @@ pub struct Stats {
     pub fences: u64,
     pub direct_reads: u64,
     pub direct_writes: u64,
+    /// Attempts re-run by the shared `atomic` retry loop (one per abort it
+    /// swallowed).
+    pub retries: u64,
+    /// Nanoseconds spent in the retry loop's exponential backoff.
+    pub backoff_ns: u64,
 }
 
 impl Stats {
@@ -83,6 +101,8 @@ impl Stats {
         self.fences += o.fences;
         self.direct_reads += o.direct_reads;
         self.direct_writes += o.direct_writes;
+        self.retries += o.retries;
+        self.backoff_ns += o.backoff_ns;
     }
 }
 
@@ -92,11 +112,26 @@ mod tests {
 
     #[test]
     fn stats_merge_and_totals() {
-        let mut a = Stats { commits: 1, aborts_read: 2, ..Default::default() };
-        let b = Stats { commits: 3, aborts_lock: 4, aborts_user: 1, ..Default::default() };
+        let mut a = Stats {
+            commits: 1,
+            aborts_read: 2,
+            retries: 3,
+            backoff_ns: 100,
+            ..Default::default()
+        };
+        let b = Stats {
+            commits: 3,
+            aborts_lock: 4,
+            aborts_user: 1,
+            retries: 5,
+            backoff_ns: 900,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.commits, 4);
         assert_eq!(a.aborts_total(), 7);
+        assert_eq!(a.retries, 8);
+        assert_eq!(a.backoff_ns, 1000);
     }
 
     #[test]

@@ -1,163 +1,121 @@
-//! Single-global-lock STM: every atomic block runs under one spin lock, so
-//! transactions are serialized, never abort, and are strongly atomic for
-//! DRF programs by construction. The simplest correct point in the design
-//! space and the "no concurrency" baseline for the benchmarks.
+//! Single-global-lock STM as a [`Policy`] over the shared
+//! [`crate::runtime`]: every atomic block runs under one spin lock, so
+//! transactions are serialized, never conflict-abort, and are strongly
+//! atomic for DRF programs by construction. The simplest correct point in
+//! the design space and the "no concurrency" baseline for the benchmarks.
+//!
+//! Writes are still buffered (the runtime's rollback contract requires user
+//! aborts to be undoable), and the fence uses the runtime's default epoch
+//! grace period: any transaction active at the fence holds the global lock
+//! *and* its epoch, so the wait is equivalent to the seed's
+//! observe-lock-free fence.
 
-use crate::api::{Abort, Stats, StmHandle, TxScope};
+use crate::api::Abort;
+use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-struct GlockInner {
+/// The one global lock shared by all handles.
+pub struct GlockShared {
     lock: CachePadded<AtomicBool>,
-    values: Box<[CachePadded<AtomicU64>]>,
 }
 
-/// The shared global-lock STM instance.
-#[derive(Clone)]
-pub struct GlockStm {
-    inner: Arc<GlockInner>,
-}
+/// The global lock's [`PolicyKind`]. No lock table, so
+/// [`StmConfig::storage`] is ignored.
+pub struct GlockKind;
 
-impl GlockStm {
-    pub fn new(nregs: usize, _nthreads: usize) -> Self {
-        let values = (0..nregs)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        GlockStm {
-            inner: Arc::new(GlockInner {
-                lock: CachePadded::new(AtomicBool::new(false)),
-                values,
-            }),
+impl PolicyKind for GlockKind {
+    type Policy = GlockPolicy;
+    type Shared = GlockShared;
+
+    fn build_shared(_cfg: &StmConfig) -> GlockShared {
+        GlockShared {
+            lock: CachePadded::new(AtomicBool::new(false)),
         }
     }
 
-    pub fn handle(&self, _slot: usize) -> GlockHandle {
-        GlockHandle { inner: Arc::clone(&self.inner), stats: Stats::default() }
-    }
-
-    pub fn peek(&self, x: usize) -> u64 {
-        self.inner.values[x].load(Ordering::SeqCst)
+    fn build_policy(shared: &Arc<GlockShared>) -> GlockPolicy {
+        GlockPolicy {
+            shared: Arc::clone(shared),
+            buf: Vec::new(),
+            holding: false,
+        }
     }
 }
+
+/// The shared global-lock STM instance.
+pub type GlockStm = Stm<GlockKind>;
 
 /// Per-thread handle.
-pub struct GlockHandle {
-    inner: Arc<GlockInner>,
-    stats: Stats,
+pub type GlockHandle = Handle<GlockPolicy>;
+
+/// Global-lock concurrency control: hold the lock for the whole
+/// transaction, buffer writes for user-abort rollback.
+pub struct GlockPolicy {
+    shared: Arc<GlockShared>,
+    buf: Vec<(usize, u64)>,
+    holding: bool,
 }
 
-impl GlockHandle {
+impl GlockPolicy {
     fn acquire(&self) {
-        let mut spins = 0u32;
+        let backoff = crossbeam::utils::Backoff::new();
         while self
-            .inner
+            .shared
             .lock
             .compare_exchange_weak(false, true, Ordering::SeqCst, Ordering::SeqCst)
             .is_err()
         {
-            spins += 1;
-            if spins % 64 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.snooze();
         }
     }
 
     fn release(&self) {
-        self.inner.lock.store(false, Ordering::SeqCst);
+        self.shared.lock.store(false, Ordering::SeqCst);
     }
 }
 
-impl StmHandle for GlockHandle {
-    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
-        loop {
-            if let Ok(r) = self.try_atomic(&mut body) {
-                return r;
-            }
-        }
-    }
-
-    fn try_atomic<R>(
-        &mut self,
-        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
+impl Policy for GlockPolicy {
+    fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
         self.acquire();
-        // In-place writes under the lock: a user abort would need an undo
-        // log; we roll back by replaying on a buffered scope instead.
-        let mut buffered: Vec<(usize, u64)> = Vec::new();
-        struct BufTx<'a> {
-            inner: &'a GlockInner,
-            buf: &'a mut Vec<(usize, u64)>,
-        }
-        impl TxScope for BufTx<'_> {
-            fn read(&mut self, x: usize) -> Result<u64, Abort> {
-                if let Some(&(_, v)) = self.buf.iter().rev().find(|&&(r, _)| r == x) {
-                    return Ok(v);
-                }
-                Ok(self.inner.values[x].load(Ordering::SeqCst))
-            }
-            fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
-                self.buf.push((x, v));
-                Ok(())
-            }
-        }
-        let attempt = {
-            let mut tx = BufTx { inner: &self.inner, buf: &mut buffered };
-            body(&mut tx)
-        };
-        match attempt {
-            Ok(r) => {
-                for (x, v) in buffered {
-                    self.inner.values[x].store(v, Ordering::SeqCst);
-                }
-                self.release();
-                self.stats.commits += 1;
-                Ok(r)
-            }
-            Err(Abort) => {
-                self.release();
-                self.stats.aborts_user += 1;
-                Err(Abort)
-            }
-        }
+        self.holding = true;
+        self.buf.clear();
     }
 
-    fn read_direct(&mut self, x: usize) -> u64 {
-        self.stats.direct_reads += 1;
-        self.inner.values[x].load(Ordering::SeqCst)
-    }
-
-    fn write_direct(&mut self, x: usize, v: u64) {
-        self.stats.direct_writes += 1;
-        self.inner.values[x].store(v, Ordering::SeqCst);
-    }
-
-    /// Quiescence: any transaction active at the call holds the lock, so one
-    /// observation of the lock being free suffices.
-    fn fence(&mut self) {
-        self.stats.fences += 1;
-        let mut spins = 0u32;
-        while self.inner.lock.load(Ordering::SeqCst) {
-            spins += 1;
-            if spins % 64 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+    fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort> {
+        if let Some(&(_, v)) = self.buf.iter().rev().find(|&&(r, _)| r == x) {
+            return Ok(v);
         }
+        Ok(ctx.rt.load(x))
     }
 
-    fn stats(&self) -> Stats {
-        self.stats
+    fn write(&mut self, _ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort> {
+        self.buf.push((x, v));
+        Ok(())
+    }
+
+    fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort> {
+        for &(x, v) in &self.buf {
+            ctx.rt.store(x, v);
+        }
+        self.release();
+        self.holding = false;
+        Ok(())
+    }
+
+    fn rollback(&mut self, _ctx: &mut TxCtx<'_>) {
+        if self.holding {
+            self.release();
+            self.holding = false;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::StmHandle;
 
     #[test]
     fn basic_txn() {
@@ -183,6 +141,11 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(stm.peek(0), 0, "buffered writes discarded on user abort");
+        assert_eq!(h.stats().aborts_user, 1);
+        // The lock must have been released on the abort path.
+        let mut h2 = stm.handle(0);
+        h2.atomic(|tx| tx.write(0, 3));
+        assert_eq!(stm.peek(0), 3);
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! STM implementations whose correctness claims are checked against the
 //! paper's theory via recorded histories (`tm-core`).
 //!
+//! ## Layering
+//!
+//! * [`runtime`] — the shared runtime layer: register file, epoch-table
+//!   registration for fences, [`record::Recorder`] wiring, [`api::Stats`],
+//!   and the `atomic` retry loop with exponential backoff. Algorithms are
+//!   [`runtime::Policy`] implementations over it.
+//! * [`storage`] — pluggable ownership-record storage for versioned-lock
+//!   policies: one [`vlock::VLock`] per register, or a *striped orec table*
+//!   (constant metadata footprint, hash register → stripe), selected per
+//!   instance via [`runtime::StmConfig`].
 //! * [`tl2`] — TL2 (Fig 9) with buffered writes, a global version clock,
-//!   versioned per-register write-locks, and RCU-style transactional
+//!   versioned write-locks, and RCU-style transactional
 //!   [`fences`](api::StmHandle::fence) built on [`tm_quiesce`]. Without a
 //!   fence after a privatizing transaction, uninstrumented non-transactional
 //!   accesses are exposed to the delayed-commit and doomed-transaction
@@ -17,7 +27,8 @@
 //! * [`glock`] — single-global-lock STM: the trivially strongly atomic
 //!   baseline.
 //! * [`record`] — history recording; recorded executions feed the DRF and
-//!   strong-opacity checkers.
+//!   strong-opacity checkers. All policies record through the shared
+//!   runtime, so every algorithm's histories are checkable.
 //!
 //! ## Quick example
 //!
@@ -37,6 +48,13 @@
 //! h.fence(); // wait for concurrently active transactions
 //! h.write_direct(2, 999);
 //! assert_eq!(h.read_direct(2), 999);
+//!
+//! // The same API over striped orec storage: constant lock metadata
+//! // however many registers the instance holds.
+//! let big = Tl2Stm::with_config(StmConfig::new(1 << 16, 2).striped(256));
+//! let mut h = big.handle(0);
+//! h.atomic(|tx| tx.write(40_000, 7));
+//! assert_eq!(big.peek(40_000), 7);
 //! ```
 
 pub mod api;
@@ -44,14 +62,18 @@ pub mod glock;
 pub mod map;
 pub mod norec;
 pub mod record;
+pub mod runtime;
+pub mod storage;
 pub mod tl2;
 pub mod vlock;
 
 pub mod prelude {
-    pub use crate::api::{Abort, Stats, StmHandle, TxScope};
+    pub use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
     pub use crate::glock::{GlockHandle, GlockStm};
     pub use crate::map::TxMap;
     pub use crate::norec::{NorecHandle, NorecStm};
     pub use crate::record::Recorder;
+    pub use crate::runtime::{BackoffCfg, StmConfig};
+    pub use crate::storage::StorageKind;
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
 }

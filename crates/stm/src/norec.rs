@@ -1,126 +1,121 @@
-//! NOrec-style STM (Dalessandro, Spear, Scott — paper's related work [10]):
-//! a single global sequence lock, value-based validation, no per-register
-//! ownership records.
+//! NOrec-style STM (Dalessandro, Spear, Scott — paper's related work [10])
+//! as a [`Policy`] over the shared [`crate::runtime`]: a single global
+//! sequence lock, value-based validation, no per-register ownership records.
 //!
 //! Included as the baseline that is *privatization-safe without fences*
 //! (paper Sec 8): commits are serialized by the global lock and write-back
 //! completes before the commit returns, so there is no delayed-commit
 //! window; and any clock change forces readers to re-validate by value, so
-//! doomed transactions abort instead of reading privatized data. `fence()`
-//! is a no-op.
+//! doomed transactions abort instead of reading privatized data.
+//! [`Policy::fence_wait`] is overridden to a no-op — `fence()` still counts
+//! in [`crate::api::Stats`], but never waits, and records no fence actions
+//! (a recorded fence would claim a quiescence this TM does not perform).
 
-use crate::api::{Abort, Stats, StmHandle, TxScope};
+use crate::api::Abort;
+use crate::runtime::{Handle, Policy, PolicyKind, Runtime, Stm, StmConfig, TxCtx};
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-struct NorecInner {
-    /// Global sequence lock: even = stable, odd = a writer is committing.
+/// NOrec state shared by all handles: the global sequence lock
+/// (even = stable, odd = a writer is committing).
+pub struct NorecShared {
     global: CachePadded<AtomicU64>,
-    values: Box<[CachePadded<AtomicU64>]>,
 }
 
-/// The shared NOrec instance.
-#[derive(Clone)]
-pub struct NorecStm {
-    inner: Arc<NorecInner>,
-}
+/// NOrec's [`PolicyKind`]. No lock table, so [`StmConfig::storage`] is
+/// ignored.
+pub struct NorecKind;
 
-impl NorecStm {
-    pub fn new(nregs: usize, _nthreads: usize) -> Self {
-        let values = (0..nregs)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        NorecStm {
-            inner: Arc::new(NorecInner {
-                global: CachePadded::new(AtomicU64::new(0)),
-                values,
-            }),
+impl PolicyKind for NorecKind {
+    type Policy = NorecPolicy;
+    type Shared = NorecShared;
+
+    fn build_shared(_cfg: &StmConfig) -> NorecShared {
+        NorecShared {
+            global: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
-    pub fn handle(&self, _slot: usize) -> NorecHandle {
-        NorecHandle {
-            inner: Arc::clone(&self.inner),
+    fn build_policy(shared: &Arc<NorecShared>) -> NorecPolicy {
+        NorecPolicy {
+            shared: Arc::clone(shared),
             snapshot: 0,
             rset: Vec::new(),
             wset: Vec::new(),
-            stats: Stats::default(),
         }
-    }
-
-    pub fn peek(&self, x: usize) -> u64 {
-        self.inner.values[x].load(Ordering::SeqCst)
     }
 }
 
+/// The shared NOrec instance.
+pub type NorecStm = Stm<NorecKind>;
+
 /// Per-thread NOrec context.
-pub struct NorecHandle {
-    inner: Arc<NorecInner>,
+pub type NorecHandle = Handle<NorecPolicy>;
+
+/// NOrec concurrency control: value-based validation under one global
+/// sequence lock.
+pub struct NorecPolicy {
+    shared: Arc<NorecShared>,
     snapshot: u64,
     /// Value-based read set: (register, value observed).
     rset: Vec<(usize, u64)>,
     wset: Vec<(usize, u64)>,
-    stats: Stats,
 }
 
-impl NorecHandle {
+impl NorecPolicy {
     /// Wait for an even (stable) global and return it.
     fn wait_even(&self) -> u64 {
-        let mut spins = 0u32;
+        let backoff = crossbeam::utils::Backoff::new();
         loop {
-            let g = self.inner.global.load(Ordering::SeqCst);
-            if g % 2 == 0 {
+            let g = self.shared.global.load(Ordering::SeqCst);
+            if g.is_multiple_of(2) {
                 return g;
             }
-            spins += 1;
-            if spins % 64 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.snooze();
         }
-    }
-
-    fn begin(&mut self) {
-        self.rset.clear();
-        self.wset.clear();
-        self.snapshot = self.wait_even();
     }
 
     /// Re-read the read set by value; abort if anything changed. On success,
     /// the snapshot is advanced to a stable clock at which the read set was
     /// re-confirmed.
-    fn validate(&mut self) -> Result<u64, Abort> {
+    fn validate(&mut self, ctx: &mut TxCtx<'_>) -> Result<u64, Abort> {
         loop {
             let s = self.wait_even();
             for &(x, v) in &self.rset {
-                if self.inner.values[x].load(Ordering::SeqCst) != v {
-                    self.stats.aborts_validate += 1;
+                if ctx.rt.load(x) != v {
+                    ctx.stats.aborts_validate += 1;
                     return Err(Abort);
                 }
             }
-            if self.inner.global.load(Ordering::SeqCst) == s {
+            if self.shared.global.load(Ordering::SeqCst) == s {
                 return Ok(s);
             }
         }
     }
+}
 
-    fn tx_read(&mut self, x: usize) -> Result<u64, Abort> {
+impl Policy for NorecPolicy {
+    fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
+        self.rset.clear();
+        self.wset.clear();
+        self.snapshot = self.wait_even();
+    }
+
+    fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort> {
         if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
             return Ok(self.wset[i].1);
         }
-        let mut v = self.inner.values[x].load(Ordering::SeqCst);
-        while self.inner.global.load(Ordering::SeqCst) != self.snapshot {
-            self.snapshot = self.validate()?;
-            v = self.inner.values[x].load(Ordering::SeqCst);
+        let mut v = ctx.rt.load(x);
+        while self.shared.global.load(Ordering::SeqCst) != self.snapshot {
+            self.snapshot = self.validate(ctx)?;
+            v = ctx.rt.load(x);
         }
         self.rset.push((x, v));
         Ok(v)
     }
 
-    fn tx_write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+    fn write(&mut self, _ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort> {
         match self.wset.binary_search_by_key(&x, |&(r, _)| r) {
             Ok(i) => self.wset[i].1 = v,
             Err(i) => self.wset.insert(i, (x, v)),
@@ -128,14 +123,13 @@ impl NorecHandle {
         Ok(())
     }
 
-    fn commit(&mut self) -> Result<(), Abort> {
+    fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort> {
         if self.wset.is_empty() {
-            self.stats.commits += 1;
             return Ok(()); // read-only: the snapshot was always consistent
         }
         // Acquire the sequence lock from a validated snapshot.
         while self
-            .inner
+            .shared
             .global
             .compare_exchange(
                 self.snapshot,
@@ -145,83 +139,36 @@ impl NorecHandle {
             )
             .is_err()
         {
-            self.snapshot = self.validate()?;
+            self.snapshot = self.validate(ctx)?;
         }
         for &(x, v) in &self.wset {
-            self.inner.values[x].store(v, Ordering::SeqCst);
+            ctx.rt.store(x, v);
         }
         // Release: write-back completed before commit returns — the reason
         // NOrec has no delayed-commit window.
-        self.inner.global.store(self.snapshot + 2, Ordering::SeqCst);
-        self.stats.commits += 1;
+        self.shared
+            .global
+            .store(self.snapshot + 2, Ordering::SeqCst);
         Ok(())
     }
-}
 
-struct NorecTx<'a>(&'a mut NorecHandle);
-
-impl TxScope for NorecTx<'_> {
-    fn read(&mut self, x: usize) -> Result<u64, Abort> {
-        self.0.tx_read(x)
-    }
-    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
-        self.0.tx_write(x, v)
-    }
-}
-
-impl StmHandle for NorecHandle {
-    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
-        loop {
-            if let Ok(r) = self.try_atomic(&mut body) {
-                return r;
-            }
-        }
-    }
-
-    fn try_atomic<R>(
-        &mut self,
-        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
-        self.begin();
-        let attempt = {
-            let mut tx = NorecTx(self);
-            body(&mut tx)
-        };
-        match attempt {
-            Ok(r) => {
-                self.commit()?;
-                Ok(r)
-            }
-            Err(Abort) => {
-                self.stats.aborts_user += 1;
-                Err(Abort)
-            }
-        }
-    }
-
-    fn read_direct(&mut self, x: usize) -> u64 {
-        self.stats.direct_reads += 1;
-        self.inner.values[x].load(Ordering::SeqCst)
-    }
-
-    fn write_direct(&mut self, x: usize, v: u64) {
-        self.stats.direct_writes += 1;
-        self.inner.values[x].store(v, Ordering::SeqCst);
-    }
+    fn rollback(&mut self, _ctx: &mut TxCtx<'_>) {}
 
     /// NOrec is privatization-safe by design: no quiescence needed.
-    fn fence(&mut self) {
-        self.stats.fences += 1;
-    }
+    fn fence_wait(&self, _rt: &Runtime, _slot: u16) {}
 
-    fn stats(&self) -> Stats {
-        self.stats
+    /// The no-op fence must not claim fence semantics in recorded histories
+    /// (it would violate Def A.1's blocking clause whenever a transaction
+    /// spans the call).
+    fn records_fences(&self) -> bool {
+        false
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::StmHandle;
 
     #[test]
     fn read_write_commit() {
@@ -344,5 +291,18 @@ mod tests {
             });
             assert_eq!(owner.join().unwrap(), 0, "NOrec lost a privatized write");
         });
+    }
+
+    #[test]
+    fn fence_is_nonblocking_with_active_peer() {
+        // A NOrec fence must not wait for other threads' epochs.
+        let stm = NorecStm::new(1, 2);
+        // Force slot 1 to look "mid-transaction" from the epoch table's
+        // perspective; a TL2-style fence would block forever here.
+        stm.runtime().epochs().enter(1);
+        let mut h = stm.handle(0);
+        h.fence();
+        assert_eq!(h.stats().fences, 1);
+        stm.runtime().epochs().exit(1);
     }
 }

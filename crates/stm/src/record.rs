@@ -12,8 +12,8 @@
 //! arise in racy programs, which the checkers are not required to justify.
 
 use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use tm_core::action::{Action, Kind};
 use tm_core::ids::ThreadId;
 use tm_core::trace::History;
@@ -37,7 +37,7 @@ impl Recorder {
     #[inline]
     pub fn record(&self, t: usize, kind: Kind) {
         let s = self.seq.fetch_add(1, Ordering::SeqCst);
-        self.logs[t].lock().push((s, kind));
+        self.logs[t].lock().unwrap().push((s, kind));
     }
 
     /// Number of actions recorded so far.
@@ -54,7 +54,7 @@ impl Recorder {
     pub fn snapshot_history(&self) -> History {
         let mut all: Vec<(u64, usize, Kind)> = Vec::with_capacity(self.len());
         for (t, log) in self.logs.iter().enumerate() {
-            for &(s, k) in log.lock().iter() {
+            for &(s, k) in log.lock().unwrap().iter() {
                 all.push((s, t, k));
             }
         }
@@ -112,7 +112,7 @@ mod tests {
                 for i in 0..100u64 {
                     r.record(t, Kind::TxBegin);
                     r.record(t, Kind::Ok);
-                    r.record(t, Kind::Write(Reg(0), (t as u64) << 32 | i + 1));
+                    r.record(t, Kind::Write(Reg(0), ((t as u64) << 32) | (i + 1)));
                     r.record(t, Kind::RetUnit);
                     r.record(t, Kind::TxCommit);
                     r.record(t, Kind::Committed);

@@ -1,0 +1,749 @@
+//! The shared STM runtime layer.
+//!
+//! Everything the paper's TM interface (Fig 4) needs but that is *not*
+//! concurrency control lives here, once, instead of being copied into every
+//! algorithm: the register file, epoch-table registration for transactional
+//! fences, [`Recorder`] wiring for offline checking, [`Stats`] accounting,
+//! uninstrumented direct access, and the `atomic` retry loop with
+//! exponential backoff under contention.
+//!
+//! A concrete STM is a [`Policy`] — a concurrency-control strategy deciding
+//! how transactional reads, writes, and commits synchronize (TL2 over a
+//! [`crate::storage::LockTable`], NOrec's global sequence lock, a single
+//! global lock). [`Handle`] composes a policy with the runtime and
+//! implements [`StmHandle`] exactly once, so the recorded-history shape —
+//! `TxBegin/Ok … TxCommit/(Committed|Aborted)`, responses recorded before
+//! the epoch exit — is identical for every algorithm, and every algorithm
+//! gets fences, recording, and backoff for free.
+
+use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
+use crate::record::Recorder;
+use crate::storage::{splitmix64, StorageKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tm_core::action::Kind;
+use tm_core::ids::Reg;
+use tm_quiesce::EpochTable;
+
+/// Exponential-backoff tuning for the shared retry loop.
+///
+/// After the `a`-th consecutive abort the loop spins a uniformly jittered
+/// number of iterations up to `spin_base << min(a, max_shift)`, and once
+/// `a >= yield_after` it additionally yields to the scheduler. Jitter is a
+/// per-slot splitmix64 hash, so contending threads fall out of lockstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffCfg {
+    /// Spin iterations for the first retry (0 disables spinning).
+    pub spin_base: u32,
+    /// Cap on the exponential growth: spins top out at `spin_base << max_shift`.
+    pub max_shift: u32,
+    /// Consecutive aborts after which the loop also yields the thread.
+    pub yield_after: u32,
+}
+
+impl Default for BackoffCfg {
+    fn default() -> Self {
+        BackoffCfg {
+            spin_base: 8,
+            max_shift: 8,
+            yield_after: 6,
+        }
+    }
+}
+
+impl BackoffCfg {
+    /// No spinning, no yielding: retry immediately (the seed's NOrec shape).
+    pub fn none() -> Self {
+        BackoffCfg {
+            spin_base: 0,
+            max_shift: 0,
+            yield_after: u32::MAX,
+        }
+    }
+}
+
+/// Construction-time configuration shared by all STM frontends.
+#[derive(Clone)]
+pub struct StmConfig {
+    pub nregs: usize,
+    pub nthreads: usize,
+    /// Lock-metadata layout, for policies that use versioned locks
+    /// (ignored by NOrec and the global lock).
+    pub storage: StorageKind,
+    pub backoff: BackoffCfg,
+    pub recorder: Option<Arc<Recorder>>,
+}
+
+impl StmConfig {
+    pub fn new(nregs: usize, nthreads: usize) -> Self {
+        StmConfig {
+            nregs,
+            nthreads,
+            storage: StorageKind::default(),
+            backoff: BackoffCfg::default(),
+            recorder: None,
+        }
+    }
+
+    pub fn storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Shorthand for a striped orec table with `stripes` lock words.
+    pub fn striped(self, stripes: usize) -> Self {
+        self.storage(StorageKind::Striped { stripes })
+    }
+
+    pub fn backoff(mut self, backoff: BackoffCfg) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+/// The shared, policy-independent state of one STM instance: register file,
+/// fence epochs, and the optional history recorder.
+///
+/// The register file is *dense* — 8 bytes per register, no cache padding.
+/// Padding every value word would inflate a million-register file 16x,
+/// defeating the constant-metadata story of the striped orec table;
+/// adjacent registers may false-share, which is the same trade production
+/// STMs make for their data arrays (metadata, which is written on every
+/// commit, stays padded).
+pub struct Runtime {
+    values: Box<[AtomicU64]>,
+    epochs: EpochTable,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Runtime {
+    pub fn new(cfg: &StmConfig) -> Arc<Self> {
+        let values = (0..cfg.nregs)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Runtime {
+            values,
+            epochs: EpochTable::new(cfg.nthreads),
+            recorder: cfg.recorder.clone(),
+        })
+    }
+
+    pub fn nregs(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn nthreads(&self) -> usize {
+        self.epochs.nthreads()
+    }
+
+    pub fn epochs(&self) -> &EpochTable {
+        &self.epochs
+    }
+
+    /// Load register `x` (all data accesses are `SeqCst`; see module docs of
+    /// [`crate::tl2`] for why).
+    #[inline]
+    pub fn load(&self, x: usize) -> u64 {
+        self.values[x].load(Ordering::SeqCst)
+    }
+
+    /// Store register `x`.
+    #[inline]
+    pub fn store(&self, x: usize, v: u64) {
+        self.values[x].store(v, Ordering::SeqCst)
+    }
+
+    /// Unsynchronized snapshot of a register (test/report helper).
+    pub fn peek(&self, x: usize) -> u64 {
+        self.load(x)
+    }
+}
+
+/// Per-call context handed to [`Policy`] methods: the runtime, this
+/// handle's stats, and its thread slot.
+pub struct TxCtx<'a> {
+    pub rt: &'a Runtime,
+    pub stats: &'a mut Stats,
+    pub slot: u16,
+}
+
+/// A concurrency-control policy over the shared runtime.
+///
+/// The generic [`Handle`] drives the protocol and owns all recording, epoch
+/// registration, stats bookkeeping shared between algorithms, and retries;
+/// a policy only decides how reads/writes/commits synchronize. Contract:
+///
+/// * `begin` is called inside the fence epoch, before any ops.
+/// * `read`/`write` return `Err(Abort)` for op-level aborts, after counting
+///   the abort kind in `ctx.stats`.
+/// * `commit` makes the transaction's writes visible atomically or fails
+///   (again counting the abort kind); it must release any locks it took.
+/// * `rollback` is called on *every* abort path (op-level, commit-level,
+///   user) before the `Aborted` response is recorded.
+pub trait Policy: Send {
+    fn begin(&mut self, ctx: &mut TxCtx<'_>);
+    fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort>;
+    fn write(&mut self, ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort>;
+    fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort>;
+    fn rollback(&mut self, ctx: &mut TxCtx<'_>);
+
+    /// Quiescence behind [`StmHandle::fence`]. The default is an RCU grace
+    /// period over the runtime's epoch table (paper Fig 7 lines 33–39);
+    /// privatization-safe algorithms override this with a no-op.
+    fn fence_wait(&self, rt: &Runtime, slot: u16) {
+        rt.epochs().wait_quiescent(Some(slot as usize));
+    }
+
+    /// Whether `fence()` records `FBegin`/`FEnd` actions. A recorded fence
+    /// asserts Def A.1's blocking clause (no transaction spans it), so
+    /// policies whose [`Policy::fence_wait`] performs no quiescence must
+    /// return `false` here or their recorded histories become ill-formed.
+    fn records_fences(&self) -> bool {
+        true
+    }
+}
+
+/// A per-thread STM handle: a [`Policy`] bound to a [`Runtime`] slot.
+/// Implements [`StmHandle`] for every policy at once.
+pub struct Handle<P: Policy> {
+    rt: Arc<Runtime>,
+    slot: u16,
+    /// Is a transaction attempt in flight on this handle? Cleared by every
+    /// finalization (commit or abort); ops issued on a finalized attempt —
+    /// a body that swallowed an `Abort` and kept going — are inert.
+    active: bool,
+    stats: Stats,
+    backoff: BackoffCfg,
+    policy: P,
+}
+
+impl<P: Policy> Handle<P> {
+    pub fn new(rt: Arc<Runtime>, slot: usize, policy: P, backoff: BackoffCfg) -> Self {
+        assert!(slot < rt.nthreads(), "slot {slot} out of range");
+        // The VLock owner field encodes slot + 1 in 16 bits.
+        assert!(
+            slot < usize::from(u16::MAX),
+            "slot {slot} exceeds the 16-bit owner encoding"
+        );
+        Handle {
+            rt,
+            slot: slot as u16,
+            active: false,
+            stats: Stats::default(),
+            backoff,
+            policy,
+        }
+    }
+
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The policy driving this handle (for policy-specific extras, e.g.
+    /// [`crate::tl2::Tl2Policy::last_commit_wver`]).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    #[inline]
+    fn rec(&self, kind: Kind) {
+        if let Some(r) = &self.rt.recorder {
+            r.record(self.slot as usize, kind);
+        }
+    }
+
+    #[inline]
+    fn ctx<'a>(rt: &'a Runtime, stats: &'a mut Stats, slot: u16) -> TxCtx<'a> {
+        TxCtx { rt, stats, slot }
+    }
+
+    fn begin(&mut self) {
+        // Epoch entry strictly before the TxBegin record — the mirror of
+        // the commit path (Committed recorded before the epoch exit). If
+        // TxBegin were recorded first, a fence sampling the epoch table in
+        // the window between the two would not wait for us, yielding a
+        // recorded history with a transaction spanning a complete fence
+        // (rejected by Def A.1 clause 10). With this order, a transaction
+        // a fence skips is guaranteed a TxBegin sequenced after FBegin,
+        // which clause 10 permits.
+        self.rt.epochs.enter(self.slot as usize);
+        self.active = true;
+        self.rec(Kind::TxBegin);
+        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
+        self.policy.begin(&mut ctx);
+        self.rec(Kind::Ok);
+    }
+
+    fn tx_read(&mut self, x: usize) -> Result<u64, Abort> {
+        if !self.active {
+            // The attempt was already finalized (an earlier abort the body
+            // swallowed); don't record, don't re-finalize.
+            return Err(Abort);
+        }
+        self.rec(Kind::Read(Reg(x as u32)));
+        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
+        match self.policy.read(&mut ctx, x) {
+            Ok(v) => {
+                self.rec(Kind::RetVal(v));
+                Ok(v)
+            }
+            Err(Abort) => {
+                self.finish_abort();
+                Err(Abort)
+            }
+        }
+    }
+
+    fn tx_write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        if !self.active {
+            return Err(Abort);
+        }
+        self.rec(Kind::Write(Reg(x as u32), v));
+        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
+        match self.policy.write(&mut ctx, x, v) {
+            Ok(()) => {
+                self.rec(Kind::RetUnit);
+                Ok(())
+            }
+            Err(Abort) => {
+                self.finish_abort();
+                Err(Abort)
+            }
+        }
+    }
+
+    fn do_commit(&mut self) -> Result<(), Abort> {
+        self.rec(Kind::TxCommit);
+        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
+        match self.policy.commit(&mut ctx) {
+            Ok(()) => {
+                self.stats.commits += 1;
+                // Response recorded before the epoch exit, so a fence that
+                // stops waiting for us is guaranteed to have our committed
+                // action in the history (Def A.1 clause 10).
+                self.rec(Kind::Committed);
+                self.rt.epochs.exit(self.slot as usize);
+                self.active = false;
+                Ok(())
+            }
+            Err(Abort) => {
+                self.finish_abort();
+                Err(Abort)
+            }
+        }
+    }
+
+    /// Abort epilogue shared by failed ops, failed commits, and user aborts.
+    fn finish_abort(&mut self) {
+        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
+        self.policy.rollback(&mut ctx);
+        self.rec(Kind::Aborted);
+        self.rt.epochs.exit(self.slot as usize);
+        self.active = false;
+    }
+
+    /// One exponential-backoff pause after the `attempt`-th consecutive
+    /// abort; time spent is charged to [`Stats::backoff_ns`].
+    fn backoff_pause(&mut self, attempt: u32) {
+        let cfg = self.backoff;
+        // Widen to u64 and saturate: BackoffCfg is an unvalidated public
+        // knob, and spin_base << shift must not overflow for any input.
+        let shift = attempt.min(cfg.max_shift).min(32);
+        let max_spins = (u64::from(cfg.spin_base) << shift).min(u64::from(u32::MAX)) as u32;
+        let yields = attempt >= cfg.yield_after;
+        if max_spins == 0 && !yields {
+            // Backoff fully disabled: don't even sample the clock, so the
+            // `BackoffCfg::none` baseline really is retry-immediately.
+            return;
+        }
+        let start = Instant::now();
+        if yields {
+            std::thread::yield_now();
+        }
+        if max_spins > 0 {
+            // Jitter: uniform in (max_spins/2, max_spins] so contending
+            // threads desynchronize instead of re-colliding.
+            let h = splitmix64((u64::from(self.slot) << 32) | u64::from(attempt));
+            let spins = max_spins / 2 + (h % u64::from(max_spins / 2 + 1)) as u32;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+        self.stats.backoff_ns += start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// An algorithm's construction recipe: how to build its instance-shared
+/// state and mint per-thread [`Policy`] values from it. Implementing this
+/// (plus [`Policy`]) is *all* a new algorithm needs — the [`Stm`] frontend
+/// supplies `new`/`with_recorder`/`with_config`/`handle`/`peek` and the
+/// [`StmFactory`] impl once, for every algorithm.
+pub trait PolicyKind: 'static {
+    type Policy: Policy;
+    type Shared: Send + Sync + 'static;
+
+    fn build_shared(cfg: &StmConfig) -> Self::Shared;
+    fn build_policy(shared: &Arc<Self::Shared>) -> Self::Policy;
+}
+
+/// The shared frontend of one STM instance: the [`Runtime`], the
+/// algorithm's shared state, and the construction-time backoff tuning.
+/// Concrete STMs are type aliases (`Tl2Stm`, `NorecStm`, `GlockStm`).
+pub struct Stm<K: PolicyKind> {
+    rt: Arc<Runtime>,
+    shared: Arc<K::Shared>,
+    backoff: BackoffCfg,
+}
+
+// Manual impl: `#[derive(Clone)]` would demand `K: Clone` needlessly.
+impl<K: PolicyKind> Clone for Stm<K> {
+    fn clone(&self) -> Self {
+        Stm {
+            rt: Arc::clone(&self.rt),
+            shared: Arc::clone(&self.shared),
+            backoff: self.backoff,
+        }
+    }
+}
+
+impl<K: PolicyKind> Stm<K> {
+    /// Default configuration: per-register lock storage (where applicable),
+    /// default backoff, no recorder.
+    pub fn new(nregs: usize, nthreads: usize) -> Self {
+        Self::with_config(StmConfig::new(nregs, nthreads))
+    }
+
+    /// Attach a [`Recorder`]; every handle then logs its TM interface
+    /// actions for offline DRF / strong-opacity checking.
+    pub fn with_recorder(nregs: usize, nthreads: usize, recorder: Option<Arc<Recorder>>) -> Self {
+        let mut cfg = StmConfig::new(nregs, nthreads);
+        cfg.recorder = recorder;
+        Self::with_config(cfg)
+    }
+
+    /// Full construction-time control: storage backend, backoff tuning,
+    /// recorder.
+    pub fn with_config(cfg: StmConfig) -> Self {
+        let rt = Runtime::new(&cfg);
+        let shared = Arc::new(K::build_shared(&cfg));
+        Stm {
+            rt,
+            shared,
+            backoff: cfg.backoff,
+        }
+    }
+
+    /// A handle bound to thread slot `slot` (< `nthreads`).
+    pub fn handle(&self, slot: usize) -> Handle<K::Policy> {
+        Handle::new(
+            Arc::clone(&self.rt),
+            slot,
+            K::build_policy(&self.shared),
+            self.backoff,
+        )
+    }
+
+    /// Current register value (unsynchronized snapshot; test/report helper).
+    pub fn peek(&self, x: usize) -> u64 {
+        self.rt.peek(x)
+    }
+
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// The algorithm's instance-shared state (for algorithm-specific
+    /// extras, e.g. TL2's lock-table introspection).
+    pub fn shared(&self) -> &K::Shared {
+        &self.shared
+    }
+}
+
+impl<K: PolicyKind> StmFactory for Stm<K> {
+    type Handle = Handle<K::Policy>;
+
+    fn handle(&self, slot: usize) -> Self::Handle {
+        Stm::handle(self, slot)
+    }
+
+    fn peek(&self, x: usize) -> u64 {
+        Stm::peek(self, x)
+    }
+}
+
+struct HandleTx<'a, P: Policy>(&'a mut Handle<P>);
+
+impl<P: Policy> TxScope for HandleTx<'_, P> {
+    fn read(&mut self, x: usize) -> Result<u64, Abort> {
+        self.0.tx_read(x)
+    }
+    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
+        self.0.tx_write(x, v)
+    }
+}
+
+impl<P: Policy> StmHandle for Handle<P> {
+    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_atomic(&mut body) {
+                Ok(r) => return r,
+                Err(Abort) => {
+                    self.stats.retries += 1;
+                    self.backoff_pause(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    fn try_atomic<R>(
+        &mut self,
+        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        self.begin();
+        let attempt = {
+            let mut tx = HandleTx(self);
+            body(&mut tx)
+        };
+        match attempt {
+            Ok(r) => {
+                // A body that swallowed an op-level abort (instead of
+                // propagating it with `?`) reaches here with the attempt
+                // already finalized: rolled back, `Aborted` recorded, epoch
+                // exited. Committing would write back stale buffered state —
+                // treat it as the abort it was.
+                if !self.active {
+                    return Err(Abort);
+                }
+                self.do_commit()?;
+                Ok(r)
+            }
+            Err(Abort) => {
+                // Distinguish op-level aborts (already finalized in
+                // tx_read/tx_write) from aborts requested by the body.
+                if self.active {
+                    self.stats.aborts_user += 1;
+                    self.finish_abort();
+                }
+                Err(Abort)
+            }
+        }
+    }
+
+    fn read_direct(&mut self, x: usize) -> u64 {
+        self.rec(Kind::Read(Reg(x as u32)));
+        let v = self.rt.load(x);
+        self.stats.direct_reads += 1;
+        self.rec(Kind::RetVal(v));
+        v
+    }
+
+    fn write_direct(&mut self, x: usize, v: u64) {
+        self.rec(Kind::Write(Reg(x as u32), v));
+        self.rt.store(x, v);
+        self.stats.direct_writes += 1;
+        self.rec(Kind::RetUnit);
+    }
+
+    fn fence(&mut self) {
+        let record = self.policy.records_fences();
+        if record {
+            self.rec(Kind::FBegin);
+        }
+        self.policy.fence_wait(&self.rt, self.slot);
+        self.stats.fences += 1;
+        if record {
+            self.rec(Kind::FEnd);
+        }
+    }
+
+    fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial always-succeeds buffered policy, to test the generic
+    /// handle machinery in isolation from any real algorithm.
+    #[derive(Default)]
+    struct NullPolicy {
+        buf: Vec<(usize, u64)>,
+        /// Abort the next `n` commit attempts (to exercise the retry loop).
+        fail_commits: u32,
+        /// Abort the next `n` reads (to exercise op-level abort paths).
+        fail_reads: u32,
+    }
+
+    impl Policy for NullPolicy {
+        fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
+            self.buf.clear();
+        }
+        fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort> {
+            if self.fail_reads > 0 {
+                self.fail_reads -= 1;
+                ctx.stats.aborts_read += 1;
+                return Err(Abort);
+            }
+            if let Some(&(_, v)) = self.buf.iter().rev().find(|&&(r, _)| r == x) {
+                return Ok(v);
+            }
+            Ok(ctx.rt.load(x))
+        }
+        fn write(&mut self, _ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort> {
+            self.buf.push((x, v));
+            Ok(())
+        }
+        fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort> {
+            if self.fail_commits > 0 {
+                self.fail_commits -= 1;
+                ctx.stats.aborts_validate += 1;
+                return Err(Abort);
+            }
+            for &(x, v) in &self.buf {
+                ctx.rt.store(x, v);
+            }
+            Ok(())
+        }
+        fn rollback(&mut self, _ctx: &mut TxCtx<'_>) {}
+    }
+
+    fn handle(fail_commits: u32) -> Handle<NullPolicy> {
+        let cfg = StmConfig::new(4, 1);
+        let rt = Runtime::new(&cfg);
+        Handle::new(
+            rt,
+            0,
+            NullPolicy {
+                fail_commits,
+                ..Default::default()
+            },
+            cfg.backoff,
+        )
+    }
+
+    #[test]
+    fn retry_loop_counts_retries_and_backoff() {
+        let mut h = handle(3);
+        h.atomic(|tx| tx.write(0, 7));
+        let s = h.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.aborts_validate, 3);
+        assert!(s.backoff_ns > 0, "backoff time must be charged");
+        assert_eq!(h.runtime().peek(0), 7);
+    }
+
+    #[test]
+    fn swallowed_op_abort_does_not_commit() {
+        // A body that catches an op-level abort and returns Ok anyway: the
+        // attempt was already finalized, so try_atomic must report Abort,
+        // leave the epoch quiescent, and commit nothing.
+        let cfg = StmConfig::new(2, 1);
+        let rt = Runtime::new(&cfg);
+        let mut h = Handle::new(
+            rt,
+            0,
+            NullPolicy {
+                fail_reads: 1,
+                ..Default::default()
+            },
+            cfg.backoff,
+        );
+        let r: Result<u64, Abort> = h.try_atomic(|tx| {
+            tx.write(0, 99)?;
+            // Swallow the abort instead of propagating it — and keep
+            // issuing ops on the finalized attempt; they must be inert.
+            let a = tx.read(1).unwrap_or(7);
+            let b = tx.read(1).unwrap_or(8);
+            let _ = tx.write(1, 5);
+            Ok(a + b)
+        });
+        assert_eq!(r, Err(Abort), "a swallowed abort must not commit");
+        assert!(!h.runtime().epochs().is_active(0), "no double epoch exit");
+        assert_eq!(h.runtime().peek(0), 0, "stale buffered write discarded");
+        assert_eq!(h.runtime().peek(1), 0, "post-abort write inert");
+        assert_eq!(h.stats().aborts_read, 1, "inert ops count no new aborts");
+        assert_eq!(h.stats().aborts_user, 0, "not a user abort");
+        // The handle stays usable.
+        h.atomic(|tx| tx.write(0, 5));
+        assert_eq!(h.runtime().peek(0), 5);
+    }
+
+    #[test]
+    fn user_abort_accounting_and_epoch_exit() {
+        let mut h = handle(0);
+        let r: Result<(), Abort> = h.try_atomic(|tx| {
+            tx.write(0, 1)?;
+            Err(Abort)
+        });
+        assert_eq!(r, Err(Abort));
+        assert_eq!(h.stats().aborts_user, 1);
+        assert!(!h.runtime().epochs().is_active(0), "epoch must be exited");
+        assert_eq!(h.runtime().peek(0), 0);
+    }
+
+    #[test]
+    fn recorder_wiring_produces_valid_histories() {
+        let rec = Arc::new(Recorder::new(1));
+        let cfg = StmConfig::new(2, 1).recorder(Arc::clone(&rec));
+        let rt = Runtime::new(&cfg);
+        let mut h = Handle::new(rt, 0, NullPolicy::default(), cfg.backoff);
+        h.atomic(|tx| {
+            let v = tx.read(0)?;
+            tx.write(1, v + 1)
+        });
+        h.fence();
+        h.write_direct(0, 5);
+        let hist = rec.snapshot_history();
+        assert_eq!(hist.validate(), Ok(()));
+        // TxBegin Ok Read RetVal Write RetUnit TxCommit Committed
+        // FBegin FEnd Write RetUnit
+        assert_eq!(hist.len(), 12);
+    }
+
+    #[test]
+    fn backoff_disabled_spins_zero() {
+        let cfg = StmConfig::new(1, 1).backoff(BackoffCfg::none());
+        let rt = Runtime::new(&cfg);
+        let mut h = Handle::new(
+            rt,
+            0,
+            NullPolicy {
+                fail_commits: 2,
+                ..Default::default()
+            },
+            cfg.backoff,
+        );
+        h.atomic(|tx| tx.write(0, 1));
+        assert_eq!(h.stats().retries, 2);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = StmConfig::new(8, 2).striped(4).backoff(BackoffCfg {
+            spin_base: 1,
+            max_shift: 2,
+            yield_after: 1,
+        });
+        assert_eq!(cfg.storage, StorageKind::Striped { stripes: 4 });
+        assert_eq!(cfg.backoff.spin_base, 1);
+        let rt = Runtime::new(&cfg);
+        assert_eq!(rt.nregs(), 8);
+        assert_eq!(rt.nthreads(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Pluggable ownership-record storage for versioned-lock STMs.
+//!
+//! TL2-style algorithms need one *versioned write-lock* per guarded unit of
+//! data. How those lock words are laid out is an implementation axis the
+//! paper's correctness argument never depends on (the TM-interface actions
+//! are the same either way), but it dominates the memory footprint and the
+//! false-conflict rate:
+//!
+//! * [`PerRegisterTable`] — one [`VLock`] per register, cache-padded. No
+//!   false conflicts, but 128 bytes of metadata per register: unusable for
+//!   the ROADMAP's millions-of-registers deployments.
+//! * [`StripedTable`] — a fixed-size *striped orec table*: register `x` is
+//!   guarded by stripe `splitmix64(x) % nstripes`. Constant metadata
+//!   footprint, at the price of *false conflicts* between registers that
+//!   share a stripe (production TL2 descendants make exactly this trade).
+//!
+//! Both present the same [`LockTable`] interface, so a concurrency-control
+//! policy written against it (see [`crate::tl2`]) is storage-agnostic.
+//! Striping is conservative, never unsound: sharing a stripe only makes the
+//! version check *more* likely to abort, and commit-time acquisition locks
+//! each distinct stripe exactly once (see [`crate::tl2`]'s stripe dedup).
+
+use crate::vlock::{VLock, VLockState};
+use crossbeam::utils::CachePadded;
+
+/// Storage backend selection for versioned-lock policies, used by
+/// [`crate::runtime::StmConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// One ownership record per register (the classic layout).
+    #[default]
+    PerRegister,
+    /// A striped orec table with `stripes` lock words; registers hash onto
+    /// stripes with a splitmix64 mix of the register index.
+    Striped { stripes: usize },
+}
+
+impl StorageKind {
+    /// Build the lock table for a register file of `nregs` registers.
+    pub fn build(self, nregs: usize) -> AnyLockTable {
+        match self {
+            StorageKind::PerRegister => AnyLockTable::PerRegister(PerRegisterTable::new(nregs)),
+            StorageKind::Striped { stripes } => AnyLockTable::Striped(StripedTable::new(stripes)),
+        }
+    }
+
+    pub fn label(self) -> String {
+        match self {
+            StorageKind::PerRegister => "per-register".into(),
+            StorageKind::Striped { stripes } => format!("striped-{stripes}"),
+        }
+    }
+}
+
+/// Closed union of the built-in backends. Policies store this (rather than
+/// `Box<dyn LockTable>`) so the per-read lock-word sampling on the hot path
+/// is a two-arm match that inlines, not virtual dispatch. The open
+/// [`LockTable`] trait remains the abstraction to write code against.
+pub enum AnyLockTable {
+    PerRegister(PerRegisterTable),
+    Striped(StripedTable),
+}
+
+macro_rules! delegate {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            AnyLockTable::PerRegister($t) => $e,
+            AnyLockTable::Striped($t) => $e,
+        }
+    };
+}
+
+impl LockTable for AnyLockTable {
+    #[inline]
+    fn stripe_of(&self, x: usize) -> usize {
+        delegate!(self, t => t.stripe_of(x))
+    }
+
+    fn nstripes(&self) -> usize {
+        delegate!(self, t => t.nstripes())
+    }
+
+    #[inline]
+    fn sample_stripe(&self, s: usize) -> VLockState {
+        delegate!(self, t => t.sample_stripe(s))
+    }
+
+    #[inline]
+    fn try_lock_stripe(&self, s: usize, owner: u16) -> Result<u64, VLockState> {
+        delegate!(self, t => t.try_lock_stripe(s, owner))
+    }
+
+    #[inline]
+    fn unlock_stripe(&self, s: usize) {
+        delegate!(self, t => t.unlock_stripe(s))
+    }
+
+    #[inline]
+    fn unlock_stripe_set_version(&self, s: usize, version: u64) {
+        delegate!(self, t => t.unlock_stripe_set_version(s, version))
+    }
+}
+
+/// A table of versioned write-locks guarding a register file.
+///
+/// Registers map many-to-one onto *stripes* (lock words). All locking and
+/// validation happens at stripe granularity; `stripe_of` is total, so every
+/// register is always guarded. Implementations must be sound under the TL2
+/// protocol: a stripe's version only changes while the stripe is write-locked,
+/// and monotonically increases.
+pub trait LockTable: Send + Sync + 'static {
+    /// The stripe (lock-word index) guarding register `x`.
+    fn stripe_of(&self, x: usize) -> usize;
+
+    /// Number of distinct lock words.
+    fn nstripes(&self) -> usize;
+
+    /// Read the (version, owner) pair of stripe `s`.
+    fn sample_stripe(&self, s: usize) -> VLockState;
+
+    /// Try to lock stripe `s` for `owner`; returns the version on success.
+    fn try_lock_stripe(&self, s: usize, owner: u16) -> Result<u64, VLockState>;
+
+    /// Release stripe `s`, keeping its version (abort path).
+    fn unlock_stripe(&self, s: usize);
+
+    /// Release stripe `s`, installing a new version (commit write-back).
+    fn unlock_stripe_set_version(&self, s: usize, version: u64);
+
+    /// Sample the lock word guarding register `x`.
+    fn sample(&self, x: usize) -> VLockState {
+        self.sample_stripe(self.stripe_of(x))
+    }
+}
+
+fn vlock_array(n: usize) -> Box<[CachePadded<VLock>]> {
+    (0..n)
+        .map(|_| CachePadded::new(VLock::new()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
+/// One cache-padded [`VLock`] per register: precise, memory-hungry.
+pub struct PerRegisterTable {
+    locks: Box<[CachePadded<VLock>]>,
+}
+
+impl PerRegisterTable {
+    pub fn new(nregs: usize) -> Self {
+        PerRegisterTable {
+            locks: vlock_array(nregs),
+        }
+    }
+}
+
+impl LockTable for PerRegisterTable {
+    #[inline]
+    fn stripe_of(&self, x: usize) -> usize {
+        x
+    }
+
+    fn nstripes(&self) -> usize {
+        self.locks.len()
+    }
+
+    #[inline]
+    fn sample_stripe(&self, s: usize) -> VLockState {
+        self.locks[s].sample()
+    }
+
+    #[inline]
+    fn try_lock_stripe(&self, s: usize, owner: u16) -> Result<u64, VLockState> {
+        self.locks[s].try_lock(owner)
+    }
+
+    #[inline]
+    fn unlock_stripe(&self, s: usize) {
+        self.locks[s].unlock()
+    }
+
+    #[inline]
+    fn unlock_stripe_set_version(&self, s: usize, version: u64) {
+        self.locks[s].unlock_set_version(version)
+    }
+}
+
+/// Finalizing step of the splitmix64 generator: a cheap, well-mixed hash.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size striped orec table: metadata footprint is `stripes` lock
+/// words however large the register file grows.
+pub struct StripedTable {
+    locks: Box<[CachePadded<VLock>]>,
+}
+
+impl StripedTable {
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes > 0, "a striped table needs at least one stripe");
+        StripedTable {
+            locks: vlock_array(stripes),
+        }
+    }
+}
+
+impl LockTable for StripedTable {
+    #[inline]
+    fn stripe_of(&self, x: usize) -> usize {
+        (splitmix64(x as u64) % self.locks.len() as u64) as usize
+    }
+
+    fn nstripes(&self) -> usize {
+        self.locks.len()
+    }
+
+    #[inline]
+    fn sample_stripe(&self, s: usize) -> VLockState {
+        self.locks[s].sample()
+    }
+
+    #[inline]
+    fn try_lock_stripe(&self, s: usize, owner: u16) -> Result<u64, VLockState> {
+        self.locks[s].try_lock(owner)
+    }
+
+    #[inline]
+    fn unlock_stripe(&self, s: usize) {
+        self.locks[s].unlock()
+    }
+
+    #[inline]
+    fn unlock_stripe_set_version(&self, s: usize, version: u64) {
+        self.locks[s].unlock_set_version(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_register_is_identity_mapped() {
+        let t = PerRegisterTable::new(8);
+        assert_eq!(t.nstripes(), 8);
+        for x in 0..8 {
+            assert_eq!(t.stripe_of(x), x);
+        }
+    }
+
+    #[test]
+    fn striped_footprint_is_constant_in_register_count() {
+        // The whole point: metadata for a million registers is still only
+        // `stripes` lock words.
+        let t = StorageKind::Striped { stripes: 256 }.build(1 << 20);
+        assert_eq!(t.nstripes(), 256);
+        let p = StorageKind::PerRegister.build(1 << 10);
+        assert_eq!(p.nstripes(), 1 << 10);
+    }
+
+    #[test]
+    fn striped_mapping_is_total_and_stable() {
+        let t = StripedTable::new(7);
+        for x in 0..10_000 {
+            let s = t.stripe_of(x);
+            assert!(s < 7);
+            assert_eq!(s, t.stripe_of(x), "mapping must be deterministic");
+        }
+    }
+
+    #[test]
+    fn striped_mapping_spreads() {
+        // splitmix64 should spread sequential register indices across
+        // stripes roughly uniformly — no stripe may be empty or dominant.
+        let t = StripedTable::new(16);
+        let mut counts = [0usize; 16];
+        for x in 0..16_000 {
+            counts[t.stripe_of(x)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 500 && c < 1500, "stripe {s} has skewed load {c}");
+        }
+    }
+
+    #[test]
+    fn lock_protocol_via_table_interface() {
+        for table in [
+            StorageKind::PerRegister.build(4),
+            StorageKind::Striped { stripes: 2 }.build(4),
+        ] {
+            let s = table.stripe_of(3);
+            assert_eq!(table.try_lock_stripe(s, 5), Ok(0));
+            assert!(table.sample(3).is_locked());
+            assert!(table.try_lock_stripe(s, 6).is_err());
+            table.unlock_stripe_set_version(s, 9);
+            let st = table.sample(3);
+            assert_eq!(st.version, 9);
+            assert!(!st.is_locked());
+            // Abort path keeps the version.
+            table.try_lock_stripe(s, 1).unwrap();
+            table.unlock_stripe(s);
+            assert_eq!(table.sample(3).version, 9);
+        }
+    }
+
+    #[test]
+    fn storage_kind_labels() {
+        assert_eq!(StorageKind::PerRegister.label(), "per-register");
+        assert_eq!(StorageKind::Striped { stripes: 64 }.label(), "striped-64");
+        assert_eq!(StorageKind::default(), StorageKind::PerRegister);
+    }
+}

@@ -1,12 +1,21 @@
-//! The concurrent TL2 STM (paper Fig 9) with RCU-style transactional fences.
+//! The concurrent TL2 STM (paper Fig 9) as a [`Policy`] over the shared
+//! [`crate::runtime`], with RCU-style transactional fences.
 //!
-//! Per register: a value word and a versioned write-lock ([`crate::vlock`]).
-//! Globally: a version clock and an epoch table for fences. Transactions
-//! buffer writes, validate reads against their read timestamp, lock their
-//! write set at commit, re-validate, then write back.
+//! Globally: a version clock and a pluggable [`LockTable`] of versioned
+//! write-locks — one per register ([`crate::storage::PerRegisterTable`]) or
+//! a striped orec table ([`crate::storage::StripedTable`]), selected via
+//! [`StmConfig::storage`]. Transactions buffer writes, validate reads
+//! against their read timestamp, lock the *stripes* of their write set at
+//! commit (deduplicated, in sorted order), re-validate, then write back.
 //!
-//! Non-transactional accesses ([`Tl2Handle::read_direct`] /
-//! [`Tl2Handle::write_direct`]) are single uninstrumented atomic accesses —
+//! Striping trades metadata footprint for false conflicts: registers that
+//! share a stripe conflict even when disjoint. That is always conservative —
+//! the stripe version check can only abort more — so every correctness
+//! claim checked on recorded histories holds for both backends (see the
+//! conformance suite and the `striped_conflicts` integration test).
+//!
+//! Non-transactional accesses ([`StmHandle::read_direct`] /
+//! [`StmHandle::write_direct`]) are single uninstrumented atomic accesses —
 //! they do not touch versions or locks, exactly the setting the paper's DRF
 //! discipline governs. Without fences they reproduce the delayed-commit and
 //! doomed-transaction anomalies on real hardware (see `tests/` and the
@@ -18,92 +27,79 @@
 //! keeps the recorded-order argument simple. (Benchmark comparisons between
 //! fence policies are unaffected: all variants pay the same cost.)
 
-use crate::api::{Abort, Stats, StmHandle, TxScope};
-use crate::record::Recorder;
-use crate::vlock::VLock;
+use crate::api::{Abort, StmHandle};
+use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
+use crate::storage::{AnyLockTable, LockTable};
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tm_core::action::Kind;
-use tm_core::ids::Reg;
-use tm_quiesce::EpochTable;
 
-struct Tl2Inner {
+/// TL2 state shared by all handles of one instance: the global version
+/// clock and the ownership-record table.
+pub struct Tl2Shared {
     clock: CachePadded<AtomicU64>,
-    values: Box<[CachePadded<AtomicU64>]>,
-    vlocks: Box<[CachePadded<VLock>]>,
-    epochs: EpochTable,
-    recorder: Option<Arc<Recorder>>,
+    /// Enum, not `Box<dyn LockTable>`: lock-word sampling sits on the
+    /// transactional-read hot path and must stay inlinable.
+    table: AnyLockTable,
 }
 
-/// The shared TL2 instance. Create per-thread handles with [`Tl2Stm::handle`].
-#[derive(Clone)]
-pub struct Tl2Stm {
-    inner: Arc<Tl2Inner>,
-}
+/// TL2's [`PolicyKind`]: [`StmConfig::storage`] selects per-register vs
+/// striped orec locks.
+pub struct Tl2Kind;
 
-impl Tl2Stm {
-    pub fn new(nregs: usize, nthreads: usize) -> Self {
-        Self::with_recorder(nregs, nthreads, None)
-    }
+impl PolicyKind for Tl2Kind {
+    type Policy = Tl2Policy;
+    type Shared = Tl2Shared;
 
-    /// Attach a [`Recorder`]; every handle then logs its TM interface
-    /// actions for offline DRF / strong-opacity checking.
-    pub fn with_recorder(
-        nregs: usize,
-        nthreads: usize,
-        recorder: Option<Arc<Recorder>>,
-    ) -> Self {
-        let values = (0..nregs)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        let vlocks = (0..nregs)
-            .map(|_| CachePadded::new(VLock::new()))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        Tl2Stm {
-            inner: Arc::new(Tl2Inner {
-                clock: CachePadded::new(AtomicU64::new(0)),
-                values,
-                vlocks,
-                epochs: EpochTable::new(nthreads),
-                recorder,
-            }),
+    fn build_shared(cfg: &StmConfig) -> Tl2Shared {
+        Tl2Shared {
+            clock: CachePadded::new(AtomicU64::new(0)),
+            table: cfg.storage.build(cfg.nregs),
         }
     }
 
-    /// A handle bound to thread slot `slot` (< `nthreads`).
-    pub fn handle(&self, slot: usize) -> Tl2Handle {
-        assert!(slot < self.inner.epochs.nthreads());
-        Tl2Handle {
-            inner: Arc::clone(&self.inner),
-            slot: slot as u16,
+    fn build_policy(shared: &Arc<Tl2Shared>) -> Tl2Policy {
+        Tl2Policy {
+            shared: Arc::clone(shared),
             rv: 0,
             rset: Vec::new(),
             wset: Vec::new(),
-            stats: Stats::default(),
+            stripes: Vec::new(),
             last_txn_wrote: false,
             wver_of_last_commit: 0,
         }
     }
+}
 
-    /// Current register value (unsynchronized snapshot; test/report helper).
-    pub fn peek(&self, x: usize) -> u64 {
-        self.inner.values[x].load(Ordering::SeqCst)
+/// The shared TL2 instance. Create per-thread handles with [`Stm::handle`].
+pub type Tl2Stm = Stm<Tl2Kind>;
+
+/// Per-thread TL2 context.
+pub type Tl2Handle = Handle<Tl2Policy>;
+
+impl Stm<Tl2Kind> {
+    /// Number of distinct lock words in the storage backend.
+    pub fn nstripes(&self) -> usize {
+        self.shared().table.nstripes()
+    }
+
+    /// The stripe guarding register `x` (for constructing stripe-collision
+    /// scenarios in tests and litmus programs).
+    pub fn stripe_of(&self, x: usize) -> usize {
+        self.shared().table.stripe_of(x)
     }
 }
 
-/// Per-thread TL2 context.
-pub struct Tl2Handle {
-    inner: Arc<Tl2Inner>,
-    slot: u16,
+/// TL2 concurrency control (Fig 9) over a [`LockTable`].
+pub struct Tl2Policy {
+    shared: Arc<Tl2Shared>,
     /// Read timestamp `rver` of the current transaction.
     rv: u64,
     rset: Vec<usize>,
     /// Sorted by register index; one entry per register.
     wset: Vec<(usize, u64)>,
-    stats: Stats,
+    /// Commit-time scratch: deduplicated stripes of the write set.
+    stripes: Vec<usize>,
     /// Did the last completed transaction write anything? Drives the buggy
     /// read-only fence elision reproduced from [43].
     last_txn_wrote: bool,
@@ -111,326 +107,283 @@ pub struct Tl2Handle {
     wver_of_last_commit: u64,
 }
 
-impl Tl2Handle {
-    #[inline]
-    fn rec(&self, kind: Kind) {
-        if let Some(r) = &self.inner.recorder {
-            r.record(self.slot as usize, kind);
-        }
-    }
-
-    fn begin(&mut self) {
-        self.rec(Kind::TxBegin);
-        self.inner.epochs.enter(self.slot as usize);
-        self.rv = self.inner.clock.load(Ordering::SeqCst);
-        self.rset.clear();
-        self.wset.clear();
-        self.rec(Kind::Ok);
-    }
-
-    fn tx_read(&mut self, x: usize) -> Result<u64, Abort> {
-        self.rec(Kind::Read(Reg(x as u32)));
-        if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
-            let v = self.wset[i].1;
-            self.rec(Kind::RetVal(v));
-            return Ok(v);
-        }
-        // Fig 9 lines 17–23: ver, value, lock, ver again.
-        let s1 = self.inner.vlocks[x].sample();
-        let val = self.inner.values[x].load(Ordering::SeqCst);
-        let s2 = self.inner.vlocks[x].sample();
-        if s2.is_locked() || s1 != s2 || self.rv < s2.version {
-            self.stats.aborts_read += 1;
-            self.finish_abort();
-            return Err(Abort);
-        }
-        self.rset.push(x);
-        self.rec(Kind::RetVal(val));
-        Ok(val)
-    }
-
-    fn tx_write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
-        self.rec(Kind::Write(Reg(x as u32), v));
-        match self.wset.binary_search_by_key(&x, |&(r, _)| r) {
-            Ok(i) => self.wset[i].1 = v,
-            Err(i) => self.wset.insert(i, (x, v)),
-        }
-        self.rec(Kind::RetUnit);
-        Ok(())
-    }
-
-    fn commit(&mut self) -> Result<(), Abort> {
-        self.rec(Kind::TxCommit);
-        // Lock the write set (sorted order; trylock-or-abort per Fig 7).
-        let mut locked = 0usize;
-        for &(x, _) in &self.wset {
-            if self.inner.vlocks[x].try_lock(self.slot).is_err() {
-                for &(y, _) in &self.wset[..locked] {
-                    self.inner.vlocks[y].unlock();
-                }
-                self.stats.aborts_lock += 1;
-                self.finish_abort();
-                return Err(Abort);
-            }
-            locked += 1;
-        }
-        // wver := fetch_and_increment(clock) + 1 (Fig 7 line 19).
-        let wver = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        // Validate the read set (lines 20–26).
-        for &x in &self.rset {
-            let s = self.inner.vlocks[x].sample();
-            if s.is_locked_by_other(self.slot) || self.rv < s.version {
-                for &(y, _) in &self.wset {
-                    self.inner.vlocks[y].unlock();
-                }
-                self.stats.aborts_validate += 1;
-                self.finish_abort();
-                return Err(Abort);
-            }
-        }
-        // Write back and release (lines 27–30).
-        for &(x, v) in &self.wset {
-            self.inner.values[x].store(v, Ordering::SeqCst);
-            self.inner.vlocks[x].unlock_set_version(wver);
-        }
-        self.stats.commits += 1;
-        self.last_txn_wrote = !self.wset.is_empty();
-        self.wver_of_last_commit = wver;
-        // Response recorded before the epoch exit, so a fence that stops
-        // waiting for us is guaranteed to have our committed action in the
-        // history (Def A.1 clause 10 on recorded histories).
-        self.rec(Kind::Committed);
-        self.inner.epochs.exit(self.slot as usize);
-        Ok(())
-    }
-
-    /// Abort epilogue used by failed reads/commits and user aborts.
-    fn finish_abort(&mut self) {
-        self.last_txn_wrote = !self.wset.is_empty();
-        self.rec(Kind::Aborted);
-        self.inner.epochs.exit(self.slot as usize);
-    }
-
+impl Tl2Policy {
     /// Write timestamp of the most recent committed transaction — the WW
     /// ordering key handed to the opacity checker.
     pub fn last_commit_wver(&self) -> u64 {
         self.wver_of_last_commit
     }
 
+    fn release_stripes(&self, taken: usize) {
+        for &s in &self.stripes[..taken] {
+            self.shared.table.unlock_stripe(s);
+        }
+    }
+}
+
+impl Policy for Tl2Policy {
+    fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
+        self.rv = self.shared.clock.load(Ordering::SeqCst);
+        self.rset.clear();
+        self.wset.clear();
+    }
+
+    fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort> {
+        if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            return Ok(self.wset[i].1);
+        }
+        // Fig 9 lines 17–23: ver, value, lock, ver again (at stripe
+        // granularity: any commit to a stripe-sharing register aborts us —
+        // conservative, never unsound).
+        let table = &self.shared.table;
+        let s1 = table.sample(x);
+        let val = ctx.rt.load(x);
+        let s2 = table.sample(x);
+        if s2.is_locked() || s1 != s2 || self.rv < s2.version {
+            ctx.stats.aborts_read += 1;
+            return Err(Abort);
+        }
+        self.rset.push(x);
+        Ok(val)
+    }
+
+    fn write(&mut self, _ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort> {
+        match self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+            Ok(i) => self.wset[i].1 = v,
+            Err(i) => self.wset.insert(i, (x, v)),
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort> {
+        if self.wset.is_empty() {
+            // Read-only: every read was already validated against `rv` at
+            // read time (Fig 9 lines 17–23), so the snapshot is consistent;
+            // classic TL2 skips the clock bump and lock phase entirely.
+            self.last_txn_wrote = false;
+            return Ok(());
+        }
+        let table = &self.shared.table;
+        // Lock the write set's stripes (deduplicated, sorted order;
+        // trylock-or-abort per Fig 7).
+        self.stripes.clear();
+        self.stripes
+            .extend(self.wset.iter().map(|&(x, _)| table.stripe_of(x)));
+        self.stripes.sort_unstable();
+        self.stripes.dedup();
+        // Abort paths need no `last_txn_wrote` update here: the runtime
+        // calls `rollback` on every abort, which performs it.
+        for (taken, &s) in self.stripes.iter().enumerate() {
+            if table.try_lock_stripe(s, ctx.slot).is_err() {
+                self.release_stripes(taken);
+                ctx.stats.aborts_lock += 1;
+                return Err(Abort);
+            }
+        }
+        // wver := fetch_and_increment(clock) + 1 (Fig 7 line 19).
+        let wver = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        // Validate the read set (lines 20–26). A stripe we hold ourselves
+        // still fails on `rv < version` if someone committed to it between
+        // our read and our lock acquisition.
+        for &x in &self.rset {
+            let s = table.sample(x);
+            if s.is_locked_by_other(ctx.slot) || self.rv < s.version {
+                self.release_stripes(self.stripes.len());
+                ctx.stats.aborts_validate += 1;
+                return Err(Abort);
+            }
+        }
+        // Write back, then release every stripe with the new version
+        // (lines 27–30).
+        for &(x, v) in &self.wset {
+            ctx.rt.store(x, v);
+        }
+        for &s in &self.stripes {
+            table.unlock_stripe_set_version(s, wver);
+        }
+        // The read-only case early-returned above, so this commit wrote.
+        self.last_txn_wrote = true;
+        self.wver_of_last_commit = wver;
+        Ok(())
+    }
+
+    fn rollback(&mut self, _ctx: &mut TxCtx<'_>) {
+        self.last_txn_wrote = !self.wset.is_empty();
+    }
+}
+
+impl Handle<Tl2Policy> {
+    /// Write timestamp of the most recent committed transaction.
+    pub fn last_commit_wver(&self) -> u64 {
+        self.policy().last_commit_wver()
+    }
+
     /// The *buggy* fence: skipped entirely if this thread's last transaction
     /// was read-only — the GCC libitm bug class ([43], paper Sec 1). Exposed
     /// so tests and examples can demonstrate the violation on real hardware.
     pub fn fence_elide_after_read_only(&mut self) {
-        if self.last_txn_wrote {
+        if self.policy().last_txn_wrote {
             self.fence();
         }
-    }
-}
-
-struct Tl2Tx<'a>(&'a mut Tl2Handle);
-
-impl TxScope for Tl2Tx<'_> {
-    fn read(&mut self, x: usize) -> Result<u64, Abort> {
-        self.0.tx_read(x)
-    }
-    fn write(&mut self, x: usize, v: u64) -> Result<(), Abort> {
-        self.0.tx_write(x, v)
-    }
-}
-
-impl StmHandle for Tl2Handle {
-    fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
-        let mut backoff = crossbeam::utils::Backoff::new();
-        loop {
-            match self.try_atomic(&mut body) {
-                Ok(r) => return r,
-                Err(Abort) => {
-                    backoff.snooze();
-                    if backoff.is_completed() {
-                        backoff = crossbeam::utils::Backoff::new();
-                        std::thread::yield_now();
-                    }
-                }
-            }
-        }
-    }
-
-    fn try_atomic<R>(
-        &mut self,
-        mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
-        self.begin();
-        let attempt = {
-            let mut tx = Tl2Tx(self);
-            body(&mut tx)
-        };
-        match attempt {
-            Ok(r) => {
-                self.commit()?;
-                Ok(r)
-            }
-            Err(Abort) => {
-                // Distinguish op-level aborts (already finalized in
-                // tx_read) from user aborts: op-level aborts exited the
-                // epoch already; detect via activity.
-                if self.inner.epochs.is_active(self.slot as usize) {
-                    self.stats.aborts_user += 1;
-                    self.finish_abort();
-                }
-                Err(Abort)
-            }
-        }
-    }
-
-    fn read_direct(&mut self, x: usize) -> u64 {
-        self.rec(Kind::Read(Reg(x as u32)));
-        let v = self.inner.values[x].load(Ordering::SeqCst);
-        self.stats.direct_reads += 1;
-        self.rec(Kind::RetVal(v));
-        v
-    }
-
-    fn write_direct(&mut self, x: usize, v: u64) {
-        self.rec(Kind::Write(Reg(x as u32), v));
-        self.inner.values[x].store(v, Ordering::SeqCst);
-        self.stats.direct_writes += 1;
-        self.rec(Kind::RetUnit);
-    }
-
-    fn fence(&mut self) {
-        self.rec(Kind::FBegin);
-        self.inner.epochs.wait_quiescent(Some(self.slot as usize));
-        self.stats.fences += 1;
-        self.rec(Kind::FEnd);
-    }
-
-    fn stats(&self) -> Stats {
-        self.stats
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::Stats;
+
+    /// Run every TL2 unit scenario against both storage backends: the
+    /// policy must be storage-agnostic.
+    fn backends(nregs: usize, nthreads: usize) -> Vec<Tl2Stm> {
+        vec![
+            Tl2Stm::new(nregs, nthreads),
+            Tl2Stm::with_config(StmConfig::new(nregs, nthreads).striped(4)),
+        ]
+    }
 
     #[test]
     fn single_thread_read_write() {
-        let stm = Tl2Stm::new(4, 1);
-        let mut h = stm.handle(0);
-        let out = h.atomic(|tx| {
-            tx.write(0, 11)?;
-            tx.write(1, 22)?;
-            let a = tx.read(0)?;
-            let b = tx.read(1)?;
-            Ok(a + b)
-        });
-        assert_eq!(out, 33);
-        assert_eq!(stm.peek(0), 11);
-        assert_eq!(stm.peek(1), 22);
-        assert_eq!(h.stats().commits, 1);
+        for stm in backends(4, 1) {
+            let mut h = stm.handle(0);
+            let out = h.atomic(|tx| {
+                tx.write(0, 11)?;
+                tx.write(1, 22)?;
+                let a = tx.read(0)?;
+                let b = tx.read(1)?;
+                Ok(a + b)
+            });
+            assert_eq!(out, 33);
+            assert_eq!(stm.peek(0), 11);
+            assert_eq!(stm.peek(1), 22);
+            assert_eq!(h.stats().commits, 1);
+        }
     }
 
     #[test]
     fn user_abort_discards_writes() {
-        let stm = Tl2Stm::new(1, 1);
-        let mut h = stm.handle(0);
-        let r: Result<(), Abort> = h.try_atomic(|tx| {
-            tx.write(0, 5)?;
-            Err(Abort)
-        });
-        assert_eq!(r, Err(Abort));
-        assert_eq!(stm.peek(0), 0);
-        assert_eq!(h.stats().aborts_user, 1);
-        // The handle is reusable afterwards.
-        h.atomic(|tx| tx.write(0, 7));
-        assert_eq!(stm.peek(0), 7);
+        for stm in backends(1, 1) {
+            let mut h = stm.handle(0);
+            let r: Result<(), Abort> = h.try_atomic(|tx| {
+                tx.write(0, 5)?;
+                Err(Abort)
+            });
+            assert_eq!(r, Err(Abort));
+            assert_eq!(stm.peek(0), 0);
+            assert_eq!(h.stats().aborts_user, 1);
+            // The handle is reusable afterwards.
+            h.atomic(|tx| tx.write(0, 7));
+            assert_eq!(stm.peek(0), 7);
+        }
     }
 
     #[test]
     fn direct_access_and_fence() {
-        let stm = Tl2Stm::new(2, 1);
-        let mut h = stm.handle(0);
-        h.write_direct(0, 9);
-        assert_eq!(h.read_direct(0), 9);
-        h.fence(); // no active transactions: immediate
-        assert_eq!(h.stats().fences, 1);
-        assert_eq!(h.stats().direct_reads, 1);
-        assert_eq!(h.stats().direct_writes, 1);
+        for stm in backends(2, 1) {
+            let mut h = stm.handle(0);
+            h.write_direct(0, 9);
+            assert_eq!(h.read_direct(0), 9);
+            h.fence(); // no active transactions: immediate
+            assert_eq!(h.stats().fences, 1);
+            assert_eq!(h.stats().direct_reads, 1);
+            assert_eq!(h.stats().direct_writes, 1);
+        }
     }
 
     #[test]
     fn conflicting_writers_serialize() {
-        let stm = Tl2Stm::new(1, 4);
-        std::thread::scope(|s| {
-            for t in 0..4 {
-                let stm = stm.clone();
-                s.spawn(move || {
-                    let mut h = stm.handle(t);
-                    for _ in 0..1000 {
-                        h.atomic(|tx| {
-                            let v = tx.read(0)?;
-                            tx.write(0, v + 1)
-                        });
-                    }
-                });
+        for stm in backends(1, 4) {
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let stm = stm.clone();
+                    s.spawn(move || {
+                        let mut h = stm.handle(t);
+                        for _ in 0..1000 {
+                            h.atomic(|tx| {
+                                let v = tx.read(0)?;
+                                tx.write(0, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(stm.peek(0), 4000);
+        }
+    }
+
+    #[test]
+    fn duplicate_stripe_write_sets_commit() {
+        // With one stripe, every register shares the lock word: commit must
+        // dedup instead of self-deadlocking or double-unlocking.
+        let stm = Tl2Stm::with_config(StmConfig::new(8, 1).striped(1));
+        assert_eq!(stm.nstripes(), 1);
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            for x in 0..8 {
+                tx.write(x, x as u64 + 1)?;
             }
+            Ok(())
         });
-        assert_eq!(stm.peek(0), 4000);
+        for x in 0..8 {
+            assert_eq!(stm.peek(x), x as u64 + 1);
+        }
+        assert_eq!(h.stats().commits, 1);
     }
 
     #[test]
     fn bank_invariant_with_readers() {
         const ACCOUNTS: usize = 8;
         const TOTAL: u64 = 8000;
-        let stm = Tl2Stm::new(ACCOUNTS, 4);
-        {
-            let mut h = stm.handle(0);
-            h.atomic(|tx| {
-                for a in 0..ACCOUNTS {
-                    tx.write(a, TOTAL / ACCOUNTS as u64)?;
-                }
-                Ok(())
-            });
-        }
-        std::thread::scope(|s| {
-            // Transfer threads.
-            for t in 0..3 {
-                let stm = stm.clone();
-                s.spawn(move || {
-                    let mut h = stm.handle(t);
-                    let mut rng = t as u64 + 1;
-                    for _ in 0..2000 {
-                        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        let from = (rng >> 33) as usize % ACCOUNTS;
-                        let to = (rng >> 13) as usize % ACCOUNTS;
-                        h.atomic(|tx| {
-                            let a = tx.read(from)?;
-                            let b = tx.read(to)?;
-                            if from != to && a > 0 {
-                                tx.write(from, a - 1)?;
-                                tx.write(to, b + 1)?;
-                            }
-                            Ok(())
-                        });
+        for stm in backends(ACCOUNTS, 4) {
+            {
+                let mut h = stm.handle(0);
+                h.atomic(|tx| {
+                    for a in 0..ACCOUNTS {
+                        tx.write(a, TOTAL / ACCOUNTS as u64)?;
                     }
+                    Ok(())
                 });
             }
-            // Auditor: the sum must be constant in every snapshot.
-            let stm2 = stm.clone();
-            s.spawn(move || {
-                let mut h = stm2.handle(3);
-                for _ in 0..500 {
-                    let sum = h.atomic(|tx| {
-                        let mut s = 0u64;
-                        for a in 0..ACCOUNTS {
-                            s += tx.read(a)?;
+            std::thread::scope(|s| {
+                // Transfer threads.
+                for t in 0..3 {
+                    let stm = stm.clone();
+                    s.spawn(move || {
+                        let mut h = stm.handle(t);
+                        let mut rng = t as u64 + 1;
+                        for _ in 0..2000 {
+                            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let from = (rng >> 33) as usize % ACCOUNTS;
+                            let to = (rng >> 13) as usize % ACCOUNTS;
+                            h.atomic(|tx| {
+                                let a = tx.read(from)?;
+                                let b = tx.read(to)?;
+                                if from != to && a > 0 {
+                                    tx.write(from, a - 1)?;
+                                    tx.write(to, b + 1)?;
+                                }
+                                Ok(())
+                            });
                         }
-                        Ok(s)
                     });
-                    assert_eq!(sum, TOTAL, "opacity violation: inconsistent audit");
                 }
+                // Auditor: the sum must be constant in every snapshot.
+                let stm2 = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm2.handle(3);
+                    for _ in 0..500 {
+                        let sum = h.atomic(|tx| {
+                            let mut s = 0u64;
+                            for a in 0..ACCOUNTS {
+                                s += tx.read(a)?;
+                            }
+                            Ok(s)
+                        });
+                        assert_eq!(sum, TOTAL, "opacity violation: inconsistent audit");
+                    }
+                });
             });
-        });
+        }
     }
 
     #[test]
@@ -439,40 +392,82 @@ mod tests {
         // writes it non-transactionally, publishes back. t1 writes reg 1
         // transactionally while unprivatized. The fenced protocol must never
         // lose t0's non-transactional write.
-        let stm = Tl2Stm::new(2, 2);
-        let rounds = 3000;
-        std::thread::scope(|s| {
-            let stm0 = stm.clone();
-            let owner = s.spawn(move || {
-                let mut h = stm0.handle(0);
-                let mut lost = 0u64;
-                for i in 1..=rounds {
-                    h.atomic(|tx| tx.write(0, 1)); // privatize
-                    h.fence();
-                    let marker = 0x8000_0000_0000_0000 | i;
-                    h.write_direct(1, marker);
-                    if h.read_direct(1) != marker {
-                        lost += 1;
-                    }
-                    h.atomic(|tx| tx.write(0, 2)); // publish back (flag != 1)
-                    h.fence();
-                }
-                lost
-            });
-            let stm1 = stm.clone();
-            s.spawn(move || {
-                let mut h = stm1.handle(1);
-                for i in 1..=rounds {
-                    h.atomic(|tx| {
-                        let flag = tx.read(0)?;
-                        if flag != 1 {
-                            tx.write(1, i)?;
+        for stm in backends(2, 2) {
+            let rounds = 3000;
+            std::thread::scope(|s| {
+                let stm0 = stm.clone();
+                let owner = s.spawn(move || {
+                    let mut h = stm0.handle(0);
+                    let mut lost = 0u64;
+                    for i in 1..=rounds {
+                        h.atomic(|tx| tx.write(0, 1)); // privatize
+                        h.fence();
+                        let marker = 0x8000_0000_0000_0000 | i;
+                        h.write_direct(1, marker);
+                        if h.read_direct(1) != marker {
+                            lost += 1;
                         }
-                        Ok(())
-                    });
-                }
+                        h.atomic(|tx| tx.write(0, 2)); // publish back (flag != 1)
+                        h.fence();
+                    }
+                    lost
+                });
+                let stm1 = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm1.handle(1);
+                    for i in 1..=rounds {
+                        h.atomic(|tx| {
+                            let flag = tx.read(0)?;
+                            if flag != 1 {
+                                tx.write(1, i)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+                assert_eq!(owner.join().unwrap(), 0, "fenced privatization lost writes");
             });
-            assert_eq!(owner.join().unwrap(), 0, "fenced privatization lost writes");
+        }
+    }
+
+    #[test]
+    fn retries_are_counted_on_conflict() {
+        // Deterministic conflict (barriers, so it also works on one core):
+        // t1 reads reg 0 and pauses; t0 commits a write to reg 0; t1's
+        // commit-time validation must fail once, and the shared retry loop
+        // must surface that as one counted, backed-off retry.
+        use std::sync::Barrier;
+        let stm = Tl2Stm::new(2, 2);
+        let after_read = Arc::new(Barrier::new(2));
+        let after_commit = Arc::new(Barrier::new(2));
+        let stats: Stats = std::thread::scope(|s| {
+            let stm1 = stm.clone();
+            let (b1, b2) = (Arc::clone(&after_read), Arc::clone(&after_commit));
+            let reader = s.spawn(move || {
+                let mut h = stm1.handle(1);
+                let mut first = true;
+                h.atomic(|tx| {
+                    let v = tx.read(0)?;
+                    if first {
+                        first = false;
+                        b1.wait();
+                        b2.wait();
+                    }
+                    tx.write(1, v + 1)
+                });
+                h.stats()
+            });
+            let mut h0 = stm.handle(0);
+            after_read.wait();
+            h0.atomic(|tx| tx.write(0, 99));
+            after_commit.wait();
+            reader.join().unwrap()
         });
+        assert_eq!(stm.peek(1), 100, "retry must observe the new value");
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.retries, 1, "exactly one forced conflict: {stats:?}");
+        assert_eq!(stats.aborts_validate, 1);
+        assert_eq!(stats.retries, stats.aborts_total());
+        assert!(stats.backoff_ns > 0, "the retry must charge backoff time");
     }
 }

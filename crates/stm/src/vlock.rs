@@ -1,5 +1,8 @@
-//! Versioned write-locks (TL2's per-register `ver[x]` + `lock[x]`, packed
-//! into one atomic word so version and lock state are read consistently).
+//! Versioned write-locks (TL2's `ver[x]` + `lock[x]`, packed into one
+//! atomic word so version and lock state are read consistently). The
+//! building block of both [`crate::storage`] backends: per-register arrays
+//! and striped orec tables are just different ways of mapping registers
+//! onto these words.
 //!
 //! Layout: bits 16..64 hold the version, bits 0..16 hold the owner slot + 1
 //! (0 = unlocked). 48 version bits outlast any realistic run; 16 owner bits
@@ -47,7 +50,9 @@ pub struct VLock {
 
 impl VLock {
     pub fn new() -> Self {
-        VLock { word: AtomicU64::new(0) }
+        VLock {
+            word: AtomicU64::new(0),
+        }
     }
 
     /// Read the current (version, owner) pair.
@@ -64,7 +69,7 @@ impl VLock {
         if cur & OWNER_MASK != 0 {
             return Err(VLockState::decode(cur));
         }
-        let locked = cur | u64::from(owner) + 1;
+        let locked = cur | (u64::from(owner) + 1);
         match self
             .word
             .compare_exchange(cur, locked, Ordering::SeqCst, Ordering::SeqCst)
@@ -97,7 +102,13 @@ mod tests {
     #[test]
     fn lock_cycle() {
         let l = VLock::new();
-        assert_eq!(l.sample(), VLockState { version: 0, owner: None });
+        assert_eq!(
+            l.sample(),
+            VLockState {
+                version: 0,
+                owner: None
+            }
+        );
         assert_eq!(l.try_lock(3), Ok(0));
         let s = l.sample();
         assert_eq!(s.owner, Some(3));
@@ -107,7 +118,13 @@ mod tests {
         assert!(l.try_lock(4).is_err());
         l.unlock_set_version(9);
         let s = l.sample();
-        assert_eq!(s, VLockState { version: 9, owner: None });
+        assert_eq!(
+            s,
+            VLockState {
+                version: 9,
+                owner: None
+            }
+        );
     }
 
     #[test]
@@ -116,7 +133,13 @@ mod tests {
         l.unlock_set_version(5);
         l.try_lock(0).unwrap();
         l.unlock();
-        assert_eq!(l.sample(), VLockState { version: 5, owner: None });
+        assert_eq!(
+            l.sample(),
+            VLockState {
+                version: 5,
+                owner: None
+            }
+        );
     }
 
     #[test]

@@ -15,9 +15,19 @@ fn val(slot: usize, counter: u64) -> u64 {
 
 fn check_history(rec: &Recorder, expect_drf: bool) {
     let h = rec.snapshot_history();
-    assert_eq!(h.validate(), Ok(()), "recorded history ill-formed:\n{}", textio::to_text(&h));
+    assert_eq!(
+        h.validate(),
+        Ok(()),
+        "recorded history ill-formed:\n{}",
+        textio::to_text(&h)
+    );
     let drf = is_drf(&h);
-    assert_eq!(drf, expect_drf, "DRF verdict mismatch:\n{}", textio::to_text(&h));
+    assert_eq!(
+        drf,
+        expect_drf,
+        "DRF verdict mismatch:\n{}",
+        textio::to_text(&h)
+    );
     if drf {
         if let Err(e) = check_strong_opacity(&h, &CheckOptions::default()) {
             panic!(

@@ -1,0 +1,140 @@
+//! Vendored, minimal, API-compatible subset of the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the two utilities
+//! this workspace actually uses — [`utils::CachePadded`] and
+//! [`utils::Backoff`] — are reimplemented here with the same public surface
+//! and semantics. Swap this path dependency for the real `crossbeam` when a
+//! registry is available; no source changes should be needed.
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line (128 bytes, the
+    /// safe upper bound on x86_64/aarch64 where adjacent-line prefetchers
+    /// pull pairs of 64-byte lines).
+    #[derive(Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops: spin with exponentially growing
+    /// iteration counts, then start yielding to the scheduler, and report
+    /// completion once blocking would be preferable.
+    pub struct Backoff {
+        step: std::cell::Cell<u32>,
+    }
+
+    impl Backoff {
+        pub fn new() -> Self {
+            Backoff {
+                step: std::cell::Cell::new(0),
+            }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backoff in a lock-free loop: spin `2^step` times.
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Backoff while waiting for another thread: spin first, yield after.
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Has backoff escalated to the point where parking would be better?
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Backoff::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::{Backoff, CachePadded};
+
+    #[test]
+    fn cache_padded_is_aligned_and_derefs() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn backoff_completes_after_escalation() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin();
+    }
+}

@@ -18,8 +18,14 @@ use tm_stm::prelude::*;
 const FLAG: usize = 0; // 0 = open, 1 = settling (privatized)
 
 fn main() {
-    let accounts: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
-    let secs: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let accounts: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let secs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
     let tellers = 3usize;
     let nthreads = tellers + 2; // + auditor + settlement
 
@@ -117,9 +123,9 @@ fn main() {
                     std::thread::sleep(Duration::from_millis(50));
                     h.atomic(|tx| tx.write(FLAG, 1)); // close the book
                     h.fence(); // wait out in-flight transfers (Fig 1 discipline)
-                    // Batch: move 1 unit from each odd account to account 0's
-                    // neighbour — arbitrary but total-preserving, done with
-                    // uninstrumented accesses.
+                               // Batch: move 1 unit from each odd account to account 0's
+                               // neighbour — arbitrary but total-preserving, done with
+                               // uninstrumented accesses.
                     let mut moved = 0u64;
                     for a in (1..accounts).step_by(2) {
                         let v = h.read_direct(1 + a);

@@ -21,8 +21,12 @@ fn main() {
             drf.traces
         );
         for tm in [
-            TmKind::Atomic { spurious_aborts: true },
-            TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+            TmKind::Atomic {
+                spurious_aborts: true,
+            },
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
             TmKind::Glock,
         ] {
             let r = run(&l, tm, &limits);

@@ -84,14 +84,17 @@ fn main() {
             h.atomic(|tx| tx.write(FLAG, 1)); // privatize
             h.fence();
             let v = h.read_direct(DATA);
-            if v % 2 != 0 {
+            if !v.is_multiple_of(2) {
                 audit_failures += 1;
             }
             h.write_direct(DATA, v + 2);
             h.atomic(|tx| tx.write(FLAG, 0)); // publish back (xpo;txwr)
         }
     });
-    println!("Sec 2.2 privatize-modify-publish: {audit_failures} parity failures in {} rounds", rounds / 10);
+    println!(
+        "Sec 2.2 privatize-modify-publish: {audit_failures} parity failures in {} rounds",
+        rounds / 10
+    );
     assert_eq!(audit_failures, 0);
     println!("ok — both idioms safe under the paper's DRF discipline");
 }

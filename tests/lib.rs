@@ -6,9 +6,9 @@ use tm_core::equiv::{observationally_equivalent, rearrange};
 use tm_core::hb::is_drf;
 use tm_core::opacity::{check_strong_opacity, CheckOptions};
 use tm_core::trace::Trace;
-use tm_litmus::Litmus;
 use tm_lang::explorer::{explore_traces, Limits, PathStatus};
 use tm_lang::prelude::*;
+use tm_litmus::Litmus;
 
 /// Statistics from validating the Fundamental Property on one program.
 #[derive(Debug, Default)]
@@ -29,7 +29,10 @@ pub fn validate_fundamental_property(l: &Litmus, max_traces: usize) -> FpStats {
     let p = &l.program;
     let cfg = Tl2Config::default();
     let oracle = Tl2Spec::new(p.nregs, p.nthreads(), cfg);
-    let limits = Limits { max_traces, ..Limits::default() };
+    let limits = Limits {
+        max_traces,
+        ..Limits::default()
+    };
     let mut stats = FpStats::default();
     explore_traces(p, oracle, &limits, &mut |tr: Trace, status| {
         if status != PathStatus::Terminal {
@@ -74,6 +77,10 @@ pub fn validate_fundamental_property(l: &Litmus, max_traces: usize) -> FpStats {
         );
         stats.rearrangements_verified += 1;
     });
-    assert!(stats.terminal_traces > 0, "{}: no terminal traces explored", l.name);
+    assert!(
+        stats.terminal_traces > 0,
+        "{}: no terminal traces explored",
+        l.name
+    );
     stats
 }

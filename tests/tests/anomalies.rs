@@ -6,9 +6,9 @@
 
 use tm_core::hb::is_drf;
 use tm_core::opacity::{check_strong_opacity, CheckOptions};
-use tm_litmus::{check_drf_atomic, programs, run, Divergence, TmKind};
 use tm_lang::explorer::{explore_traces, Limits, PathStatus};
 use tm_lang::prelude::*;
+use tm_litmus::{check_drf_atomic, programs, run, Divergence, TmKind};
 
 fn limits() -> Limits {
     Limits::default()
@@ -20,18 +20,37 @@ fn limits() -> Limits {
 #[test]
 fn delayed_commit_fig1a() {
     let unfenced = programs::fig1a(false);
-    let atomic = run(&unfenced, TmKind::Atomic { spurious_aborts: true }, &limits());
+    let atomic = run(
+        &unfenced,
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        &limits(),
+    );
     assert!(atomic.passed(unfenced.divergence));
-    let tl2 = run(&unfenced, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
-    assert!(tl2.violations > 0, "delayed commit must be observable: {tl2:?}");
+    let tl2 = run(
+        &unfenced,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
+    assert!(
+        tl2.violations > 0,
+        "delayed commit must be observable: {tl2:?}"
+    );
     assert!(!check_drf_atomic(&unfenced, &limits()).drf);
 
     let fenced = programs::fig1a(true);
     assert!(check_drf_atomic(&fenced, &limits()).drf);
     for tm in [
-        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
         TmKind::Glock,
-        TmKind::Atomic { spurious_aborts: true },
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
     ] {
         let r = run(&fenced, tm, &limits());
         assert!(r.passed(fenced.divergence), "{tm:?}: {r:?}");
@@ -43,13 +62,31 @@ fn delayed_commit_fig1a() {
 #[test]
 fn doomed_transaction_fig1b() {
     let unfenced = programs::fig1b(false);
-    let tl2 = run(&unfenced, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let tl2 = run(
+        &unfenced,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(tl2.diverged, "zombie loop expected: {tl2:?}");
-    let atomic = run(&unfenced, TmKind::Atomic { spurious_aborts: true }, &limits());
+    let atomic = run(
+        &unfenced,
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        &limits(),
+    );
     assert!(!atomic.diverged);
 
     let fenced = programs::fig1b(true);
-    let tl2f = run(&fenced, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let tl2f = run(
+        &fenced,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(!tl2f.diverged && tl2f.violations == 0, "{tl2f:?}");
 }
 
@@ -65,9 +102,21 @@ fn racy_fig3() {
         assert!(!drf.drf, "{}: must be racy (fences cannot help)", l.name);
     }
     let l = programs::fig3(false);
-    let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits());
+    let atomic = run(
+        &l,
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        &limits(),
+    );
     assert!(atomic.passed(Divergence::Forbidden));
-    let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let tl2 = run(
+        &l,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(tl2.violations > 0, "weak atomicity must show: {tl2:?}");
 
     // Among TL2 traces there is a racy history that is not strongly opaque,
@@ -75,7 +124,10 @@ fn racy_fig3() {
     let p = &l.program;
     let mut racy_non_opaque = 0usize;
     let mut drf_non_opaque = 0usize;
-    let lim = Limits { max_traces: 2_000, ..Limits::default() };
+    let lim = Limits {
+        max_traces: 2_000,
+        ..Limits::default()
+    };
     explore_traces(
         p,
         Tl2Spec::new(p.nregs, p.nthreads(), Tl2Config::default()),
@@ -93,7 +145,10 @@ fn racy_fig3() {
             }
         },
     );
-    assert!(racy_non_opaque > 0, "expected racy non-opaque TL2 histories");
+    assert!(
+        racy_non_opaque > 0,
+        "expected racy non-opaque TL2 histories"
+    );
     assert_eq!(drf_non_opaque, 0, "every DRF TL2 history must be opaque");
 }
 
@@ -105,19 +160,46 @@ fn racy_fig3() {
 fn gcc_readonly_fence_elision() {
     let l = programs::gcc_bug(false);
     // Correct implicit fencing: safe.
-    let safe = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::AfterEvery }, &limits());
-    assert!(safe.violations == 0, "implicit quiescence must protect: {safe:?}");
+    let safe = run(
+        &l,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::AfterEvery,
+        },
+        &limits(),
+    );
+    assert!(
+        safe.violations == 0,
+        "implicit quiescence must protect: {safe:?}"
+    );
     // Buggy elision after read-only transactions: the violation appears.
-    let buggy = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly }, &limits());
+    let buggy = run(
+        &l,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::SkipReadOnly,
+        },
+        &limits(),
+    );
     assert!(buggy.violations > 0, "the GCC bug must manifest: {buggy:?}");
     // No implicit fencing at all: also unsafe.
-    let none = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let none = run(
+        &l,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(none.violations > 0, "{none:?}");
     // The paper's discipline: an explicit fence after the read-only observer
     // makes the program DRF and safe under plain TL2.
     let fenced = programs::gcc_bug(true);
     assert!(check_drf_atomic(&fenced, &limits()).drf);
-    let r = run(&fenced, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let r = run(
+        &fenced,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(r.passed(fenced.divergence), "{r:?}");
 }
 
@@ -127,13 +209,21 @@ fn gcc_readonly_fence_elision() {
 fn privatize_modify_publish() {
     let unfenced = programs::privatize_modify_publish(false);
     assert!(!check_drf_atomic(&unfenced, &limits()).drf);
-    let tl2 = run(&unfenced, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits());
+    let tl2 = run(
+        &unfenced,
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        &limits(),
+    );
     assert!(tl2.violations > 0, "{tl2:?}");
 
     let fenced = programs::privatize_modify_publish(true);
     assert!(check_drf_atomic(&fenced, &limits()).drf);
     for tm in [
-        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
         TmKind::Glock,
     ] {
         let r = run(&fenced, tm, &limits());
@@ -148,8 +238,12 @@ fn agreement_fig6() {
     let l = programs::fig6();
     assert!(check_drf_atomic(&l, &limits()).drf);
     for tm in [
-        TmKind::Atomic { spurious_aborts: true },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
         TmKind::Glock,
     ] {
         let r = run(&l, tm, &limits());
@@ -163,9 +257,15 @@ fn publication_fig2() {
     let l = programs::fig2();
     assert!(check_drf_atomic(&l, &limits()).drf);
     for tm in [
-        TmKind::Atomic { spurious_aborts: true },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::None },
-        TmKind::Tl2 { implicit_fence: ImplicitFence::SkipReadOnly },
+        TmKind::Atomic {
+            spurious_aborts: true,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::None,
+        },
+        TmKind::Tl2 {
+            implicit_fence: ImplicitFence::SkipReadOnly,
+        },
         TmKind::Glock,
     ] {
         let r = run(&l, tm, &limits());

@@ -7,10 +7,10 @@
 //! outcome set under TL2 is contained in the strongly atomic outcome set.
 
 use tm_integration::validate_fundamental_property;
-use tm_litmus::programs;
-use tm_litmus::{run, TmKind};
 use tm_lang::explorer::Limits;
 use tm_lang::prelude::*;
+use tm_litmus::programs;
+use tm_litmus::{run, TmKind};
 
 const TRACE_CAP: usize = 1_500;
 
@@ -52,13 +52,25 @@ fn fp_privatize_modify_publish() {
 fn outcome_refinement_for_drf_programs() {
     let limits = Limits::default();
     for l in programs::all().into_iter().filter(|l| l.expect_drf) {
-        let atomic = run(&l, TmKind::Atomic { spurious_aborts: true }, &limits);
+        let atomic = run(
+            &l,
+            TmKind::Atomic {
+                spurious_aborts: true,
+            },
+            &limits,
+        );
         assert!(
             atomic.passed(l.divergence),
             "{}: postcondition must hold under strong atomicity: {atomic:?}",
             l.name
         );
-        let tl2 = run(&l, TmKind::Tl2 { implicit_fence: ImplicitFence::None }, &limits);
+        let tl2 = run(
+            &l,
+            TmKind::Tl2 {
+                implicit_fence: ImplicitFence::None,
+            },
+            &limits,
+        );
         assert!(
             tl2.passed(l.divergence),
             "{}: Fundamental Property violated under TL2: {tl2:?}",

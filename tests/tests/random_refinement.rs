@@ -46,7 +46,10 @@ fn build_thread(ops: &[Op]) -> Com {
 }
 
 fn limits() -> Limits {
-    Limits { max_traces: 400, ..Limits::default() }
+    Limits {
+        max_traces: 400,
+        ..Limits::default()
+    }
 }
 
 proptest! {
