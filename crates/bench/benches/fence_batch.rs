@@ -1,0 +1,34 @@
+//! fence_batch — the amortization the grace-period engine buys: N
+//! privatization fences paid as N sequential grace periods (blocking
+//! `fence()` per handle) vs N tickets coalesced behind one epoch-table
+//! scan (`fence_all`). The sequential cost grows with N; the batched cost
+//! is one scan plus per-ticket bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_stm::prelude::*;
+
+fn fence_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fence_batch");
+    g.sample_size(10);
+    for &n in &[1usize, 4, 16] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            let stm = Tl2Stm::new(16, n);
+            let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
+            b.iter(|| {
+                for h in handles.iter_mut() {
+                    h.fence();
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            let stm = Tl2Stm::new(16, n);
+            let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
+            b.iter(|| fence_all(handles.iter_mut()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fence_batch);
+criterion_main!(benches);

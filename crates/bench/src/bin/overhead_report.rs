@@ -2,7 +2,7 @@
 //! throughput of each STAMP-like workload under three fence policies, with
 //! the overhead of conservative fencing relative to selective fencing.
 //!
-//! Usage: overhead_report [threads] (default: min(8, cores))
+//! Usage: `overhead_report [threads]` (default: min(8, cores))
 
 use tm_bench::{mix_throughput, standard_workloads, FencePolicy, StmKind};
 

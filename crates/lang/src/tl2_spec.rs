@@ -15,7 +15,7 @@
 //! implicit post-commit quiescence ([`ImplicitFence::AfterEvery`], the
 //! "fence after every transaction" regime of Yoo et al.), and the GCC libitm
 //! bug class ([`ImplicitFence::SkipReadOnly`]): quiescence elided after
-//! read-only transactions (paper Sec 1, [43]).
+//! read-only transactions (paper Sec 1, \[43\]).
 //!
 //! Deviations from the paper's pseudocode, all documented in DESIGN.md:
 //! * locks record their owner so read-set validation does not spuriously
@@ -38,7 +38,7 @@ pub enum ImplicitFence {
     /// Quiesce after every committed transaction (safe, slow).
     AfterEvery,
     /// Quiesce only after transactions that wrote something — the GCC bug
-    /// class: read-only transactions skip quiescence (Sec 1, [43]).
+    /// class: read-only transactions skip quiescence (Sec 1, \[43\]).
     SkipReadOnly,
 }
 

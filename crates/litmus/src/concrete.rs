@@ -75,13 +75,20 @@ pub enum Scenario {
     /// Fig 2: non-transactional payload write published by a transactional
     /// flag write; safe without fences via `xpo;txwr`.
     Publication,
+    /// K threads privatize disjoint regions concurrently through *batched*
+    /// asynchronous fences (`fence_async`): tickets issued in lockstep
+    /// coalesce behind shared grace periods, guarded cross-traffic gives
+    /// the fences something to wait out, and each thread settles its own
+    /// region under a final privatization.
+    EpochBatch,
 }
 
 impl Scenario {
-    pub const ALL: [Scenario; 3] = [
+    pub const ALL: [Scenario; 4] = [
         Scenario::Bank,
         Scenario::Privatization,
         Scenario::Publication,
+        Scenario::EpochBatch,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -89,6 +96,7 @@ impl Scenario {
             Scenario::Bank => "bank",
             Scenario::Privatization => "privatization",
             Scenario::Publication => "publication",
+            Scenario::EpochBatch => "epoch_batch",
         }
     }
 
@@ -96,6 +104,7 @@ impl Scenario {
         match self {
             Scenario::Bank => BANK_ACCOUNTS,
             Scenario::Privatization | Scenario::Publication => 2,
+            Scenario::EpochBatch => 2 * EB_THREADS,
         }
     }
 
@@ -103,13 +112,14 @@ impl Scenario {
         match self {
             Scenario::Bank => 3,
             Scenario::Privatization | Scenario::Publication => 2,
+            Scenario::EpochBatch => EB_THREADS,
         }
     }
 
     /// Does the scenario's history contain fence actions on fencing
     /// backends?
     pub fn uses_fences(&self) -> bool {
-        matches!(self, Scenario::Privatization)
+        matches!(self, Scenario::Privatization | Scenario::EpochBatch)
     }
 }
 
@@ -186,6 +196,7 @@ fn drive<F: StmFactory>(scenario: Scenario, stm: F) -> (Vec<u64>, u64) {
         Scenario::Bank => bank(&stm),
         Scenario::Privatization => privatization(&stm),
         Scenario::Publication => publication(&stm),
+        Scenario::EpochBatch => epoch_batch(&stm),
     };
     let final_regs = (0..scenario.nregs())
         .map(|x| project(scenario, x, stm.peek(x)))
@@ -199,6 +210,10 @@ fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
         Scenario::Bank => v & BAL_MASK,
         Scenario::Privatization if x == PRIV_FLAG => v & PRIV_PHASE_MASK,
         Scenario::Privatization | Scenario::Publication => v,
+        // Even registers are region flags (keep the phase), odd are the
+        // settled region data (keep the value).
+        Scenario::EpochBatch if x.is_multiple_of(2) => v & EB_PHASE_MASK,
+        Scenario::EpochBatch => v,
     }
 }
 
@@ -390,12 +405,128 @@ fn publication<F: StmFactory>(stm: &F) -> u64 {
     })
 }
 
+const EB_THREADS: usize = 3;
+const EB_ROUNDS: u64 = 4;
+/// Low flag bits carry the phase, mirroring the privatization scenario.
+const EB_PHASE_MASK: u64 = 3;
+const EB_PRIVATE: u64 = 1;
+const EB_OPEN: u64 = 2;
+/// Thread `t` settles its region's data register to `EB_SETTLE_BASE + t`.
+pub const EB_SETTLE_BASE: u64 = 0xEB00;
+
+/// Region `t`'s privatization flag register.
+fn eb_flag(t: usize) -> usize {
+    2 * t
+}
+
+/// Region `t`'s data register.
+fn eb_data(t: usize) -> usize {
+    2 * t + 1
+}
+
+/// Expected deterministic final registers: every region privatized (flag
+/// phase 1) with settled data.
+pub fn epoch_batch_expected_finals() -> Vec<u64> {
+    (0..EB_THREADS)
+        .flat_map(|t| [EB_PRIVATE, EB_SETTLE_BASE + t as u64])
+        .collect()
+}
+
+/// K threads each own a disjoint region (flag + data register) and cycle
+/// privatize → batched fence → direct write → publish, while also sending
+/// guarded transactional traffic into every *other* region. Barriers keep
+/// the rounds in lockstep so all K fence tickets of a round are issued in
+/// the same open grace period — the batched path resolves them all on one
+/// epoch-table scan. Each thread ends by privatizing its region once more
+/// and settling the data register to a known value, so the final state is
+/// deterministic under any correct TM.
+///
+/// Write-value uniqueness (Def A.1 clause 3) is by disjoint value spaces:
+/// flag writes carry `(t+1) << 40`, guarded data writes `(t+1) << 48`,
+/// direct markers bit 62, settle values live below 2^16; nonces advance
+/// per *attempt* so aborted attempts never repeat a value.
+fn epoch_batch<F: StmFactory>(stm: &F) -> u64 {
+    use std::sync::Barrier;
+    let privatize = Barrier::new(EB_THREADS);
+    let issued = Barrier::new(EB_THREADS);
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for t in 0..EB_THREADS {
+            let stm = stm.clone();
+            let privatize = &privatize;
+            let issued = &issued;
+            workers.push(s.spawn(move || {
+                let mut h = stm.handle(t);
+                let tt = t as u64;
+                let mut lost = 0u64;
+                let mut flag_nonce = 0u64;
+                let mut data_nonce = 0u64;
+                for round in 1..=EB_ROUNDS {
+                    // Lockstep privatization: every thread sets its flag and
+                    // issues its fence ticket before any thread joins, so
+                    // the K tickets coalesce behind one grace period.
+                    privatize.wait();
+                    h.atomic(|tx| {
+                        flag_nonce += 1;
+                        tx.write(
+                            eb_flag(t),
+                            ((tt + 1) << 40) | (flag_nonce << 2) | EB_PRIVATE,
+                        )
+                    });
+                    let ticket = h.fence_async();
+                    issued.wait();
+                    h.fence_join(ticket);
+                    // The region is private: uninstrumented access is safe.
+                    let marker = (1u64 << 62) | (tt << 8) | round;
+                    h.write_direct(eb_data(t), marker);
+                    if h.read_direct(eb_data(t)) != marker {
+                        lost += 1;
+                    }
+                    h.atomic(|tx| {
+                        flag_nonce += 1;
+                        tx.write(eb_flag(t), ((tt + 1) << 40) | (flag_nonce << 2) | EB_OPEN)
+                    });
+                    // Guarded cross-traffic into the other regions — the
+                    // transactions the other threads' fences wait out.
+                    for j in (0..EB_THREADS).filter(|&j| j != t) {
+                        h.atomic(|tx| {
+                            data_nonce += 1;
+                            let flag = tx.read(eb_flag(j))?;
+                            if flag & EB_PHASE_MASK != EB_PRIVATE {
+                                tx.write(eb_data(j), ((tt + 1) << 48) | data_nonce)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                }
+                // Settle: privatize once more and leave the data register at
+                // a known value guarded writers can never overwrite.
+                privatize.wait();
+                h.atomic(|tx| {
+                    flag_nonce += 1;
+                    tx.write(
+                        eb_flag(t),
+                        ((tt + 1) << 40) | (flag_nonce << 2) | EB_PRIVATE,
+                    )
+                });
+                let ticket = h.fence_async();
+                issued.wait();
+                h.fence_join(ticket);
+                h.write_direct(eb_data(t), EB_SETTLE_BASE + tt);
+                lost
+            }));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    })
+}
+
 /// Expected deterministic final registers for a scenario.
 pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
     match scenario {
         Scenario::Bank => bank_expected_finals(),
         Scenario::Privatization => privatization_expected_finals(),
         Scenario::Publication => publication_expected_finals(),
+        Scenario::EpochBatch => epoch_batch_expected_finals(),
     }
 }
 
@@ -410,6 +541,20 @@ mod tests {
             assert_eq!(run.lost_updates, 0, "{}", sc.label());
             assert_eq!(run.final_regs, expected_finals(sc), "{}", sc.label());
         }
+    }
+
+    #[test]
+    fn recorded_epoch_batch_history_is_drf_and_opaque() {
+        let run = run_scenario(Scenario::EpochBatch, Backend::Tl2PerRegister, true);
+        assert_eq!(run.lost_updates, 0);
+        assert_eq!(run.final_regs, epoch_batch_expected_finals());
+        let v = check(run.history.as_ref().unwrap());
+        assert!(
+            v.well_formed,
+            "batched async fences must record well-formed"
+        );
+        assert!(v.drf);
+        assert_eq!(v.opaque, Some(true));
     }
 
     #[test]

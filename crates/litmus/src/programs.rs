@@ -252,7 +252,7 @@ pub fn privatize_modify_publish(with_fence: bool) -> Litmus {
     }
 }
 
-/// The GCC libitm bug class (Sec 1, [43]): quiescence elided after read-only
+/// The GCC libitm bug class (Sec 1, \[43\]): quiescence elided after read-only
 /// transactions. Three threads:
 ///
 /// ```text

@@ -5,7 +5,7 @@
 //! is exactly an RCU grace period: transactions are read-side critical
 //! sections, the fence is `synchronize_rcu`.
 //!
-//! Two implementations are provided:
+//! Three layers are provided:
 //!
 //! * [`EpochTable`] — per-thread *epoch counters* (even = quiescent, odd =
 //!   active). A fence snapshots the counters and waits until every
@@ -17,9 +17,15 @@
 //!   Under continuous traffic a fence may over-wait, because a freshly
 //!   started transaction makes `active[t]` true again before the fence
 //!   re-reads it; it still satisfies Def 2.1's fence clause.
+//! * [`GraceEngine`] — an asynchronous, *batched* grace-period engine over
+//!   an [`EpochTable`]: callers obtain a [`GraceTicket`] instead of
+//!   blocking, and every ticket issued during the same open period is
+//!   resolved by one shared scan of the epoch table — the `call_rcu` to
+//!   [`EpochTable::wait_quiescent`]'s `synchronize_rcu`.
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-thread epoch counters. Even values mean the slot is quiescent, odd
 /// values mean a critical section (transaction) is in progress.
@@ -93,16 +99,246 @@ impl EpochTable {
             if Some(t) == exclude || s % 2 == 0 || !wait_for(t) {
                 continue;
             }
-            let mut spins = 0u32;
+            // Yield on every re-check: the slot we are waiting on can only
+            // advance if its thread gets scheduled, and on a single-core
+            // host a spin-mostly loop (the previous yield-every-64 shape)
+            // just burns the waiter's whole quantum against a stale epoch.
             while self.epochs[t].load(Ordering::SeqCst) == s {
-                spins += 1;
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A completion callback registered on a grace period.
+type Callback = Box<dyn FnOnce() + Send>;
+
+/// State of the (at most one) epoch-table scan in progress.
+struct ScanState {
+    /// Period the scan will complete when `pending` drains; 0 = no scan.
+    target: u64,
+    /// Slots still awaited: `(slot, epoch at snapshot)` for every slot that
+    /// was active when the scan's snapshot was taken.
+    pending: Vec<(usize, u64)>,
+}
+
+/// An asynchronous, batched grace-period engine over an [`EpochTable`].
+///
+/// Grace periods are numbered monotonically. At any moment exactly one
+/// period is *open*: [`GraceEngine::issue`] stamps a [`GraceTicket`] with
+/// it and returns immediately. The first driver to make progress *closes*
+/// the open period (opening the next) and snapshots the epoch table; when
+/// every snapshotted-active slot has moved, the period — and every ticket
+/// stamped with it or any earlier period — is complete. Coalescing is the
+/// point: however many tickets were issued while a period was open, they
+/// all resolve on that one scan.
+///
+/// There is no dedicated grace-period thread. Periods advance
+/// *cooperatively*: any caller of [`GraceTicket::poll`] or
+/// [`GraceTicket::wait`] (or [`GraceEngine::drive`] directly) performs one
+/// bounded, non-blocking step of the scan. Waiters yield between steps —
+/// they never hard-spin — so the engine is safe on a single-core host.
+///
+/// A ticket's quiescence guarantee: every critical section active when
+/// `issue` was called has completed by the time the ticket resolves. (The
+/// completing scan's snapshot is taken after the ticket's period closes,
+/// which is after the issue; waiting for the snapshot's active slots is
+/// conservative — it can only over-wait, never under-wait.)
+///
+/// Callers must not drive a ticket from *inside* a critical section of the
+/// epoch table — the scan would wait on the caller's own slot. Fences are
+/// issued and awaited outside transactions, so this does not arise in the
+/// STM runtime.
+pub struct GraceEngine {
+    epochs: EpochTable,
+    /// Period currently accepting tickets. Starts at 1.
+    open: CachePadded<AtomicU64>,
+    /// Highest completed period: every ticket with `period <= completed`
+    /// has its grace period elapsed. Starts at 0.
+    completed: CachePadded<AtomicU64>,
+    /// Completed epoch-table scans (each scan retires one period, however
+    /// many tickets were batched behind it) — the coalescing measurement.
+    scans: CachePadded<AtomicU64>,
+    /// Serializes drivers; held only for one bounded step at a time.
+    scan: Mutex<ScanState>,
+    /// Completion callbacks keyed by period, run by the completing driver.
+    callbacks: Mutex<Vec<(u64, Callback)>>,
+}
+
+impl GraceEngine {
+    /// An engine over a fresh [`EpochTable`] with `nthreads` slots.
+    pub fn new(nthreads: usize) -> Arc<Self> {
+        Arc::new(GraceEngine {
+            epochs: EpochTable::new(nthreads),
+            open: CachePadded::new(AtomicU64::new(1)),
+            completed: CachePadded::new(AtomicU64::new(0)),
+            scans: CachePadded::new(AtomicU64::new(0)),
+            scan: Mutex::new(ScanState {
+                target: 0,
+                pending: Vec::new(),
+            }),
+            callbacks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The epoch table the engine scans. Critical sections register here
+    /// exactly as with a bare table.
+    pub fn epochs(&self) -> &EpochTable {
+        &self.epochs
+    }
+
+    /// The period currently accepting tickets.
+    pub fn open_period(&self) -> u64 {
+        self.open.load(Ordering::SeqCst)
+    }
+
+    /// Highest completed period.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Number of full epoch-table scans performed so far. One scan retires
+    /// one period — and with it every ticket the period coalesced — so
+    /// `tickets issued / scans` is the batching factor.
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::SeqCst)
+    }
+
+    /// Has `period` completed?
+    pub fn is_complete(&self, period: u64) -> bool {
+        self.completed() >= period
+    }
+
+    /// Request a grace period: stamp a ticket with the open period. Never
+    /// blocks; the returned ticket resolves once every critical section
+    /// active now has completed.
+    pub fn issue(self: &Arc<Self>) -> GraceTicket {
+        GraceTicket {
+            engine: Arc::clone(self),
+            period: self.open.load(Ordering::SeqCst),
+        }
+    }
+
+    /// One cooperative, non-blocking driving step toward completing
+    /// `period`; returns whether it has completed. If no scan is in
+    /// progress, this closes the open period and snapshots the epoch table;
+    /// otherwise it re-checks the in-progress scan's pending slots once.
+    /// Never waits: callers that need completion loop with `yield_now`
+    /// between steps (which is exactly what [`GraceTicket::wait`] does).
+    pub fn drive(&self, period: u64) -> bool {
+        if self.is_complete(period) {
+            return true;
+        }
+        // Another driver holding the lock is making progress on our behalf;
+        // don't contend, just report current completion.
+        let Ok(mut st) = self.scan.try_lock() else {
+            return self.is_complete(period);
+        };
+        if st.target == 0 {
+            // Close the open period; tickets issued from here on join the
+            // next one. The snapshot below is therefore taken after every
+            // coalesced ticket's issue, as the quiescence guarantee needs.
+            let target = self.open.fetch_add(1, Ordering::SeqCst);
+            st.target = target;
+            st.pending.clear();
+            for t in 0..self.epochs.nthreads() {
+                let e = self.epochs.epoch(t);
+                if e % 2 == 1 {
+                    st.pending.push((t, e));
                 }
             }
         }
+        st.pending.retain(|&(t, e)| self.epochs.epoch(t) == e);
+        if st.pending.is_empty() {
+            let done = st.target;
+            st.target = 0;
+            self.scans.fetch_add(1, Ordering::SeqCst);
+            self.completed.store(done, Ordering::SeqCst);
+            drop(st);
+            self.run_callbacks();
+        }
+        self.is_complete(period)
+    }
+
+    /// Register `f` to run when `period` completes (immediately, on this
+    /// thread, if it already has; otherwise on the completing driver's
+    /// thread).
+    pub fn on_complete(&self, period: u64, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut cbs = self.callbacks.lock().unwrap();
+            // Checked under the lock: the completing driver stores
+            // `completed` *before* draining callbacks, so either we observe
+            // completion here or our push is visible to its drain.
+            if !self.is_complete(period) {
+                cbs.push((period, Box::new(f)));
+                return;
+            }
+        }
+        f();
+    }
+
+    fn run_callbacks(&self) {
+        // Drain under the lock, run outside it: callbacks may issue new
+        // tickets or register further callbacks.
+        let due: Vec<Callback> = {
+            let mut cbs = self.callbacks.lock().unwrap();
+            let completed = self.completed();
+            let mut due = Vec::new();
+            cbs.retain_mut(|(p, f)| {
+                if *p <= completed {
+                    due.push(std::mem::replace(f, Box::new(|| ())));
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for f in due {
+            f();
+        }
+    }
+}
+
+/// A claim on a numbered grace period of a [`GraceEngine`] — the
+/// asynchronous fence. Obtained from [`GraceEngine::issue`]; resolves once
+/// every critical section active at issue has completed.
+#[derive(Clone)]
+pub struct GraceTicket {
+    engine: Arc<GraceEngine>,
+    period: u64,
+}
+
+impl GraceTicket {
+    /// The grace period this ticket is stamped with.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The engine that issued this ticket.
+    pub fn engine(&self) -> &Arc<GraceEngine> {
+        &self.engine
+    }
+
+    /// Non-blocking completion check that also contributes one driving
+    /// step, so polling callers collectively advance the period.
+    pub fn poll(&self) -> bool {
+        self.engine.drive(self.period)
+    }
+
+    /// Block (cooperatively) until the grace period has elapsed: drive one
+    /// step, yield, repeat. Never hard-spins — on a single-core host the
+    /// yield is what lets the awaited transactions run at all.
+    pub fn wait(&self) {
+        while !self.engine.drive(self.period) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Run `f` when the grace period elapses (immediately if it already
+    /// has; otherwise on whichever thread completes the period).
+    pub fn on_complete(self, f: impl FnOnce() + Send + 'static) {
+        self.engine.on_complete(self.period, f);
     }
 }
 
@@ -290,6 +526,139 @@ mod tests {
         done.store(true, Ordering::SeqCst);
         table.clear(0);
         fencer.join().unwrap();
+    }
+
+    #[test]
+    fn engine_quiescent_ticket_completes_in_one_scan() {
+        let eng = GraceEngine::new(4);
+        let t = eng.issue();
+        assert_eq!(t.period(), 1);
+        assert!(!eng.is_complete(1));
+        t.wait();
+        assert!(eng.is_complete(1));
+        assert_eq!(eng.scans(), 1);
+        assert_eq!(eng.completed(), 1);
+        assert_eq!(eng.open_period(), 2);
+    }
+
+    /// The coalescing claim: every ticket issued while the same period is
+    /// open resolves on ONE scan of the epoch table.
+    #[test]
+    fn engine_coalesces_tickets_behind_one_scan() {
+        let eng = GraceEngine::new(8);
+        let tickets: Vec<GraceTicket> = (0..16).map(|_| eng.issue()).collect();
+        for t in &tickets {
+            assert_eq!(t.period(), 1, "all issued in the same open period");
+        }
+        for t in &tickets {
+            t.wait();
+        }
+        assert_eq!(eng.scans(), 1, "16 tickets must share one scan");
+    }
+
+    /// A ticket must not resolve while a section active at issue is open.
+    #[test]
+    fn engine_ticket_waits_for_active_section() {
+        let eng = GraceEngine::new(2);
+        let stage = Arc::new(AtomicUsize::new(0));
+        eng.epochs().enter(0);
+        let ticket = eng.issue();
+        assert!(!ticket.poll(), "section 0 still active");
+        let waiter = {
+            let ticket = ticket.clone();
+            let stage = Arc::clone(&stage);
+            std::thread::spawn(move || {
+                ticket.wait();
+                assert_eq!(stage.load(Ordering::SeqCst), 1);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        stage.store(1, Ordering::SeqCst);
+        eng.epochs().exit(0);
+        waiter.join().unwrap();
+    }
+
+    /// Sections starting after issue are not waited for: the engine must
+    /// complete tickets under continuous enter/exit traffic (regression for
+    /// the fence-under-traffic liveness the runtime depends on).
+    #[test]
+    fn engine_completes_under_continuous_traffic() {
+        let eng = GraceEngine::new(2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let eng = Arc::clone(&eng);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    eng.epochs().enter(0);
+                    eng.epochs().exit(0);
+                }
+            })
+        };
+        for _ in 0..100 {
+            eng.issue().wait();
+        }
+        stop.store(true, Ordering::SeqCst);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn engine_on_complete_fires() {
+        let eng = GraceEngine::new(2);
+        let fired = Arc::new(AtomicUsize::new(0));
+
+        // Pending period: callback runs when a driver completes it.
+        let t1 = eng.issue();
+        {
+            let fired = Arc::clone(&fired);
+            t1.clone().on_complete(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "not complete yet");
+        t1.wait();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "ran on completion");
+
+        // Already-complete period: callback runs immediately.
+        {
+            let fired = Arc::clone(&fired);
+            t1.on_complete(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    /// Tickets issued after a scan closed their predecessor period land in
+    /// the next period and need a second scan.
+    #[test]
+    fn engine_periods_advance_monotonically() {
+        let eng = GraceEngine::new(2);
+        let t1 = eng.issue();
+        t1.wait();
+        let t2 = eng.issue();
+        assert_eq!(t2.period(), 2);
+        assert!(!eng.is_complete(2));
+        t2.wait();
+        assert_eq!(eng.scans(), 2);
+        assert!(eng.is_complete(2));
+    }
+
+    /// Concurrent waiters from many threads on the same period: exactly one
+    /// scan, nobody hangs, everyone observes completion.
+    #[test]
+    fn engine_concurrent_waiters_share_scan() {
+        let eng = GraceEngine::new(4);
+        eng.epochs().enter(3);
+        let tickets: Vec<GraceTicket> = (0..3).map(|_| eng.issue()).collect();
+        std::thread::scope(|s| {
+            for t in &tickets {
+                s.spawn(move || t.wait());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            eng.epochs().exit(3);
+        });
+        assert_eq!(eng.scans(), 1, "waiters must share the period's scan");
     }
 
     /// Many threads hammering enter/exit while a fencer loops: smoke test

@@ -1,5 +1,6 @@
 //! The public STM interface shared by all implementations.
 
+use crate::fence::FenceTicket;
 use std::fmt;
 
 /// A transaction attempt was aborted (conflict, validation failure, or an
@@ -44,9 +45,25 @@ pub trait StmHandle {
     /// Uninstrumented non-transactional write.
     fn write_direct(&mut self, x: usize, v: u64);
 
+    /// Asynchronous transactional fence: request the fence and return a
+    /// ticket immediately. The ticket resolves once every transaction
+    /// active at the request has committed or aborted; tickets issued while
+    /// the same grace period is open — by any thread — are *batched* behind
+    /// one epoch-table scan. See [`crate::fence`] for the recording rules
+    /// that apply while a ticket is outstanding.
+    fn fence_async(&mut self) -> FenceTicket;
+
+    /// Wait a fence ticket out on this handle, charging the blocked time to
+    /// [`Stats::fence_wait_ns`].
+    fn fence_join(&mut self, ticket: FenceTicket);
+
     /// Transactional fence: blocks until every transaction active at the
-    /// call has committed or aborted (paper Fig 7 lines 33–39).
-    fn fence(&mut self);
+    /// call has committed or aborted (paper Fig 7 lines 33–39). Exactly
+    /// [`Self::fence_async`] followed by [`Self::fence_join`].
+    fn fence(&mut self) {
+        let ticket = self.fence_async();
+        self.fence_join(ticket);
+    }
 
     /// Statistics accumulated by this handle.
     fn stats(&self) -> Stats;
@@ -78,6 +95,10 @@ pub struct Stats {
     /// Aborts requested by the transaction body.
     pub aborts_user: u64,
     pub fences: u64,
+    /// Nanoseconds spent blocked waiting fences out (`fence` /
+    /// `fence_join`). Time between `fence_async` and the join — the overlap
+    /// an asynchronous fence buys — is deliberately not counted.
+    pub fence_wait_ns: u64,
     pub direct_reads: u64,
     pub direct_writes: u64,
     /// Attempts re-run by the shared `atomic` retry loop (one per abort it
@@ -99,6 +120,7 @@ impl Stats {
         self.aborts_validate += o.aborts_validate;
         self.aborts_user += o.aborts_user;
         self.fences += o.fences;
+        self.fence_wait_ns += o.fence_wait_ns;
         self.direct_reads += o.direct_reads;
         self.direct_writes += o.direct_writes;
         self.retries += o.retries;
@@ -117,6 +139,8 @@ mod tests {
             aborts_read: 2,
             retries: 3,
             backoff_ns: 100,
+            fences: 2,
+            fence_wait_ns: 40,
             ..Default::default()
         };
         let b = Stats {
@@ -125,6 +149,8 @@ mod tests {
             aborts_user: 1,
             retries: 5,
             backoff_ns: 900,
+            fences: 1,
+            fence_wait_ns: 60,
             ..Default::default()
         };
         a.merge(&b);
@@ -132,6 +158,8 @@ mod tests {
         assert_eq!(a.aborts_total(), 7);
         assert_eq!(a.retries, 8);
         assert_eq!(a.backoff_ns, 1000);
+        assert_eq!(a.fences, 3);
+        assert_eq!(a.fence_wait_ns, 100);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Asynchronous, batched transactional fences.
+//!
+//! The paper's fence (Fig 7 lines 33–39) *blocks* the privatizing thread
+//! for a full grace period. [`FenceTicket`] splits that into request and
+//! completion: [`StmHandle::fence_async`] returns immediately with a ticket
+//! stamped on the runtime's open grace period ([`tm_quiesce::GraceEngine`]),
+//! and the thread overlaps useful work until it [`poll`](FenceTicket::poll)s
+//! or [`wait`](FenceTicket::wait)s. Batching is the payoff: every ticket
+//! issued during the same open period — by any thread — resolves on one
+//! shared scan of the epoch table, the same amortization `call_rcu` gets
+//! over `synchronize_rcu`.
+//!
+//! Recorded histories get `FBegin` at ticket issue and `FEnd` at ticket
+//! resolution, so the `tm-core` checkers validate asynchronous fences with
+//! the same Def A.1 clause-10 obligation as blocking ones. Two rules follow:
+//!
+//! * With a recorder attached, resolve a ticket before issuing further TM
+//!   operations on the same handle — `FBegin` is a *request* action, and a
+//!   `TxBegin` recorded before the matching `FEnd` makes the history
+//!   ill-formed (nested requests, Def A.1 clause 5). The work overlapped
+//!   under an open ticket must be non-transactional.
+//! * Never wait on a ticket from inside a transaction on the same handle's
+//!   slot: the grace period would wait for the waiter.
+//!
+//! An unresolved ticket resolves *at the latest when dropped* (the drop
+//! blocks through the grace period), so a fence, once requested, is never
+//! silently lost.
+
+use crate::api::StmHandle;
+use crate::record::Recorder;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_core::action::Kind;
+use tm_quiesce::GraceTicket;
+
+/// A pending (or already-elapsed) transactional fence: completes once every
+/// transaction active at issue has committed or aborted.
+///
+/// Obtained from [`StmHandle::fence_async`]. Policies whose fence is a
+/// no-op (NOrec — privatization-safe without quiescing) return tickets that
+/// are already resolved at issue.
+pub struct FenceTicket {
+    /// The grace-period claim; `None` for no-op (immediate) fences.
+    grace: Option<GraceTicket>,
+    /// Recorder and thread slot for the `FEnd` emitted at resolution.
+    rec: Option<(Arc<Recorder>, usize)>,
+    resolved: bool,
+}
+
+impl FenceTicket {
+    /// An already-elapsed fence (no-op fence policies, e.g. NOrec).
+    pub(crate) fn immediate() -> Self {
+        FenceTicket {
+            grace: None,
+            rec: None,
+            resolved: true,
+        }
+    }
+
+    /// A pending fence over `grace`; `rec` emits `FEnd` at resolution.
+    pub(crate) fn issued(grace: GraceTicket, rec: Option<(Arc<Recorder>, usize)>) -> Self {
+        FenceTicket {
+            grace: Some(grace),
+            rec,
+            resolved: false,
+        }
+    }
+
+    /// Has this fence already resolved (grace period elapsed, `FEnd`
+    /// recorded)?
+    pub fn is_resolved(&self) -> bool {
+        self.resolved
+    }
+
+    /// The grace period this ticket is stamped with (`None` for no-op
+    /// fences). Tickets with equal periods on the same runtime share one
+    /// epoch-table scan.
+    pub fn period(&self) -> Option<u64> {
+        self.grace.as_ref().map(|g| g.period())
+    }
+
+    /// Non-blocking completion check. Each call also contributes one
+    /// cooperative driving step to the engine, so a polling loop makes
+    /// global progress even with no other waiter.
+    pub fn poll(&mut self) -> bool {
+        if !self.resolved && self.grace.as_ref().is_none_or(|g| g.poll()) {
+            self.resolve();
+        }
+        self.resolved
+    }
+
+    /// Block (cooperatively — yielding, never hard-spinning) until the
+    /// fence resolves; returns the time spent blocked. Prefer
+    /// [`StmHandle::fence_join`], which also charges that time to
+    /// [`crate::api::Stats::fence_wait_ns`].
+    pub fn wait(&mut self) -> Duration {
+        if self.resolved {
+            return Duration::ZERO;
+        }
+        let start = Instant::now();
+        if let Some(g) = &self.grace {
+            g.wait();
+        }
+        self.resolve();
+        start.elapsed()
+    }
+
+    /// Run `f` when the fence resolves: immediately (on this thread) if it
+    /// already has, otherwise on whichever thread completes the grace
+    /// period. The `FEnd` is recorded just before `f` runs.
+    pub fn on_complete(mut self, f: impl FnOnce() + Send + 'static) {
+        let grace = self.grace.take();
+        let rec = self.rec.take();
+        self.resolved = true; // disarm the blocking drop
+        match grace {
+            None => f(),
+            Some(g) => g.on_complete(move || {
+                if let Some((r, slot)) = rec {
+                    r.record(slot, Kind::FEnd);
+                }
+                f();
+            }),
+        }
+    }
+
+    fn resolve(&mut self) {
+        self.resolved = true;
+        if let Some((r, slot)) = self.rec.take() {
+            r.record(slot, Kind::FEnd);
+        }
+    }
+}
+
+impl Drop for FenceTicket {
+    /// A requested fence is never lost: dropping an unresolved ticket waits
+    /// the grace period out (and records the `FEnd`).
+    fn drop(&mut self) {
+        if !self.resolved {
+            let _ = self.wait();
+        }
+    }
+}
+
+/// Fence a batch of handles behind (at most) one grace period: issue every
+/// ticket first — they all land in the same open period unless a scan
+/// intervenes — then wait them out. N privatizing handles pay one
+/// epoch-table scan instead of N full grace periods.
+///
+/// Blocked time is charged to each handle's [`crate::api::Stats`] as with
+/// [`StmHandle::fence_join`]; in the batched case the first join does the
+/// waiting and the rest observe completion.
+pub fn fence_all<'a, H, I>(handles: I)
+where
+    H: StmHandle + 'a,
+    I: IntoIterator<Item = &'a mut H>,
+{
+    let mut handles: Vec<&'a mut H> = handles.into_iter().collect();
+    let tickets: Vec<FenceTicket> = handles.iter_mut().map(|h| h.fence_async()).collect();
+    for (h, t) in handles.iter_mut().zip(tickets) {
+        h.fence_join(t);
+    }
+}

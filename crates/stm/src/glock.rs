@@ -5,10 +5,10 @@
 //! the design space and the "no concurrency" baseline for the benchmarks.
 //!
 //! Writes are still buffered (the runtime's rollback contract requires user
-//! aborts to be undoable), and the fence uses the runtime's default epoch
-//! grace period: any transaction active at the fence holds the global lock
-//! *and* its epoch, so the wait is equivalent to the seed's
-//! observe-lock-free fence.
+//! aborts to be undoable), and the fence uses the default
+//! [`Policy::fence_mode`] — a grace-period ticket on the runtime's engine:
+//! any transaction active at the fence holds the global lock *and* its
+//! epoch, so the wait is equivalent to the seed's observe-lock-free fence.
 
 use crate::api::Abort;
 use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};

@@ -11,6 +11,11 @@
 //!   registration for fences, [`record::Recorder`] wiring, [`api::Stats`],
 //!   and the `atomic` retry loop with exponential backoff. Algorithms are
 //!   [`runtime::Policy`] implementations over it.
+//! * [`fence`] — asynchronous, batched privatization fences:
+//!   [`api::StmHandle::fence_async`] returns a [`fence::FenceTicket`] over
+//!   the runtime's grace-period engine ([`tm_quiesce::GraceEngine`]); all
+//!   tickets issued during one open period share a single epoch-table scan,
+//!   and [`fence::fence_all`] batches whole handle sets.
 //! * [`storage`] — pluggable ownership-record storage for versioned-lock
 //!   policies: one [`vlock::VLock`] per register, or a *striped orec table*
 //!   (constant metadata footprint, hash register → stripe), selected per
@@ -22,7 +27,7 @@
 //!   accesses are exposed to the delayed-commit and doomed-transaction
 //!   anomalies of the paper's Fig 1 — with the fence, privatization is safe
 //!   (the paper's DRF discipline).
-//! * [`norec`] — a NOrec-style STM (related work [10]): privatization-safe
+//! * [`norec`] — a NOrec-style STM (related work \[10\]): privatization-safe
 //!   without fences; the comparison point for the fence-cost benchmarks.
 //! * [`glock`] — single-global-lock STM: the trivially strongly atomic
 //!   baseline.
@@ -58,6 +63,7 @@
 //! ```
 
 pub mod api;
+pub mod fence;
 pub mod glock;
 pub mod map;
 pub mod norec;
@@ -69,8 +75,9 @@ pub mod vlock;
 
 pub mod prelude {
     pub use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
+    pub use crate::fence::{fence_all, FenceTicket};
     pub use crate::glock::{GlockHandle, GlockStm};
-    pub use crate::map::TxMap;
+    pub use crate::map::{freeze_all, TxMap};
     pub use crate::norec::{NorecHandle, NorecStm};
     pub use crate::record::Recorder;
     pub use crate::runtime::{BackoffCfg, StmConfig};

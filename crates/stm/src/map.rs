@@ -11,11 +11,12 @@
 //!
 //! Every transactional operation first reads the freeze flag and aborts if
 //! the map is frozen; because the flag is in the read set, a concurrent
-//! [`freeze`] invalidates in-flight writers, and the fence inside `freeze`
+//! [`TxMap::freeze`] invalidates in-flight writers, and the fence inside `freeze`
 //! waits them out — precisely the Fig 1(a) discipline. Bulk readers/writers
 //! then use uninstrumented direct access safely.
 
 use crate::api::{Abort, StmHandle, TxScope};
+use crate::fence::FenceTicket;
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
@@ -143,11 +144,26 @@ impl TxMap {
 
     /// Privatize the map for bulk work: set the freeze flag transactionally,
     /// then fence. After this returns, no transaction is operating on the
-    /// map and new ones abort-and-retry until [`Self::thaw`].
+    /// map and new ones abort-and-retry until [`Self::thaw`]. Exactly
+    /// [`Self::freeze_async`] followed by [`StmHandle::fence_join`].
     pub fn freeze<H: StmHandle>(&self, h: &mut H) {
+        let ticket = self.freeze_async(h);
+        h.fence_join(ticket);
+    }
+
+    /// Begin privatizing the map without blocking: set the freeze flag
+    /// transactionally and return the fence ticket. Bulk (uninstrumented)
+    /// access is only safe after the ticket resolves. Tickets issued by
+    /// concurrent threads (one map each) coalesce behind one grace period.
+    ///
+    /// To batch several maps on *one* handle use [`freeze_all`] instead of
+    /// calling this repeatedly: issuing another map's flag transaction
+    /// while this ticket is outstanding makes recorded histories
+    /// ill-formed (see [`crate::fence`]'s recording rules).
+    pub fn freeze_async<H: StmHandle>(&self, h: &mut H) -> FenceTicket {
         let flag = self.flag_reg();
         h.atomic(|tx| tx.write(flag, 1));
-        h.fence();
+        h.fence_async()
     }
 
     /// Publish the map back for transactional access (no fence needed:
@@ -156,7 +172,22 @@ impl TxMap {
         let flag = self.flag_reg();
         h.atomic(|tx| tx.write(flag, 0));
     }
+}
 
+/// Privatize several maps behind a *single* fence: set every freeze flag
+/// first (one transaction per map), then wait one grace period out for all
+/// of them — N map freezes for one epoch-table scan. This is the batched
+/// pattern for one handle: every flag transaction completes before the
+/// fence is requested, so recorded histories stay well-formed.
+pub fn freeze_all<H: StmHandle>(maps: &[TxMap], h: &mut H) {
+    for m in maps {
+        let flag = m.flag_reg();
+        h.atomic(|tx| tx.write(flag, 1));
+    }
+    h.fence();
+}
+
+impl TxMap {
     /// Bulk snapshot with uninstrumented reads. Only safe between
     /// [`Self::freeze`] and [`Self::thaw`] on the same handle.
     pub fn iter_frozen<H: StmHandle>(&self, h: &mut H) -> Vec<(u64, u64)> {
@@ -277,6 +308,31 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    /// Freezing several maps batched behind one fence: all flag
+    /// transactions complete first, then one grace period covers them all.
+    #[test]
+    fn batched_map_freezes_share_one_scan() {
+        let maps: Vec<TxMap> = (0..3)
+            .map(|i| TxMap::new(i * TxMap::regs_needed(8), 8))
+            .collect();
+        let stm = Tl2Stm::new(3 * TxMap::regs_needed(8), 1);
+        let mut h = stm.handle(0);
+        for (i, m) in maps.iter().enumerate() {
+            h.atomic(|tx| m.insert(tx, 1, 10 + i as u64).map(|_| ()));
+        }
+        freeze_all(&maps, &mut h);
+        assert_eq!(
+            stm.runtime().grace().scans(),
+            1,
+            "3 map freezes must share one epoch-table scan"
+        );
+        assert_eq!(h.stats().fences, 1);
+        for (i, m) in maps.iter().enumerate() {
+            assert_eq!(m.iter_frozen(&mut h), vec![(1, 10 + i as u64)]);
+            m.thaw(&mut h);
+        }
     }
 
     #[test]

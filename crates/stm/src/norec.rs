@@ -1,4 +1,4 @@
-//! NOrec-style STM (Dalessandro, Spear, Scott — paper's related work [10])
+//! NOrec-style STM (Dalessandro, Spear, Scott — paper's related work \[10\])
 //! as a [`Policy`] over the shared [`crate::runtime`]: a single global
 //! sequence lock, value-based validation, no per-register ownership records.
 //!
@@ -7,12 +7,14 @@
 //! completes before the commit returns, so there is no delayed-commit
 //! window; and any clock change forces readers to re-validate by value, so
 //! doomed transactions abort instead of reading privatized data.
-//! [`Policy::fence_wait`] is overridden to a no-op — `fence()` still counts
-//! in [`crate::api::Stats`], but never waits, and records no fence actions
-//! (a recorded fence would claim a quiescence this TM does not perform).
+//! [`Policy::fence_mode`] is [`FenceMode::Immediate`] — `fence()` still
+//! counts in [`crate::api::Stats`] and `fence_async()` returns an
+//! already-resolved ticket, but nothing ever waits on the grace-period
+//! engine, and no fence actions are recorded (a recorded fence would claim
+//! a quiescence this TM does not perform).
 
 use crate::api::Abort;
-use crate::runtime::{Handle, Policy, PolicyKind, Runtime, Stm, StmConfig, TxCtx};
+use crate::runtime::{FenceMode, Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -154,14 +156,12 @@ impl Policy for NorecPolicy {
 
     fn rollback(&mut self, _ctx: &mut TxCtx<'_>) {}
 
-    /// NOrec is privatization-safe by design: no quiescence needed.
-    fn fence_wait(&self, _rt: &Runtime, _slot: u16) {}
-
-    /// The no-op fence must not claim fence semantics in recorded histories
-    /// (it would violate Def A.1's blocking clause whenever a transaction
-    /// spans the call).
-    fn records_fences(&self) -> bool {
-        false
+    /// NOrec is privatization-safe by design: fences need no quiescence,
+    /// tickets resolve at issue, and no fence actions are recorded (a
+    /// recorded fence would violate Def A.1's blocking clause whenever a
+    /// transaction spans the call).
+    fn fence_mode(&self) -> FenceMode {
+        FenceMode::Immediate
     }
 }
 
@@ -303,6 +303,15 @@ mod tests {
         let mut h = stm.handle(0);
         h.fence();
         assert_eq!(h.stats().fences, 1);
+        // The async path resolves at issue, never touching the engine.
+        let mut t = h.fence_async();
+        assert!(t.is_resolved());
+        assert_eq!(t.period(), None, "no grace period claimed");
+        assert!(t.poll());
+        h.fence_join(t);
+        assert_eq!(h.stats().fences, 2);
+        assert_eq!(h.stats().fence_wait_ns, 0, "no-op fences never block");
+        assert_eq!(stm.runtime().grace().scans(), 0, "engine untouched");
         stm.runtime().epochs().exit(1);
     }
 }

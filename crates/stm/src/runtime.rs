@@ -17,6 +17,7 @@
 //! gets fences, recording, and backoff for free.
 
 use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
+use crate::fence::FenceTicket;
 use crate::record::Recorder;
 use crate::storage::{splitmix64, StorageKind};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tm_core::action::Kind;
 use tm_core::ids::Reg;
-use tm_quiesce::EpochTable;
+use tm_quiesce::{EpochTable, GraceEngine};
 
 /// Exponential-backoff tuning for the shared retry loop.
 ///
@@ -118,7 +119,10 @@ impl StmConfig {
 /// commit, stays padded).
 pub struct Runtime {
     values: Box<[AtomicU64]>,
-    epochs: EpochTable,
+    /// The grace-period engine: owns the epoch table, numbers grace
+    /// periods, and batches every fence ticket issued during the same open
+    /// period behind one epoch-table scan.
+    grace: Arc<GraceEngine>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -130,7 +134,7 @@ impl Runtime {
             .into_boxed_slice();
         Arc::new(Runtime {
             values,
-            epochs: EpochTable::new(cfg.nthreads),
+            grace: GraceEngine::new(cfg.nthreads),
             recorder: cfg.recorder.clone(),
         })
     }
@@ -140,11 +144,16 @@ impl Runtime {
     }
 
     pub fn nthreads(&self) -> usize {
-        self.epochs.nthreads()
+        self.epochs().nthreads()
     }
 
     pub fn epochs(&self) -> &EpochTable {
-        &self.epochs
+        self.grace.epochs()
+    }
+
+    /// The grace-period engine fences are issued through.
+    pub fn grace(&self) -> &Arc<GraceEngine> {
+        &self.grace
     }
 
     /// Load register `x` (all data accesses are `SeqCst`; see module docs of
@@ -194,20 +203,29 @@ pub trait Policy: Send {
     fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort>;
     fn rollback(&mut self, ctx: &mut TxCtx<'_>);
 
-    /// Quiescence behind [`StmHandle::fence`]. The default is an RCU grace
-    /// period over the runtime's epoch table (paper Fig 7 lines 33–39);
-    /// privatization-safe algorithms override this with a no-op.
-    fn fence_wait(&self, rt: &Runtime, slot: u16) {
-        rt.epochs().wait_quiescent(Some(slot as usize));
+    /// How `fence()`/`fence_async()` resolve for this policy. The default
+    /// routes through the runtime's [`GraceEngine`] — an RCU grace period
+    /// over the epoch table (paper Fig 7 lines 33–39), issued as a ticket
+    /// so concurrent fences batch behind one scan. Algorithms that are
+    /// privatization-safe by design override this to
+    /// [`FenceMode::Immediate`].
+    fn fence_mode(&self) -> FenceMode {
+        FenceMode::Quiesce
     }
+}
 
-    /// Whether `fence()` records `FBegin`/`FEnd` actions. A recorded fence
-    /// asserts Def A.1's blocking clause (no transaction spans it), so
-    /// policies whose [`Policy::fence_wait`] performs no quiescence must
-    /// return `false` here or their recorded histories become ill-formed.
-    fn records_fences(&self) -> bool {
-        true
-    }
+/// What a fence means for a [`Policy`] — both its blocking behavior and its
+/// recorded-history footprint, which must agree (a recorded fence asserts
+/// Def A.1's blocking clause: no transaction spans it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceMode {
+    /// Fences are grace periods: `fence_async` issues a [`GraceEngine`]
+    /// ticket, `FBegin` is recorded at issue and `FEnd` at resolution.
+    Quiesce,
+    /// Fences are no-ops (the algorithm needs no quiescence — NOrec):
+    /// tickets resolve at issue and no fence actions are recorded, since a
+    /// recorded fence would claim a quiescence that never happened.
+    Immediate,
 }
 
 /// A per-thread STM handle: a [`Policy`] bound to a [`Runtime`] slot.
@@ -277,7 +295,7 @@ impl<P: Policy> Handle<P> {
         // (rejected by Def A.1 clause 10). With this order, a transaction
         // a fence skips is guaranteed a TxBegin sequenced after FBegin,
         // which clause 10 permits.
-        self.rt.epochs.enter(self.slot as usize);
+        self.rt.epochs().enter(self.slot as usize);
         self.active = true;
         self.rec(Kind::TxBegin);
         let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
@@ -333,7 +351,7 @@ impl<P: Policy> Handle<P> {
                 // stops waiting for us is guaranteed to have our committed
                 // action in the history (Def A.1 clause 10).
                 self.rec(Kind::Committed);
-                self.rt.epochs.exit(self.slot as usize);
+                self.rt.epochs().exit(self.slot as usize);
                 self.active = false;
                 Ok(())
             }
@@ -349,7 +367,7 @@ impl<P: Policy> Handle<P> {
         let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
         self.policy.rollback(&mut ctx);
         self.rec(Kind::Aborted);
-        self.rt.epochs.exit(self.slot as usize);
+        self.rt.epochs().exit(self.slot as usize);
         self.active = false;
     }
 
@@ -557,16 +575,31 @@ impl<P: Policy> StmHandle for Handle<P> {
         self.rec(Kind::RetUnit);
     }
 
-    fn fence(&mut self) {
-        let record = self.policy.records_fences();
-        if record {
-            self.rec(Kind::FBegin);
-        }
-        self.policy.fence_wait(&self.rt, self.slot);
+    fn fence_async(&mut self) -> FenceTicket {
         self.stats.fences += 1;
-        if record {
-            self.rec(Kind::FEnd);
+        match self.policy.fence_mode() {
+            FenceMode::Immediate => FenceTicket::immediate(),
+            FenceMode::Quiesce => {
+                // FBegin strictly before the period stamp: a transaction
+                // whose TxBegin is recorded before this FBegin entered its
+                // epoch even earlier (see `begin`), so the completing
+                // scan's snapshot — taken after the period closes, hence
+                // after the stamp — observes it, and its Committed/Aborted
+                // lands before our FEnd (Def A.1 clause 10).
+                self.rec(Kind::FBegin);
+                let grace = self.rt.grace().issue();
+                let rec = self
+                    .rt
+                    .recorder
+                    .as_ref()
+                    .map(|r| (Arc::clone(r), self.slot as usize));
+                FenceTicket::issued(grace, rec)
+            }
         }
+    }
+
+    fn fence_join(&mut self, mut ticket: FenceTicket) {
+        self.stats.fence_wait_ns += ticket.wait().as_nanos() as u64;
     }
 
     fn stats(&self) -> Stats {
@@ -714,6 +747,36 @@ mod tests {
         // TxBegin Ok Read RetVal Write RetUnit TxCommit Committed
         // FBegin FEnd Write RetUnit
         assert_eq!(hist.len(), 12);
+    }
+
+    #[test]
+    fn fence_blocked_time_is_charged() {
+        use std::sync::atomic::AtomicBool;
+        let cfg = StmConfig::new(1, 2);
+        let rt = Runtime::new(&cfg);
+        let mut h = Handle::new(Arc::clone(&rt), 0, NullPolicy::default(), cfg.backoff);
+        rt.epochs().enter(1);
+        let fencing = Arc::new(AtomicBool::new(false));
+        let releaser = {
+            let rt = Arc::clone(&rt);
+            let fencing = Arc::clone(&fencing);
+            std::thread::spawn(move || {
+                while !fencing.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                rt.epochs().exit(1);
+            })
+        };
+        fencing.store(true, Ordering::SeqCst);
+        h.fence();
+        releaser.join().unwrap();
+        assert_eq!(h.stats().fences, 1);
+        assert!(
+            h.stats().fence_wait_ns > 1_000_000,
+            "a blocked fence must charge its wait: {:?}",
+            h.stats()
+        );
     }
 
     #[test]

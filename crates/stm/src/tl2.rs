@@ -219,7 +219,7 @@ impl Handle<Tl2Policy> {
     }
 
     /// The *buggy* fence: skipped entirely if this thread's last transaction
-    /// was read-only — the GCC libitm bug class ([43], paper Sec 1). Exposed
+    /// was read-only — the GCC libitm bug class (\[43\], paper Sec 1). Exposed
     /// so tests and examples can demonstrate the violation on real hardware.
     pub fn fence_elide_after_read_only(&mut self) {
         if self.policy().last_txn_wrote {

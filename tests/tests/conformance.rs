@@ -103,6 +103,14 @@ fn publication_conforms_across_backends() {
     assert_conformance(Scenario::Publication);
 }
 
+/// The batched-fence scenario: K threads privatizing disjoint regions
+/// through coalesced `fence_async` tickets must behave — and check out —
+/// identically on every backend.
+#[test]
+fn epoch_batch_conforms_across_backends() {
+    assert_conformance(Scenario::EpochBatch);
+}
+
 /// The striped backend must conform at extreme stripe counts too: a single
 /// stripe (maximal false conflicts) and a large table.
 #[test]
