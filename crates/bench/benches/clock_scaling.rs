@@ -1,0 +1,62 @@
+//! E20 — version-clock scaling: TL2 throughput under GV1 (`fetch_add`),
+//! GV4 (CAS-with-adopt), and GV5 (slot-local deltas) on the disjoint-write
+//! workload, where the global clock is the *only* shared metadata.
+//!
+//! Expected shape: at 1 thread the clocks tie (no contention to shed); as
+//! threads grow, GV1 serializes every commit on one cache line while GV5
+//! never touches it (`clock_bumps == 0`), so the gap is the measured cost
+//! of clock serialization. A read-mostly mix rides along to show GV5's
+//! trailing-reader refresh does not erase the win.
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench clock_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{disjoint_write_throughput, mix_throughput, FencePolicy, MixCfg, StmKind};
+use tm_stm::prelude::ClockKind;
+
+fn clock_scaling(c: &mut Criterion) {
+    let txns_per_thread = 2_000u64;
+
+    let mut g = c.benchmark_group("clock_scaling/disjoint-write");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(threads as u64 * txns_per_thread));
+        for clock in ClockKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(clock.label(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| disjoint_write_throughput(clock, None, threads, txns_per_thread));
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let cfg = MixCfg {
+        nregs: 2048,
+        txn_len: 8,
+        write_pct: 10,
+        txns_per_thread,
+        privatize_every: 0,
+        direct_ops: 0,
+    };
+    let mut g = c.benchmark_group("clock_scaling/readmostly");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(threads as u64 * cfg.txns_per_thread));
+        for kind in StmKind::TL2_CLOCKS {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| mix_throughput(kind, threads, &cfg, FencePolicy::None));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, clock_scaling);
+criterion_main!(benches);

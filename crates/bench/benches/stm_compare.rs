@@ -1,5 +1,6 @@
-//! E16 — STM comparison: TL2 vs NOrec vs global lock, throughput scaling
-//! with thread count on read-mostly and write-heavy mixes.
+//! E16 — STM comparison: TL2 (under each version clock) vs NOrec vs global
+//! lock, throughput scaling with thread count on read-mostly and
+//! write-heavy mixes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tm_bench::{mix_throughput, FencePolicy, MixCfg, StmKind};
@@ -30,12 +31,18 @@ fn stm_compare(c: &mut Criterion) {
             },
         ),
     ];
+    // The clock dimension: TL2 under every version clock joins NOrec and
+    // Glock (plain `tl2` is the GV1 baseline).
+    let kinds: Vec<StmKind> = StmKind::TL2_CLOCKS
+        .into_iter()
+        .chain([StmKind::Norec, StmKind::Glock])
+        .collect();
     for (shape, cfg) in shapes {
         let mut g = c.benchmark_group(format!("stm_compare/{shape}"));
         g.sample_size(10);
         for threads in [1usize, 2, 4].into_iter().filter(|&t| t <= max_threads) {
             g.throughput(Throughput::Elements(threads as u64 * cfg.txns_per_thread));
-            for kind in StmKind::ALL {
+            for &kind in &kinds {
                 g.bench_with_input(
                     BenchmarkId::new(kind.label(), threads),
                     &threads,

@@ -2,18 +2,48 @@
 //! throughput of each STAMP-like workload under three fence policies, with
 //! the overhead of conservative fencing relative to selective fencing.
 //!
-//! Usage: `overhead_report [threads]` (default: min(8, cores))
+//! Usage: `overhead_report [threads]` (default: 4)
+//!
+//! With `--json`, instead measures the version-clock matrix
+//! (backend × clock × threads on the disjoint-write workload) and writes
+//! it to `BENCH_clocks.json` — the machine-readable perf trajectory later
+//! PRs diff against. `overhead_report --json [txns_per_thread]`.
 
-use tm_bench::{mix_throughput, standard_workloads, FencePolicy, StmKind};
+use tm_bench::{
+    clock_matrix, mix_throughput, render_clock_report_json, standard_workloads, FencePolicy,
+    StmKind,
+};
+
+fn clock_json_report(txns_per_thread: u64) {
+    let threads_axis = [1usize, 2, 4];
+    eprintln!(
+        "measuring clock matrix (2 backends x 3 clocks x {:?} threads, {txns_per_thread} txns/thread)…",
+        threads_axis
+    );
+    let rows = clock_matrix(&threads_axis, txns_per_thread);
+    let json = render_clock_report_json(&rows, txns_per_thread);
+    let path = "BENCH_clocks.json";
+    std::fs::write(path, &json).expect("write BENCH_clocks.json");
+    println!("{json}");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        let txns = args
+            .iter()
+            .filter(|a| *a != "--json")
+            .find_map(|a| a.parse().ok())
+            .unwrap_or(5_000);
+        clock_json_report(txns);
+        return;
+    }
+
     // Default to 4 threads even on small machines: fence overhead is about
     // waiting for concurrent transactions, which needs concurrency (possibly
     // oversubscribed) to exist at all.
-    let threads: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
 
     println!("Fence overhead report — TL2, {threads} threads");
     println!("(throughput in committed txns/sec; overhead vs selective fencing)\n");

@@ -19,25 +19,42 @@ pub fn lcg(s: u64) -> u64 {
 /// Which STM implementation (and storage backend) to drive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StmKind {
-    /// TL2 with per-register ownership records.
+    /// TL2 with per-register ownership records (GV1 clock).
     Tl2,
     /// TL2 over a striped orec table.
     Tl2Striped {
         stripes: usize,
+    },
+    /// TL2 (per-register orecs) under an alternative version clock.
+    Tl2Clock {
+        clock: ClockKind,
     },
     Norec,
     Glock,
 }
 
 impl StmKind {
-    /// The classic algorithm trio (per-register TL2 storage); striped
-    /// variants are enumerated explicitly by the storage benchmarks.
+    /// The classic algorithm trio (per-register TL2 storage); striped and
+    /// clock variants are enumerated explicitly by the storage and clock
+    /// benchmarks.
     pub const ALL: [StmKind; 3] = [StmKind::Tl2, StmKind::Norec, StmKind::Glock];
+
+    /// TL2 under every version clock (`tl2` is the GV1 baseline).
+    pub const TL2_CLOCKS: [StmKind; 3] = [
+        StmKind::Tl2,
+        StmKind::Tl2Clock {
+            clock: ClockKind::Gv4,
+        },
+        StmKind::Tl2Clock {
+            clock: ClockKind::Gv5,
+        },
+    ];
 
     pub fn label(self) -> String {
         match self {
             StmKind::Tl2 => "tl2".into(),
             StmKind::Tl2Striped { stripes } => format!("tl2-striped{stripes}"),
+            StmKind::Tl2Clock { clock } => format!("tl2-{}", clock.label()),
             StmKind::Norec => "norec".into(),
             StmKind::Glock => "glock".into(),
         }
@@ -236,6 +253,11 @@ pub fn mix_throughput(kind: StmKind, threads: usize, cfg: &MixCfg, policy: Fence
                 StmConfig::new(total_regs, threads).striped(stripes)
             ))
         }
+        StmKind::Tl2Clock { clock } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(total_regs, threads).clock(clock)
+            ))
+        }
         StmKind::Norec => run!(NorecStm::new(total_regs, threads)),
         StmKind::Glock => run!(GlockStm::new(total_regs, threads)),
     }
@@ -367,11 +389,128 @@ pub fn privatization_throughput(
                 StmConfig::new(nregs, threads).striped(stripes)
             ))
         }
+        StmKind::Tl2Clock { clock } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(nregs, threads).clock(clock)
+            ))
+        }
         StmKind::Norec => run!(NorecStm::new(nregs, threads)),
         StmKind::Glock => run!(GlockStm::new(nregs, threads)),
     };
     let rps = cfg.rounds as f64 / start.elapsed().as_secs_f64();
     (rps, lost)
+}
+
+/// The clock-scaling workload (E20): `threads` threads each blind-write
+/// their own disjoint register block — the global version clock is the
+/// *only* shared metadata in play, so throughput differences between clock
+/// backends are pure clock cost. Returns (commits/sec, merged [`Stats`]):
+/// under GV1 `clock_bumps == commits`, under GV5 `clock_bumps == 0`.
+pub fn disjoint_write_throughput(
+    clock: ClockKind,
+    stripes: Option<usize>,
+    threads: usize,
+    txns_per_thread: u64,
+) -> (f64, Stats) {
+    const REGS_PER_THREAD: usize = 8;
+    const WRITES_PER_TXN: usize = 4;
+    let mut cfg = StmConfig::new(threads * REGS_PER_THREAD, threads).clock(clock);
+    if let Some(stripes) = stripes {
+        cfg = cfg.striped(stripes);
+    }
+    let stm = Tl2Stm::with_config(cfg);
+    let start = Instant::now();
+    let stats = std::thread::scope(|sc| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let stm = stm.clone();
+                sc.spawn(move || {
+                    let mut h = stm.handle(t);
+                    let base = t * REGS_PER_THREAD;
+                    let mut s = (t as u64 + 1) * 0x9E37_79B9;
+                    for _ in 0..txns_per_thread {
+                        h.atomic(|tx| {
+                            for _ in 0..WRITES_PER_TXN {
+                                s = lcg(s);
+                                tx.write(base + (s as usize % REGS_PER_THREAD), s | 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                    h.stats()
+                })
+            })
+            .collect();
+        let mut total = Stats::default();
+        for w in workers {
+            total.merge(&w.join().unwrap());
+        }
+        total
+    });
+    let tput = (threads as u64 * txns_per_thread) as f64 / start.elapsed().as_secs_f64();
+    (tput, stats)
+}
+
+/// One measured cell of the clock benchmark matrix
+/// (backend × clock × threads).
+#[derive(Clone, Debug)]
+pub struct ClockBenchRow {
+    /// Storage backend label (`tl2` or `tl2-stripedN`).
+    pub backend: String,
+    /// Clock backend label (`gv1`/`gv4`/`gv5`).
+    pub clock: &'static str,
+    pub threads: usize,
+    pub commits_per_sec: f64,
+    pub aborts: u64,
+    pub clock_bumps: u64,
+}
+
+/// Measure the full backend × clock × threads matrix on the disjoint-write
+/// workload (the shape where the clock is the entire shared-metadata cost).
+pub fn clock_matrix(threads_axis: &[usize], txns_per_thread: u64) -> Vec<ClockBenchRow> {
+    let backends: [(&str, Option<usize>); 2] = [("tl2", None), ("tl2-striped64", Some(64))];
+    let mut rows = Vec::new();
+    for (backend, stripes) in backends {
+        for clock in ClockKind::ALL {
+            for &threads in threads_axis {
+                let (tput, stats) =
+                    disjoint_write_throughput(clock, stripes, threads, txns_per_thread);
+                rows.push(ClockBenchRow {
+                    backend: backend.to_string(),
+                    clock: clock.label(),
+                    threads,
+                    commits_per_sec: tput,
+                    aborts: stats.aborts_total(),
+                    clock_bumps: stats.clock_bumps,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the clock matrix as the `BENCH_clocks.json` document: a stable,
+/// machine-readable schema so later PRs can diff perf trajectories.
+/// Hand-rolled (no serde in the vendored-deps build); every value is a
+/// string-escaped label or a finite number, so the output is always valid
+/// JSON.
+pub fn render_clock_report_json(rows: &[ClockBenchRow], txns_per_thread: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_clocks/v1\",\n");
+    out.push_str("  \"workload\": \"disjoint-write\",\n");
+    out.push_str(&format!("  \"txns_per_thread\": {txns_per_thread},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"clock\": \"{}\", \"threads\": {}, \
+             \"commits_per_sec\": {:.1}, \"aborts\": {}, \"clock_bumps\": {}}}{sep}\n",
+            r.backend, r.clock, r.threads, r.commits_per_sec, r.aborts, r.clock_bumps
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -428,6 +567,136 @@ mod tests {
         // retries/backoff_ns may be zero on an uncontended (single-core)
         // run; they must at least be consistent.
         assert_eq!(stats.retries, stats.aborts_total());
+    }
+
+    /// Minimal structural JSON check (no serde in this build): validates
+    /// balanced objects/arrays, quoted strings, and bare numbers — enough
+    /// to catch any malformed `render_clock_report_json` output.
+    fn assert_valid_json(s: &str) {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Result<usize, String> {
+            let i = skip_ws(b, i);
+            match b.get(i) {
+                Some(b'{') => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return Ok(i + 1);
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i))?;
+                        i = skip_ws(b, i);
+                        if b.get(i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        i = value(b, i + 1)?;
+                        i = skip_ws(b, i);
+                        match b.get(i) {
+                            Some(b',') => i += 1,
+                            Some(b'}') => return Ok(i + 1),
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return Ok(i + 1);
+                    }
+                    loop {
+                        i = value(b, i)?;
+                        i = skip_ws(b, i);
+                        match b.get(i) {
+                            Some(b',') => i += 1,
+                            Some(b']') => return Ok(i + 1),
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_digit() || b"+-.eE".contains(&b[j])) {
+                        j += 1;
+                    }
+                    Ok(j)
+                }
+                _ => Err(format!("unexpected byte at {i}")),
+            }
+        }
+        fn string(b: &[u8], i: usize) -> Result<usize, String> {
+            if b.get(i) != Some(&b'"') {
+                return Err(format!("expected '\"' at {i}"));
+            }
+            let mut i = i + 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Ok(i + 1),
+                    b'\\' => i += 2,
+                    _ => i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        let b = s.as_bytes();
+        let end = value(b, 0).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{s}"));
+        assert_eq!(skip_ws(b, end), b.len(), "trailing garbage:\n{s}");
+    }
+
+    #[test]
+    fn disjoint_write_workload_exposes_the_clock_axis() {
+        let (tput, gv1) = disjoint_write_throughput(ClockKind::Gv1, None, 2, 300);
+        assert!(tput > 0.0);
+        assert_eq!(gv1.commits, 600);
+        assert_eq!(gv1.clock_bumps, 600, "gv1: one bump per writing commit");
+        let (_, gv5) = disjoint_write_throughput(ClockKind::Gv5, None, 2, 300);
+        assert_eq!(gv5.commits, 600);
+        assert_eq!(gv5.clock_bumps, 0, "gv5: disjoint writes never bump");
+        // Striped storage composes with the clock axis.
+        let (_, striped) = disjoint_write_throughput(ClockKind::Gv5, Some(64), 2, 300);
+        assert_eq!(striped.commits, 600);
+        assert_eq!(striped.clock_bumps, 0);
+    }
+
+    #[test]
+    fn clock_matrix_and_json_report() {
+        let rows = clock_matrix(&[1, 2], 50);
+        // 2 backends × 3 clocks × 2 thread counts.
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().any(|r| r.backend == "tl2" && r.clock == "gv5"));
+        let json = render_clock_report_json(&rows, 50);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_clocks/v1\"",
+            "\"backend\"",
+            "\"clock\"",
+            "\"threads\"",
+            "\"commits_per_sec\"",
+            "\"aborts\"",
+            "\"clock_bumps\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_clock_report_json(&[], 1));
+    }
+
+    #[test]
+    fn tl2_clock_kinds_run_and_are_labeled() {
+        assert_eq!(
+            StmKind::Tl2Clock {
+                clock: ClockKind::Gv4
+            }
+            .label(),
+            "tl2-gv4"
+        );
+        for kind in StmKind::TL2_CLOCKS {
+            let tput = mix_throughput(kind, 2, &tiny_mix(), FencePolicy::Selective);
+            assert!(tput > 0.0, "{kind:?}");
+        }
     }
 
     #[test]

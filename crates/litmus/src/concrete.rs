@@ -27,20 +27,31 @@ use tm_stm::runtime::StmConfig;
 /// A runtime STM backend to drive a scenario against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
-    /// TL2 with one ownership record per register.
+    /// TL2 with one ownership record per register (GV1 clock).
     Tl2PerRegister,
     /// TL2 over a striped orec table.
     Tl2Striped {
         stripes: usize,
+    },
+    /// TL2 (per-register orecs) under an alternative version clock —
+    /// the clock axis must be invisible to every correctness verdict.
+    Tl2Clock {
+        clock: ClockKind,
     },
     Norec,
     Glock,
 }
 
 impl Backend {
-    pub const ALL: [Backend; 4] = [
+    pub const ALL: [Backend; 6] = [
         Backend::Tl2PerRegister,
         Backend::Tl2Striped { stripes: 8 },
+        Backend::Tl2Clock {
+            clock: ClockKind::Gv4,
+        },
+        Backend::Tl2Clock {
+            clock: ClockKind::Gv5,
+        },
         Backend::Norec,
         Backend::Glock,
     ];
@@ -49,6 +60,7 @@ impl Backend {
         match self {
             Backend::Tl2PerRegister => "tl2/per-register".into(),
             Backend::Tl2Striped { stripes } => format!("tl2/striped-{stripes}"),
+            Backend::Tl2Clock { clock } => format!("tl2/{}", clock.label()),
             Backend::Norec => "norec".into(),
             Backend::Glock => "glock".into(),
         }
@@ -81,14 +93,21 @@ pub enum Scenario {
     /// the fences something to wait out, and each thread settles its own
     /// region under a final privatization.
     EpochBatch,
+    /// One writer stamps a whole register block per round; two read-only
+    /// auditors repeatedly snapshot the block and demand a consistent
+    /// round in every snapshot. The read-dominated shape that stresses
+    /// read-path fast paths and the version-clock backends (a GV5 reader
+    /// trails fresh stamps and must recover with one refresh).
+    ReaderHeavy,
 }
 
 impl Scenario {
-    pub const ALL: [Scenario; 4] = [
+    pub const ALL: [Scenario; 5] = [
         Scenario::Bank,
         Scenario::Privatization,
         Scenario::Publication,
         Scenario::EpochBatch,
+        Scenario::ReaderHeavy,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -97,6 +116,7 @@ impl Scenario {
             Scenario::Privatization => "privatization",
             Scenario::Publication => "publication",
             Scenario::EpochBatch => "epoch_batch",
+            Scenario::ReaderHeavy => "reader_heavy",
         }
     }
 
@@ -105,6 +125,7 @@ impl Scenario {
             Scenario::Bank => BANK_ACCOUNTS,
             Scenario::Privatization | Scenario::Publication => 2,
             Scenario::EpochBatch => 2 * EB_THREADS,
+            Scenario::ReaderHeavy => RH_REGS,
         }
     }
 
@@ -113,6 +134,7 @@ impl Scenario {
             Scenario::Bank => 3,
             Scenario::Privatization | Scenario::Publication => 2,
             Scenario::EpochBatch => EB_THREADS,
+            Scenario::ReaderHeavy => 1 + RH_READERS,
         }
     }
 
@@ -179,6 +201,7 @@ pub fn run_scenario(scenario: Scenario, backend: Backend, record: bool) -> Scena
         Backend::Tl2Striped { stripes } => {
             drive(scenario, Tl2Stm::with_config(cfg.striped(stripes)))
         }
+        Backend::Tl2Clock { clock } => drive(scenario, Tl2Stm::with_config(cfg.clock(clock))),
         Backend::Norec => drive(scenario, NorecStm::with_config(cfg)),
         Backend::Glock => drive(scenario, GlockStm::with_config(cfg)),
     };
@@ -197,6 +220,7 @@ fn drive<F: StmFactory>(scenario: Scenario, stm: F) -> (Vec<u64>, u64) {
         Scenario::Privatization => privatization(&stm),
         Scenario::Publication => publication(&stm),
         Scenario::EpochBatch => epoch_batch(&stm),
+        Scenario::ReaderHeavy => reader_heavy(&stm),
     };
     let final_regs = (0..scenario.nregs())
         .map(|x| project(scenario, x, stm.peek(x)))
@@ -214,6 +238,8 @@ fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
         // settled region data (keep the value).
         Scenario::EpochBatch if x.is_multiple_of(2) => v & EB_PHASE_MASK,
         Scenario::EpochBatch => v,
+        // The round lives in the low bits; the rest is a per-write nonce.
+        Scenario::ReaderHeavy => v & RH_ROUND_MASK,
     }
 }
 
@@ -520,6 +546,77 @@ fn epoch_batch<F: StmFactory>(stm: &F) -> u64 {
     })
 }
 
+const RH_REGS: usize = 4;
+const RH_READERS: usize = 2;
+const RH_ROUNDS: u64 = 6;
+const RH_READS: u64 = 20;
+/// Rounds live in the low 16 bits; the bits above are a unique per-write
+/// nonce (Def A.1 clause 3).
+const RH_ROUND_MASK: u64 = (1 << 16) - 1;
+
+/// Expected deterministic final registers: every register carries the last
+/// round the writer stamped.
+pub fn reader_heavy_expected_finals() -> Vec<u64> {
+    vec![RH_ROUNDS; RH_REGS]
+}
+
+/// One writer stamps the whole block with the round number each round; two
+/// read-only auditors snapshot the block `RH_READS` times each and demand
+/// every snapshot shows one single round across all registers — the
+/// read-mostly opacity workload. Auditors never write, so the final state
+/// is the writer's last round, deterministically. Returns the number of
+/// torn (mixed-round) snapshots observed: 0 for any opaque TM.
+fn reader_heavy<F: StmFactory>(stm: &F) -> u64 {
+    std::thread::scope(|s| {
+        let mut auditors = Vec::new();
+        for r in 0..RH_READERS {
+            let stm = stm.clone();
+            auditors.push(s.spawn(move || {
+                let mut h = stm.handle(1 + r);
+                let mut torn = 0u64;
+                for _ in 0..RH_READS {
+                    let rounds = h.atomic(|tx| {
+                        let first = tx.read(0)? & RH_ROUND_MASK;
+                        for x in 1..RH_REGS {
+                            if tx.read(x)? & RH_ROUND_MASK != first {
+                                return Ok(None);
+                            }
+                        }
+                        Ok(Some(first))
+                    });
+                    if rounds.is_none() {
+                        torn += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                torn
+            }));
+        }
+        let writer = {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(0);
+                // Nonces advance per write *inside* the body: aborted
+                // attempts keep their writes in the history, so a retry may
+                // not repeat values.
+                let mut nonce = 0u64;
+                for round in 1..=RH_ROUNDS {
+                    h.atomic(|tx| {
+                        for x in 0..RH_REGS {
+                            nonce += 1;
+                            tx.write(x, (nonce << 16) | round)?;
+                        }
+                        Ok(())
+                    });
+                    std::thread::yield_now();
+                }
+            })
+        };
+        writer.join().unwrap();
+        auditors.into_iter().map(|a| a.join().unwrap()).sum()
+    })
+}
+
 /// Expected deterministic final registers for a scenario.
 pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
     match scenario {
@@ -527,6 +624,7 @@ pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
         Scenario::Privatization => privatization_expected_finals(),
         Scenario::Publication => publication_expected_finals(),
         Scenario::EpochBatch => epoch_batch_expected_finals(),
+        Scenario::ReaderHeavy => reader_heavy_expected_finals(),
     }
 }
 

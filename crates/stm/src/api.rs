@@ -106,6 +106,15 @@ pub struct Stats {
     pub retries: u64,
     /// Nanoseconds spent in the retry loop's exponential backoff.
     pub backoff_ns: u64,
+    /// Writes to the shared version-clock cache line (GV1: one per writing
+    /// commit; GV4: one per *won* CAS, adopters are free; GV5: only reader
+    /// refreshes after a trailing-`rv` false abort — zero on disjoint-write
+    /// workloads). The serialization cost the clock backends trade against.
+    pub clock_bumps: u64,
+    /// Writing commits that skipped commit-time read-set re-validation
+    /// because the clock proved no concurrent commit intervened
+    /// (`wver == rv + 1` via an exclusive bump — see [`crate::clock`]).
+    pub validation_elisions: u64,
 }
 
 impl Stats {
@@ -125,6 +134,8 @@ impl Stats {
         self.direct_writes += o.direct_writes;
         self.retries += o.retries;
         self.backoff_ns += o.backoff_ns;
+        self.clock_bumps += o.clock_bumps;
+        self.validation_elisions += o.validation_elisions;
     }
 }
 
@@ -141,6 +152,8 @@ mod tests {
             backoff_ns: 100,
             fences: 2,
             fence_wait_ns: 40,
+            clock_bumps: 5,
+            validation_elisions: 1,
             ..Default::default()
         };
         let b = Stats {
@@ -151,6 +164,8 @@ mod tests {
             backoff_ns: 900,
             fences: 1,
             fence_wait_ns: 60,
+            clock_bumps: 7,
+            validation_elisions: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -160,6 +175,33 @@ mod tests {
         assert_eq!(a.backoff_ns, 1000);
         assert_eq!(a.fences, 3);
         assert_eq!(a.fence_wait_ns, 100);
+        assert_eq!(a.clock_bumps, 12);
+        assert_eq!(a.validation_elisions, 3);
+    }
+
+    /// The merge-forgets-new-field bug class: merging a default with `x`
+    /// must reproduce `x` exactly, whatever fields `Stats` grows. Any field
+    /// a future PR adds but forgets in `merge` fails the equality.
+    #[test]
+    fn merge_into_default_is_identity() {
+        let x = Stats {
+            commits: 1,
+            aborts_read: 2,
+            aborts_lock: 3,
+            aborts_validate: 4,
+            aborts_user: 5,
+            fences: 6,
+            fence_wait_ns: 7,
+            direct_reads: 8,
+            direct_writes: 9,
+            retries: 10,
+            backoff_ns: 11,
+            clock_bumps: 12,
+            validation_elisions: 13,
+        };
+        let mut acc = Stats::default();
+        acc.merge(&x);
+        assert_eq!(acc, x, "Stats::merge must cover every field");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   policies: one [`vlock::VLock`] per register, or a *striped orec table*
 //!   (constant metadata footprint, hash register → stripe), selected per
 //!   instance via [`runtime::StmConfig`].
+//! * [`clock`] — pluggable global version clocks for timestamp-based
+//!   policies: GV1 (`fetch_add` per commit), GV4 (CAS-with-adopt), or
+//!   GV5/TL2C-style slot-local deltas that keep writing commits off the
+//!   shared clock line entirely; selected via [`runtime::StmConfig::clock`].
 //! * [`tl2`] — TL2 (Fig 9) with buffered writes, a global version clock,
 //!   versioned write-locks, and RCU-style transactional
 //!   [`fences`](api::StmHandle::fence) built on [`tm_quiesce`]. Without a
@@ -63,6 +67,7 @@
 //! ```
 
 pub mod api;
+pub mod clock;
 pub mod fence;
 pub mod glock;
 pub mod map;
@@ -75,6 +80,7 @@ pub mod vlock;
 
 pub mod prelude {
     pub use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
+    pub use crate::clock::ClockKind;
     pub use crate::fence::{fence_all, FenceTicket};
     pub use crate::glock::{GlockHandle, GlockStm};
     pub use crate::map::{freeze_all, TxMap};

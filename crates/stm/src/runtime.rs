@@ -17,6 +17,7 @@
 //! gets fences, recording, and backoff for free.
 
 use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
+use crate::clock::ClockKind;
 use crate::fence::FenceTicket;
 use crate::record::Recorder;
 use crate::storage::{splitmix64, StorageKind};
@@ -72,6 +73,9 @@ pub struct StmConfig {
     /// Lock-metadata layout, for policies that use versioned locks
     /// (ignored by NOrec and the global lock).
     pub storage: StorageKind,
+    /// Version-clock backend, for timestamp-based policies (ignored by
+    /// NOrec and the global lock).
+    pub clock: ClockKind,
     pub backoff: BackoffCfg,
     pub recorder: Option<Arc<Recorder>>,
 }
@@ -82,6 +86,7 @@ impl StmConfig {
             nregs,
             nthreads,
             storage: StorageKind::default(),
+            clock: ClockKind::default(),
             backoff: BackoffCfg::default(),
             recorder: None,
         }
@@ -95,6 +100,13 @@ impl StmConfig {
     /// Shorthand for a striped orec table with `stripes` lock words.
     pub fn striped(self, stripes: usize) -> Self {
         self.storage(StorageKind::Striped { stripes })
+    }
+
+    /// Select the global version-clock backend (GV1 `fetch_add`, GV4
+    /// CAS-with-adopt, or GV5 slot-local deltas — see [`crate::clock`]).
+    pub fn clock(mut self, clock: ClockKind) -> Self {
+        self.clock = clock;
+        self
     }
 
     pub fn backoff(mut self, backoff: BackoffCfg) -> Self {
@@ -798,12 +810,17 @@ mod tests {
 
     #[test]
     fn config_builders_compose() {
-        let cfg = StmConfig::new(8, 2).striped(4).backoff(BackoffCfg {
-            spin_base: 1,
-            max_shift: 2,
-            yield_after: 1,
-        });
+        let cfg = StmConfig::new(8, 2)
+            .striped(4)
+            .clock(ClockKind::Gv5)
+            .backoff(BackoffCfg {
+                spin_base: 1,
+                max_shift: 2,
+                yield_after: 1,
+            });
         assert_eq!(cfg.storage, StorageKind::Striped { stripes: 4 });
+        assert_eq!(cfg.clock, ClockKind::Gv5);
+        assert_eq!(StmConfig::new(1, 1).clock, ClockKind::Gv1, "gv1 default");
         assert_eq!(cfg.backoff.spin_base, 1);
         let rt = Runtime::new(&cfg);
         assert_eq!(rt.nregs(), 8);

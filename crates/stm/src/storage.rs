@@ -47,7 +47,11 @@ impl StorageKind {
     pub fn label(self) -> String {
         match self {
             StorageKind::PerRegister => "per-register".into(),
-            StorageKind::Striped { stripes } => format!("striped-{stripes}"),
+            // The table rounds the stripe count up to a power of two; the
+            // label reports what is actually built.
+            StorageKind::Striped { stripes } => {
+                format!("striped-{}", stripes.max(1).next_power_of_two())
+            }
         }
     }
 }
@@ -195,15 +199,24 @@ pub fn splitmix64(x: u64) -> u64 {
 
 /// A fixed-size striped orec table: metadata footprint is `stripes` lock
 /// words however large the register file grows.
+///
+/// The stripe count is rounded up to a power of two so the per-read
+/// `stripe_of` mapping is a mask (`hash & (n - 1)`) instead of a hardware
+/// divide — `stripe_of` runs twice per transactional read, and splitmix64
+/// mixes all 64 bits, so masking loses nothing to modulo in spread.
 pub struct StripedTable {
     locks: Box<[CachePadded<VLock>]>,
+    /// `locks.len() - 1`; valid because the length is a power of two.
+    mask: u64,
 }
 
 impl StripedTable {
     pub fn new(stripes: usize) -> Self {
         assert!(stripes > 0, "a striped table needs at least one stripe");
+        let n = stripes.next_power_of_two();
         StripedTable {
-            locks: vlock_array(stripes),
+            locks: vlock_array(n),
+            mask: n as u64 - 1,
         }
     }
 }
@@ -211,7 +224,7 @@ impl StripedTable {
 impl LockTable for StripedTable {
     #[inline]
     fn stripe_of(&self, x: usize) -> usize {
-        (splitmix64(x as u64) % self.locks.len() as u64) as usize
+        (splitmix64(x as u64) & self.mask) as usize
     }
 
     fn nstripes(&self) -> usize {
@@ -264,11 +277,30 @@ mod tests {
 
     #[test]
     fn striped_mapping_is_total_and_stable() {
+        // A non-power-of-two request rounds up: 7 → 8 lock words.
         let t = StripedTable::new(7);
+        assert_eq!(t.nstripes(), 8);
         for x in 0..10_000 {
             let s = t.stripe_of(x);
-            assert!(s < 7);
+            assert!(s < 8);
             assert_eq!(s, t.stripe_of(x), "mapping must be deterministic");
+        }
+    }
+
+    #[test]
+    fn stripe_counts_round_up_to_powers_of_two() {
+        for (requested, built) in [(1usize, 1usize), (2, 2), (3, 4), (5, 8), (1000, 1024)] {
+            let t = StripedTable::new(requested);
+            assert_eq!(t.nstripes(), built, "requested {requested}");
+            assert_eq!(
+                StorageKind::Striped { stripes: requested }.label(),
+                format!("striped-{built}"),
+                "the label must report the rounded count"
+            );
+            // The mask mapping stays in range at every count.
+            for x in 0..1000 {
+                assert!(t.stripe_of(x) < built);
+            }
         }
     }
 

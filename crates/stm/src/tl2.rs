@@ -1,12 +1,19 @@
 //! The concurrent TL2 STM (paper Fig 9) as a [`Policy`] over the shared
 //! [`crate::runtime`], with RCU-style transactional fences.
 //!
-//! Globally: a version clock and a pluggable [`LockTable`] of versioned
+//! Globally: a pluggable version clock ([`crate::clock`], selected via
+//! [`StmConfig::clock`]: GV1 `fetch_add`, GV4 CAS-with-adopt, or GV5
+//! slot-local deltas) and a pluggable [`LockTable`] of versioned
 //! write-locks — one per register ([`crate::storage::PerRegisterTable`]) or
 //! a striped orec table ([`crate::storage::StripedTable`]), selected via
 //! [`StmConfig::storage`]. Transactions buffer writes, validate reads
 //! against their read timestamp, lock the *stripes* of their write set at
 //! commit (deduplicated, in sorted order), re-validate, then write back.
+//! Commit-time re-validation is *elided* when the clock proves no
+//! concurrent commit intervened (an exclusive `rv → rv + 1` bump — the
+//! classic TL2 fast path), counted in
+//! [`crate::api::Stats::validation_elisions`]; every write to the shared
+//! clock line is counted in [`crate::api::Stats::clock_bumps`].
 //!
 //! Striping trades metadata footprint for false conflicts: registers that
 //! share a stripe conflict even when disjoint. That is always conservative —
@@ -28,18 +35,17 @@
 //! fence policies are unaffected: all variants pay the same cost.)
 
 use crate::api::{Abort, StmHandle};
+use crate::clock::{AnyClock, VersionClock};
 use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
 use crate::storage::{AnyLockTable, LockTable};
-use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// TL2 state shared by all handles of one instance: the global version
 /// clock and the ownership-record table.
 pub struct Tl2Shared {
-    clock: CachePadded<AtomicU64>,
-    /// Enum, not `Box<dyn LockTable>`: lock-word sampling sits on the
-    /// transactional-read hot path and must stay inlinable.
+    /// Enums, not `Box<dyn …>`: lock-word sampling and stamp acquisition
+    /// sit on the transactional hot paths and must stay inlinable.
+    clock: AnyClock,
     table: AnyLockTable,
 }
 
@@ -53,7 +59,7 @@ impl PolicyKind for Tl2Kind {
 
     fn build_shared(cfg: &StmConfig) -> Tl2Shared {
         Tl2Shared {
-            clock: CachePadded::new(AtomicU64::new(0)),
+            clock: cfg.clock.build(cfg.nthreads),
             table: cfg.storage.build(cfg.nregs),
         }
     }
@@ -90,7 +96,12 @@ impl Stm<Tl2Kind> {
     }
 }
 
-/// TL2 concurrency control (Fig 9) over a [`LockTable`].
+/// TL2 concurrency control (Fig 9) over a [`LockTable`] and a
+/// [`VersionClock`].
+///
+/// The `rset`/`wset`/`stripes` vectors live for the life of the handle and
+/// are only ever `clear()`ed (in `begin` and at commit), never reallocated:
+/// a retried transaction reuses the capacity its first attempt grew.
 pub struct Tl2Policy {
     shared: Arc<Tl2Shared>,
     /// Read timestamp `rver` of the current transaction.
@@ -119,18 +130,37 @@ impl Tl2Policy {
             self.shared.table.unlock_stripe(s);
         }
     }
+
+    /// A validation failed because an orec stamp outran this transaction's
+    /// `rv`. Under GV5 that stamp may be *ahead of the shared clock* (commits
+    /// don't bump it), so simply retrying would re-read the same stale `rv`
+    /// and abort forever: advance the global view to the observed stamp so
+    /// the retry validates — the "at most one extra false abort per unlucky
+    /// reader" cost of GV5. GV1/GV4 stamps never outrun the clock, so their
+    /// refresh is a no-op. A real advance writes the shared line and is
+    /// counted as a clock bump.
+    #[inline]
+    fn refresh_on_stale_rv(&self, ctx: &mut TxCtx<'_>, observed: u64) {
+        if self.shared.clock.refresh(observed) {
+            ctx.stats.clock_bumps += 1;
+        }
+    }
 }
 
 impl Policy for Tl2Policy {
     fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
-        self.rv = self.shared.clock.load(Ordering::SeqCst);
+        self.rv = self.shared.clock.read_stamp();
         self.rset.clear();
         self.wset.clear();
     }
 
     fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort> {
-        if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
-            return Ok(self.wset[i].1);
+        // Read-only transactions are the common case: don't even probe the
+        // write set until something has been written.
+        if !self.wset.is_empty() {
+            if let Ok(i) = self.wset.binary_search_by_key(&x, |&(r, _)| r) {
+                return Ok(self.wset[i].1);
+            }
         }
         // Fig 9 lines 17–23: ver, value, lock, ver again (at stripe
         // granularity: any commit to a stripe-sharing register aborts us —
@@ -140,6 +170,9 @@ impl Policy for Tl2Policy {
         let val = ctx.rt.load(x);
         let s2 = table.sample(x);
         if s2.is_locked() || s1 != s2 || self.rv < s2.version {
+            if self.rv < s2.version {
+                self.refresh_on_stale_rv(ctx, s2.version);
+            }
             ctx.stats.aborts_read += 1;
             return Err(Abort);
         }
@@ -180,17 +213,39 @@ impl Policy for Tl2Policy {
                 return Err(Abort);
             }
         }
-        // wver := fetch_and_increment(clock) + 1 (Fig 7 line 19).
-        let wver = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        // Validate the read set (lines 20–26). A stripe we hold ourselves
-        // still fails on `rv < version` if someone committed to it between
-        // our read and our lock acquisition.
-        for &x in &self.rset {
-            let s = table.sample(x);
-            if s.is_locked_by_other(ctx.slot) || self.rv < s.version {
-                self.release_stripes(self.stripes.len());
-                ctx.stats.aborts_validate += 1;
-                return Err(Abort);
+        // wver := the clock backend's write stamp (Fig 7 line 19 is the GV1
+        // `fetch_and_increment`; GV4 may adopt a concurrent winner's stamp,
+        // GV5 stamps from a slot-local delta without touching the shared
+        // line). Must happen after the locks above: the exclusivity proof
+        // below relies on every concurrent writer holding its locks before
+        // sampling the clock.
+        let stamp = self.shared.clock.write_stamp(ctx.slot, self.rv);
+        ctx.stats.clock_bumps += u64::from(stamp.bumped);
+        let wver = stamp.wver;
+        if stamp.exclusive {
+            // Validation elision: we advanced the clock rv → rv + 1
+            // ourselves, so no other writer acquired a stamp — bumped *or*
+            // adopted — since our begin. Any writer already mid-commit at
+            // our begin took its locks before its (≤ rv) stamp, so a read
+            // that overlapped it sampled a locked orec and aborted at read
+            // time. The read set is therefore exactly as validated at read
+            // time: skip the re-validation loop.
+            debug_assert_eq!(wver, self.rv + 1);
+            ctx.stats.validation_elisions += 1;
+        } else {
+            // Validate the read set (lines 20–26). A stripe we hold
+            // ourselves still fails on `rv < version` if someone committed
+            // to it between our read and our lock acquisition.
+            for &x in &self.rset {
+                let s = table.sample(x);
+                if s.is_locked_by_other(ctx.slot) || self.rv < s.version {
+                    self.release_stripes(self.stripes.len());
+                    if self.rv < s.version {
+                        self.refresh_on_stale_rv(ctx, s.version);
+                    }
+                    ctx.stats.aborts_validate += 1;
+                    return Err(Abort);
+                }
             }
         }
         // Write back, then release every stripe with the new version
@@ -232,14 +287,20 @@ impl Handle<Tl2Policy> {
 mod tests {
     use super::*;
     use crate::api::Stats;
+    use crate::clock::ClockKind;
 
-    /// Run every TL2 unit scenario against both storage backends: the
-    /// policy must be storage-agnostic.
+    /// Run every TL2 unit scenario against both storage backends and all
+    /// three clock backends: the policy must be agnostic to both axes.
     fn backends(nregs: usize, nthreads: usize) -> Vec<Tl2Stm> {
-        vec![
-            Tl2Stm::new(nregs, nthreads),
-            Tl2Stm::with_config(StmConfig::new(nregs, nthreads).striped(4)),
-        ]
+        let mut stms = vec![Tl2Stm::with_config(
+            StmConfig::new(nregs, nthreads).striped(4),
+        )];
+        for clock in ClockKind::ALL {
+            stms.push(Tl2Stm::with_config(
+                StmConfig::new(nregs, nthreads).clock(clock),
+            ));
+        }
+        stms
     }
 
     #[test]
@@ -427,6 +488,108 @@ mod tests {
                 });
                 assert_eq!(owner.join().unwrap(), 0, "fenced privatization lost writes");
             });
+        }
+    }
+
+    #[test]
+    fn uncontended_writer_elides_validation() {
+        // Single thread, GV1/GV4: every writing commit advances the clock
+        // rv → rv + 1 exclusively, so commit-time re-validation must be
+        // skipped every time — even when the read set is non-empty.
+        for clock in [ClockKind::Gv1, ClockKind::Gv4] {
+            let stm = Tl2Stm::with_config(StmConfig::new(4, 1).clock(clock));
+            let mut h = stm.handle(0);
+            for i in 0..3 {
+                h.atomic(|tx| {
+                    let v = tx.read(0)?;
+                    tx.write(1, v + i)?;
+                    tx.write(0, i + 1)
+                });
+            }
+            let s = h.stats();
+            assert_eq!(s.commits, 3, "{}", clock.label());
+            assert!(
+                s.validation_elisions >= 1,
+                "{}: wver == rv + 1 must elide validation: {s:?}",
+                clock.label()
+            );
+            assert_eq!(
+                s.validation_elisions,
+                3,
+                "{}: every uncontended commit is exclusive",
+                clock.label()
+            );
+            assert_eq!(s.clock_bumps, 3, "{}: one bump per commit", clock.label());
+        }
+    }
+
+    #[test]
+    fn gv5_commits_do_not_bump_and_never_elide() {
+        let stm = Tl2Stm::with_config(StmConfig::new(4, 1).clock(ClockKind::Gv5));
+        let mut h = stm.handle(0);
+        for i in 0..5 {
+            h.atomic(|tx| tx.write(0, i + 1));
+        }
+        let s = h.stats();
+        assert_eq!(s.commits, 5);
+        assert_eq!(s.clock_bumps, 0, "gv5 commits stay off the shared line");
+        assert_eq!(
+            s.validation_elisions, 0,
+            "gv5 never proves exclusivity, so it may never elide"
+        );
+    }
+
+    #[test]
+    fn gv5_trailing_reader_pays_one_false_abort_then_validates() {
+        // Deterministic, single-threaded: slot 0 commits (stamps run ahead
+        // of the never-bumped global clock), then a fresh handle's reading
+        // transaction starts with a stale rv, takes exactly one false
+        // abort — which refreshes the shared clock — and succeeds on retry.
+        let stm = Tl2Stm::with_config(StmConfig::new(2, 2).clock(ClockKind::Gv5));
+        let mut w = stm.handle(0);
+        for i in 0..3 {
+            w.atomic(|tx| tx.write(0, 100 + i));
+        }
+        let mut r = stm.handle(1);
+        let v = r.atomic(|tx| tx.read(0));
+        assert_eq!(v, 102);
+        let s = r.stats();
+        assert_eq!(
+            s.aborts_read, 1,
+            "exactly one false abort for the trailing reader: {s:?}"
+        );
+        assert_eq!(s.retries, 1);
+        assert_eq!(
+            s.clock_bumps, 1,
+            "the false abort refreshes the shared clock once"
+        );
+        // The refreshed view is shared: a second reader pays nothing.
+        let mut r2 = stm.handle(1);
+        r2.atomic(|tx| tx.read(0));
+        assert_eq!(
+            r2.stats().aborts_read,
+            0,
+            "refresh is global, not per-handle"
+        );
+    }
+
+    #[test]
+    fn read_only_commits_keep_clock_untouched_under_all_clocks() {
+        for clock in ClockKind::ALL {
+            let stm = Tl2Stm::with_config(StmConfig::new(2, 1).clock(clock));
+            let mut h = stm.handle(0);
+            for _ in 0..4 {
+                h.atomic(|tx| tx.read(0));
+            }
+            let s = h.stats();
+            assert_eq!(s.commits, 4, "{}", clock.label());
+            assert_eq!(
+                s.clock_bumps,
+                0,
+                "{}: read-only commits never stamp",
+                clock.label()
+            );
+            assert_eq!(s.aborts_total(), 0, "{}", clock.label());
         }
     }
 

@@ -1,8 +1,12 @@
 //! Cross-backend conformance: the same concrete litmus scenarios (bank
-//! transfer, privatization, publication — `tm_litmus::concrete`) run
-//! against TL2-per-register, TL2-striped, NOrec, and Glock through the
+//! transfer, privatization, publication, epoch-batch, reader-heavy —
+//! `tm_litmus::concrete`) run against TL2-per-register, TL2-striped,
+//! TL2 under the GV4 and GV5 version clocks, NOrec, and Glock through the
 //! shared `StmHandle`/`StmFactory` interface, asserting identical final
-//! states and identical checker verdicts on the recorded histories.
+//! states and identical checker verdicts on the recorded histories. The
+//! clock axis (like the storage axis) must be invisible to every verdict:
+//! GV4's stamp sharing and GV5's shared-line-free stamping may change
+//! scheduling and abort counts, never finals, DRF, or opacity.
 //!
 //! One documented exemption: NOrec's fence is a no-op (it is
 //! privatization-safe *without* quiescing, paper Sec 8), so its histories
@@ -109,6 +113,15 @@ fn publication_conforms_across_backends() {
 #[test]
 fn epoch_batch_conforms_across_backends() {
     assert_conformance(Scenario::EpochBatch);
+}
+
+/// The read-dominated scenario: two auditors snapshotting a block one
+/// writer keeps re-stamping. Exercises the read-path fast paths and, under
+/// GV5, the trailing-reader refresh (the auditors' `rv` chases stamps that
+/// never bump the shared clock).
+#[test]
+fn reader_heavy_conforms_across_backends() {
+    assert_conformance(Scenario::ReaderHeavy);
 }
 
 /// The striped backend must conform at extreme stripe counts too: a single
