@@ -1,0 +1,63 @@
+//! fence_driver — the background grace-period driver vs cooperative
+//! driving, across 1/4/16 concurrent privatizers.
+//!
+//! Two shapes per (mode, N):
+//!
+//! * `batched` — issue N tickets and join them immediately (`fence_all`):
+//!   measures pure fence cost; the driver must not *hurt* here (it may
+//!   close periods eagerly, but coalescing must keep scans ≤ tickets).
+//! * `overlap` — issue N tickets, do per-privatizer post-fence work, then
+//!   join: the driver's reason to exist — it retires the period while
+//!   every privatizer overlaps, so the joins find the fence already
+//!   resolved instead of paying the scan themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_stm::prelude::*;
+
+fn stm_with(mode: DriverMode, n: usize) -> Tl2Stm {
+    Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode))
+}
+
+fn fence_driver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fence_driver");
+    g.sample_size(10);
+    for mode in DriverMode::ALL {
+        for &n in &[1usize, 4, 16] {
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("batched/{}", mode.label()), n),
+                &n,
+                |b, &n| {
+                    let stm = stm_with(mode, n);
+                    let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
+                    b.iter(|| fence_all(handles.iter_mut()));
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("overlap/{}", mode.label()), n),
+                &n,
+                |b, &n| {
+                    let stm = stm_with(mode, n);
+                    let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
+                    b.iter(|| {
+                        let mut tickets: Vec<FenceTicket> =
+                            handles.iter_mut().map(|h| h.fence_async()).collect();
+                        // Overlapped post-privatization work (non-TM).
+                        let mut acc = 0u64;
+                        for i in 0..512u64 {
+                            acc = acc.wrapping_mul(0x9E37_79B9).wrapping_add(i);
+                        }
+                        std::hint::black_box(acc);
+                        for (h, t) in handles.iter_mut().zip(tickets.drain(..)) {
+                            h.fence_join(t);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fence_driver);
+criterion_main!(benches);

@@ -5,13 +5,15 @@
 //! Usage: `overhead_report [threads]` (default: 4)
 //!
 //! With `--json`, instead measures the version-clock matrix
-//! (backend × clock × threads on the disjoint-write workload) and writes
-//! it to `BENCH_clocks.json` — the machine-readable perf trajectory later
-//! PRs diff against. `overhead_report --json [txns_per_thread]`.
+//! (backend × clock × threads on the disjoint-write workload) and the
+//! fence matrix (driver mode × privatizers on the batched-fence workload),
+//! writing them to `BENCH_clocks.json` and `BENCH_fences.json` — the
+//! machine-readable perf trajectories later PRs diff against.
+//! `overhead_report --json [txns_per_thread]`.
 
 use tm_bench::{
-    clock_matrix, mix_throughput, render_clock_report_json, standard_workloads, FencePolicy,
-    StmKind,
+    clock_matrix, fence_matrix, mix_throughput, render_clock_report_json, render_fence_report_json,
+    standard_workloads, FencePolicy, StmKind,
 };
 
 fn clock_json_report(txns_per_thread: u64) {
@@ -28,6 +30,20 @@ fn clock_json_report(txns_per_thread: u64) {
     eprintln!("wrote {path} ({} rows)", rows.len());
 }
 
+fn fence_json_report(rounds: u64) {
+    let privatizers_axis = [1usize, 4, 16];
+    eprintln!(
+        "measuring fence matrix (2 driver modes x {:?} privatizers, {rounds} rounds)…",
+        privatizers_axis
+    );
+    let rows = fence_matrix(&privatizers_axis, rounds);
+    let json = render_fence_report_json(&rows, rounds);
+    let path = "BENCH_fences.json";
+    std::fs::write(path, &json).expect("write BENCH_fences.json");
+    println!("{json}");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
@@ -37,6 +53,7 @@ fn main() {
             .find_map(|a| a.parse().ok())
             .unwrap_or(5_000);
         clock_json_report(txns);
+        fence_json_report(txns);
         return;
     }
 

@@ -451,6 +451,74 @@ pub fn disjoint_write_throughput(
     (tput, stats)
 }
 
+/// One measured cell of the fence benchmark matrix
+/// (driver mode × concurrent privatizers).
+#[derive(Clone, Debug)]
+pub struct FenceBenchRow {
+    /// Grace-period driver mode label (`cooperative`/`background`).
+    pub mode: &'static str,
+    /// Concurrent privatizers (handles fencing per round).
+    pub privatizers: usize,
+    pub fences_per_sec: f64,
+    /// Fence tickets issued over the run (`privatizers × rounds`).
+    pub tickets: u64,
+    /// Epoch-table scans the engine performed: `tickets / scans` is the
+    /// realized batching factor (must stay ≥ 1 under the driver — the
+    /// driver must preserve coalescing, not defeat it).
+    pub scans: u64,
+}
+
+/// Measure the fence matrix: `rounds` batched privatization fences
+/// (`fence_all` over `privatizers` handles) under each grace-period
+/// [`DriverMode`]. The workload where the driver either pays for itself
+/// (retiring periods while privatizers overlap) or would show up as lost
+/// coalescing.
+pub fn fence_matrix(privatizers_axis: &[usize], rounds: u64) -> Vec<FenceBenchRow> {
+    let mut rows = Vec::new();
+    for mode in DriverMode::ALL {
+        for &n in privatizers_axis {
+            let stm = Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode));
+            let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
+            let start = Instant::now();
+            for _ in 0..rounds {
+                fence_all(handles.iter_mut());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let tickets = n as u64 * rounds;
+            rows.push(FenceBenchRow {
+                mode: mode.label(),
+                privatizers: n,
+                fences_per_sec: tickets as f64 / elapsed,
+                tickets,
+                scans: stm.runtime().grace().scans(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the fence matrix as the `BENCH_fences.json` document — the
+/// machine-readable perf trajectory for the fence/driver axis, sibling to
+/// [`render_clock_report_json`]'s `BENCH_clocks.json`.
+pub fn render_fence_report_json(rows: &[FenceBenchRow], rounds: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_fences/v1\",\n");
+    out.push_str("  \"workload\": \"batched-privatization-fences\",\n");
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"privatizers\": {}, \
+             \"fences_per_sec\": {:.1}, \"tickets\": {}, \"scans\": {}}}{sep}\n",
+            r.mode, r.privatizers, r.fences_per_sec, r.tickets, r.scans
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One measured cell of the clock benchmark matrix
 /// (backend × clock × threads).
 #[derive(Clone, Debug)]
@@ -682,6 +750,40 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_valid_json(&render_clock_report_json(&[], 1));
+    }
+
+    #[test]
+    fn fence_matrix_and_json_report() {
+        let rows = fence_matrix(&[1, 2], 20);
+        // 2 driver modes × 2 privatizer counts.
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.tickets, r.privatizers as u64 * 20);
+            assert!(r.fences_per_sec > 0.0, "{}/{}", r.mode, r.privatizers);
+            assert!(
+                r.scans <= r.tickets,
+                "{}/{}: driver must never defeat coalescing (scans {} > tickets {})",
+                r.mode,
+                r.privatizers,
+                r.scans,
+                r.tickets
+            );
+        }
+        assert!(rows.iter().any(|r| r.mode == "background"));
+        assert!(rows.iter().any(|r| r.mode == "cooperative"));
+        let json = render_fence_report_json(&rows, 20);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_fences/v1\"",
+            "\"mode\"",
+            "\"privatizers\"",
+            "\"fences_per_sec\"",
+            "\"tickets\"",
+            "\"scans\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_fence_report_json(&[], 1));
     }
 
     #[test]

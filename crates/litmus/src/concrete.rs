@@ -67,11 +67,14 @@ impl Backend {
     }
 
     /// Does this backend's `fence()` actually quiesce (and hence appear in
-    /// recorded histories)? NOrec is privatization-safe *without* fences;
-    /// its histories carry no fence actions, so the paper's DRF discipline
-    /// is not obliged to classify its privatizing runs as race-free.
+    /// recorded histories)? NOrec and the global lock are
+    /// privatization-safe *without* fences (NOrec by value-based
+    /// validation, glock because every transaction runs entirely under the
+    /// lock — no zombies, no delayed commits); their histories carry no
+    /// fence actions, so the paper's DRF discipline is not obliged to
+    /// classify their privatizing runs as race-free.
     pub fn fences_are_real(&self) -> bool {
-        !matches!(self, Backend::Norec)
+        !matches!(self, Backend::Norec | Backend::Glock)
     }
 }
 
@@ -99,15 +102,23 @@ pub enum Scenario {
     /// read-path fast paths and the version-clock backends (a GV5 reader
     /// trails fresh stamps and must recover with one refresh).
     ReaderHeavy,
+    /// The ROADMAP's *long-transaction* scenario: one transaction parks
+    /// mid-body (on a side channel) while the owner privatizes and issues
+    /// a fence around it. The fence — however it is driven, including by a
+    /// background driver — must not retire its grace period while the
+    /// straddling transaction is live, and the owner's post-fence direct
+    /// writes settle the final state deterministically.
+    LongTx,
 }
 
 impl Scenario {
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Bank,
         Scenario::Privatization,
         Scenario::Publication,
         Scenario::EpochBatch,
         Scenario::ReaderHeavy,
+        Scenario::LongTx,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -117,6 +128,7 @@ impl Scenario {
             Scenario::Publication => "publication",
             Scenario::EpochBatch => "epoch_batch",
             Scenario::ReaderHeavy => "reader_heavy",
+            Scenario::LongTx => "long_tx",
         }
     }
 
@@ -126,13 +138,14 @@ impl Scenario {
             Scenario::Privatization | Scenario::Publication => 2,
             Scenario::EpochBatch => 2 * EB_THREADS,
             Scenario::ReaderHeavy => RH_REGS,
+            Scenario::LongTx => 3,
         }
     }
 
     pub fn nthreads(&self) -> usize {
         match self {
             Scenario::Bank => 3,
-            Scenario::Privatization | Scenario::Publication => 2,
+            Scenario::Privatization | Scenario::Publication | Scenario::LongTx => 2,
             Scenario::EpochBatch => EB_THREADS,
             Scenario::ReaderHeavy => 1 + RH_READERS,
         }
@@ -141,7 +154,10 @@ impl Scenario {
     /// Does the scenario's history contain fence actions on fencing
     /// backends?
     pub fn uses_fences(&self) -> bool {
-        matches!(self, Scenario::Privatization | Scenario::EpochBatch)
+        matches!(
+            self,
+            Scenario::Privatization | Scenario::EpochBatch | Scenario::LongTx
+        )
     }
 }
 
@@ -189,21 +205,36 @@ pub fn check(history: &History) -> CheckerVerdict {
     }
 }
 
-/// Run `scenario` on `backend`, recording a history if `record`.
+/// Run `scenario` on `backend`, recording a history if `record`, under
+/// the process default [`DriverMode`] (see [`DriverMode::from_env`]).
 pub fn run_scenario(scenario: Scenario, backend: Backend, record: bool) -> ScenarioRun {
+    run_scenario_mode(scenario, backend, record, DriverMode::from_env())
+}
+
+/// Run `scenario` on `backend` under an explicit grace-period
+/// [`DriverMode`] — the conformance axis: every scenario must behave and
+/// check out identically whether the engine is driven cooperatively or by
+/// a runtime-owned background driver.
+pub fn run_scenario_mode(
+    scenario: Scenario,
+    backend: Backend,
+    record: bool,
+    mode: DriverMode,
+) -> ScenarioRun {
     let nregs = scenario.nregs();
     let nthreads = scenario.nthreads();
     let recorder = record.then(|| Arc::new(Recorder::new(nthreads)));
-    let mut cfg = StmConfig::new(nregs, nthreads);
+    let mut cfg = StmConfig::new(nregs, nthreads).grace_driver(mode);
     cfg.recorder = recorder.clone();
+    let real = backend.fences_are_real();
     let (final_regs, lost_updates) = match backend {
-        Backend::Tl2PerRegister => drive(scenario, Tl2Stm::with_config(cfg)),
+        Backend::Tl2PerRegister => drive(scenario, Tl2Stm::with_config(cfg), real),
         Backend::Tl2Striped { stripes } => {
-            drive(scenario, Tl2Stm::with_config(cfg.striped(stripes)))
+            drive(scenario, Tl2Stm::with_config(cfg.striped(stripes)), real)
         }
-        Backend::Tl2Clock { clock } => drive(scenario, Tl2Stm::with_config(cfg.clock(clock))),
-        Backend::Norec => drive(scenario, NorecStm::with_config(cfg)),
-        Backend::Glock => drive(scenario, GlockStm::with_config(cfg)),
+        Backend::Tl2Clock { clock } => drive(scenario, Tl2Stm::with_config(cfg.clock(clock)), real),
+        Backend::Norec => drive(scenario, NorecStm::with_config(cfg), real),
+        Backend::Glock => drive(scenario, GlockStm::with_config(cfg), real),
     };
     ScenarioRun {
         backend,
@@ -214,13 +245,14 @@ pub fn run_scenario(scenario: Scenario, backend: Backend, record: bool) -> Scena
     }
 }
 
-fn drive<F: StmFactory>(scenario: Scenario, stm: F) -> (Vec<u64>, u64) {
+fn drive<F: StmFactory>(scenario: Scenario, stm: F, real_fences: bool) -> (Vec<u64>, u64) {
     let lost = match scenario {
         Scenario::Bank => bank(&stm),
         Scenario::Privatization => privatization(&stm),
         Scenario::Publication => publication(&stm),
         Scenario::EpochBatch => epoch_batch(&stm),
         Scenario::ReaderHeavy => reader_heavy(&stm),
+        Scenario::LongTx => long_tx(&stm, real_fences),
     };
     let final_regs = (0..scenario.nregs())
         .map(|x| project(scenario, x, stm.peek(x)))
@@ -240,6 +272,9 @@ fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
         Scenario::EpochBatch => v,
         // The round lives in the low bits; the rest is a per-write nonce.
         Scenario::ReaderHeavy => v & RH_ROUND_MASK,
+        Scenario::LongTx if x == LT_FLAG => v & LT_PHASE_MASK,
+        Scenario::LongTx if x == LT_SIDE => v & LT_SIDE_MASK,
+        Scenario::LongTx => v,
     }
 }
 
@@ -617,6 +652,109 @@ fn reader_heavy<F: StmFactory>(stm: &F) -> u64 {
     })
 }
 
+const LT_FLAG: usize = 0;
+const LT_DATA: usize = 1;
+const LT_SIDE: usize = 2;
+/// Low flag bits carry the phase, mirroring the privatization scenario.
+const LT_PHASE_MASK: u64 = 3;
+const LT_PRIVATE: u64 = 1;
+/// The value the owner settles the privatized data register to.
+pub const LT_FINAL: u64 = 0x17F1;
+/// The semantic payload of the straddler's side-register write (low 16
+/// bits; the bits above are a per-attempt nonce).
+pub const LT_SIDE_MARK: u64 = 0x51DE;
+const LT_SIDE_MASK: u64 = (1 << 16) - 1;
+
+/// Expected deterministic final registers: privatized flag, owner-settled
+/// data, straddler-written side register.
+pub fn long_tx_expected_finals() -> Vec<u64> {
+    vec![LT_PRIVATE, LT_FINAL, LT_SIDE_MARK]
+}
+
+/// The long-transaction scenario: a fence must not retire while a
+/// transaction that was active at issue is still (slowly) running.
+///
+/// Shape: the owner privatizes `LT_DATA` (flag transaction) *first*; the
+/// straddler then opens a transaction on the unprivatized `LT_SIDE`
+/// register and parks mid-body on a side channel. The owner issues its
+/// fence while the straddler is parked — so the straddling transaction
+/// brackets the whole fence — and on quiescing backends asserts the
+/// ticket stays unresolved (against every driver: cooperative pollers AND
+/// the background driver must not retire the period early). Only then is
+/// the straddler released; the joined fence guarantees its commit, after
+/// which the owner settles `LT_DATA` directly.
+///
+/// Ordering discipline (why the owner's flag transaction commits before
+/// the straddler begins): under the global-lock backend a transaction
+/// parked mid-body holds the lock, so any later transaction by another
+/// thread would deadlock against it — the scenario therefore does all its
+/// transactional work on the owner *before* parking the straddler, which
+/// also makes the straddler's flag read deterministic.
+fn long_tx<F: StmFactory>(stm: &F, real_fences: bool) -> u64 {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let stage = AtomicUsize::new(0);
+    let go = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let straddler = {
+            let stm = stm.clone();
+            let stage = &stage;
+            let go = &go;
+            s.spawn(move || {
+                // Begin only after the owner's flag transaction committed.
+                while stage.load(Ordering::SeqCst) < 1 {
+                    std::thread::yield_now();
+                }
+                let mut h = stm.handle(1);
+                // Nonce advances per attempt: an aborted attempt's write
+                // stays in the history and may not repeat its value.
+                let mut nonce = 0u64;
+                h.atomic(|tx| {
+                    nonce += 1;
+                    // Guarded read: the region is privatized, so the
+                    // discipline routes this transaction to the side
+                    // register only. Deterministic by the stage ordering.
+                    let flag = tx.read(LT_FLAG)?;
+                    assert_eq!(flag & LT_PHASE_MASK, LT_PRIVATE, "began before the flag?");
+                    // Tell the owner we are mid-transaction…
+                    stage.store(2, Ordering::SeqCst);
+                    // …and stay there until released: the slow part the
+                    // fence has to wait out.
+                    while !go.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    tx.write(LT_SIDE, (nonce << 16) | LT_SIDE_MARK)
+                });
+            })
+        };
+        let mut h = stm.handle(0);
+        let mut flag_nonce = 1u64;
+        h.atomic(|tx| {
+            flag_nonce += 1;
+            tx.write(LT_FLAG, (flag_nonce << 2) | LT_PRIVATE)
+        });
+        stage.store(1, Ordering::SeqCst);
+        while stage.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let mut ticket = h.fence_async();
+        if real_fences {
+            // Ample time for a buggy driver to retire the period early.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(
+                !ticket.poll(),
+                "fence retired with the straddling transaction still live"
+            );
+        }
+        go.store(true, Ordering::SeqCst);
+        h.fence_join(ticket);
+        // The straddler has committed; the privatized register is ours.
+        h.write_direct(LT_DATA, LT_FINAL);
+        let lost = u64::from(h.read_direct(LT_DATA) != LT_FINAL);
+        straddler.join().unwrap();
+        lost
+    })
+}
+
 /// Expected deterministic final registers for a scenario.
 pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
     match scenario {
@@ -625,6 +763,7 @@ pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
         Scenario::Publication => publication_expected_finals(),
         Scenario::EpochBatch => epoch_batch_expected_finals(),
         Scenario::ReaderHeavy => reader_heavy_expected_finals(),
+        Scenario::LongTx => long_tx_expected_finals(),
     }
 }
 
@@ -655,6 +794,31 @@ mod tests {
         assert_eq!(v.opaque, Some(true));
     }
 
+    /// The long-transaction scenario must hold under BOTH driver modes: a
+    /// background driver is exactly the component that could wrongly
+    /// retire the straddled period early.
+    #[test]
+    fn recorded_long_tx_history_holds_under_both_driver_modes() {
+        for mode in DriverMode::ALL {
+            let run = run_scenario_mode(Scenario::LongTx, Backend::Tl2PerRegister, true, mode);
+            assert_eq!(run.lost_updates, 0, "{}", mode.label());
+            assert_eq!(
+                run.final_regs,
+                long_tx_expected_finals(),
+                "{}",
+                mode.label()
+            );
+            let v = check(run.history.as_ref().unwrap());
+            assert!(
+                v.well_formed,
+                "{}: straddling txn must not make the history ill-formed",
+                mode.label()
+            );
+            assert!(v.drf, "{}", mode.label());
+            assert_eq!(v.opaque, Some(true), "{}", mode.label());
+        }
+    }
+
     #[test]
     fn recorded_bank_history_is_drf_and_opaque() {
         let run = run_scenario(Scenario::Bank, Backend::Tl2Striped { stripes: 4 }, true);
@@ -673,6 +837,10 @@ mod tests {
         assert_eq!(dedup.len(), labels.len());
         assert!(Backend::Norec.label() == "norec");
         assert!(!Backend::Norec.fences_are_real());
+        assert!(
+            !Backend::Glock.fences_are_real(),
+            "glock fence is immediate"
+        );
         assert!(Backend::Tl2PerRegister.fences_are_real());
     }
 }

@@ -22,10 +22,20 @@
 //!   blocking, and every ticket issued during the same open period is
 //!   resolved by one shared scan of the epoch table — the `call_rcu` to
 //!   [`EpochTable::wait_quiescent`]'s `synchronize_rcu`.
+//! * [`GraceDriver`] — an *optional* background thread that retires grace
+//!   periods with **zero** pollers or waiters. Without a driver the engine
+//!   advances only cooperatively, so a fire-and-forget
+//!   [`GraceTicket::on_complete`] callback fires only when some later
+//!   caller happens to drive the engine — possibly never. The driver closes
+//!   that liveness hole: it parks until [`GraceEngine::issue`] (or a
+//!   callback registration) wakes it, then drives until nothing is
+//!   [pending](GraceEngine::has_pending). The engine stays fully functional
+//!   thread-free when no driver is attached.
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Per-thread epoch counters. Even values mean the slot is quiescent, odd
 /// values mean a critical section (transaction) is in progress.
@@ -163,6 +173,20 @@ pub struct GraceEngine {
     scan: Mutex<ScanState>,
     /// Completion callbacks keyed by period, run by the completing driver.
     callbacks: Mutex<Vec<(u64, Callback)>>,
+    /// Highest period ever stamped onto an issued ticket. Together with
+    /// `completed` this is the engine's *pending* view: work is outstanding
+    /// exactly while `issued > completed` (every callback is registered
+    /// through an issued ticket, so tickets subsume callbacks).
+    issued: CachePadded<AtomicU64>,
+    /// Is a [`GraceDriver`] attached? Gates the wake notification so the
+    /// driver-free configuration pays nothing beyond one relaxed load per
+    /// issue.
+    driver_attached: AtomicBool,
+    /// Wake channel for the attached driver. `issue` and `on_complete`
+    /// notify under the mutex, the driver re-checks `has_pending` under the
+    /// same mutex before sleeping, so wakeups cannot be lost.
+    wake: Mutex<()>,
+    wake_cv: Condvar,
 }
 
 impl GraceEngine {
@@ -178,6 +202,10 @@ impl GraceEngine {
                 pending: Vec::new(),
             }),
             callbacks: Mutex::new(Vec::new()),
+            issued: CachePadded::new(AtomicU64::new(0)),
+            driver_attached: AtomicBool::new(false),
+            wake: Mutex::new(()),
+            wake_cv: Condvar::new(),
         })
     }
 
@@ -209,13 +237,44 @@ impl GraceEngine {
         self.completed() >= period
     }
 
+    /// Highest period ever stamped onto an issued ticket (0 before the
+    /// first issue). This is the period a background driver drives toward.
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::SeqCst)
+    }
+
+    /// Is any issued ticket's period still incomplete? The view a
+    /// [`GraceDriver`] parks on: callbacks are always registered through an
+    /// issued ticket, so `!has_pending()` means no ticket can be unresolved
+    /// and no callback can be waiting.
+    pub fn has_pending(&self) -> bool {
+        self.issued() > self.completed()
+    }
+
+    /// Wake an attached driver (no-op when none is). Callers notify under
+    /// the wake mutex and the driver re-checks [`Self::has_pending`] under
+    /// it before sleeping, so a wakeup racing a park is never lost.
+    fn notify_driver(&self) {
+        if self.driver_attached.load(Ordering::Relaxed) {
+            let _guard = self.wake.lock().unwrap();
+            self.wake_cv.notify_all();
+        }
+    }
+
     /// Request a grace period: stamp a ticket with the open period. Never
     /// blocks; the returned ticket resolves once every critical section
-    /// active now has completed.
+    /// active now has completed. Wakes the attached [`GraceDriver`], if
+    /// any, so fire-and-forget tickets retire without any poller.
     pub fn issue(self: &Arc<Self>) -> GraceTicket {
+        let period = self.open.load(Ordering::SeqCst);
+        // fetch_max, not store: a concurrent scan may have closed a later
+        // period between our load and this line, and `issued` must never
+        // move backwards past a stamp another issuer already published.
+        self.issued.fetch_max(period, Ordering::SeqCst);
+        self.notify_driver();
         GraceTicket {
             engine: Arc::clone(self),
-            period: self.open.load(Ordering::SeqCst),
+            period,
         }
     }
 
@@ -262,7 +321,9 @@ impl GraceEngine {
 
     /// Register `f` to run when `period` completes (immediately, on this
     /// thread, if it already has; otherwise on the completing driver's
-    /// thread).
+    /// thread). With a [`GraceDriver`] attached the callback fires within
+    /// bounded time even if nobody ever polls or waits; without one it
+    /// rides whichever caller next drives the engine.
     pub fn on_complete(&self, period: u64, f: impl FnOnce() + Send + 'static) {
         {
             let mut cbs = self.callbacks.lock().unwrap();
@@ -271,6 +332,8 @@ impl GraceEngine {
             // completion here or our push is visible to its drain.
             if !self.is_complete(period) {
                 cbs.push((period, Box::new(f)));
+                drop(cbs);
+                self.notify_driver();
                 return;
             }
         }
@@ -337,8 +400,142 @@ impl GraceTicket {
 
     /// Run `f` when the grace period elapses (immediately if it already
     /// has; otherwise on whichever thread completes the period).
+    ///
+    /// Liveness caveat: without a [`GraceDriver`] attached to the engine,
+    /// a fire-and-forget callback only runs when *some* caller later
+    /// drives the engine — if nobody ever polls or waits, it never fires.
+    /// Attach a driver for the `call_rcu`-style guarantee that the
+    /// callback runs within bounded time regardless of pollers.
     pub fn on_complete(self, f: impl FnOnce() + Send + 'static) {
         self.engine.on_complete(self.period, f);
+    }
+}
+
+/// A background grace-period driver: one parked thread that owns the
+/// liveness of fire-and-forget tickets on a [`GraceEngine`].
+///
+/// The thread sleeps on the engine's wake channel (with a `tick` timeout as
+/// a belt-and-braces fallback) and, whenever any issued period is still
+/// incomplete, repeatedly calls [`GraceEngine::drive`] — yielding between
+/// steps, never hard-spinning — until the engine is
+/// [drained](GraceEngine::has_pending). Consequences:
+///
+/// * [`GraceTicket::on_complete`] callbacks fire within bounded time with
+///   **zero** pollers or waiters (the `call_rcu` guarantee).
+/// * Every privatizer can fully overlap its post-fence work: nobody has to
+///   donate cycles to the scan.
+/// * Coalescing is preserved: the driver closes a period and scans exactly
+///   as a cooperative caller would, so N tickets issued while one period is
+///   open still retire on one epoch-table scan.
+///
+/// Completion callbacks run on the driver thread once it is attached; they
+/// must not block indefinitely (a blocked callback blocks every later
+/// period's retirement, exactly as with a cooperative completer).
+///
+/// Dropping the driver is a *clean shutdown*: the thread first drains —
+/// drives every outstanding period to completion and runs its callbacks —
+/// then exits, so no requested grace period or registered callback is ever
+/// lost. The drain waits on in-flight critical sections, mirroring the
+/// blocking-drop contract of an unresolved ticket.
+pub struct GraceDriver {
+    engine: Arc<GraceEngine>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GraceDriver {
+    /// Default fallback tick: how long the driver sleeps when idle before
+    /// re-checking for work it was not explicitly woken for. An adaptive
+    /// interval is a ROADMAP follow-up; 1 ms keeps worst-case callback
+    /// latency bounded without measurable idle cost.
+    pub const DEFAULT_TICK: Duration = Duration::from_millis(1);
+
+    /// Attach a driver to `engine` and start its thread. At most one
+    /// driver may be attached to an engine at a time (checked): a second
+    /// driver's shutdown would clear the attach flag under the first one,
+    /// silently downgrading its wakeups to the timeout tick.
+    pub fn spawn(engine: Arc<GraceEngine>, tick: Duration) -> Self {
+        assert!(
+            !engine.driver_attached.swap(true, Ordering::SeqCst),
+            "a GraceDriver is already attached to this engine"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tm-grace-driver".into())
+                .spawn(move || Self::run(&engine, &stop, tick))
+                .expect("spawn grace-period driver thread")
+        };
+        GraceDriver {
+            engine,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// The engine this driver is attached to.
+    pub fn engine(&self) -> &Arc<GraceEngine> {
+        &self.engine
+    }
+
+    /// Failed driving steps before the in-progress loop backs off from
+    /// yielding to sleeping `tick` per re-check. Yields let the awaited
+    /// threads run immediately (essential on a 1-core host, where a short
+    /// transaction usually exits within a few yields); the sleep cap keeps
+    /// a long-running straddling transaction from pinning the driver at
+    /// 100% of a core — epoch exits send no notification, so the re-check
+    /// must poll, but at tick granularity, not scheduler granularity.
+    const YIELDS_BEFORE_SLEEP: u32 = 64;
+
+    fn run(engine: &GraceEngine, stop: &AtomicBool, tick: Duration) {
+        loop {
+            // Retire everything outstanding. New issues during the inner
+            // loop raise `issued`, and the outer re-check picks them up.
+            while engine.has_pending() {
+                let target = engine.issued();
+                let mut steps = 0u32;
+                while !engine.drive(target) {
+                    if steps < Self::YIELDS_BEFORE_SLEEP {
+                        steps += 1;
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(tick);
+                    }
+                }
+            }
+            if stop.load(Ordering::SeqCst) {
+                // Drained and asked to stop: clean exit. (The drain above
+                // ran first, so shutdown never strands a callback.)
+                return;
+            }
+            let guard = engine.wake.lock().unwrap();
+            // Re-check under the wake mutex: an issue that raced our drain
+            // notifies under this same mutex, so either we see its ticket
+            // here or its notify lands after we start waiting.
+            if stop.load(Ordering::SeqCst) || engine.has_pending() {
+                continue;
+            }
+            let _ = engine.wake_cv.wait_timeout(guard, tick).unwrap();
+        }
+    }
+
+    /// Stop the driver: drain outstanding periods/callbacks, join the
+    /// thread, detach from the engine. Idempotent; also run by drop.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            self.engine.notify_driver();
+            thread.join().expect("grace-period driver thread panicked");
+            self.engine.driver_attached.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for GraceDriver {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -659,6 +856,173 @@ mod tests {
             eng.epochs().exit(3);
         });
         assert_eq!(eng.scans(), 1, "waiters must share the period's scan");
+    }
+
+    /// Sleep-wait (NOT poll — polling would drive the engine and defeat
+    /// the zero-poller liveness regressions) until `cond`, with a generous
+    /// bound so a broken driver fails fast instead of hanging CI.
+    fn sleep_until(what: &str, cond: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !cond() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// THE liveness regression: a fire-and-forget callback with zero
+    /// pollers/waiters must fire within bounded time under a driver.
+    /// (Without one it would never fire — nobody drives the engine.)
+    #[test]
+    fn driver_fires_callback_with_zero_pollers() {
+        let eng = GraceEngine::new(2);
+        let _driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            eng.issue().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        // No poll, no wait, no other traffic: only the driver can do this.
+        sleep_until("fire-and-forget callback", || fired.load(Ordering::SeqCst));
+        assert!(eng.is_complete(1));
+    }
+
+    /// The driver must NOT retire a period early: a critical section active
+    /// at issue pins the period until it exits.
+    #[test]
+    fn driver_waits_for_active_section() {
+        let eng = GraceEngine::new(2);
+        let _driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        eng.epochs().enter(0);
+        let fired = Arc::new(AtomicBool::new(false));
+        let ticket = eng.issue();
+        {
+            let fired = Arc::clone(&fired);
+            ticket.clone().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        // Give the driver ample time to (wrongly) retire the period.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !fired.load(Ordering::SeqCst),
+            "retired under an active section"
+        );
+        assert!(!eng.is_complete(ticket.period()));
+        eng.epochs().exit(0);
+        sleep_until("callback after exit", || fired.load(Ordering::SeqCst));
+    }
+
+    /// Coalescing survives the driver, deterministically: pin a section so
+    /// the driver's first scan cannot finish — the *next* period then stays
+    /// open however long we take to issue into it — and check all tickets
+    /// issued meanwhile retire on one scan.
+    #[test]
+    fn driver_preserves_coalescing() {
+        let eng = GraceEngine::new(2);
+        let _driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        eng.epochs().enter(0);
+        let sacrificial = eng.issue();
+        assert_eq!(sacrificial.period(), 1);
+        // The driver wakes, closes period 1 and starts its scan, which
+        // pends on slot 0. Period 2 cannot close until that scan finishes.
+        sleep_until("driver to open period 2", || eng.open_period() == 2);
+        let tickets: Vec<GraceTicket> = (0..8).map(|_| eng.issue()).collect();
+        for t in &tickets {
+            assert_eq!(t.period(), 2, "period 2 is pinned open");
+        }
+        assert_eq!(eng.scans(), 0, "scan 1 still in progress");
+        eng.epochs().exit(0);
+        sleep_until("driver to retire period 2", || eng.is_complete(2));
+        assert_eq!(eng.scans(), 2, "8 tickets coalesced behind one scan");
+    }
+
+    /// Dropping the driver drains: outstanding callbacks run before drop
+    /// returns, so shutdown never loses a requested grace period.
+    #[test]
+    fn driver_shutdown_drains_callbacks() {
+        let eng = GraceEngine::new(2);
+        let driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let fired = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let fired = Arc::clone(&fired);
+            eng.issue().on_complete(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(driver); // immediately — the drain must still run them
+        assert_eq!(fired.load(Ordering::SeqCst), 3, "drop must drain");
+        assert!(!eng.has_pending());
+        // The engine keeps working thread-free after detach.
+        let t = eng.issue();
+        t.wait();
+        assert!(t.poll());
+    }
+
+    /// The single-driver invariant is checked, and detach (shutdown)
+    /// re-arms the engine for a fresh driver.
+    #[test]
+    fn second_driver_attach_is_rejected_until_detach() {
+        let eng = GraceEngine::new(2);
+        let mut first = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK)
+        }));
+        assert!(second.is_err(), "double attach must be rejected");
+        first.shutdown();
+        // After a clean detach a new driver may attach and still works.
+        let _third = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            eng.issue().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        sleep_until("callback under the re-attached driver", || {
+            fired.load(Ordering::SeqCst)
+        });
+    }
+
+    /// `has_pending`/`issued` track the ticket lifecycle.
+    #[test]
+    fn pending_view_tracks_tickets() {
+        let eng = GraceEngine::new(2);
+        assert!(!eng.has_pending());
+        assert_eq!(eng.issued(), 0);
+        let t = eng.issue();
+        assert!(eng.has_pending());
+        assert_eq!(eng.issued(), 1);
+        t.wait();
+        assert!(!eng.has_pending());
+    }
+
+    /// Driver + cooperative waiters at once: both may drive, nobody hangs,
+    /// under continuous enter/exit traffic.
+    #[test]
+    fn driver_and_waiters_coexist_under_traffic() {
+        let eng = GraceEngine::new(2);
+        let _driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let eng = Arc::clone(&eng);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    eng.epochs().enter(0);
+                    eng.epochs().exit(0);
+                }
+            })
+        };
+        for _ in 0..50 {
+            eng.issue().wait();
+        }
+        stop.store(true, Ordering::SeqCst);
+        worker.join().unwrap();
     }
 
     /// Many threads hammering enter/exit while a fencer loops: smoke test

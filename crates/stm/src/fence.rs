@@ -25,6 +25,30 @@
 //! An unresolved ticket resolves *at the latest when dropped* (the drop
 //! blocks through the grace period), so a fence, once requested, is never
 //! silently lost.
+//!
+//! ## Fire-and-forget liveness
+//!
+//! [`FenceTicket::on_complete`] consumes the ticket — nothing is left to
+//! poll, wait, or drop. Under the default cooperative
+//! [`DriverMode`](crate::runtime::DriverMode) the callback therefore fires
+//! only when some *later* fence/poll on the same runtime drives the
+//! engine; a runtime whose threads all go quiet never fires it. Build the
+//! runtime with [`DriverMode::Background`](crate::runtime::DriverMode) for
+//! the `call_rcu`-style guarantee: a runtime-owned
+//! [`tm_quiesce::GraceDriver`] retires the period within bounded time with
+//! zero pollers, and runtime drop drains outstanding callbacks.
+//!
+//! ## Cross-thread `FEnd` recording
+//!
+//! The completing thread — a cooperative driver or the background driver,
+//! not necessarily the issuer — records the `FEnd` into the *issuing
+//! slot's* log. [`Recorder::record`] is safe under that cross-thread use
+//! (a per-slot mutex guards the log; ordering comes from the global
+//! sequence counter, not vector position — see [`crate::record`]). The
+//! ordering obligation is the caller's: the issuing handle must not record
+//! further actions until the callback has been *observed* (the `FEnd` is
+//! recorded strictly before the callback runs), otherwise a TxBegin could
+//! interleave before the `FEnd` and the history would be ill-formed.
 
 use crate::api::StmHandle;
 use crate::record::Recorder;
@@ -107,7 +131,14 @@ impl FenceTicket {
 
     /// Run `f` when the fence resolves: immediately (on this thread) if it
     /// already has, otherwise on whichever thread completes the grace
-    /// period. The `FEnd` is recorded just before `f` runs.
+    /// period. The `FEnd` is recorded just before `f` runs (from the
+    /// completing thread — see the module docs on cross-thread recording).
+    ///
+    /// This consumes the ticket, so nobody is left to drive the engine:
+    /// under cooperative driving the callback fires only when later
+    /// traffic drives the period home; under
+    /// [`DriverMode::Background`](crate::runtime::DriverMode) it fires
+    /// within bounded time with zero pollers.
     pub fn on_complete(mut self, f: impl FnOnce() + Send + 'static) {
         let grace = self.grace.take();
         let rec = self.rec.take();

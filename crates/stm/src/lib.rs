@@ -15,7 +15,12 @@
 //!   [`api::StmHandle::fence_async`] returns a [`fence::FenceTicket`] over
 //!   the runtime's grace-period engine ([`tm_quiesce::GraceEngine`]); all
 //!   tickets issued during one open period share a single epoch-table scan,
-//!   and [`fence::fence_all`] batches whole handle sets.
+//!   and [`fence::fence_all`] batches whole handle sets. With
+//!   [`runtime::DriverMode::Background`] the runtime owns a
+//!   [`tm_quiesce::GraceDriver`] thread that retires periods with zero
+//!   pollers, so fire-and-forget
+//!   [`on_complete`](fence::FenceTicket::on_complete) callbacks fire
+//!   within bounded time.
 //! * [`storage`] — pluggable ownership-record storage for versioned-lock
 //!   policies: one [`vlock::VLock`] per register, or a *striped orec table*
 //!   (constant metadata footprint, hash register → stripe), selected per
@@ -86,7 +91,7 @@ pub mod prelude {
     pub use crate::map::{freeze_all, TxMap};
     pub use crate::norec::{NorecHandle, NorecStm};
     pub use crate::record::Recorder;
-    pub use crate::runtime::{BackoffCfg, StmConfig};
+    pub use crate::runtime::{BackoffCfg, DriverMode, StmConfig};
     pub use crate::storage::StorageKind;
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
 }

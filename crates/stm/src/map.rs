@@ -7,7 +7,9 @@
 //! Layout in the register file, starting at `base`:
 //! `[freeze flag][slot 0 key][slot 0 val][slot 1 key][slot 1 val]…`
 //! Open addressing with linear probing; key encodings: `0` = empty,
-//! `1` = tombstone, user keys are shifted by [`KEY_BIAS`].
+//! `1` = tombstone, user keys are shifted by [`KEY_BIAS`] — so the largest
+//! storable key is [`MAX_KEY`], and larger keys are rejected (checked
+//! encoding) rather than wrapped into the reserved values.
 //!
 //! Every transactional operation first reads the freeze flag and aborts if
 //! the map is frozen; because the flag is in the read set, a concurrent
@@ -22,6 +24,20 @@ const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
 /// User keys are stored as `key + KEY_BIAS` to keep 0/1 reserved.
 pub const KEY_BIAS: u64 = 2;
+/// Largest storable user key. Keys are stored biased by [`KEY_BIAS`], so
+/// the top [`KEY_BIAS`] values of the `u64` space are unrepresentable:
+/// `MAX_KEY + 1` would wrap (or panic in debug) to the reserved
+/// `TOMBSTONE`, `MAX_KEY + 2` to `EMPTY`, silently corrupting the table.
+pub const MAX_KEY: u64 = u64::MAX - KEY_BIAS;
+
+/// Checked key encoding: `None` for keys above [`MAX_KEY`] (debug builds
+/// assert first — an out-of-range key is a caller bug, but release builds
+/// must reject it instead of colliding with `EMPTY`/`TOMBSTONE`).
+#[inline]
+fn encode_key(key: u64) -> Option<u64> {
+    debug_assert!(key <= MAX_KEY, "TxMap key {key:#x} exceeds MAX_KEY");
+    (key <= MAX_KEY).then(|| key + KEY_BIAS)
+}
 
 /// Descriptor of a map living in an STM register region.
 #[derive(Clone, Copy, Debug)]
@@ -73,10 +89,15 @@ impl TxMap {
         Ok(())
     }
 
-    /// Transactional lookup.
+    /// Transactional lookup. Keys above [`MAX_KEY`] are never present:
+    /// `Ok(None)` (debug builds assert).
     pub fn get(&self, tx: &mut dyn TxScope, key: u64) -> Result<Option<u64>, Abort> {
+        // Freeze check first — even an unstorable key must observe the
+        // module's frozen-map contract (abort, flag in the read set).
         self.check_open(tx)?;
-        let stored = key + KEY_BIAS;
+        let Some(stored) = encode_key(key) else {
+            return Ok(None);
+        };
         let mut slot = self.hash(key);
         for _ in 0..self.cap {
             let k = tx.read(self.key_reg(slot))?;
@@ -91,10 +112,14 @@ impl TxMap {
         Ok(None)
     }
 
-    /// Transactional insert-or-update. Returns `false` if the map is full.
+    /// Transactional insert-or-update. Returns `false` if the map is full
+    /// — or if `key` exceeds [`MAX_KEY`] and is therefore unstorable
+    /// (debug builds assert).
     pub fn insert(&self, tx: &mut dyn TxScope, key: u64, val: u64) -> Result<bool, Abort> {
         self.check_open(tx)?;
-        let stored = key + KEY_BIAS;
+        let Some(stored) = encode_key(key) else {
+            return Ok(false);
+        };
         let mut slot = self.hash(key);
         let mut free: Option<usize> = None;
         for _ in 0..self.cap {
@@ -122,10 +147,13 @@ impl TxMap {
         Ok(false)
     }
 
-    /// Transactional removal. Returns the removed value.
+    /// Transactional removal. Returns the removed value. Keys above
+    /// [`MAX_KEY`] are never present: `Ok(None)` (debug builds assert).
     pub fn remove(&self, tx: &mut dyn TxScope, key: u64) -> Result<Option<u64>, Abort> {
         self.check_open(tx)?;
-        let stored = key + KEY_BIAS;
+        let Some(stored) = encode_key(key) else {
+            return Ok(None);
+        };
         let mut slot = self.hash(key);
         for _ in 0..self.cap {
             let k = tx.read(self.key_reg(slot))?;
@@ -249,6 +277,50 @@ mod tests {
         });
     }
 
+    /// Regression for the key-encoding overflow: `key + KEY_BIAS` used to
+    /// wrap for keys ≥ `u64::MAX - 1` (panic in debug), silently colliding
+    /// with the reserved EMPTY/TOMBSTONE encodings. MAX_KEY itself must
+    /// round-trip (its stored form is exactly `u64::MAX`); anything above
+    /// is rejected by the checked encoding.
+    #[test]
+    fn max_key_roundtrips_and_overflowing_keys_are_rejected() {
+        assert_eq!(MAX_KEY, u64::MAX - KEY_BIAS);
+        let (m, stm) = map_and_stm(8, 1);
+        let mut h = stm.handle(0);
+        h.atomic(|tx| {
+            assert!(m.insert(tx, MAX_KEY, 1)?, "MAX_KEY must be storable");
+            assert_eq!(m.get(tx, MAX_KEY)?, Some(1));
+            assert_eq!(m.remove(tx, MAX_KEY)?, Some(1));
+            assert_eq!(m.get(tx, MAX_KEY)?, None);
+            Ok(())
+        });
+        // Out-of-range keys: rejected in release, debug_assert in debug.
+        // Exercise the release path behind catch_unwind so the test is
+        // meaningful under both profiles.
+        for bad in [MAX_KEY + 1, u64::MAX] {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let (m, stm) = map_and_stm(8, 1);
+                let mut h = stm.handle(0);
+                h.atomic(|tx| {
+                    assert!(!m.insert(tx, bad, 9)?, "unstorable key accepted");
+                    assert_eq!(m.get(tx, bad)?, None);
+                    assert_eq!(m.remove(tx, bad)?, None);
+                    // The reserved encodings stay untouched: nothing was
+                    // written, so every slot still reads EMPTY.
+                    for slot in 0..8 {
+                        assert_eq!(tx.read(1 + 2 * slot)?, EMPTY);
+                    }
+                    Ok(())
+                });
+            }));
+            if cfg!(debug_assertions) {
+                assert!(r.is_err(), "debug builds must assert on key {bad:#x}");
+            } else {
+                assert!(r.is_ok(), "release builds must reject key {bad:#x}");
+            }
+        }
+    }
+
     #[test]
     fn update_in_place() {
         let (m, stm) = map_and_stm(4, 1);
@@ -317,7 +389,12 @@ mod tests {
         let maps: Vec<TxMap> = (0..3)
             .map(|i| TxMap::new(i * TxMap::regs_needed(8), 8))
             .collect();
-        let stm = Tl2Stm::new(3 * TxMap::regs_needed(8), 1);
+        // Pinned cooperative: the exact-scan assertion needs no background
+        // driver closing the period between the freezes' ticket issues.
+        let stm = Tl2Stm::with_config(
+            crate::runtime::StmConfig::new(3 * TxMap::regs_needed(8), 1)
+                .grace_driver(crate::runtime::DriverMode::Cooperative),
+        );
         let mut h = stm.handle(0);
         for (i, m) in maps.iter().enumerate() {
             h.atomic(|tx| m.insert(tx, 1, 10 + i as u64).map(|_| ()));

@@ -6,6 +6,30 @@
 //! The recorder is optional and designed to perturb executions as little as
 //! possible: per-thread buffers, one shared fetch-and-add for ordering.
 //!
+//! ## Cross-thread recording into one slot
+//!
+//! A slot's log is normally appended to by its own thread, but not always:
+//! a [`crate::fence::FenceTicket::on_complete`] resolution records the
+//! issuing slot's `FEnd` from whichever thread completes the grace period
+//! (under a background driver, the driver thread). Audit of that use:
+//!
+//! * **Safety** — [`Recorder::record`] is fully thread-safe for any
+//!   `(thread, slot)` combination: the global counter is a single
+//!   `fetch_add` and each slot's vector is guarded by its own mutex.
+//! * **Ordering** — concurrent recorders may *push* into one slot's vector
+//!   out of sequence-number order (the fetch_add and the push are not one
+//!   atomic step), which is why [`Recorder::snapshot_history`] orders by
+//!   sequence number globally and never relies on vector position.
+//! * **The caller's obligation** is semantic, not memory-safety: the
+//!   issuing slot must not record new actions until the completion
+//!   callback has been observed (the `FEnd` is recorded strictly before
+//!   the callback runs), or a `TxBegin` could draw a sequence number
+//!   before the `FEnd` and the history would be ill-formed. See
+//!   [`crate::fence`].
+//! * **Snapshots** are for quiescence: a `snapshot_history` taken while a
+//!   `record` is between its fetch_add and its push can miss that action
+//!   (its sequence number exists, the push is not yet visible).
+//!
 //! Caveat (documented in DESIGN.md): for two *concurrent* non-transactional
 //! accesses to the same register the recorded order may disagree with the
 //! physical access order within a nanosecond-scale window. Such pairs only
@@ -34,6 +58,10 @@ impl Recorder {
 
     /// Record one action for thread slot `t`. The global order of actions is
     /// the order of their sequence numbers.
+    ///
+    /// Safe from any thread, including a thread other than slot `t`'s
+    /// owner (the cross-thread `FEnd` path — see the module docs for the
+    /// audit and the ordering obligation that comes with it).
     #[inline]
     pub fn record(&self, t: usize, kind: Kind) {
         let s = self.seq.fetch_add(1, Ordering::SeqCst);
@@ -99,6 +127,46 @@ mod tests {
             kinds,
             vec![Kind::Read(Reg(0)), Kind::TxBegin, Kind::RetVal(0), Kind::Ok]
         );
+    }
+
+    /// Cross-thread recording into ONE slot (the on_complete `FEnd` shape):
+    /// many threads hammer slot 0 concurrently; the merged snapshot must
+    /// contain every action exactly once, in strictly increasing sequence
+    /// order, regardless of the order the pushes landed in the slot's
+    /// vector.
+    #[test]
+    fn concurrent_same_slot_records_merge_in_seq_order() {
+        use std::sync::Arc;
+        let r = Arc::new(Recorder::new(1));
+        let per_thread = 200u64;
+        let nthreads = 4u64;
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Unique payloads so the count check below can
+                        // detect lost or duplicated records.
+                        r.record(0, Kind::RetVal((t << 32) | i));
+                    }
+                });
+            }
+        });
+        let h = r.snapshot_history();
+        assert_eq!(h.len(), (nthreads * per_thread) as usize, "no record lost");
+        let ids: Vec<u64> = h.actions().iter().map(|a| a.id.0).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "global seq order");
+        let mut payloads: Vec<u64> = h
+            .actions()
+            .iter()
+            .map(|a| match a.kind {
+                Kind::RetVal(v) => v,
+                k => panic!("unexpected kind {k:?}"),
+            })
+            .collect();
+        payloads.sort_unstable();
+        payloads.dedup();
+        assert_eq!(payloads.len(), (nthreads * per_thread) as usize);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tm_core::action::Kind;
 use tm_core::ids::Reg;
-use tm_quiesce::{EpochTable, GraceEngine};
+use tm_quiesce::{EpochTable, GraceDriver, GraceEngine};
 
 /// Exponential-backoff tuning for the shared retry loop.
 ///
@@ -65,6 +65,47 @@ impl BackoffCfg {
     }
 }
 
+/// How the runtime's grace-period engine advances — i.e. who retires the
+/// periods behind [`crate::fence::FenceTicket`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DriverMode {
+    /// No background thread (the default): periods advance cooperatively,
+    /// driven by whoever polls or waits on a ticket. Thread-free and
+    /// 1-core friendly — but a fire-and-forget
+    /// [`on_complete`](crate::fence::FenceTicket::on_complete) callback
+    /// only fires when some later caller happens to drive the engine.
+    #[default]
+    Cooperative,
+    /// A [`GraceDriver`] thread owned by the [`Runtime`] retires periods
+    /// with zero pollers: `on_complete` fires within bounded time, and
+    /// every privatizer fully overlaps its post-fence work. Dropping the
+    /// runtime drains outstanding periods/callbacks before detaching.
+    Background,
+}
+
+impl DriverMode {
+    pub const ALL: [DriverMode; 2] = [DriverMode::Cooperative, DriverMode::Background];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DriverMode::Cooperative => "cooperative",
+            DriverMode::Background => "background",
+        }
+    }
+
+    /// Process-wide default, read once: `TM_STM_DRIVER=background` opts
+    /// every [`StmConfig::new`] into the background driver (how CI runs
+    /// the whole suite driver-on). Anything else means cooperative.
+    /// [`StmConfig::grace_driver`] overrides per instance either way.
+    pub fn from_env() -> Self {
+        static MODE: std::sync::OnceLock<DriverMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("TM_STM_DRIVER").as_deref() {
+            Ok("background") => DriverMode::Background,
+            _ => DriverMode::Cooperative,
+        })
+    }
+}
+
 /// Construction-time configuration shared by all STM frontends.
 #[derive(Clone)]
 pub struct StmConfig {
@@ -76,6 +117,9 @@ pub struct StmConfig {
     /// Version-clock backend, for timestamp-based policies (ignored by
     /// NOrec and the global lock).
     pub clock: ClockKind,
+    /// Who drives the grace-period engine (defaults to
+    /// [`DriverMode::from_env`]).
+    pub driver: DriverMode,
     pub backoff: BackoffCfg,
     pub recorder: Option<Arc<Recorder>>,
 }
@@ -87,6 +131,7 @@ impl StmConfig {
             nthreads,
             storage: StorageKind::default(),
             clock: ClockKind::default(),
+            driver: DriverMode::from_env(),
             backoff: BackoffCfg::default(),
             recorder: None,
         }
@@ -106,6 +151,13 @@ impl StmConfig {
     /// CAS-with-adopt, or GV5 slot-local deltas — see [`crate::clock`]).
     pub fn clock(mut self, clock: ClockKind) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Select who drives the grace-period engine: cooperative (thread-free
+    /// default) or a runtime-owned background [`GraceDriver`].
+    pub fn grace_driver(mut self, driver: DriverMode) -> Self {
+        self.driver = driver;
         self
     }
 
@@ -135,6 +187,10 @@ pub struct Runtime {
     /// periods, and batches every fence ticket issued during the same open
     /// period behind one epoch-table scan.
     grace: Arc<GraceEngine>,
+    /// The optional background grace-period driver
+    /// ([`DriverMode::Background`]). Dropping the runtime shuts it down
+    /// cleanly: outstanding periods are drained (callbacks run) first.
+    driver: Option<GraceDriver>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -144,11 +200,24 @@ impl Runtime {
             .map(|_| AtomicU64::new(0))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let grace = GraceEngine::new(cfg.nthreads);
+        let driver = (cfg.driver == DriverMode::Background)
+            .then(|| GraceDriver::spawn(Arc::clone(&grace), GraceDriver::DEFAULT_TICK));
         Arc::new(Runtime {
             values,
-            grace: GraceEngine::new(cfg.nthreads),
+            grace,
+            driver,
             recorder: cfg.recorder.clone(),
         })
+    }
+
+    /// Which [`DriverMode`] this runtime was built with.
+    pub fn driver_mode(&self) -> DriverMode {
+        if self.driver.is_some() {
+            DriverMode::Background
+        } else {
+            DriverMode::Cooperative
+        }
     }
 
     pub fn nregs(&self) -> usize {
@@ -813,6 +882,7 @@ mod tests {
         let cfg = StmConfig::new(8, 2)
             .striped(4)
             .clock(ClockKind::Gv5)
+            .grace_driver(DriverMode::Background)
             .backoff(BackoffCfg {
                 spin_base: 1,
                 max_shift: 2,
@@ -821,9 +891,45 @@ mod tests {
         assert_eq!(cfg.storage, StorageKind::Striped { stripes: 4 });
         assert_eq!(cfg.clock, ClockKind::Gv5);
         assert_eq!(StmConfig::new(1, 1).clock, ClockKind::Gv1, "gv1 default");
+        assert_eq!(cfg.driver, DriverMode::Background);
         assert_eq!(cfg.backoff.spin_base, 1);
         let rt = Runtime::new(&cfg);
         assert_eq!(rt.nregs(), 8);
         assert_eq!(rt.nthreads(), 2);
+        assert_eq!(rt.driver_mode(), DriverMode::Background);
+    }
+
+    /// The driver knob spawns (and on drop, drains) a runtime-owned driver;
+    /// fences on a driver-backed runtime work exactly as cooperatively.
+    #[test]
+    fn background_driver_runtime_fences_and_drains() {
+        let cfg = StmConfig::new(2, 1).grace_driver(DriverMode::Background);
+        let rt = Runtime::new(&cfg);
+        assert_eq!(rt.driver_mode(), DriverMode::Background);
+        let mut h = Handle::new(Arc::clone(&rt), 0, NullPolicy::default(), cfg.backoff);
+        h.atomic(|tx| tx.write(0, 1));
+        h.fence();
+        assert_eq!(h.stats().fences, 1);
+        // Fire-and-forget just before drop: runtime drop must drain it.
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            h.fence_async().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        drop(h);
+        drop(rt);
+        assert!(fired.load(Ordering::SeqCst), "drop must drain callbacks");
+    }
+
+    #[test]
+    fn driver_mode_defaults_and_labels() {
+        assert_eq!(DriverMode::default(), DriverMode::Cooperative);
+        assert_eq!(DriverMode::Cooperative.label(), "cooperative");
+        assert_eq!(DriverMode::Background.label(), "background");
+        assert_eq!(DriverMode::ALL.len(), 2);
+        let rt = Runtime::new(&StmConfig::new(1, 1).grace_driver(DriverMode::Cooperative));
+        assert_eq!(rt.driver_mode(), DriverMode::Cooperative);
     }
 }

@@ -7,10 +7,19 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tm_stm::prelude::*;
 
+/// A TL2 instance pinned to cooperative driving: the exact-scan-count
+/// assertions below are deterministic only when no background driver can
+/// close a period between our issues (`TM_STM_DRIVER=background` makes
+/// `Tl2Stm::new` spawn one). The driver-mode batching counterpart lives in
+/// `fence_driver.rs`.
+fn cooperative_stm(nregs: usize, nthreads: usize) -> Tl2Stm {
+    Tl2Stm::with_config(StmConfig::new(nregs, nthreads).grace_driver(DriverMode::Cooperative))
+}
+
 /// The coalescing acceptance test: N tickets, one scan.
 #[test]
 fn tickets_in_same_open_period_share_one_scan() {
-    let stm = Tl2Stm::new(4, 4);
+    let stm = cooperative_stm(4, 4);
     let mut handles: Vec<_> = (0..4).map(|t| stm.handle(t)).collect();
     assert_eq!(stm.runtime().grace().scans(), 0);
     let tickets: Vec<FenceTicket> = handles.iter_mut().map(|h| h.fence_async()).collect();
@@ -34,7 +43,7 @@ fn tickets_in_same_open_period_share_one_scan() {
 /// path beats.
 #[test]
 fn sequential_fences_pay_one_scan_each() {
-    let stm = Tl2Stm::new(4, 4);
+    let stm = cooperative_stm(4, 4);
     let mut handles: Vec<_> = (0..4).map(|t| stm.handle(t)).collect();
     for h in handles.iter_mut() {
         h.fence();
@@ -45,7 +54,7 @@ fn sequential_fences_pay_one_scan_each() {
 /// `fence_all` batches a whole handle set behind one grace period.
 #[test]
 fn fence_all_batches_handle_sets() {
-    let stm = Tl2Stm::new(4, 8);
+    let stm = cooperative_stm(4, 8);
     let mut handles: Vec<_> = (0..8).map(|t| stm.handle(t)).collect();
     fence_all(handles.iter_mut());
     assert_eq!(stm.runtime().grace().scans(), 1);
@@ -115,7 +124,7 @@ fn polling_drives_completion() {
 /// period.
 #[test]
 fn on_complete_callback_fires() {
-    let stm = Tl2Stm::new(1, 2);
+    let stm = cooperative_stm(1, 2);
     let fired = Arc::new(AtomicUsize::new(0));
     let mut h0 = stm.handle(0);
     let mut h1 = stm.handle(1);

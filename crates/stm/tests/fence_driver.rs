@@ -1,0 +1,258 @@
+//! Integration tests for the background grace-period driver on the real
+//! STMs — the regression suite for the fire-and-forget fence liveness bug:
+//! without a driver, a `FenceTicket::on_complete` callback with no
+//! poller/waiter never fires (nobody drives the engine), even though
+//! `on_complete` has already disarmed the ticket's blocking drop.
+//!
+//! Assertion style: tests *sleep*-wait on callback flags. Polling a ticket
+//! or waiting on the engine would itself drive the grace period and mask
+//! exactly the liveness hole these tests guard.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_stm::prelude::*;
+
+fn background_stm(nregs: usize, nthreads: usize) -> Tl2Stm {
+    Tl2Stm::with_config(StmConfig::new(nregs, nthreads).grace_driver(DriverMode::Background))
+}
+
+/// Sleep (never poll) until `cond`, bounded so a broken driver fails the
+/// test instead of hanging CI.
+fn sleep_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// THE acceptance regression: a fire-and-forget `on_complete` ticket with
+/// zero pollers and zero waiters fires within bounded time under the
+/// driver. (Cooperatively this callback is lost: `on_complete` disarms the
+/// blocking drop and nobody ever drives the engine again.)
+#[test]
+fn fire_and_forget_on_complete_fires_with_zero_pollers() {
+    let stm = background_stm(1, 2);
+    let mut h = stm.handle(0);
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let fired = Arc::clone(&fired);
+        h.fence_async().on_complete(move || {
+            fired.store(true, Ordering::SeqCst);
+        });
+    }
+    // No further TM traffic of any kind: only the driver can retire this.
+    sleep_until("fire-and-forget callback", || fired.load(Ordering::SeqCst));
+}
+
+/// Same, but with a transaction genuinely in flight at issue: the driver
+/// must wait the transaction out (never retire the period early), then
+/// fire the callback promptly once it commits — while the issuing thread
+/// does nothing at all.
+#[test]
+fn fire_and_forget_waits_for_inflight_transaction() {
+    let stm = background_stm(2, 2);
+    let in_txn = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let fired = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let stm = stm.clone();
+            let in_txn = Arc::clone(&in_txn);
+            let release = Arc::clone(&release);
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                h.atomic(|tx| {
+                    tx.write(0, 7)?;
+                    in_txn.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Ok(())
+                });
+            });
+        }
+        while !in_txn.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let mut h = stm.handle(0);
+        {
+            let fired = Arc::clone(&fired);
+            h.fence_async().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        // Ample time for a buggy driver to retire the period early.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !fired.load(Ordering::SeqCst),
+            "callback fired with the awaited transaction still active"
+        );
+        release.store(true, Ordering::SeqCst);
+        sleep_until("callback after commit", || fired.load(Ordering::SeqCst));
+    });
+    assert_eq!(stm.peek(0), 7, "the awaited transaction committed");
+}
+
+/// Batching is preserved under the driver (the acceptance criterion):
+/// N tickets issued in one open period still resolve on ONE epoch-table
+/// scan, with the driver — not any poller — doing the resolving.
+///
+/// Determinism: a pinned epoch slot keeps the driver's first scan (for a
+/// sacrificial ticket's period) in progress, and the engine cannot close
+/// the next period while a scan is in progress — so every ticket issued
+/// meanwhile lands in that period, however the driver is scheduled.
+#[test]
+fn driver_preserves_fence_ticket_batching() {
+    const N: usize = 5;
+    let stm = background_stm(4, N + 1);
+    let eng = Arc::clone(stm.runtime().grace());
+    stm.runtime().epochs().enter(N); // pins the first scan
+    let mut handles: Vec<_> = (0..N).map(|t| stm.handle(t)).collect();
+    let sacrificial = handles[0].fence_async();
+    assert_eq!(sacrificial.period(), Some(1));
+    // Wait for the driver to close period 1 (its scan now pends on slot N).
+    sleep_until("driver to open period 2", || eng.open_period() == 2);
+    let tickets: Vec<FenceTicket> = handles.iter_mut().map(|h| h.fence_async()).collect();
+    for t in &tickets {
+        assert_eq!(t.period(), Some(2), "period 2 is pinned open");
+    }
+    assert_eq!(eng.scans(), 0, "first scan still in progress");
+    stm.runtime().epochs().exit(N);
+    // Zero pollers: only the driver resolves the batch.
+    sleep_until("driver to retire period 2", || eng.is_complete(2));
+    assert_eq!(
+        eng.scans(),
+        2,
+        "{N} tickets must coalesce behind one scan (plus the sacrificial one)"
+    );
+    // The tickets are now all resolved claims; dropping them must not scan
+    // again.
+    drop(tickets);
+    drop(sacrificial);
+    assert_eq!(eng.scans(), 2);
+}
+
+/// Cross-thread `FEnd` recording (satellite audit): under the driver the
+/// completing thread records the issuing slot's `FEnd`. With the
+/// documented discipline — the issuing handle records nothing until the
+/// callback has been observed — the history is well-formed, carries
+/// exactly one FBegin/FEnd pair, and every pre-issue transaction completes
+/// before the FEnd.
+#[test]
+fn on_complete_records_fend_under_driver() {
+    use tm_core::action::Kind;
+    let rec = Arc::new(Recorder::new(2));
+    let stm = Tl2Stm::with_config(
+        StmConfig::new(2, 2)
+            .recorder(Arc::clone(&rec))
+            .grace_driver(DriverMode::Background),
+    );
+    let in_txn = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let fired = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let stm = stm.clone();
+            let in_txn = Arc::clone(&in_txn);
+            let release = Arc::clone(&release);
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                h.atomic(|tx| {
+                    tx.write(0, 1)?;
+                    in_txn.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Ok(())
+                });
+            });
+        }
+        while !in_txn.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let mut h = stm.handle(0);
+        {
+            let fired = Arc::clone(&fired);
+            h.fence_async().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        release.store(true, Ordering::SeqCst);
+        // The driver's thread records slot 0's FEnd; we record nothing on
+        // slot 0 until the callback is observed (the documented rule).
+        sleep_until("driver-recorded FEnd", || fired.load(Ordering::SeqCst));
+        h.write_direct(1, 2);
+    });
+    let hist = rec.snapshot_history();
+    assert_eq!(
+        hist.validate(),
+        Ok(()),
+        "cross-thread FEnd must stay well-formed"
+    );
+    let fbegins = hist
+        .actions()
+        .iter()
+        .filter(|a| a.kind == Kind::FBegin)
+        .count();
+    let fends = hist
+        .actions()
+        .iter()
+        .filter(|a| a.kind == Kind::FEnd)
+        .count();
+    assert_eq!((fbegins, fends), (1, 1), "exactly one recorded fence");
+}
+
+/// Many fire-and-forget tickets from many threads, no poller anywhere:
+/// every callback fires, and the runtime's drop drains any stragglers.
+#[test]
+fn many_fire_and_forget_tickets_all_fire() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 8;
+    let fired = Arc::new(AtomicUsize::new(0));
+    {
+        let stm = background_stm(THREADS, THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let stm = stm.clone();
+                let fired = Arc::clone(&fired);
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for i in 0..PER_THREAD {
+                        h.atomic(|tx| tx.write(t, (t * PER_THREAD + i) as u64 + 1));
+                        let fired = Arc::clone(&fired);
+                        // No recorder attached, so the loop may keep
+                        // issuing TM ops while tickets are outstanding —
+                        // only recorded histories need the
+                        // observe-the-callback rule.
+                        h.fence_async().on_complete(move || {
+                            fired.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        // stm drops here: runtime shutdown drains outstanding periods.
+    }
+    assert_eq!(
+        fired.load(Ordering::SeqCst),
+        THREADS * PER_THREAD,
+        "no fire-and-forget callback may be lost, even across shutdown"
+    );
+}
+
+/// The driver mode is a per-instance knob: cooperative instances never
+/// spawn a thread and still work exactly as before.
+#[test]
+fn cooperative_mode_remains_default_and_functional() {
+    let cfg = StmConfig::new(1, 1);
+    // (Under TM_STM_DRIVER=background the env default flips; force it.)
+    let stm = Tl2Stm::with_config(cfg.grace_driver(DriverMode::Cooperative));
+    assert_eq!(stm.runtime().driver_mode(), DriverMode::Cooperative);
+    let mut h = stm.handle(0);
+    h.fence();
+    assert_eq!(h.stats().fences, 1);
+    let stm = background_stm(1, 1);
+    assert_eq!(stm.runtime().driver_mode(), DriverMode::Background);
+}

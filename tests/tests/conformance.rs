@@ -1,30 +1,44 @@
 //! Cross-backend conformance: the same concrete litmus scenarios (bank
-//! transfer, privatization, publication, epoch-batch, reader-heavy —
-//! `tm_litmus::concrete`) run against TL2-per-register, TL2-striped,
-//! TL2 under the GV4 and GV5 version clocks, NOrec, and Glock through the
-//! shared `StmHandle`/`StmFactory` interface, asserting identical final
-//! states and identical checker verdicts on the recorded histories. The
-//! clock axis (like the storage axis) must be invisible to every verdict:
-//! GV4's stamp sharing and GV5's shared-line-free stamping may change
-//! scheduling and abort counts, never finals, DRF, or opacity.
+//! transfer, privatization, publication, epoch-batch, reader-heavy,
+//! long-transaction — `tm_litmus::concrete`) run against TL2-per-register,
+//! TL2-striped, TL2 under the GV4 and GV5 version clocks, NOrec, and Glock
+//! through the shared `StmHandle`/`StmFactory` interface, asserting
+//! identical final states and identical checker verdicts on the recorded
+//! histories. Two axes must be invisible to every verdict:
 //!
-//! One documented exemption: NOrec's fence is a no-op (it is
-//! privatization-safe *without* quiescing, paper Sec 8), so its histories
-//! carry no fence actions and the DRF discipline is not obliged to classify
-//! its privatizing runs as race-free. Its *behavior* (final state, no lost
-//! updates) must still match the fencing backends exactly.
+//! * the storage/clock axis (GV4's stamp sharing and GV5's
+//!   shared-line-free stamping may change scheduling and abort counts,
+//!   never finals, DRF, or opacity), and
+//! * the grace-period **driver** axis: every scenario runs under both
+//!   `DriverMode::Cooperative` (waiters drive the engine) and
+//!   `DriverMode::Background` (a runtime-owned driver thread retires
+//!   periods with zero pollers) and must behave — and check out —
+//!   bit-identically.
+//!
+//! One documented exemption: NOrec's and Glock's fences are no-ops (both
+//! are privatization-safe *without* quiescing — NOrec by value-based
+//! validation, paper Sec 8; Glock because every transaction runs entirely
+//! under the global lock, admitting no zombies and no delayed commits), so
+//! their histories carry no fence actions and the DRF discipline is not
+//! obliged to classify their privatizing runs as race-free. Their
+//! *behavior* (final state, no lost updates) must still match the fencing
+//! backends exactly.
 
-use tm_litmus::concrete::{check, expected_finals, run_scenario, Backend, Scenario, ScenarioRun};
+use tm_core::action::Kind;
+use tm_litmus::concrete::{
+    check, expected_finals, run_scenario, run_scenario_mode, Backend, Scenario, ScenarioRun,
+};
+use tm_stm::prelude::DriverMode;
 
-fn conforming_runs(scenario: Scenario) -> Vec<ScenarioRun> {
+fn conforming_runs(scenario: Scenario, mode: DriverMode) -> Vec<ScenarioRun> {
     Backend::ALL
         .iter()
-        .map(|&b| run_scenario(scenario, b, true))
+        .map(|&b| run_scenario_mode(scenario, b, true, mode))
         .collect()
 }
 
-fn assert_conformance(scenario: Scenario) {
-    let runs = conforming_runs(scenario);
+fn assert_conformance_mode(scenario: Scenario, mode: DriverMode) {
+    let runs = conforming_runs(scenario, mode);
 
     // Behavioral conformance: no lost updates, bit-identical (projected)
     // final states, equal to the scenario's deterministic expectation.
@@ -34,22 +48,25 @@ fn assert_conformance(scenario: Scenario) {
         assert_eq!(
             run.lost_updates,
             0,
-            "{}/{label}: lost updates",
-            scenario.label()
+            "{}/{label}/{}: lost updates",
+            scenario.label(),
+            mode.label()
         );
         assert_eq!(
             run.final_regs,
             expected,
-            "{}/{label}: final state diverges",
-            scenario.label()
+            "{}/{label}/{}: final state diverges",
+            scenario.label(),
+            mode.label()
         );
     }
     for pair in runs.windows(2) {
         assert_eq!(
             pair[0].final_regs,
             pair[1].final_regs,
-            "{}: {} and {} disagree",
+            "{}/{}: {} and {} disagree",
             scenario.label(),
+            mode.label(),
             pair[0].backend.label(),
             pair[1].backend.label()
         );
@@ -63,20 +80,28 @@ fn assert_conformance(scenario: Scenario) {
         let v = check(run.history.as_ref().expect("recorded run"));
         assert!(
             v.well_formed,
-            "{}/{label}: ill-formed history",
-            scenario.label()
+            "{}/{label}/{}: ill-formed history",
+            scenario.label(),
+            mode.label()
         );
         if scenario.uses_fences() && !run.backend.fences_are_real() {
-            // NOrec on a privatizing scenario: behavior already checked;
-            // the DRF contract does not cover fence-free privatization.
+            // NOrec/Glock on a privatizing scenario: behavior already
+            // checked; the DRF contract does not cover fence-free
+            // privatization.
             continue;
         }
-        assert!(v.drf, "{}/{label}: history must be DRF", scenario.label());
+        assert!(
+            v.drf,
+            "{}/{label}/{}: history must be DRF",
+            scenario.label(),
+            mode.label()
+        );
         assert_eq!(
             v.opaque,
             Some(true),
-            "{}/{label}: DRF history must be strongly opaque",
-            scenario.label()
+            "{}/{label}/{}: DRF history must be strongly opaque",
+            scenario.label(),
+            mode.label()
         );
         obligated_verdicts.push((label, v));
     }
@@ -84,11 +109,19 @@ fn assert_conformance(scenario: Scenario) {
         assert_eq!(
             pair[0].1,
             pair[1].1,
-            "{}: verdicts diverge between {} and {}",
+            "{}/{}: verdicts diverge between {} and {}",
             scenario.label(),
+            mode.label(),
             pair[0].0,
             pair[1].0
         );
+    }
+}
+
+/// Every scenario × every backend × both driver modes.
+fn assert_conformance(scenario: Scenario) {
+    for mode in DriverMode::ALL {
+        assert_conformance_mode(scenario, mode);
     }
 }
 
@@ -122,6 +155,44 @@ fn epoch_batch_conforms_across_backends() {
 #[test]
 fn reader_heavy_conforms_across_backends() {
     assert_conformance(Scenario::ReaderHeavy);
+}
+
+/// The long-transaction scenario (ROADMAP): one transaction parks
+/// mid-body while the owner fences around it. No driver — cooperative
+/// pollers or the background thread — may retire the straddled grace
+/// period early, on any backend.
+#[test]
+fn long_tx_conforms_across_backends() {
+    assert_conformance(Scenario::LongTx);
+}
+
+/// The fence-mode decision for the global lock (see
+/// `GlockPolicy::fence_mode`): glock is privatization-safe without
+/// quiescing, so — like NOrec — it is exempt from the fence-based DRF
+/// argument, and its privatizing histories must carry **no** fence
+/// actions while still matching the fencing backends' behavior exactly.
+#[test]
+fn glock_fence_is_immediate_and_exempt_like_norec() {
+    assert!(!Backend::Glock.fences_are_real());
+    assert!(!Backend::Norec.fences_are_real());
+    for scenario in [Scenario::Privatization, Scenario::LongTx] {
+        let run = run_scenario(scenario, Backend::Glock, true);
+        assert_eq!(run.lost_updates, 0, "{}", scenario.label());
+        assert_eq!(
+            run.final_regs,
+            expected_finals(scenario),
+            "{}",
+            scenario.label()
+        );
+        let hist = run.history.as_ref().unwrap();
+        assert!(
+            hist.actions()
+                .iter()
+                .all(|a| !matches!(a.kind, Kind::FBegin | Kind::FEnd)),
+            "{}: immediate fences must record no fence actions",
+            scenario.label()
+        );
+    }
 }
 
 /// The striped backend must conform at extreme stripe counts too: a single
