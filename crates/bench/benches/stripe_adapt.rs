@@ -1,0 +1,40 @@
+//! E21 — contention-aware adaptive orec striping: the stripe-churn
+//! workload (disjoint per-thread register blocks, so every cross-thread
+//! abort is a false conflict) across the storage-policy axis — an
+//! undersized fixed table, a comfortable fixed table, and the adaptive
+//! table starting undersized.
+//!
+//! Expected shape: the undersized fixed table pays false conflicts
+//! proportional to the register file; the big fixed table is fast but
+//! charges its full metadata everywhere; the adaptive table starts cheap
+//! and converges toward big-table throughput as its growth windows fire
+//! (`BENCH_stripes.json`, written by `overhead_report --json`, records the
+//! trajectory: commits/sec, false conflicts, resizes).
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench stripe_adapt`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{stripe_churn_throughput, stripe_policies};
+
+fn stripe_adapt(c: &mut Criterion) {
+    let threads = 2;
+    let txns_per_thread = 2_000;
+    for nregs in [1usize << 10, 1 << 14] {
+        let mut g = c.benchmark_group(format!("stripe_adapt/{nregs}regs"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(threads as u64 * txns_per_thread));
+        for storage in stripe_policies() {
+            g.bench_with_input(
+                BenchmarkId::new(storage.label(), threads),
+                &storage,
+                |b, &storage| {
+                    b.iter(|| stripe_churn_throughput(storage, threads, nregs, txns_per_thread));
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, stripe_adapt);
+criterion_main!(benches);

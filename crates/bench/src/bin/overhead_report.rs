@@ -5,15 +5,17 @@
 //! Usage: `overhead_report [threads]` (default: 4)
 //!
 //! With `--json`, instead measures the version-clock matrix
-//! (backend × clock × threads on the disjoint-write workload) and the
-//! fence matrix (driver mode × privatizers on the batched-fence workload),
-//! writing them to `BENCH_clocks.json` and `BENCH_fences.json` — the
-//! machine-readable perf trajectories later PRs diff against.
+//! (backend × clock × threads on the disjoint-write workload), the fence
+//! matrix (driver mode × privatizers on the batched-fence workload), and
+//! the stripe matrix (storage policy × threads × register-file size on
+//! the stripe-churn workload), writing them to `BENCH_clocks.json`,
+//! `BENCH_fences.json`, and `BENCH_stripes.json` — the machine-readable
+//! perf trajectories later PRs diff against.
 //! `overhead_report --json [txns_per_thread]`.
 
 use tm_bench::{
     clock_matrix, fence_matrix, mix_throughput, render_clock_report_json, render_fence_report_json,
-    standard_workloads, FencePolicy, StmKind,
+    render_stripe_report_json, standard_workloads, stripe_matrix, FencePolicy, StmKind,
 };
 
 fn clock_json_report(txns_per_thread: u64) {
@@ -44,6 +46,21 @@ fn fence_json_report(rounds: u64) {
     eprintln!("wrote {path} ({} rows)", rows.len());
 }
 
+fn stripe_json_report(txns_per_thread: u64) {
+    let threads_axis = [1usize, 2, 4];
+    let nregs_axis = [1usize << 10, 1 << 14];
+    eprintln!(
+        "measuring stripe matrix (3 policies x {threads_axis:?} threads x {nregs_axis:?} regs, \
+         {txns_per_thread} txns/thread)…"
+    );
+    let rows = stripe_matrix(&threads_axis, &nregs_axis, txns_per_thread);
+    let json = render_stripe_report_json(&rows, txns_per_thread);
+    let path = "BENCH_stripes.json";
+    std::fs::write(path, &json).expect("write BENCH_stripes.json");
+    println!("{json}");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
@@ -54,6 +71,7 @@ fn main() {
             .unwrap_or(5_000);
         clock_json_report(txns);
         fence_json_report(txns);
+        stripe_json_report(txns);
         return;
     }
 

@@ -25,6 +25,10 @@ pub enum StmKind {
     Tl2Striped {
         stripes: usize,
     },
+    /// TL2 over the contention-aware adaptive striped table.
+    Tl2Adaptive {
+        policy: AdaptivePolicy,
+    },
     /// TL2 (per-register orecs) under an alternative version clock.
     Tl2Clock {
         clock: ClockKind,
@@ -54,6 +58,9 @@ impl StmKind {
         match self {
             StmKind::Tl2 => "tl2".into(),
             StmKind::Tl2Striped { stripes } => format!("tl2-striped{stripes}"),
+            StmKind::Tl2Adaptive { policy } => {
+                format!("tl2-adaptive{}-{}", policy.start, policy.max)
+            }
             StmKind::Tl2Clock { clock } => format!("tl2-{}", clock.label()),
             StmKind::Norec => "norec".into(),
             StmKind::Glock => "glock".into(),
@@ -253,6 +260,11 @@ pub fn mix_throughput(kind: StmKind, threads: usize, cfg: &MixCfg, policy: Fence
                 StmConfig::new(total_regs, threads).striped(stripes)
             ))
         }
+        StmKind::Tl2Adaptive { policy } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(total_regs, threads).adaptive_stripes(policy)
+            ))
+        }
         StmKind::Tl2Clock { clock } => {
             run!(Tl2Stm::with_config(
                 StmConfig::new(total_regs, threads).clock(clock)
@@ -387,6 +399,11 @@ pub fn privatization_throughput(
         StmKind::Tl2Striped { stripes } => {
             run!(Tl2Stm::with_config(
                 StmConfig::new(nregs, threads).striped(stripes)
+            ))
+        }
+        StmKind::Tl2Adaptive { policy } => {
+            run!(Tl2Stm::with_config(
+                StmConfig::new(nregs, threads).adaptive_stripes(policy)
             ))
         }
         StmKind::Tl2Clock { clock } => {
@@ -575,6 +592,151 @@ pub fn render_clock_report_json(rows: &[ClockBenchRow], txns_per_thread: u64) ->
             "    {{\"backend\": \"{}\", \"clock\": \"{}\", \"threads\": {}, \
              \"commits_per_sec\": {:.1}, \"aborts\": {}, \"clock_bumps\": {}}}{sep}\n",
             r.backend, r.clock, r.threads, r.commits_per_sec, r.aborts, r.clock_bumps
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The stripe-churn workload (the adaptive-striping cost axis): `threads`
+/// threads each hammer their own *disjoint* block of `nregs / threads`
+/// registers — so on a per-register table nothing ever conflicts, and
+/// every cross-thread abort on a striped table is by construction a false
+/// conflict. Exactly the workload where a fixed stripe count either wastes
+/// memory (huge table, small file) or drowns in false conflicts (small
+/// table, large file), and where the adaptive table should converge.
+/// Returns (commits/sec, merged [`Stats`], adaptive resizes — 0 for fixed
+/// storage).
+pub fn stripe_churn_throughput(
+    storage: StorageKind,
+    threads: usize,
+    nregs: usize,
+    txns_per_thread: u64,
+) -> (f64, Stats, u64) {
+    const WRITES_PER_TXN: usize = 4;
+    assert!(
+        threads <= nregs,
+        "stripe-churn needs at least one register per thread"
+    );
+    let block = nregs / threads;
+    let stm = Tl2Stm::with_config(StmConfig::new(nregs, threads).storage(storage));
+    let start = Instant::now();
+    let stats = std::thread::scope(|sc| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let stm = stm.clone();
+                sc.spawn(move || {
+                    let mut h = stm.handle(t);
+                    let base = t * block;
+                    let mut s = (t as u64 + 1) * 0x9E37_79B9;
+                    for _ in 0..txns_per_thread {
+                        h.atomic(|tx| {
+                            for _ in 0..WRITES_PER_TXN {
+                                s = lcg(s);
+                                tx.write(base + (s as usize % block), s | 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                    h.stats()
+                })
+            })
+            .collect();
+        let mut total = Stats::default();
+        for w in workers {
+            total.merge(&w.join().unwrap());
+        }
+        total
+    });
+    let tput = (threads as u64 * txns_per_thread) as f64 / start.elapsed().as_secs_f64();
+    (tput, stats, stm.stripe_resizes())
+}
+
+/// One measured cell of the stripe benchmark matrix
+/// (storage policy × threads × register-file size).
+#[derive(Clone, Debug)]
+pub struct StripeBenchRow {
+    /// Storage policy label (`per-register`, `striped-N`,
+    /// `adaptive-START-MAX`).
+    pub policy: String,
+    pub threads: usize,
+    /// Register-file size the workload churned over.
+    pub nregs: usize,
+    pub commits_per_sec: f64,
+    /// False conflicts observed across all handles.
+    pub false_conflicts: u64,
+    /// Adaptive generations published (0 for fixed policies).
+    pub resizes: u64,
+}
+
+/// The storage-policy axis the stripe benchmarks sweep: a deliberately
+/// undersized fixed table (false conflicts bite), a comfortable fixed
+/// table, and the adaptive table starting at the undersized count — whose
+/// trajectory (resizes > 0, falling false-conflict rate) is the point.
+pub fn stripe_policies() -> Vec<StorageKind> {
+    vec![
+        StorageKind::Striped { stripes: 16 },
+        StorageKind::Striped { stripes: 4096 },
+        StorageKind::Adaptive(AdaptivePolicy {
+            start: 16,
+            max: 4096,
+            threshold: 2,
+            // Small enough that even CI's 500-txn smoke completes several
+            // evaluation windows per run. Note: on a 1-core host short
+            // disjoint-write transactions rarely overlap, so false
+            // conflicts — and therefore resizes — may legitimately be 0
+            // here; the trajectory lights up on real multicore (ROADMAP
+            // follow-up), and deterministic growth evidence lives in the
+            // MapRehash conformance scenario and the adaptive_stripes
+            // integration tests.
+            window: 128,
+        }),
+    ]
+}
+
+/// Measure the stripe matrix: every policy of [`stripe_policies`] ×
+/// `threads_axis` × `nregs_axis` on the stripe-churn workload.
+pub fn stripe_matrix(
+    threads_axis: &[usize],
+    nregs_axis: &[usize],
+    txns_per_thread: u64,
+) -> Vec<StripeBenchRow> {
+    let mut rows = Vec::new();
+    for storage in stripe_policies() {
+        for &nregs in nregs_axis {
+            for &threads in threads_axis {
+                let (tput, stats, resizes) =
+                    stripe_churn_throughput(storage, threads, nregs, txns_per_thread);
+                rows.push(StripeBenchRow {
+                    policy: storage.label(),
+                    threads,
+                    nregs,
+                    commits_per_sec: tput,
+                    false_conflicts: stats.false_conflicts,
+                    resizes,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the stripe matrix as the `BENCH_stripes.json` document
+/// (`bench_stripes/v1`) — the machine-readable perf trajectory for the
+/// storage axis, sibling to `BENCH_clocks.json` and `BENCH_fences.json`.
+pub fn render_stripe_report_json(rows: &[StripeBenchRow], txns_per_thread: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_stripes/v1\",\n");
+    out.push_str("  \"workload\": \"stripe-churn\",\n");
+    out.push_str(&format!("  \"txns_per_thread\": {txns_per_thread},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"threads\": {}, \"nregs\": {}, \
+             \"commits_per_sec\": {:.1}, \"false_conflicts\": {}, \"resizes\": {}}}{sep}\n",
+            r.policy, r.threads, r.nregs, r.commits_per_sec, r.false_conflicts, r.resizes
         ));
     }
     out.push_str("  ]\n}\n");
@@ -784,6 +946,71 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_valid_json(&render_fence_report_json(&[], 1));
+    }
+
+    #[test]
+    fn adaptive_kind_runs_and_is_labeled() {
+        let kind = StmKind::Tl2Adaptive {
+            policy: AdaptivePolicy {
+                start: 8,
+                max: 256,
+                threshold: 2,
+                window: 64,
+            },
+        };
+        assert_eq!(kind.label(), "tl2-adaptive8-256");
+        let tput = mix_throughput(kind, 2, &tiny_mix(), FencePolicy::Selective);
+        assert!(tput > 0.0);
+    }
+
+    #[test]
+    fn stripe_churn_exposes_the_storage_axis() {
+        // Per-register: disjoint blocks never conflict at all.
+        let (tput, stats, resizes) = stripe_churn_throughput(StorageKind::PerRegister, 2, 64, 300);
+        assert!(tput > 0.0);
+        assert_eq!(stats.commits, 600);
+        assert_eq!(stats.false_conflicts, 0, "per-register is precise");
+        assert_eq!(resizes, 0);
+        // Fixed striped: runs, never resizes.
+        let (_, stats, resizes) =
+            stripe_churn_throughput(StorageKind::Striped { stripes: 4 }, 2, 64, 300);
+        assert_eq!(stats.commits, 600);
+        assert_eq!(resizes, 0, "fixed tables never resize");
+        // Adaptive with an unconditional growth policy: must resize and
+        // report it through the row plumbing.
+        let adaptive = StorageKind::Adaptive(AdaptivePolicy {
+            start: 1,
+            max: 64,
+            threshold: 0,
+            window: 16,
+        });
+        let (_, stats, resizes) = stripe_churn_throughput(adaptive, 2, 64, 300);
+        assert_eq!(stats.commits, 600);
+        assert!(resizes >= 1, "unconditional growth must resize");
+        assert!(stats.current_stripes > 1, "{stats:?}");
+    }
+
+    #[test]
+    fn stripe_matrix_and_json_report() {
+        let rows = stripe_matrix(&[1, 2], &[64], 50);
+        // 3 policies × 1 nregs × 2 thread counts.
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r.policy.starts_with("adaptive-")));
+        assert!(rows.iter().any(|r| r.policy == "striped-16"));
+        let json = render_stripe_report_json(&rows, 50);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_stripes/v1\"",
+            "\"policy\"",
+            "\"threads\"",
+            "\"nregs\"",
+            "\"commits_per_sec\"",
+            "\"false_conflicts\"",
+            "\"resizes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_stripe_report_json(&[], 1));
     }
 
     #[test]

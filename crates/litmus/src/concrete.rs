@@ -33,6 +33,11 @@ pub enum Backend {
     Tl2Striped {
         stripes: usize,
     },
+    /// TL2 over the *adaptive* striped orec table, with a hair-trigger
+    /// growth policy (start 1, threshold 5%, window 8) so generation
+    /// rehashes actually happen mid-scenario: the resize machinery must be
+    /// invisible to every correctness verdict.
+    Tl2Adaptive,
     /// TL2 (per-register orecs) under an alternative version clock —
     /// the clock axis must be invisible to every correctness verdict.
     Tl2Clock {
@@ -43,9 +48,10 @@ pub enum Backend {
 }
 
 impl Backend {
-    pub const ALL: [Backend; 6] = [
+    pub const ALL: [Backend; 7] = [
         Backend::Tl2PerRegister,
         Backend::Tl2Striped { stripes: 8 },
+        Backend::Tl2Adaptive,
         Backend::Tl2Clock {
             clock: ClockKind::Gv4,
         },
@@ -56,10 +62,22 @@ impl Backend {
         Backend::Glock,
     ];
 
+    /// The growth policy [`Backend::Tl2Adaptive`] runs: deliberately
+    /// aggressive, so conformance scenarios cross generation rehashes.
+    pub fn adaptive_policy() -> AdaptivePolicy {
+        AdaptivePolicy {
+            start: 1,
+            max: 64,
+            threshold: 5,
+            window: 8,
+        }
+    }
+
     pub fn label(&self) -> String {
         match self {
             Backend::Tl2PerRegister => "tl2/per-register".into(),
             Backend::Tl2Striped { stripes } => format!("tl2/striped-{stripes}"),
+            Backend::Tl2Adaptive => "tl2/adaptive".into(),
             Backend::Tl2Clock { clock } => format!("tl2/{}", clock.label()),
             Backend::Norec => "norec".into(),
             Backend::Glock => "glock".into(),
@@ -75,6 +93,16 @@ impl Backend {
     /// classify their privatizing runs as race-free.
     pub fn fences_are_real(&self) -> bool {
         !matches!(self, Backend::Norec | Backend::Glock)
+    }
+
+    /// Can two transactions be mid-body at the same time? False only for
+    /// the global lock, where a transaction parked mid-body holds the lock
+    /// and any concurrent transaction would deadlock against it. Scenarios
+    /// that park a transaction to stage a conflict (MapRehash) skip the
+    /// parked handshake on such backends — the same operations run, just
+    /// without the forced overlap.
+    pub fn txns_can_overlap(&self) -> bool {
+        !matches!(self, Backend::Glock)
     }
 }
 
@@ -109,16 +137,35 @@ pub enum Scenario {
     /// straddling transaction is live, and the owner's post-fence direct
     /// writes settle the final state deterministically.
     LongTx,
+    /// The ROADMAP's *map-rehash* scenario: a [`TxMap`] workload that
+    /// forces the adaptive orec table to grow mid-traffic. One thread
+    /// stages stripe-sharing conflicts each round (parking a reading
+    /// transaction while the other thread commits a disjoint
+    /// single-register bump — a guaranteed *false* conflict on a small
+    /// stripe table) while both keep inserting fresh collision-free keys;
+    /// it ends with a freeze + privatized snapshot. On
+    /// [`Backend::Tl2Adaptive`] the forced false-conflict rate must
+    /// publish at least one doubled generation.
+    MapRehash,
+    /// Reader/writer *handoff*: ownership of a two-register block
+    /// alternates between a writer (privatize → fence → direct writes →
+    /// publish) and a reader (guarded transactional snapshot → privatize →
+    /// fence → direct reads → hand back), with a transactional flag
+    /// carrying the phase in both directions. Both sides fence, so the
+    /// discipline is exercised for reader-side privatization too.
+    ReaderWriterHandoff,
 }
 
 impl Scenario {
-    pub const ALL: [Scenario; 6] = [
+    pub const ALL: [Scenario; 8] = [
         Scenario::Bank,
         Scenario::Privatization,
         Scenario::Publication,
         Scenario::EpochBatch,
         Scenario::ReaderHeavy,
         Scenario::LongTx,
+        Scenario::MapRehash,
+        Scenario::ReaderWriterHandoff,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -129,6 +176,8 @@ impl Scenario {
             Scenario::EpochBatch => "epoch_batch",
             Scenario::ReaderHeavy => "reader_heavy",
             Scenario::LongTx => "long_tx",
+            Scenario::MapRehash => "map_rehash",
+            Scenario::ReaderWriterHandoff => "reader_writer_handoff",
         }
     }
 
@@ -139,13 +188,19 @@ impl Scenario {
             Scenario::EpochBatch => 2 * EB_THREADS,
             Scenario::ReaderHeavy => RH_REGS,
             Scenario::LongTx => 3,
+            Scenario::MapRehash => MR_REGS,
+            Scenario::ReaderWriterHandoff => 3,
         }
     }
 
     pub fn nthreads(&self) -> usize {
         match self {
             Scenario::Bank => 3,
-            Scenario::Privatization | Scenario::Publication | Scenario::LongTx => 2,
+            Scenario::Privatization
+            | Scenario::Publication
+            | Scenario::LongTx
+            | Scenario::MapRehash
+            | Scenario::ReaderWriterHandoff => 2,
             Scenario::EpochBatch => EB_THREADS,
             Scenario::ReaderHeavy => 1 + RH_READERS,
         }
@@ -156,8 +211,26 @@ impl Scenario {
     pub fn uses_fences(&self) -> bool {
         matches!(
             self,
-            Scenario::Privatization | Scenario::EpochBatch | Scenario::LongTx
+            Scenario::Privatization
+                | Scenario::EpochBatch
+                | Scenario::LongTx
+                | Scenario::MapRehash
+                | Scenario::ReaderWriterHandoff
         )
+    }
+
+    /// Can this scenario's workload satisfy Def A.1 clause 3 (globally
+    /// unique, non-initial write values) in a recorded history?
+    ///
+    /// [`Scenario::MapRehash`] cannot: [`TxMap`] writes fixed encodings —
+    /// key words (`key + KEY_BIAS`), tombstones, the freeze flag — that a
+    /// retried attempt repeats verbatim, so under any abort the recorded
+    /// history is structurally ill-formed whatever the TM did. The
+    /// conformance suite runs it unrecorded (behavioral conformance only:
+    /// deterministic finals, zero lost updates, identical across backends)
+    /// and documents the exemption, like the NOrec/Glock fence exemption.
+    pub fn records_cleanly(&self) -> bool {
+        !matches!(self, Scenario::MapRehash)
     }
 }
 
@@ -170,8 +243,12 @@ pub struct ScenarioRun {
     pub final_regs: Vec<u64>,
     /// Updates the scenario observed being lost (must be 0 for a correct TM).
     pub lost_updates: u64,
-    /// The recorded history, when recording was requested.
+    /// The recorded history, when recording was requested *and* the
+    /// scenario [`Scenario::records_cleanly`].
     pub history: Option<History>,
+    /// Adaptive-table generations published during the run
+    /// (`Some` only on [`Backend::Tl2Adaptive`]).
+    pub stripe_resizes: Option<u64>,
 }
 
 /// Offline checker verdicts on a recorded history.
@@ -223,18 +300,29 @@ pub fn run_scenario_mode(
 ) -> ScenarioRun {
     let nregs = scenario.nregs();
     let nthreads = scenario.nthreads();
+    let record = record && scenario.records_cleanly();
     let recorder = record.then(|| Arc::new(Recorder::new(nthreads)));
     let mut cfg = StmConfig::new(nregs, nthreads).grace_driver(mode);
     cfg.recorder = recorder.clone();
-    let real = backend.fences_are_real();
+    let mut stripe_resizes = None;
     let (final_regs, lost_updates) = match backend {
-        Backend::Tl2PerRegister => drive(scenario, Tl2Stm::with_config(cfg), real),
-        Backend::Tl2Striped { stripes } => {
-            drive(scenario, Tl2Stm::with_config(cfg.striped(stripes)), real)
+        Backend::Tl2PerRegister => drive(scenario, &Tl2Stm::with_config(cfg), backend),
+        Backend::Tl2Striped { stripes } => drive(
+            scenario,
+            &Tl2Stm::with_config(cfg.striped(stripes)),
+            backend,
+        ),
+        Backend::Tl2Adaptive => {
+            let stm = Tl2Stm::with_config(cfg.adaptive_stripes(Backend::adaptive_policy()));
+            let out = drive(scenario, &stm, backend);
+            stripe_resizes = Some(stm.stripe_resizes());
+            out
         }
-        Backend::Tl2Clock { clock } => drive(scenario, Tl2Stm::with_config(cfg.clock(clock)), real),
-        Backend::Norec => drive(scenario, NorecStm::with_config(cfg), real),
-        Backend::Glock => drive(scenario, GlockStm::with_config(cfg), real),
+        Backend::Tl2Clock { clock } => {
+            drive(scenario, &Tl2Stm::with_config(cfg.clock(clock)), backend)
+        }
+        Backend::Norec => drive(scenario, &NorecStm::with_config(cfg), backend),
+        Backend::Glock => drive(scenario, &GlockStm::with_config(cfg), backend),
     };
     ScenarioRun {
         backend,
@@ -242,17 +330,20 @@ pub fn run_scenario_mode(
         final_regs,
         lost_updates,
         history: recorder.map(|r| r.snapshot_history()),
+        stripe_resizes,
     }
 }
 
-fn drive<F: StmFactory>(scenario: Scenario, stm: F, real_fences: bool) -> (Vec<u64>, u64) {
+fn drive<F: StmFactory>(scenario: Scenario, stm: &F, backend: Backend) -> (Vec<u64>, u64) {
     let lost = match scenario {
-        Scenario::Bank => bank(&stm),
-        Scenario::Privatization => privatization(&stm),
-        Scenario::Publication => publication(&stm),
-        Scenario::EpochBatch => epoch_batch(&stm),
-        Scenario::ReaderHeavy => reader_heavy(&stm),
-        Scenario::LongTx => long_tx(&stm, real_fences),
+        Scenario::Bank => bank(stm),
+        Scenario::Privatization => privatization(stm),
+        Scenario::Publication => publication(stm),
+        Scenario::EpochBatch => epoch_batch(stm),
+        Scenario::ReaderHeavy => reader_heavy(stm),
+        Scenario::LongTx => long_tx(stm, backend.fences_are_real()),
+        Scenario::MapRehash => map_rehash(stm, backend.txns_can_overlap()),
+        Scenario::ReaderWriterHandoff => reader_writer_handoff(stm),
     };
     let final_regs = (0..scenario.nregs())
         .map(|x| project(scenario, x, stm.peek(x)))
@@ -275,6 +366,14 @@ fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
         Scenario::LongTx if x == LT_FLAG => v & LT_PHASE_MASK,
         Scenario::LongTx if x == LT_SIDE => v & LT_SIDE_MASK,
         Scenario::LongTx => v,
+        // The scratch registers carry per-attempt/per-round nonces whose
+        // counts are backend-dependent (they exist to give the staged
+        // conflict a write set and the bump a single-register commit);
+        // everything else — map layout, freeze flag — is exact.
+        Scenario::MapRehash if x == MR_SCRATCH || x == MR_SCRATCH_B => 0,
+        Scenario::MapRehash => v,
+        Scenario::ReaderWriterHandoff if x == RW_FLAG => v & RW_PHASE_MASK,
+        Scenario::ReaderWriterHandoff => v,
     }
 }
 
@@ -755,6 +854,306 @@ fn long_tx<F: StmFactory>(stm: &F, real_fences: bool) -> u64 {
     })
 }
 
+const MR_CAP: usize = 32;
+const MR_ROUNDS: usize = 12;
+/// Scratch register the staged conflict transaction writes (outside the
+/// map region; projected out of the finals).
+const MR_SCRATCH: usize = TxMap::regs_needed(MR_CAP);
+/// The bumper thread's scratch register: its round bump must be a
+/// *single-register* commit so the stripe's writer hint names exactly one
+/// register and the staged abort classifies as a false conflict (a
+/// multi-register commit hints `Shared`, which conservatively does not).
+const MR_SCRATCH_B: usize = MR_SCRATCH + 1;
+const MR_REGS: usize = MR_SCRATCH_B + 1;
+/// Value of the pre-seeded probe key.
+pub const MR_VAL_SEED: u64 = 0xA000_0000;
+
+/// Base value of inserter `who`'s round keys (`who` 0 = the conflict
+/// thread, 1 = the bumper thread).
+fn mr_val(who: usize, round: usize) -> u64 {
+    (0xA000_0000 + 0x1000_0000 * who as u64) | round as u64
+}
+
+/// The scenario's key set: `2 * MR_ROUNDS + 1` keys with pairwise-distinct
+/// home slots, so the final map layout is deterministic whatever order the
+/// inserts commit in. `keys[0]` is the seed/probe key; `keys[r]` is thread
+/// A's round-`r` key; `keys[MR_ROUNDS + r]` thread B's.
+fn mr_keys() -> Vec<u64> {
+    let m = TxMap::new(0, MR_CAP);
+    let mut used = [false; MR_CAP];
+    let mut keys = Vec::with_capacity(2 * MR_ROUNDS + 1);
+    let mut k = 1u64;
+    while keys.len() < 2 * MR_ROUNDS + 1 {
+        let s = m.home_slot(k);
+        if !used[s] {
+            used[s] = true;
+            keys.push(k);
+        }
+        k += 1;
+    }
+    keys
+}
+
+/// Expected deterministic final registers: the map frozen (flag 1), every
+/// key in its home slot with its fixed value, scratch projected to 0.
+pub fn map_rehash_expected_finals() -> Vec<u64> {
+    let m = TxMap::new(0, MR_CAP);
+    let mut regs = vec![0u64; MR_REGS];
+    regs[0] = 1; // left frozen by the final snapshot
+    let keys = mr_keys();
+    let mut put = |key: u64, val: u64| {
+        // The documented TxMap layout: [flag][slot0 key][slot0 val]…, keys
+        // stored biased by KEY_BIAS; collision-free keys sit in their home
+        // slots.
+        let s = m.home_slot(key);
+        regs[1 + 2 * s] = key + tm_stm::map::KEY_BIAS;
+        regs[2 + 2 * s] = val;
+    };
+    put(keys[0], MR_VAL_SEED);
+    for r in 1..=MR_ROUNDS {
+        put(keys[r], mr_val(0, r));
+        put(keys[MR_ROUNDS + r], mr_val(1, r));
+    }
+    regs
+}
+
+/// The map-rehash scenario: [`TxMap`] traffic engineered to force adaptive
+/// orec-table growth mid-stream, settled by a freeze + privatized snapshot.
+///
+/// Per round, thread A opens a transaction that reads the seed key (flag +
+/// home slot in its read set) and writes a scratch register, then *parks*
+/// mid-body; thread B commits a single-register bump of its own scratch
+/// register. On a small stripe table that commit bumps a stripe A read, so
+/// A's commit-time validation fails — and since the stripe's last
+/// committed writer is B's scratch register, not A's, the abort is
+/// classified *false*, feeding the adaptive growth window. A's retry
+/// commits; both threads then insert their round keys (collision-free,
+/// fixed values) and the staging advances. On backends where a parked
+/// transaction would block everyone (`!park_ok`: the global lock) the same
+/// operations run without the forced overlap.
+///
+/// Ends with `freeze` + `iter_frozen`: the privatized snapshot must
+/// contain every key with its exact value (anything missing counts as a
+/// lost update), and the map is left frozen so the final state is
+/// deterministic.
+fn map_rehash<F: StmFactory>(stm: &F, park_ok: bool) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let m = TxMap::new(0, MR_CAP);
+    let keys = mr_keys();
+    let seed_key = keys[0];
+    let stage = AtomicU64::new(0);
+    const SEEDED: u64 = 1;
+    let parked = |r: usize| 10 * r as u64 + 1;
+    let bumped = |r: usize| 10 * r as u64 + 2;
+    let done = |r: usize| 10 * r as u64 + 3;
+    // B has committed its last round insert; A may freeze.
+    let b_done = 10 * MR_ROUNDS as u64 + 4;
+    // Stage values increase monotonically over the run, so waits are
+    // `>=`, never `==`: the producer may have advanced past the awaited
+    // value before the consumer ever observes it.
+    let await_stage = |v: u64| {
+        while stage.load(Ordering::SeqCst) < v {
+            std::thread::yield_now();
+        }
+    };
+    std::thread::scope(|s| {
+        // Thread B: the stripe bumper. Waits until A is parked (or has
+        // committed its conflict transaction, when parking is disabled),
+        // commits a single-register bump — the stripe-sharing write whose
+        // hint classifies A's abort as false — releases A, then inserts
+        // its own round key once A's round is settled.
+        {
+            let stm = stm.clone();
+            let (stage, keys) = (&stage, &keys);
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                let mut bump_nonce = 0u64;
+                await_stage(SEEDED);
+                for r in 1..=MR_ROUNDS {
+                    await_stage(parked(r));
+                    h.atomic(|tx| {
+                        bump_nonce += 1;
+                        tx.write(MR_SCRATCH_B, (2 << 50) | bump_nonce)
+                    });
+                    stage.store(bumped(r), Ordering::SeqCst);
+                    await_stage(done(r));
+                    h.atomic(|tx| m.insert(tx, keys[MR_ROUNDS + r], mr_val(1, r)).map(|_| ()));
+                }
+                stage.store(b_done, Ordering::SeqCst);
+            });
+        }
+        // Thread A: conflict stager, inserter, and finally the freezer.
+        let mut h = stm.handle(0);
+        h.atomic(|tx| m.insert(tx, seed_key, MR_VAL_SEED).map(|_| ()));
+        stage.store(SEEDED, Ordering::SeqCst);
+        let mut scratch_nonce = 0u64;
+        // `r` is the round number (staging values, key index, value tag),
+        // not a plain iteration index.
+        #[allow(clippy::needless_range_loop)]
+        for r in 1..=MR_ROUNDS {
+            let mut first = true;
+            h.atomic(|tx| {
+                scratch_nonce += 1;
+                let v = m.get(tx, seed_key)?;
+                debug_assert_eq!(v, Some(MR_VAL_SEED));
+                tx.write(MR_SCRATCH, (1 << 50) | scratch_nonce)?;
+                if park_ok && first {
+                    first = false;
+                    stage.store(parked(r), Ordering::SeqCst);
+                    await_stage(bumped(r));
+                }
+                Ok(())
+            });
+            if !park_ok {
+                stage.store(parked(r), Ordering::SeqCst);
+                await_stage(bumped(r));
+            }
+            h.atomic(|tx| m.insert(tx, keys[r], mr_val(0, r)).map(|_| ()));
+            stage.store(done(r), Ordering::SeqCst);
+        }
+        // Wait for B's last insert before freezing: a frozen map aborts
+        // transactional inserts forever (that is its contract), so the
+        // freeze must be quiescent.
+        await_stage(b_done);
+        // Privatized snapshot: freeze (one flag write + fence), then bulk
+        // reads; every key must be present with its exact value. The map
+        // stays frozen, so the finals are deterministic.
+        m.freeze(&mut h);
+        let snap = m.iter_frozen(&mut h);
+        let mut lost = 0u64;
+        let mut expect = |key: u64, val: u64| {
+            if !snap.iter().any(|&(k, v)| k == key && v == val) {
+                lost += 1;
+            }
+        };
+        expect(seed_key, MR_VAL_SEED);
+        for r in 1..=MR_ROUNDS {
+            expect(keys[r], mr_val(0, r));
+            expect(keys[MR_ROUNDS + r], mr_val(1, r));
+        }
+        lost
+    })
+}
+
+const RW_FLAG: usize = 0;
+const RW_D0: usize = 1;
+const RW_D1: usize = 2;
+const RW_ROUNDS: u64 = 4;
+/// Low flag bits carry the phase; the bits above are a per-write nonce
+/// (per thread: bit 40/41 discriminates the two nonce spaces).
+const RW_PHASE_MASK: u64 = 7;
+const RW_W_OWNS: u64 = 1;
+const RW_SHARED: u64 = 2;
+const RW_R_OWNS: u64 = 3;
+const RW_W_TURN: u64 = 4;
+/// The values the writer settles the block to under its final ownership.
+pub const RW_FINAL0: u64 = 0x30D0;
+/// Companion settle value for the second data register.
+pub const RW_FINAL1: u64 = 0x30D1;
+
+/// The writer's round-`r` marker for data register `i`.
+fn rw_mark(round: u64, i: u64) -> u64 {
+    (1 << 62) | (round << 8) | i
+}
+
+/// Expected deterministic final registers: writer-owned flag, settled
+/// block.
+pub fn reader_writer_handoff_expected_finals() -> Vec<u64> {
+    vec![RW_W_OWNS, RW_FINAL0, RW_FINAL1]
+}
+
+/// The reader/writer handoff scenario: ownership of the data block passes
+/// writer → reader → writer every round, each direction crossing its own
+/// privatization fence.
+///
+/// Writer rounds: privatize (flag := W_OWNS) → fence → direct-write both
+/// data registers → publish (flag := SHARED) → await W_TURN. Reader
+/// rounds: await SHARED with a *consistent* guarded snapshot of the block
+/// (both registers must carry the same round — a torn pair counts as
+/// lost) → privatize (flag := R_OWNS) → fence → verify by direct reads →
+/// hand back (flag := W_TURN). After the last round the writer privatizes
+/// once more and settles the block, so the finals are deterministic.
+fn reader_writer_handoff<F: StmFactory>(stm: &F) -> u64 {
+    fn set_phase<H: StmHandle>(h: &mut H, who: u64, nonce: &mut u64, phase: u64) {
+        h.atomic(|tx| {
+            *nonce += 1;
+            tx.write(RW_FLAG, (1 << (40 + who)) | (*nonce << 3) | phase)
+        });
+    }
+    fn phase_of<H: StmHandle>(h: &mut H) -> u64 {
+        h.atomic(|tx| tx.read(RW_FLAG)) & RW_PHASE_MASK
+    }
+    std::thread::scope(|s| {
+        let reader = {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                let mut nonce = 0u64;
+                let mut lost = 0u64;
+                for r in 1..=RW_ROUNDS {
+                    // Await this round's shared phase with a consistent
+                    // guarded snapshot (data is only read under the flag).
+                    let (d0, d1) = loop {
+                        let snap = h.atomic(|tx| {
+                            if tx.read(RW_FLAG)? & RW_PHASE_MASK == RW_SHARED {
+                                Ok(Some((tx.read(RW_D0)?, tx.read(RW_D1)?)))
+                            } else {
+                                Ok(None)
+                            }
+                        });
+                        if let Some(pair) = snap {
+                            break pair;
+                        }
+                        std::thread::yield_now();
+                    };
+                    if d0 != rw_mark(r, 0) || d1 != rw_mark(r, 1) {
+                        lost += 1; // torn or stale snapshot
+                    }
+                    // Reader-side privatization: own the block, verify it
+                    // with uninstrumented reads, hand it back.
+                    set_phase(&mut h, 1, &mut nonce, RW_R_OWNS);
+                    h.fence();
+                    if h.read_direct(RW_D0) != rw_mark(r, 0) {
+                        lost += 1;
+                    }
+                    if h.read_direct(RW_D1) != rw_mark(r, 1) {
+                        lost += 1;
+                    }
+                    set_phase(&mut h, 1, &mut nonce, RW_W_TURN);
+                }
+                lost
+            })
+        };
+        let mut h = stm.handle(0);
+        let mut nonce = 0u64;
+        let mut lost = 0u64;
+        for r in 1..=RW_ROUNDS {
+            set_phase(&mut h, 0, &mut nonce, RW_W_OWNS);
+            h.fence();
+            for i in 0..2u64 {
+                let reg = [RW_D0, RW_D1][i as usize];
+                h.write_direct(reg, rw_mark(r, i));
+                if h.read_direct(reg) != rw_mark(r, i) {
+                    lost += 1;
+                }
+            }
+            set_phase(&mut h, 0, &mut nonce, RW_SHARED);
+            while phase_of(&mut h) != RW_W_TURN {
+                std::thread::yield_now();
+            }
+        }
+        // Settle under one last writer-side privatization.
+        set_phase(&mut h, 0, &mut nonce, RW_W_OWNS);
+        h.fence();
+        h.write_direct(RW_D0, RW_FINAL0);
+        h.write_direct(RW_D1, RW_FINAL1);
+        if h.read_direct(RW_D0) != RW_FINAL0 || h.read_direct(RW_D1) != RW_FINAL1 {
+            lost += 1;
+        }
+        lost + reader.join().unwrap()
+    })
+}
+
 /// Expected deterministic final registers for a scenario.
 pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
     match scenario {
@@ -764,6 +1163,8 @@ pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
         Scenario::EpochBatch => epoch_batch_expected_finals(),
         Scenario::ReaderHeavy => reader_heavy_expected_finals(),
         Scenario::LongTx => long_tx_expected_finals(),
+        Scenario::MapRehash => map_rehash_expected_finals(),
+        Scenario::ReaderWriterHandoff => reader_writer_handoff_expected_finals(),
     }
 }
 

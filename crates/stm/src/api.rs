@@ -73,6 +73,7 @@ pub trait StmHandle {
 /// construction surface of every backend, so cross-backend drivers
 /// (conformance suites, benchmarks) can be written once.
 pub trait StmFactory: Clone + Send + Sync + 'static {
+    /// The per-thread handle type this instance mints.
     type Handle: StmHandle + Send;
 
     /// A handle bound to thread slot `slot`.
@@ -85,6 +86,7 @@ pub trait StmFactory: Clone + Send + Sync + 'static {
 /// Per-handle statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
+    /// Committed transactions.
     pub commits: u64,
     /// Aborts during read validation.
     pub aborts_read: u64,
@@ -94,12 +96,15 @@ pub struct Stats {
     pub aborts_validate: u64,
     /// Aborts requested by the transaction body.
     pub aborts_user: u64,
+    /// Fences requested (synchronous or asynchronous).
     pub fences: u64,
     /// Nanoseconds spent blocked waiting fences out (`fence` /
     /// `fence_join`). Time between `fence_async` and the join — the overlap
     /// an asynchronous fence buys — is deliberately not counted.
     pub fence_wait_ns: u64,
+    /// Uninstrumented non-transactional reads.
     pub direct_reads: u64,
+    /// Uninstrumented non-transactional writes.
     pub direct_writes: u64,
     /// Attempts re-run by the shared `atomic` retry loop (one per abort it
     /// swallowed).
@@ -115,13 +120,28 @@ pub struct Stats {
     /// because the clock proved no concurrent commit intervened
     /// (`wver == rv + 1` via an exclusive bump — see [`crate::clock`]).
     pub validation_elisions: u64,
+    /// Aborts classified as *false conflicts*: the failing stripe's last
+    /// committed writer was a different register than the aborting one, so
+    /// the two registers merely share a lock word (striped storage only —
+    /// per-register tables never produce them). The signal the adaptive
+    /// table's growth policy feeds on; see [`crate::storage`].
+    pub false_conflicts: u64,
+    /// Adaptive-table generations this handle published (each one doubles
+    /// the stripe count and opens a grace-period-bounded migration window).
+    pub stripe_resizes: u64,
+    /// Stripe count of the lock table this handle's latest transaction ran
+    /// against — a *gauge*, not a counter: [`Stats::merge`] keeps the
+    /// maximum, so a merged view reports the largest table any handle saw.
+    pub current_stripes: u64,
 }
 
 impl Stats {
+    /// Total aborts of every kind.
     pub fn aborts_total(&self) -> u64 {
         self.aborts_read + self.aborts_lock + self.aborts_validate + self.aborts_user
     }
 
+    /// Accumulate `o` into `self` (counters add; gauges — `current_stripes` — merge by max).
     pub fn merge(&mut self, o: &Stats) {
         self.commits += o.commits;
         self.aborts_read += o.aborts_read;
@@ -136,6 +156,11 @@ impl Stats {
         self.backoff_ns += o.backoff_ns;
         self.clock_bumps += o.clock_bumps;
         self.validation_elisions += o.validation_elisions;
+        self.false_conflicts += o.false_conflicts;
+        self.stripe_resizes += o.stripe_resizes;
+        // Gauge, not counter: the merged view reports the largest table any
+        // of the merged handles ran against.
+        self.current_stripes = self.current_stripes.max(o.current_stripes);
     }
 }
 
@@ -154,6 +179,9 @@ mod tests {
             fence_wait_ns: 40,
             clock_bumps: 5,
             validation_elisions: 1,
+            false_conflicts: 2,
+            stripe_resizes: 1,
+            current_stripes: 64,
             ..Default::default()
         };
         let b = Stats {
@@ -166,6 +194,9 @@ mod tests {
             fence_wait_ns: 60,
             clock_bumps: 7,
             validation_elisions: 2,
+            false_conflicts: 3,
+            stripe_resizes: 2,
+            current_stripes: 16,
             ..Default::default()
         };
         a.merge(&b);
@@ -177,6 +208,9 @@ mod tests {
         assert_eq!(a.fence_wait_ns, 100);
         assert_eq!(a.clock_bumps, 12);
         assert_eq!(a.validation_elisions, 3);
+        assert_eq!(a.false_conflicts, 5, "false conflicts accumulate");
+        assert_eq!(a.stripe_resizes, 3, "resizes accumulate");
+        assert_eq!(a.current_stripes, 64, "stripe gauge merges by max");
     }
 
     /// The merge-forgets-new-field bug class: merging a default with `x`
@@ -198,6 +232,9 @@ mod tests {
             backoff_ns: 11,
             clock_bumps: 12,
             validation_elisions: 13,
+            false_conflicts: 14,
+            stripe_resizes: 15,
+            current_stripes: 16,
         };
         let mut acc = Stats::default();
         acc.merge(&x);

@@ -59,8 +59,10 @@ pub enum ClockKind {
 }
 
 impl ClockKind {
+    /// Every clock backend, for matrix tests and benches.
     pub const ALL: [ClockKind; 3] = [ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5];
 
+    /// Human-readable backend label (bench/report key).
     pub fn label(self) -> &'static str {
         match self {
             ClockKind::Gv1 => "gv1",
@@ -126,8 +128,11 @@ pub trait VersionClock: Send + Sync + 'static {
 /// hot path and read-stamp sampling on the begin path, so this is a
 /// three-arm match that inlines, not virtual dispatch.
 pub enum AnyClock {
+    /// The `fetch_add` baseline.
     Gv1(Gv1Clock),
+    /// CAS-with-adopt.
     Gv4(Gv4Clock),
+    /// Slot-local deltas.
     Gv5(Gv5Clock),
 }
 
@@ -164,6 +169,7 @@ pub struct Gv1Clock {
 }
 
 impl Gv1Clock {
+    /// A clock at stamp 0.
     pub fn new() -> Self {
         Gv1Clock {
             global: CachePadded::new(AtomicU64::new(0)),
@@ -208,6 +214,7 @@ pub struct Gv4Clock {
 }
 
 impl Gv4Clock {
+    /// A clock at stamp 0.
     pub fn new() -> Self {
         Gv4Clock {
             global: CachePadded::new(AtomicU64::new(0)),
@@ -268,6 +275,7 @@ pub struct Gv5Clock {
 }
 
 impl Gv5Clock {
+    /// A clock at stamp 0 with one local-delta slot per thread.
     pub fn new(nthreads: usize) -> Self {
         Gv5Clock {
             global: CachePadded::new(AtomicU64::new(0)),

@@ -71,6 +71,8 @@
 //! assert_eq!(big.peek(40_000), 7);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod clock;
 pub mod fence;
@@ -83,6 +85,8 @@ pub mod storage;
 pub mod tl2;
 pub mod vlock;
 
+/// One-stop imports for driving any STM backend (handles, configs,
+/// tickets, maps, stats).
 pub mod prelude {
     pub use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
     pub use crate::clock::ClockKind;
@@ -92,6 +96,6 @@ pub mod prelude {
     pub use crate::norec::{NorecHandle, NorecStm};
     pub use crate::record::Recorder;
     pub use crate::runtime::{BackoffCfg, DriverMode, StmConfig};
-    pub use crate::storage::StorageKind;
+    pub use crate::storage::{AdaptivePolicy, StorageKind};
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
 }

@@ -54,12 +54,21 @@ impl TxMap {
     }
 
     /// Number of registers the map occupies.
-    pub fn regs_needed(cap: usize) -> usize {
+    pub const fn regs_needed(cap: usize) -> usize {
         2 * cap + 1
     }
 
+    /// Slot capacity of the map.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// The slot `key` hashes to before probing — where a key lands when its
+    /// home slot is free. Exposed so tests and litmus scenarios can build
+    /// *collision-free* key sets (pairwise-distinct home slots), whose
+    /// final layout is deterministic under any insertion order.
+    pub fn home_slot(&self, key: u64) -> usize {
+        self.hash(key)
     }
 
     fn flag_reg(&self) -> usize {

@@ -49,6 +49,7 @@ pub struct Recorder {
 }
 
 impl Recorder {
+    /// A recorder with one log per thread slot.
     pub fn new(nthreads: usize) -> Self {
         Recorder {
             seq: CachePadded::new(AtomicU64::new(0)),
@@ -73,6 +74,7 @@ impl Recorder {
         self.seq.load(Ordering::SeqCst) as usize
     }
 
+    /// Has nothing been recorded yet?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

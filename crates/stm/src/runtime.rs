@@ -84,8 +84,10 @@ pub enum DriverMode {
 }
 
 impl DriverMode {
+    /// Both driver modes, for matrix tests and benches.
     pub const ALL: [DriverMode; 2] = [DriverMode::Cooperative, DriverMode::Background];
 
+    /// Human-readable mode label (bench/report key).
     pub fn label(self) -> &'static str {
         match self {
             DriverMode::Cooperative => "cooperative",
@@ -109,7 +111,9 @@ impl DriverMode {
 /// Construction-time configuration shared by all STM frontends.
 #[derive(Clone)]
 pub struct StmConfig {
+    /// Number of registers in the instance's register file.
     pub nregs: usize,
+    /// Number of thread slots (handles) the instance supports.
     pub nthreads: usize,
     /// Lock-metadata layout, for policies that use versioned locks
     /// (ignored by NOrec and the global lock).
@@ -120,11 +124,15 @@ pub struct StmConfig {
     /// Who drives the grace-period engine (defaults to
     /// [`DriverMode::from_env`]).
     pub driver: DriverMode,
+    /// Retry-loop backoff tuning.
     pub backoff: BackoffCfg,
+    /// Optional history recorder shared by every handle.
     pub recorder: Option<Arc<Recorder>>,
 }
 
 impl StmConfig {
+    /// The default configuration for `nregs` registers × `nthreads`
+    /// thread slots.
     pub fn new(nregs: usize, nthreads: usize) -> Self {
         StmConfig {
             nregs,
@@ -137,6 +145,7 @@ impl StmConfig {
         }
     }
 
+    /// Select the lock-metadata layout for versioned-lock policies.
     pub fn storage(mut self, storage: StorageKind) -> Self {
         self.storage = storage;
         self
@@ -145,6 +154,16 @@ impl StmConfig {
     /// Shorthand for a striped orec table with `stripes` lock words.
     pub fn striped(self, stripes: usize) -> Self {
         self.storage(StorageKind::Striped { stripes })
+    }
+
+    /// Shorthand for the contention-aware *adaptive* striped orec table:
+    /// starts at `policy.start` stripes and doubles (up to `policy.max`)
+    /// whenever the false-conflict rate over a `policy.window`-commit
+    /// sliding window reaches `policy.threshold` percent, through an
+    /// epoch-safe generation rehash retired by the runtime's grace engine
+    /// (see [`crate::storage`]).
+    pub fn adaptive_stripes(self, policy: crate::storage::AdaptivePolicy) -> Self {
+        self.storage(StorageKind::Adaptive(policy))
     }
 
     /// Select the global version-clock backend (GV1 `fetch_add`, GV4
@@ -161,11 +180,13 @@ impl StmConfig {
         self
     }
 
+    /// Tune the shared retry loop's exponential backoff.
     pub fn backoff(mut self, backoff: BackoffCfg) -> Self {
         self.backoff = backoff;
         self
     }
 
+    /// Attach a history [`Recorder`] shared by every handle.
     pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
         self
@@ -195,6 +216,8 @@ pub struct Runtime {
 }
 
 impl Runtime {
+    /// Build the shared runtime for one instance (register file, grace
+    /// engine, optional driver thread, optional recorder).
     pub fn new(cfg: &StmConfig) -> Arc<Self> {
         let values = (0..cfg.nregs)
             .map(|_| AtomicU64::new(0))
@@ -220,14 +243,17 @@ impl Runtime {
         }
     }
 
+    /// Number of registers in the register file.
     pub fn nregs(&self) -> usize {
         self.values.len()
     }
 
+    /// Number of thread slots.
     pub fn nthreads(&self) -> usize {
         self.epochs().nthreads()
     }
 
+    /// The epoch table transactions register their critical sections in.
     pub fn epochs(&self) -> &EpochTable {
         self.grace.epochs()
     }
@@ -259,8 +285,11 @@ impl Runtime {
 /// Per-call context handed to [`Policy`] methods: the runtime, this
 /// handle's stats, and its thread slot.
 pub struct TxCtx<'a> {
+    /// The shared runtime (register file, grace engine, epochs).
     pub rt: &'a Runtime,
+    /// This handle's statistics.
     pub stats: &'a mut Stats,
+    /// This handle's thread slot.
     pub slot: u16,
 }
 
@@ -278,10 +307,15 @@ pub struct TxCtx<'a> {
 /// * `rollback` is called on *every* abort path (op-level, commit-level,
 ///   user) before the `Aborted` response is recorded.
 pub trait Policy: Send {
+    /// Start a transaction attempt (called inside the fence epoch).
     fn begin(&mut self, ctx: &mut TxCtx<'_>);
+    /// Transactional read of register `x`.
     fn read(&mut self, ctx: &mut TxCtx<'_>, x: usize) -> Result<u64, Abort>;
+    /// Transactional (buffered) write of register `x`.
     fn write(&mut self, ctx: &mut TxCtx<'_>, x: usize, v: u64) -> Result<(), Abort>;
+    /// Make the attempt's writes visible atomically, or fail.
     fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort>;
+    /// Discard attempt state; called on *every* abort path.
     fn rollback(&mut self, ctx: &mut TxCtx<'_>);
 
     /// How `fence()`/`fence_async()` resolve for this policy. The default
@@ -324,6 +358,7 @@ pub struct Handle<P: Policy> {
 }
 
 impl<P: Policy> Handle<P> {
+    /// A handle binding `policy` to `slot` of the shared runtime.
     pub fn new(rt: Arc<Runtime>, slot: usize, policy: P, backoff: BackoffCfg) -> Self {
         assert!(slot < rt.nthreads(), "slot {slot} out of range");
         // The VLock owner field encodes slot + 1 in 16 bits.
@@ -341,10 +376,12 @@ impl<P: Policy> Handle<P> {
         }
     }
 
+    /// The shared runtime this handle runs against.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
     }
 
+    /// This handle's thread slot.
     pub fn slot(&self) -> usize {
         self.slot as usize
     }
@@ -489,10 +526,14 @@ impl<P: Policy> Handle<P> {
 /// supplies `new`/`with_recorder`/`with_config`/`handle`/`peek` and the
 /// [`StmFactory`] impl once, for every algorithm.
 pub trait PolicyKind: 'static {
+    /// The per-thread policy type.
     type Policy: Policy;
+    /// The instance-shared state type.
     type Shared: Send + Sync + 'static;
 
+    /// Build the instance-shared state from the configuration.
     fn build_shared(cfg: &StmConfig) -> Self::Shared;
+    /// Mint one per-thread policy over the shared state.
     fn build_policy(shared: &Arc<Self::Shared>) -> Self::Policy;
 }
 
@@ -558,6 +599,7 @@ impl<K: PolicyKind> Stm<K> {
         self.rt.peek(x)
     }
 
+    /// The shared runtime of this instance.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
     }

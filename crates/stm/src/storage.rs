@@ -19,9 +19,52 @@
 //! Striping is conservative, never unsound: sharing a stripe only makes the
 //! version check *more* likely to abort, and commit-time acquisition locks
 //! each distinct stripe exactly once (see [`crate::tl2`]'s stripe dedup).
+//!
+//! # Contention-aware adaptive striping
+//!
+//! A fixed stripe count is a guess: too small and disjoint-write workloads
+//! drown in false conflicts, too large and a small register file pays for
+//! metadata it never contends on. [`AdaptiveTable`] resolves the guess at
+//! run time: it starts from a small [`StripedTable`], counts *false*
+//! conflicts (aborts where the failing stripe's last committed writer is a
+//! different register than the aborting one — detected by re-hashing the
+//! aborting key against the stripe's writer hint), and when the observed
+//! false-conflict rate over a sliding commit window crosses the
+//! [`AdaptivePolicy::threshold`], publishes a doubled table as a new
+//! *generation*.
+//!
+//! The rehash is epoch-safe, reusing the same quiescence machinery that
+//! backs privatization fences: the new generation is published behind an
+//! atomic generation counter, in-flight transactions keep running against
+//! the generation they pinned at begin, and for one grace period of the
+//! runtime's [`tm_quiesce::GraceEngine`] every *new* transaction locks and
+//! validates **both** generations (the migration window), so conflicts
+//! between old-generation and new-generation transactions are still
+//! detected through the table they share. Once the grace period elapses —
+//! no transaction that pinned the old generation alone can still be live —
+//! the old table is retired and the new one becomes the sole authority. No
+//! transaction ever observes a torn lock table, and no lock or version
+//! update is ever lost across a resize.
+//!
+//! ```
+//! use tm_stm::prelude::*;
+//!
+//! // Start tiny; double (up to 4096 stripes) whenever ≥ 2% of a
+//! // 1024-commit window aborts on stripe sharing alone.
+//! let stm = Tl2Stm::with_config(StmConfig::new(1 << 20, 8).adaptive_stripes(
+//!     AdaptivePolicy { start: 16, max: 4096, threshold: 2, window: 1024 },
+//! ));
+//! let mut h = stm.handle(0);
+//! h.atomic(|tx| tx.write(777, 1));
+//! assert_eq!(stm.nstripes(), 16, "no contention yet: still at start");
+//! assert_eq!(h.stats().current_stripes, 16);
+//! ```
 
 use crate::vlock::{VLock, VLockState};
 use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tm_quiesce::{GraceEngine, GraceTicket};
 
 /// Storage backend selection for versioned-lock policies, used by
 /// [`crate::runtime::StmConfig`].
@@ -32,18 +75,44 @@ pub enum StorageKind {
     PerRegister,
     /// A striped orec table with `stripes` lock words; registers hash onto
     /// stripes with a splitmix64 mix of the register index.
-    Striped { stripes: usize },
+    Striped {
+        /// Number of lock words (rounded up to a power of two).
+        stripes: usize,
+    },
+    /// A contention-aware adaptive striped table: starts small and doubles
+    /// (up to a cap) when the observed false-conflict rate crosses the
+    /// policy threshold, via an epoch-safe generation rehash.
+    Adaptive(AdaptivePolicy),
 }
 
 impl StorageKind {
-    /// Build the lock table for a register file of `nregs` registers.
+    /// Build a *fixed* lock table for a register file of `nregs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`StorageKind::Adaptive`]: the adaptive table is a
+    /// multi-generation structure built through [`StorageKind::build_tables`]
+    /// and driven by a generation-aware policy, not a bare [`LockTable`].
     pub fn build(self, nregs: usize) -> AnyLockTable {
         match self {
             StorageKind::PerRegister => AnyLockTable::PerRegister(PerRegisterTable::new(nregs)),
             StorageKind::Striped { stripes } => AnyLockTable::Striped(StripedTable::new(stripes)),
+            StorageKind::Adaptive(_) => {
+                panic!("adaptive storage is built via StorageKind::build_tables")
+            }
         }
     }
 
+    /// Build the (possibly adaptive) table set for a register file of
+    /// `nregs` registers — what generation-aware policies consume.
+    pub fn build_tables(self, nregs: usize) -> AnyTables {
+        match self {
+            StorageKind::Adaptive(policy) => AnyTables::Adaptive(AdaptiveTable::new(policy)),
+            fixed => AnyTables::Fixed(fixed.build(nregs)),
+        }
+    }
+
+    /// Human-readable backend label (bench/report key).
     pub fn label(self) -> String {
         match self {
             StorageKind::PerRegister => "per-register".into(),
@@ -51,6 +120,10 @@ impl StorageKind {
             // label reports what is actually built.
             StorageKind::Striped { stripes } => {
                 format!("striped-{}", stripes.max(1).next_power_of_two())
+            }
+            StorageKind::Adaptive(p) => {
+                let p = p.normalized();
+                format!("adaptive-{}-{}", p.start, p.max)
             }
         }
     }
@@ -61,7 +134,9 @@ impl StorageKind {
 /// is a two-arm match that inlines, not virtual dispatch. The open
 /// [`LockTable`] trait remains the abstraction to write code against.
 pub enum AnyLockTable {
+    /// One orec per register.
     PerRegister(PerRegisterTable),
+    /// A fixed striped orec table.
     Striped(StripedTable),
 }
 
@@ -103,6 +178,38 @@ impl LockTable for AnyLockTable {
     fn unlock_stripe_set_version(&self, s: usize, version: u64) {
         delegate!(self, t => t.unlock_stripe_set_version(s, version))
     }
+
+    #[inline]
+    fn record_writer(&self, s: usize, x: usize) {
+        delegate!(self, t => t.record_writer(s, x))
+    }
+
+    #[inline]
+    fn record_writer_shared(&self, s: usize) {
+        delegate!(self, t => t.record_writer_shared(s))
+    }
+
+    #[inline]
+    fn writer_hint(&self, s: usize) -> WriterHint {
+        delegate!(self, t => t.writer_hint(s))
+    }
+}
+
+/// What a stripe's *writer hint* says about the last commit through it —
+/// the advisory signal behind false-conflict classification. Hints are
+/// written while the stripe lock is held and read racily; they can lag an
+/// in-flight writer by one commit (a conflict with a transaction currently
+/// mid-commit is classified against the *previous* commit's hint), which
+/// bounds the classifier's error without ever affecting correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriterHint {
+    /// No commit has gone through the stripe (or the table is precise).
+    None,
+    /// The last commit wrote exactly this register through the stripe.
+    Register(usize),
+    /// The last commit wrote several registers through the stripe: an
+    /// abort here may be a real conflict on any of them.
+    Shared,
 }
 
 /// A table of versioned write-locks guarding a register file.
@@ -131,6 +238,24 @@ pub trait LockTable: Send + Sync + 'static {
     /// Release stripe `s`, installing a new version (commit write-back).
     fn unlock_stripe_set_version(&self, s: usize, version: u64);
 
+    /// Note that register `x` was just committed through stripe `s` — an
+    /// *advisory* hint used for false-conflict telemetry. Tables that never
+    /// produce false conflicts (per-register) keep the default no-op.
+    fn record_writer(&self, _s: usize, _x: usize) {}
+
+    /// Note that the last commit wrote *several* registers through stripe
+    /// `s`: a later abort there may be a real conflict on any of them, so
+    /// the classifier must not call it false.
+    fn record_writer_shared(&self, _s: usize) {}
+
+    /// What the last commit through stripe `s` reported (advisory;
+    /// [`WriterHint::None`] for precise tables and never-written stripes).
+    /// An abort on register `x` whose stripe hints a *different single*
+    /// register is a *false conflict* — the two merely share a lock word.
+    fn writer_hint(&self, _s: usize) -> WriterHint {
+        WriterHint::None
+    }
+
     /// Sample the lock word guarding register `x`.
     fn sample(&self, x: usize) -> VLockState {
         self.sample_stripe(self.stripe_of(x))
@@ -150,6 +275,7 @@ pub struct PerRegisterTable {
 }
 
 impl PerRegisterTable {
+    /// A table with one lock word per register.
     pub fn new(nregs: usize) -> Self {
         PerRegisterTable {
             locks: vlock_array(nregs),
@@ -208,16 +334,46 @@ pub struct StripedTable {
     locks: Box<[CachePadded<VLock>]>,
     /// `locks.len() - 1`; valid because the length is a power of two.
     mask: u64,
+    /// Advisory per-stripe writer hints (`register + 1`; 0 = never
+    /// written; `u64::MAX` = the last commit wrote several registers
+    /// through this stripe): which register the last commit through this
+    /// stripe was for. Written while the stripe lock is held, read
+    /// racily — the hint only feeds false-conflict *telemetry*, never
+    /// correctness.
+    writers: Box<[AtomicU64]>,
 }
 
+/// `writers` slot encoding for "several registers in one commit".
+const HINT_SHARED: u64 = u64::MAX;
+
 impl StripedTable {
+    /// A table of `stripes` lock words (rounded up to a power of two).
     pub fn new(stripes: usize) -> Self {
         assert!(stripes > 0, "a striped table needs at least one stripe");
         let n = stripes.next_power_of_two();
         StripedTable {
             locks: vlock_array(n),
             mask: n as u64 - 1,
+            writers: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// A doubled table seeded from `parent`: stripe `s` of the child
+    /// inherits the version (and writer hint) of the parent stripe the same
+    /// registers used to hash to (`s & parent_mask`). Inherited versions
+    /// keep validation conservative across a generation switch — a child
+    /// stripe never reports a version *older* than what its registers
+    /// already committed under the parent. (A commit racing this copy is
+    /// covered by the migration window: until the retiring grace period
+    /// elapses, every new-generation transaction also checks the parent.)
+    pub fn grown_from(parent: &StripedTable) -> Self {
+        let child = StripedTable::new(parent.nstripes() * 2);
+        for s in 0..child.nstripes() {
+            let p = s & parent.mask as usize;
+            child.locks[s].unlock_set_version(parent.sample_stripe(p).version);
+            child.writers[s].store(parent.writers[p].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        child
     }
 }
 
@@ -249,6 +405,378 @@ impl LockTable for StripedTable {
     #[inline]
     fn unlock_stripe_set_version(&self, s: usize, version: u64) {
         self.locks[s].unlock_set_version(version)
+    }
+
+    #[inline]
+    fn record_writer(&self, s: usize, x: usize) {
+        // Relaxed: pure telemetry, sequenced under the stripe lock anyway.
+        self.writers[s].store(x as u64 + 1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_writer_shared(&self, s: usize) {
+        self.writers[s].store(HINT_SHARED, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn writer_hint(&self, s: usize) -> WriterHint {
+        match self.writers[s].load(Ordering::Relaxed) {
+            0 => WriterHint::None,
+            HINT_SHARED => WriterHint::Shared,
+            x => WriterHint::Register((x - 1) as usize),
+        }
+    }
+}
+
+/// Tuning for the contention-aware [`AdaptiveTable`], surfaced as
+/// [`crate::runtime::StmConfig::adaptive_stripes`].
+///
+/// The table evaluates one *window* at a time: after every
+/// [`window`](Self::window) commits it compares the false conflicts
+/// observed during that window against
+/// [`threshold`](Self::threshold) (in percent of the window's commits) and
+/// doubles the stripe count — up to [`max`](Self::max) — when the rate is
+/// at or above it. A threshold of 0 grows unconditionally at every window
+/// boundary (useful in tests that need deterministic growth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Initial stripe count (rounded up to a power of two, min 1).
+    pub start: usize,
+    /// Stripe-count cap (rounded up to a power of two, min `start`).
+    pub max: usize,
+    /// Growth trigger: false conflicts per 100 window commits.
+    pub threshold: u32,
+    /// Commits per evaluation window (min 1).
+    pub window: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            start: 64,
+            max: 1 << 16,
+            threshold: 5,
+            window: 1024,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// The policy with its fields clamped to what the table actually
+    /// builds (powers of two, `start <= max`, nonzero window).
+    pub fn normalized(self) -> Self {
+        let start = self.start.max(1).next_power_of_two();
+        AdaptivePolicy {
+            start,
+            max: self.max.max(start).next_power_of_two(),
+            threshold: self.threshold,
+            window: self.window.max(1),
+        }
+    }
+}
+
+/// A consistent snapshot of the lock word(s) guarding one register —
+/// one [`VLockState`] per live generation. During a migration window the
+/// old generation's word rides along, and every check is the conservative
+/// union: locked if either is, version = the larger of the two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeSnap {
+    /// The current generation's lock word.
+    pub cur: VLockState,
+    /// The retiring generation's lock word, while a migration is pending.
+    pub prev: Option<VLockState>,
+}
+
+impl StripeSnap {
+    /// Is any generation's word locked?
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.cur.is_locked() || self.prev.is_some_and(|p| p.is_locked())
+    }
+
+    /// Is any generation's word locked by a thread other than `me`?
+    #[inline]
+    pub fn is_locked_by_other(&self, me: u16) -> bool {
+        self.cur.is_locked_by_other(me) || self.prev.is_some_and(|p| p.is_locked_by_other(me))
+    }
+
+    /// The newest version any generation reports for this register.
+    #[inline]
+    pub fn version_max(&self) -> u64 {
+        match self.prev {
+            Some(p) => self.cur.version.max(p.version),
+            None => self.cur.version,
+        }
+    }
+}
+
+/// One published generation of the adaptive table: the authoritative
+/// [`StripedTable`] plus, during a migration window, the retiring parent.
+///
+/// Soundness of the two-generation overlap: a transaction that pinned the
+/// *parent-only* generation locks and validates the parent table; a
+/// transaction that pinned this generation locks and validates **both**
+/// while `prev` is present. Any two concurrent transactions therefore
+/// always share at least one table through which their conflicts are
+/// detected. `prev` is dropped (the generation is re-published without it)
+/// only after a [`GraceEngine`] period issued at publish has elapsed — at
+/// that point no parent-only transaction can still be live, so
+/// current-table-only locking is again sufficient.
+pub struct TableGen {
+    table: Arc<StripedTable>,
+    prev: Option<Arc<StripedTable>>,
+}
+
+impl TableGen {
+    /// The generation's authoritative table.
+    pub fn table(&self) -> &StripedTable {
+        &self.table
+    }
+
+    /// The retiring parent table, while the migration window is open.
+    pub fn prev(&self) -> Option<&StripedTable> {
+        self.prev.as_deref()
+    }
+
+    /// Stripe count of the authoritative table.
+    pub fn nstripes(&self) -> usize {
+        self.table.nstripes()
+    }
+
+    /// Sample every live generation's lock word for register `x`.
+    #[inline]
+    pub fn sample(&self, x: usize) -> StripeSnap {
+        StripeSnap {
+            cur: self.table.sample(x),
+            prev: self.prev.as_ref().map(|p| p.sample(x)),
+        }
+    }
+}
+
+/// The (table, stripe) address of one lock word across generations:
+/// `table` 0 is the retiring parent, 1 the current generation. Parent
+/// addresses sort first, giving every committer the same cross-generation
+/// acquisition order.
+pub type GenStripe = (u8, usize);
+
+/// Closed union of a fixed lock table and the adaptive multi-generation
+/// table — what a generation-aware policy ([`crate::tl2`]) stores.
+pub enum AnyTables {
+    /// A fixed [`AnyLockTable`]; no pinning needed.
+    Fixed(AnyLockTable),
+    /// The contention-aware adaptive table; transactions pin a
+    /// [`TableGen`] at begin.
+    Adaptive(AdaptiveTable),
+}
+
+/// Everything one adaptive-table generation switch needs to share:
+/// the authoritative generation, its id, and the grace ticket retiring the
+/// previous one.
+struct AdaptiveState {
+    /// Monotone generation id; also mirrored in `AdaptiveInner::gen_probe`.
+    id: u64,
+    current: Arc<TableGen>,
+    /// The grace period that must elapse before `current.prev` may be
+    /// dropped (present exactly while a migration window is open).
+    migration: Option<GraceTicket>,
+}
+
+/// The shared core of an [`AdaptiveTable`], behind an `Arc` so the
+/// grace-ticket completion callback that retires an old generation can
+/// outlive any particular borrow of the table.
+struct AdaptiveInner {
+    /// Lock-free mirror of [`AdaptiveState::id`], so `begin` can skip the
+    /// mutex when nothing changed.
+    gen_probe: CachePadded<AtomicU64>,
+    state: Mutex<AdaptiveState>,
+    window_commits: CachePadded<AtomicU64>,
+    window_false: CachePadded<AtomicU64>,
+    resizes: AtomicU64,
+}
+
+impl AdaptiveInner {
+    /// Retire the migration window opened by grace period `period`:
+    /// re-publish the current table without its `prev`. Runs as the
+    /// period's completion callback — on whichever thread drives the
+    /// period home (a polling transaction begin, a fence waiter, or the
+    /// background [`tm_quiesce::GraceDriver`]).
+    fn retire(&self, period: u64) {
+        let mut st = self.state.lock().unwrap();
+        if st.migration.as_ref().is_some_and(|m| m.period() == period) {
+            st.migration = None;
+            st.id += 1;
+            st.current = Arc::new(TableGen {
+                table: Arc::clone(&st.current.table),
+                prev: None,
+            });
+            self.gen_probe.store(st.id, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The contention-aware adaptive striped orec table (see module docs).
+///
+/// Hot-path cost for transactions: one atomic load per begin (the
+/// generation probe), plus one shared counter increment per commit and per
+/// false conflict for the sliding window. Everything else — publishing,
+/// migration polling — is off the per-access path.
+pub struct AdaptiveTable {
+    policy: AdaptivePolicy,
+    inner: Arc<AdaptiveInner>,
+}
+
+impl AdaptiveTable {
+    /// A fresh adaptive table at `policy.start` stripes.
+    pub fn new(policy: AdaptivePolicy) -> Self {
+        let policy = policy.normalized();
+        AdaptiveTable {
+            policy,
+            inner: Arc::new(AdaptiveInner {
+                gen_probe: CachePadded::new(AtomicU64::new(1)),
+                state: Mutex::new(AdaptiveState {
+                    id: 1,
+                    current: Arc::new(TableGen {
+                        table: Arc::new(StripedTable::new(policy.start)),
+                        prev: None,
+                    }),
+                    migration: None,
+                }),
+                window_commits: CachePadded::new(AtomicU64::new(0)),
+                window_false: CachePadded::new(AtomicU64::new(0)),
+                resizes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The (normalized) growth policy this table runs.
+    pub fn policy(&self) -> AdaptivePolicy {
+        self.policy
+    }
+
+    /// Generations published so far minus one — i.e. completed grows.
+    pub fn resizes(&self) -> u64 {
+        self.inner.resizes.load(Ordering::SeqCst)
+    }
+
+    /// Stripe count of the current generation.
+    pub fn nstripes(&self) -> usize {
+        self.inner.state.lock().unwrap().current.nstripes()
+    }
+
+    /// Is a migration window currently open (old generation not yet
+    /// retired)?
+    pub fn migration_pending(&self) -> bool {
+        self.inner.state.lock().unwrap().migration.is_some()
+    }
+
+    /// The current generation and its id (for introspection/tests; policies
+    /// use [`Self::repin`]).
+    pub fn pin(&self) -> (u64, Arc<TableGen>) {
+        let st = self.inner.state.lock().unwrap();
+        (st.id, Arc::clone(&st.current))
+    }
+
+    /// Refresh `cached` to the current generation if it changed. The fast
+    /// path — nothing changed — is a single atomic load.
+    #[inline]
+    pub fn repin(&self, cached: &mut Option<(u64, Arc<TableGen>)>) {
+        let probe = self.inner.gen_probe.load(Ordering::SeqCst);
+        match cached {
+            Some((id, _)) if *id == probe => {}
+            _ => *cached = Some(self.pin()),
+        }
+    }
+
+    /// Count one false conflict into the open window.
+    #[inline]
+    pub fn note_false_conflict(&self) {
+        self.inner.window_false.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count one commit into the open window; at a window boundary,
+    /// evaluate the false-conflict rate and grow the table when it crosses
+    /// the policy threshold. Returns whether a new generation was published
+    /// by this call. `engine` supplies the grace period that retires the
+    /// old generation.
+    pub fn note_commit(&self, engine: &Arc<GraceEngine>) -> bool {
+        let c = self.inner.window_commits.fetch_add(1, Ordering::SeqCst) + 1;
+        if !c.is_multiple_of(self.policy.window) {
+            return false;
+        }
+        let false_conflicts = self.inner.window_false.swap(0, Ordering::SeqCst);
+        if false_conflicts * 100 < u64::from(self.policy.threshold) * self.policy.window {
+            return false;
+        }
+        self.try_grow(engine)
+    }
+
+    /// Publish a doubled generation, if allowed: no migration may already
+    /// be pending and the cap must not be reached. Returns whether a
+    /// generation was published.
+    pub fn try_grow(&self, engine: &Arc<GraceEngine>) -> bool {
+        let ticket = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.migration.is_some() || st.current.nstripes() >= self.policy.max {
+                return false;
+            }
+            let parent = Arc::clone(&st.current.table);
+            let child = Arc::new(StripedTable::grown_from(&parent));
+            st.id += 1;
+            st.current = Arc::new(TableGen {
+                table: child,
+                prev: Some(parent),
+            });
+            // Publish the probe BEFORE issuing the grace period. The
+            // period's epoch snapshot is taken after `issue` (a concurrent
+            // driver can take it the instant `issue` returns — the state
+            // lock does not serialize the engine), so with this order every
+            // SeqCst chain is `probe store < issue < snapshot`: a
+            // transaction the period does NOT cover entered its epoch after
+            // the snapshot, hence after the probe store, and its begin-time
+            // probe load must observe the new generation — it pins the
+            // migration generation and checks both tables. (Issuing first
+            // would let the snapshot land before the probe store, leaving a
+            // transaction both uncovered and pinned parent-only: exactly
+            // the missed-conflict window the migration exists to close.)
+            self.inner.gen_probe.store(st.id, Ordering::SeqCst);
+            self.inner.resizes.fetch_add(1, Ordering::SeqCst);
+            let ticket = engine.issue();
+            st.migration = Some(ticket.clone());
+            ticket
+        };
+        // Register the retirement as the period's completion callback —
+        // outside the state lock, because an already-elapsed period runs
+        // the callback immediately on this thread, and `retire` re-locks.
+        // Under a background GraceDriver this is exactly the
+        // fire-and-forget contract: the old generation retires in bounded
+        // time with zero pollers. Cooperatively, whoever drives the period
+        // home (a begin-time poll, any fence waiter) runs it.
+        let inner = Arc::clone(&self.inner);
+        let period = ticket.period();
+        ticket.on_complete(move || inner.retire(period));
+        true
+    }
+
+    /// Contribute one non-blocking driving step to the pending migration's
+    /// grace period (retirement itself runs as the period's completion
+    /// callback). Cheap no-op when no migration is pending. Called from
+    /// transaction begins, so migrations complete under plain traffic even
+    /// with no fences and no background driver; never blocks.
+    pub fn poll_migration(&self) {
+        // Snapshot the ticket, then poll it OUTSIDE the state lock:
+        // poll() drives the grace engine, which runs completion callbacks
+        // (including our own `retire`) on this thread, and those re-enter
+        // the table state.
+        let ticket = {
+            let Ok(st) = self.inner.state.try_lock() else {
+                return;
+            };
+            match &st.migration {
+                Some(t) => t.clone(),
+                None => return,
+            }
+        };
+        ticket.poll();
     }
 }
 
@@ -344,5 +872,231 @@ mod tests {
         assert_eq!(StorageKind::PerRegister.label(), "per-register");
         assert_eq!(StorageKind::Striped { stripes: 64 }.label(), "striped-64");
         assert_eq!(StorageKind::default(), StorageKind::PerRegister);
+        assert_eq!(
+            StorageKind::Adaptive(AdaptivePolicy {
+                start: 3,
+                max: 100,
+                threshold: 5,
+                window: 8,
+            })
+            .label(),
+            "adaptive-4-128",
+            "the label reports the normalized (power-of-two) policy"
+        );
+    }
+
+    #[test]
+    fn writer_hints_track_last_commit_per_stripe() {
+        let t = StripedTable::new(4);
+        let s = t.stripe_of(7);
+        assert_eq!(
+            t.writer_hint(s),
+            WriterHint::None,
+            "never-written stripes hint None"
+        );
+        t.record_writer(s, 7);
+        assert_eq!(t.writer_hint(s), WriterHint::Register(7));
+        t.record_writer(s, 11);
+        assert_eq!(
+            t.writer_hint(s),
+            WriterHint::Register(11),
+            "hints follow the last commit"
+        );
+        // A multi-register commit through one stripe is ambiguous: an
+        // abort there may be a real conflict on any of its registers.
+        t.record_writer_shared(s);
+        assert_eq!(t.writer_hint(s), WriterHint::Shared);
+        // Per-register tables never hint: every conflict there is real.
+        let p = PerRegisterTable::new(4);
+        p.record_writer(2, 2);
+        assert_eq!(p.writer_hint(2), WriterHint::None);
+    }
+
+    #[test]
+    fn grown_table_inherits_versions_and_hints() {
+        let parent = StripedTable::new(2);
+        parent.try_lock_stripe(0, 1).unwrap();
+        parent.unlock_stripe_set_version(0, 41);
+        parent.record_writer(0, 9);
+        parent.try_lock_stripe(1, 1).unwrap();
+        parent.unlock_stripe_set_version(1, 7);
+        let child = StripedTable::grown_from(&parent);
+        assert_eq!(child.nstripes(), 4);
+        // Child stripe s inherits parent stripe s & 1.
+        for s in 0..4 {
+            let expect = if s % 2 == 0 { 41 } else { 7 };
+            assert_eq!(child.sample_stripe(s).version, expect, "stripe {s}");
+            assert!(!child.sample_stripe(s).is_locked());
+        }
+        assert_eq!(child.writer_hint(0), WriterHint::Register(9));
+        assert_eq!(child.writer_hint(2), WriterHint::Register(9));
+    }
+
+    #[test]
+    fn adaptive_policy_normalizes() {
+        let p = AdaptivePolicy {
+            start: 0,
+            max: 0,
+            threshold: 10,
+            window: 0,
+        }
+        .normalized();
+        assert_eq!((p.start, p.max, p.window), (1, 1, 1));
+        let p = AdaptivePolicy {
+            start: 5,
+            max: 3,
+            threshold: 10,
+            window: 16,
+        }
+        .normalized();
+        assert_eq!((p.start, p.max), (8, 8), "max clamps up to start");
+        let d = AdaptivePolicy::default();
+        assert_eq!(d.normalized(), d, "the default is already normalized");
+    }
+
+    #[test]
+    fn stripe_snap_is_the_conservative_union() {
+        let locked = VLockState {
+            version: 3,
+            owner: Some(2),
+        };
+        let free = VLockState {
+            version: 9,
+            owner: None,
+        };
+        let single = StripeSnap {
+            cur: free,
+            prev: None,
+        };
+        assert!(!single.is_locked());
+        assert_eq!(single.version_max(), 9);
+        let dual = StripeSnap {
+            cur: free,
+            prev: Some(locked),
+        };
+        assert!(dual.is_locked(), "a locked prev generation locks the snap");
+        assert!(dual.is_locked_by_other(1));
+        assert!(!dual.is_locked_by_other(2), "owner 2 holds the prev lock");
+        assert_eq!(dual.version_max(), 9, "version is the max across gens");
+    }
+
+    #[test]
+    fn adaptive_window_grows_and_migration_retires_through_grace() {
+        let engine = GraceEngine::new(2);
+        let t = AdaptiveTable::new(AdaptivePolicy {
+            start: 2,
+            max: 8,
+            threshold: 25,
+            window: 4,
+        });
+        assert_eq!(t.nstripes(), 2);
+        let (id0, gen0) = t.pin();
+        assert!(gen0.prev().is_none());
+
+        // 3 quiet commits: no boundary, no growth.
+        for _ in 0..3 {
+            assert!(!t.note_commit(&engine));
+        }
+        // 1 false conflict in a 4-commit window = 25% >= threshold.
+        t.note_false_conflict();
+        assert!(t.note_commit(&engine), "boundary at rate >= threshold");
+        assert_eq!(t.resizes(), 1);
+        assert_eq!(t.nstripes(), 4);
+        assert!(t.migration_pending());
+        let (id1, gen1) = t.pin();
+        assert!(id1 > id0);
+        assert!(gen1.prev().is_some(), "migration generation carries prev");
+        assert_eq!(gen1.prev().unwrap().nstripes(), 2);
+
+        // No concurrent growth while a migration window is open.
+        t.note_false_conflict();
+        for _ in 0..4 {
+            t.note_commit(&engine);
+        }
+        assert_eq!(t.resizes(), 1, "one migration at a time");
+
+        // With no active epochs the grace period elapses on the first
+        // poll; the old generation retires and the table re-publishes.
+        t.poll_migration();
+        assert!(!t.migration_pending());
+        let (id2, gen2) = t.pin();
+        assert!(id2 > id1);
+        assert!(gen2.prev().is_none(), "prev dropped after the grace period");
+        assert_eq!(gen2.nstripes(), 4);
+        assert!(engine.scans() >= 1, "retirement rode a real engine scan");
+    }
+
+    #[test]
+    fn adaptive_growth_respects_the_cap_and_live_epochs() {
+        let engine = GraceEngine::new(2);
+        let t = AdaptiveTable::new(AdaptivePolicy {
+            start: 4,
+            max: 4,
+            threshold: 0,
+            window: 1,
+        });
+        // threshold 0 = grow at every boundary — but the cap wins.
+        assert!(!t.note_commit(&engine));
+        assert_eq!(t.resizes(), 0);
+        assert_eq!(t.nstripes(), 4);
+
+        // Below the cap, a pinned epoch keeps the migration window open:
+        // the grace period must not elapse while a pinned-generation
+        // transaction could still be live.
+        let t = AdaptiveTable::new(AdaptivePolicy {
+            start: 2,
+            max: 8,
+            threshold: 0,
+            window: 1,
+        });
+        engine.epochs().enter(0);
+        assert!(t.note_commit(&engine));
+        t.poll_migration();
+        assert!(
+            t.migration_pending(),
+            "an epoch active at publish pins the old generation"
+        );
+        engine.epochs().exit(0);
+        t.poll_migration();
+        assert!(!t.migration_pending());
+    }
+
+    #[test]
+    fn repin_tracks_generation_changes() {
+        let engine = GraceEngine::new(1);
+        let t = AdaptiveTable::new(AdaptivePolicy {
+            start: 1,
+            max: 4,
+            threshold: 0,
+            window: 1,
+        });
+        let mut cached = None;
+        t.repin(&mut cached);
+        let first = cached.as_ref().unwrap().0;
+        t.repin(&mut cached);
+        assert_eq!(cached.as_ref().unwrap().0, first, "no change, no repin");
+        assert!(t.note_commit(&engine));
+        t.repin(&mut cached);
+        let (second, gen) = cached.as_ref().unwrap();
+        assert!(*second > first);
+        assert_eq!(gen.nstripes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_tables")]
+    fn fixed_build_rejects_adaptive() {
+        StorageKind::Adaptive(AdaptivePolicy::default()).build(8);
+    }
+
+    #[test]
+    fn build_tables_dispatches() {
+        match (StorageKind::Striped { stripes: 4 }).build_tables(16) {
+            AnyTables::Fixed(t) => assert_eq!(t.nstripes(), 4),
+            AnyTables::Adaptive(_) => panic!("striped is fixed"),
+        }
+        match StorageKind::Adaptive(AdaptivePolicy::default()).build_tables(16) {
+            AnyTables::Adaptive(t) => assert_eq!(t.nstripes(), 64),
+            AnyTables::Fixed(_) => panic!("adaptive is not fixed"),
+        }
     }
 }

@@ -37,16 +37,19 @@
 use crate::api::{Abort, StmHandle};
 use crate::clock::{AnyClock, VersionClock};
 use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
-use crate::storage::{AnyLockTable, LockTable};
+use crate::storage::{
+    AnyLockTable, AnyTables, GenStripe, LockTable, StripeSnap, TableGen, WriterHint,
+};
+use crate::vlock::VLockState;
 use std::sync::Arc;
 
 /// TL2 state shared by all handles of one instance: the global version
-/// clock and the ownership-record table.
+/// clock and the ownership-record table(s).
 pub struct Tl2Shared {
     /// Enums, not `Box<dyn …>`: lock-word sampling and stamp acquisition
     /// sit on the transactional hot paths and must stay inlinable.
     clock: AnyClock,
-    table: AnyLockTable,
+    tables: AnyTables,
 }
 
 /// TL2's [`PolicyKind`]: [`StmConfig::storage`] selects per-register vs
@@ -60,7 +63,7 @@ impl PolicyKind for Tl2Kind {
     fn build_shared(cfg: &StmConfig) -> Tl2Shared {
         Tl2Shared {
             clock: cfg.clock.build(cfg.nthreads),
-            table: cfg.storage.build(cfg.nregs),
+            tables: cfg.storage.build_tables(cfg.nregs),
         }
     }
 
@@ -71,6 +74,8 @@ impl PolicyKind for Tl2Kind {
             rset: Vec::new(),
             wset: Vec::new(),
             stripes: Vec::new(),
+            shared_stripes: Vec::new(),
+            pinned: None,
             last_txn_wrote: false,
             wver_of_last_commit: 0,
         }
@@ -84,20 +89,66 @@ pub type Tl2Stm = Stm<Tl2Kind>;
 pub type Tl2Handle = Handle<Tl2Policy>;
 
 impl Stm<Tl2Kind> {
-    /// Number of distinct lock words in the storage backend.
+    /// Number of distinct lock words in the storage backend (the *current*
+    /// generation, under adaptive storage).
     pub fn nstripes(&self) -> usize {
-        self.shared().table.nstripes()
+        match &self.shared().tables {
+            AnyTables::Fixed(t) => t.nstripes(),
+            AnyTables::Adaptive(at) => at.nstripes(),
+        }
     }
 
     /// The stripe guarding register `x` (for constructing stripe-collision
-    /// scenarios in tests and litmus programs).
+    /// scenarios in tests and litmus programs). Under adaptive storage this
+    /// is the current generation's mapping, which a resize invalidates.
     pub fn stripe_of(&self, x: usize) -> usize {
-        self.shared().table.stripe_of(x)
+        match &self.shared().tables {
+            AnyTables::Fixed(t) => t.stripe_of(x),
+            AnyTables::Adaptive(at) => at.pin().1.table().stripe_of(x),
+        }
+    }
+
+    /// Adaptive-table generations published so far across all handles
+    /// (0 on fixed storage).
+    pub fn stripe_resizes(&self) -> u64 {
+        match &self.shared().tables {
+            AnyTables::Fixed(_) => 0,
+            AnyTables::Adaptive(at) => at.resizes(),
+        }
+    }
+
+    /// Is an adaptive rehash migration window currently open (old
+    /// generation published but not yet retired)? Always `false` on fixed
+    /// storage.
+    pub fn migration_pending(&self) -> bool {
+        match &self.shared().tables {
+            AnyTables::Fixed(_) => false,
+            AnyTables::Adaptive(at) => at.migration_pending(),
+        }
+    }
+
+    /// How many lock words are currently held, across every live
+    /// generation — a diagnostic: with no transaction mid-commit this must
+    /// be 0, however many resizes have happened (no lock may ever be
+    /// stranded in a retired table).
+    pub fn locked_stripes(&self) -> usize {
+        fn locked(t: &dyn LockTable) -> usize {
+            (0..t.nstripes())
+                .filter(|&s| t.sample_stripe(s).is_locked())
+                .count()
+        }
+        match &self.shared().tables {
+            AnyTables::Fixed(t) => locked(t),
+            AnyTables::Adaptive(at) => {
+                let (_, gen) = at.pin();
+                locked(gen.table()) + gen.prev().map_or(0, |p| locked(p))
+            }
+        }
     }
 }
 
-/// TL2 concurrency control (Fig 9) over a [`LockTable`] and a
-/// [`VersionClock`].
+/// TL2 concurrency control (Fig 9) over a [`LockTable`] (or the adaptive
+/// multi-generation table) and a [`VersionClock`].
 ///
 /// The `rset`/`wset`/`stripes` vectors live for the life of the handle and
 /// are only ever `clear()`ed (in `begin` and at commit), never reallocated:
@@ -109,8 +160,20 @@ pub struct Tl2Policy {
     rset: Vec<usize>,
     /// Sorted by register index; one entry per register.
     wset: Vec<(usize, u64)>,
-    /// Commit-time scratch: deduplicated stripes of the write set.
-    stripes: Vec<usize>,
+    /// Commit-time scratch: deduplicated (generation, stripe) lock words of
+    /// the write set. Generation 0 (a retiring table, during an adaptive
+    /// migration window) sorts — and therefore locks — first, giving every
+    /// committer the same cross-generation acquisition order.
+    stripes: Vec<GenStripe>,
+    /// Commit-time scratch: lock words more than one of this commit's
+    /// registers map to (usually empty). Their writer hints get the
+    /// ambiguous sentinel, so later aborts there are not misclassified as
+    /// false conflicts.
+    shared_stripes: Vec<GenStripe>,
+    /// The adaptive-table generation this handle's transactions run
+    /// against, re-pinned at begin whenever the generation probe moved.
+    /// `None` under fixed storage (and before the first transaction).
+    pinned: Option<(u64, Arc<TableGen>)>,
     /// Did the last completed transaction write anything? Drives the buggy
     /// read-only fence elision reproduced from [43].
     last_txn_wrote: bool,
@@ -118,17 +181,172 @@ pub struct Tl2Policy {
     wver_of_last_commit: u64,
 }
 
+/// The lock-table view one transaction runs against: a fixed table, or the
+/// pinned adaptive generation (with the retiring parent riding along during
+/// a migration window). A free function over the two policy fields — not a
+/// method — so the borrow stays field-precise and the hot paths can keep
+/// mutating the read/write sets alongside it.
+enum Tables<'a> {
+    Fixed(&'a AnyLockTable),
+    Gen(&'a TableGen),
+}
+
+#[inline]
+fn tables<'a>(shared: &'a Tl2Shared, pinned: &'a Option<(u64, Arc<TableGen>)>) -> Tables<'a> {
+    match &shared.tables {
+        AnyTables::Fixed(t) => Tables::Fixed(t),
+        AnyTables::Adaptive(_) => {
+            let (_, gen) = pinned.as_ref().expect("begin() pins a generation");
+            Tables::Gen(gen)
+        }
+    }
+}
+
+impl Tables<'_> {
+    /// Sample every live lock word guarding register `x`.
+    #[inline]
+    fn snap(&self, x: usize) -> StripeSnap {
+        match self {
+            Tables::Fixed(t) => StripeSnap {
+                cur: t.sample(x),
+                prev: None,
+            },
+            Tables::Gen(g) => g.sample(x),
+        }
+    }
+
+    /// Push the (generation, stripe) address of every lock word guarding
+    /// `x` — two during a migration window, one otherwise.
+    #[inline]
+    fn push_gen_stripes(&self, x: usize, out: &mut Vec<GenStripe>) {
+        match self {
+            Tables::Fixed(t) => out.push((1, t.stripe_of(x))),
+            Tables::Gen(g) => {
+                out.push((1, g.table().stripe_of(x)));
+                if let Some(p) = g.prev() {
+                    out.push((0, p.stripe_of(x)));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self, (gen, s): GenStripe, owner: u16) -> Result<u64, VLockState> {
+        match (self, gen) {
+            (Tables::Fixed(t), _) => t.try_lock_stripe(s, owner),
+            (Tables::Gen(g), 1) => g.table().try_lock_stripe(s, owner),
+            (Tables::Gen(g), _) => g.prev().expect("gen-0 stripe").try_lock_stripe(s, owner),
+        }
+    }
+
+    #[inline]
+    fn unlock(&self, (gen, s): GenStripe) {
+        match (self, gen) {
+            (Tables::Fixed(t), _) => t.unlock_stripe(s),
+            (Tables::Gen(g), 1) => g.table().unlock_stripe(s),
+            (Tables::Gen(g), _) => g.prev().expect("gen-0 stripe").unlock_stripe(s),
+        }
+    }
+
+    #[inline]
+    fn unlock_set_version(&self, (gen, s): GenStripe, version: u64) {
+        match (self, gen) {
+            (Tables::Fixed(t), _) => t.unlock_stripe_set_version(s, version),
+            (Tables::Gen(g), 1) => g.table().unlock_stripe_set_version(s, version),
+            (Tables::Gen(g), _) => g
+                .prev()
+                .expect("gen-0 stripe")
+                .unlock_stripe_set_version(s, version),
+        }
+    }
+
+    /// Record `x` as the last committed writer of its stripe(s) — in every
+    /// live generation, so the hint survives a migration. Lock words in
+    /// `ambiguous` (sorted) received writes for *several* of this commit's
+    /// registers: they get the [`WriterHint::Shared`] sentinel instead, so
+    /// a later abort there is never misclassified as false.
+    #[inline]
+    fn record_writer(&self, x: usize, ambiguous: &[GenStripe]) {
+        fn record(t: &impl LockTable, gen: u8, x: usize, ambiguous: &[GenStripe]) {
+            let s = t.stripe_of(x);
+            if ambiguous.binary_search(&(gen, s)).is_ok() {
+                t.record_writer_shared(s);
+            } else {
+                t.record_writer(s, x);
+            }
+        }
+        match self {
+            Tables::Fixed(t) => record(*t, 1, x, ambiguous),
+            Tables::Gen(g) => {
+                record(g.table(), 1, x, ambiguous);
+                if let Some(p) = g.prev() {
+                    record(p, 0, x, ambiguous);
+                }
+            }
+        }
+    }
+
+    /// Advisory classification of an abort on register `x`: a *false*
+    /// conflict is one where the failing stripe's last committed writer was
+    /// a different *single* register — the two merely share a lock word.
+    /// [`WriterHint::Shared`] (multi-register commit) and
+    /// [`WriterHint::None`] never classify as false; and because hints are
+    /// written at write-back, a conflict with a transaction still
+    /// mid-commit is judged against the *previous* commit through the
+    /// stripe — a bounded over-count the growth threshold tolerates, never
+    /// a correctness issue.
+    #[inline]
+    fn false_conflict(&self, x: usize) -> bool {
+        let hint = match self {
+            Tables::Fixed(t) => t.writer_hint(t.stripe_of(x)),
+            Tables::Gen(g) => {
+                let t = g.table();
+                match t.writer_hint(t.stripe_of(x)) {
+                    WriterHint::None => g
+                        .prev()
+                        .map_or(WriterHint::None, |p| p.writer_hint(p.stripe_of(x))),
+                    h => h,
+                }
+            }
+        };
+        matches!(hint, WriterHint::Register(h) if h != x)
+    }
+
+    /// Does lock word `gs` guard register `x`? The re-hash that attributes
+    /// a commit-time lock failure back to one of our write-set registers.
+    #[inline]
+    fn guards(&self, (gen, s): GenStripe, x: usize) -> bool {
+        match (self, gen) {
+            (Tables::Fixed(t), _) => t.stripe_of(x) == s,
+            (Tables::Gen(g), 1) => g.table().stripe_of(x) == s,
+            (Tables::Gen(g), _) => g.prev().is_some_and(|p| p.stripe_of(x) == s),
+        }
+    }
+}
+
+/// Release the given lock words (abort paths).
+fn release(t: &Tables<'_>, stripes: &[GenStripe]) {
+    for &gs in stripes {
+        t.unlock(gs);
+    }
+}
+
+/// Classify an abort on register `x` and feed both the per-handle counter
+/// and (under adaptive storage) the table's sliding growth window.
+fn note_false_conflict(shared: &Tl2Shared, t: &Tables<'_>, ctx: &mut TxCtx<'_>, x: usize) {
+    if t.false_conflict(x) {
+        ctx.stats.false_conflicts += 1;
+        if let AnyTables::Adaptive(at) = &shared.tables {
+            at.note_false_conflict();
+        }
+    }
+}
+
 impl Tl2Policy {
     /// Write timestamp of the most recent committed transaction — the WW
     /// ordering key handed to the opacity checker.
     pub fn last_commit_wver(&self) -> u64 {
         self.wver_of_last_commit
-    }
-
-    fn release_stripes(&self, taken: usize) {
-        for &s in &self.stripes[..taken] {
-            self.shared.table.unlock_stripe(s);
-        }
     }
 
     /// A validation failed because an orec stamp outran this transaction's
@@ -145,10 +363,47 @@ impl Tl2Policy {
             ctx.stats.clock_bumps += 1;
         }
     }
+
+    /// Commit-epilogue window bookkeeping for adaptive storage: count the
+    /// commit and, at a window boundary whose false-conflict rate crosses
+    /// the policy threshold, publish a doubled generation (retired through
+    /// the runtime's grace engine).
+    #[inline]
+    fn note_window_commit(&self, ctx: &mut TxCtx<'_>) {
+        if let AnyTables::Adaptive(at) = &self.shared.tables {
+            if at.note_commit(ctx.rt.grace()) {
+                ctx.stats.stripe_resizes += 1;
+            }
+        }
+    }
 }
 
 impl Policy for Tl2Policy {
-    fn begin(&mut self, _ctx: &mut TxCtx<'_>) {
+    fn begin(&mut self, ctx: &mut TxCtx<'_>) {
+        match &self.shared.tables {
+            AnyTables::Fixed(t) => ctx.stats.current_stripes = t.nstripes() as u64,
+            AnyTables::Adaptive(at) => {
+                // If our pinned generation carries a retiring parent, give
+                // the migration one (non-blocking) driving step — this is
+                // what completes rehashes under plain transaction traffic,
+                // with no fences and no background driver in the picture.
+                if self
+                    .pinned
+                    .as_ref()
+                    .is_some_and(|(_, g)| g.prev().is_some())
+                {
+                    at.poll_migration();
+                }
+                // Pin (or re-pin) the generation this transaction will lock
+                // and validate against. The epoch slot was entered before
+                // `begin` (see the runtime), so a publish we raced either
+                // sees us in its grace period's snapshot or we observe its
+                // new generation probe — never neither.
+                at.repin(&mut self.pinned);
+                ctx.stats.current_stripes =
+                    self.pinned.as_ref().map_or(0, |(_, g)| g.nstripes()) as u64;
+            }
+        }
         self.rv = self.shared.clock.read_stamp();
         self.rset.clear();
         self.wset.clear();
@@ -164,15 +419,18 @@ impl Policy for Tl2Policy {
         }
         // Fig 9 lines 17–23: ver, value, lock, ver again (at stripe
         // granularity: any commit to a stripe-sharing register aborts us —
-        // conservative, never unsound).
-        let table = &self.shared.table;
-        let s1 = table.sample(x);
+        // conservative, never unsound). During an adaptive migration window
+        // the snap spans both generations, so a commit through either
+        // table is observed.
+        let t = tables(&self.shared, &self.pinned);
+        let s1 = t.snap(x);
         let val = ctx.rt.load(x);
-        let s2 = table.sample(x);
-        if s2.is_locked() || s1 != s2 || self.rv < s2.version {
-            if self.rv < s2.version {
-                self.refresh_on_stale_rv(ctx, s2.version);
+        let s2 = t.snap(x);
+        if s2.is_locked() || s1 != s2 || self.rv < s2.version_max() {
+            if self.rv < s2.version_max() {
+                self.refresh_on_stale_rv(ctx, s2.version_max());
             }
+            note_false_conflict(&self.shared, &t, ctx, x);
             ctx.stats.aborts_read += 1;
             return Err(Abort);
         }
@@ -194,21 +452,40 @@ impl Policy for Tl2Policy {
             // read time (Fig 9 lines 17–23), so the snapshot is consistent;
             // classic TL2 skips the clock bump and lock phase entirely.
             self.last_txn_wrote = false;
+            self.note_window_commit(ctx);
             return Ok(());
         }
-        let table = &self.shared.table;
-        // Lock the write set's stripes (deduplicated, sorted order;
-        // trylock-or-abort per Fig 7).
+        let t = tables(&self.shared, &self.pinned);
+        // Lock the write set's lock words (deduplicated, sorted order;
+        // trylock-or-abort per Fig 7). During an adaptive migration window
+        // every register contributes its stripe in *both* generations —
+        // retiring-table words sort first, so all committers acquire
+        // cross-generation locks in the same order.
         self.stripes.clear();
-        self.stripes
-            .extend(self.wset.iter().map(|&(x, _)| table.stripe_of(x)));
+        for &(x, _) in &self.wset {
+            t.push_gen_stripes(x, &mut self.stripes);
+        }
         self.stripes.sort_unstable();
+        // Lock words several of our registers map to (pre-dedup
+        // duplicates): their writer hints become ambiguous at write-back,
+        // never a single register.
+        self.shared_stripes.clear();
+        for w in self.stripes.windows(2) {
+            if w[0] == w[1] && self.shared_stripes.last() != Some(&w[0]) {
+                self.shared_stripes.push(w[0]);
+            }
+        }
         self.stripes.dedup();
         // Abort paths need no `last_txn_wrote` update here: the runtime
         // calls `rollback` on every abort, which performs it.
-        for (taken, &s) in self.stripes.iter().enumerate() {
-            if table.try_lock_stripe(s, ctx.slot).is_err() {
-                self.release_stripes(taken);
+        for (taken, &gs) in self.stripes.iter().enumerate() {
+            if t.try_lock(gs, ctx.slot).is_err() {
+                release(&t, &self.stripes[..taken]);
+                // Re-hash the failed lock word back to one of our write-set
+                // registers to classify the conflict.
+                if let Some(&(x, _)) = self.wset.iter().find(|&&(x, _)| t.guards(gs, x)) {
+                    note_false_conflict(&self.shared, &t, ctx, x);
+                }
                 ctx.stats.aborts_lock += 1;
                 return Err(Abort);
             }
@@ -228,8 +505,10 @@ impl Policy for Tl2Policy {
             // adopted — since our begin. Any writer already mid-commit at
             // our begin took its locks before its (≤ rv) stamp, so a read
             // that overlapped it sampled a locked orec and aborted at read
-            // time. The read set is therefore exactly as validated at read
-            // time: skip the re-validation loop.
+            // time. (Cross-generation commits lock every table we sample,
+            // so the argument survives adaptive resizes.) The read set is
+            // therefore exactly as validated at read time: skip the
+            // re-validation loop.
             debug_assert_eq!(wver, self.rv + 1);
             ctx.stats.validation_elisions += 1;
         } else {
@@ -237,28 +516,33 @@ impl Policy for Tl2Policy {
             // ourselves still fails on `rv < version` if someone committed
             // to it between our read and our lock acquisition.
             for &x in &self.rset {
-                let s = table.sample(x);
-                if s.is_locked_by_other(ctx.slot) || self.rv < s.version {
-                    self.release_stripes(self.stripes.len());
-                    if self.rv < s.version {
-                        self.refresh_on_stale_rv(ctx, s.version);
+                let s = t.snap(x);
+                if s.is_locked_by_other(ctx.slot) || self.rv < s.version_max() {
+                    release(&t, &self.stripes);
+                    if self.rv < s.version_max() {
+                        self.refresh_on_stale_rv(ctx, s.version_max());
                     }
+                    note_false_conflict(&self.shared, &t, ctx, x);
                     ctx.stats.aborts_validate += 1;
                     return Err(Abort);
                 }
             }
         }
-        // Write back, then release every stripe with the new version
-        // (lines 27–30).
+        // Write back, then release every lock word with the new version
+        // (lines 27–30); the writer hints recorded here (while the locks
+        // are still held) are what classifies later conflicts on these
+        // stripes as false or real.
         for &(x, v) in &self.wset {
             ctx.rt.store(x, v);
+            t.record_writer(x, &self.shared_stripes);
         }
-        for &s in &self.stripes {
-            table.unlock_stripe_set_version(s, wver);
+        for &gs in &self.stripes {
+            t.unlock_set_version(gs, wver);
         }
         // The read-only case early-returned above, so this commit wrote.
         self.last_txn_wrote = true;
         self.wver_of_last_commit = wver;
+        self.note_window_commit(ctx);
         Ok(())
     }
 
@@ -289,12 +573,23 @@ mod tests {
     use crate::api::Stats;
     use crate::clock::ClockKind;
 
-    /// Run every TL2 unit scenario against both storage backends and all
-    /// three clock backends: the policy must be agnostic to both axes.
+    /// Run every TL2 unit scenario against all storage backends (fixed
+    /// striped, adaptive — with a hair-trigger growth policy so resizes
+    /// happen mid-scenario — and per-register under all three clocks): the
+    /// policy must be agnostic to both axes.
     fn backends(nregs: usize, nthreads: usize) -> Vec<Tl2Stm> {
-        let mut stms = vec![Tl2Stm::with_config(
-            StmConfig::new(nregs, nthreads).striped(4),
-        )];
+        use crate::storage::AdaptivePolicy;
+        let mut stms = vec![
+            Tl2Stm::with_config(StmConfig::new(nregs, nthreads).striped(4)),
+            Tl2Stm::with_config(
+                StmConfig::new(nregs, nthreads).adaptive_stripes(AdaptivePolicy {
+                    start: 1,
+                    max: 16,
+                    threshold: 0,
+                    window: 4,
+                }),
+            ),
+        ];
         for clock in ClockKind::ALL {
             stms.push(Tl2Stm::with_config(
                 StmConfig::new(nregs, nthreads).clock(clock),
@@ -591,6 +886,70 @@ mod tests {
             );
             assert_eq!(s.aborts_total(), 0, "{}", clock.label());
         }
+    }
+
+    /// A commit writing several registers through ONE stripe must hint the
+    /// ambiguous sentinel, so a conflict with any of its registers is NOT
+    /// classified false — the review-grade case where hint-by-last-register
+    /// would misreport a real conflict as stripe sharing.
+    #[test]
+    fn multi_register_commit_conflicts_are_not_false() {
+        use crate::storage::WriterHint;
+        use std::sync::Barrier;
+        let stm = Tl2Stm::with_config(StmConfig::new(4, 2).striped(1));
+        {
+            // Writer commits registers 0 AND 1 through the single stripe:
+            // the hint must be Shared, not Register(1).
+            let mut w = stm.handle(0);
+            w.atomic(|tx| {
+                tx.write(0, 5)?;
+                tx.write(1, 6)
+            });
+            match &stm.shared().tables {
+                AnyTables::Fixed(t) => {
+                    assert_eq!(t.writer_hint(0), WriterHint::Shared);
+                }
+                AnyTables::Adaptive(_) => unreachable!("fixed config"),
+            }
+        }
+        // Force a conflict: reader samples register 0, parks; the writer
+        // commits registers 0+1 again. The reader's abort is a REAL
+        // conflict (register 0 was written) and must not count as false.
+        let after_read = std::sync::Arc::new(Barrier::new(2));
+        let after_commit = std::sync::Arc::new(Barrier::new(2));
+        let stats = std::thread::scope(|s| {
+            let stm1 = stm.clone();
+            let (b1, b2) = (Arc::clone(&after_read), Arc::clone(&after_commit));
+            let reader = s.spawn(move || {
+                let mut h = stm1.handle(1);
+                let mut first = true;
+                h.atomic(|tx| {
+                    let v = tx.read(0)?;
+                    if first {
+                        first = false;
+                        b1.wait();
+                        b2.wait();
+                    }
+                    tx.write(3, v + 1)
+                });
+                h.stats()
+            });
+            let mut w = stm.handle(0);
+            after_read.wait();
+            w.atomic(|tx| {
+                tx.write(0, 50)?;
+                tx.write(1, 60)
+            });
+            after_commit.wait();
+            reader.join().unwrap()
+        });
+        assert_eq!(stats.retries, 1, "{stats:?}");
+        assert_eq!(
+            stats.false_conflicts, 0,
+            "a conflict with a multi-register commit that really wrote the \
+             read register must not classify as false: {stats:?}"
+        );
+        assert_eq!(stm.peek(3), 51);
     }
 
     #[test]

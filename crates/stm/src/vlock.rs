@@ -16,6 +16,7 @@ const VERSION_SHIFT: u32 = 16;
 /// A snapshot of a versioned lock word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VLockState {
+    /// The stripe's version at the sample.
     pub version: u64,
     /// Owner slot if locked.
     pub owner: Option<u16>,
@@ -31,11 +32,13 @@ impl VLockState {
         }
     }
 
+    /// Was the word locked (by anyone) at the sample?
     #[inline]
     pub fn is_locked(&self) -> bool {
         self.owner.is_some()
     }
 
+    /// Was the word locked by a thread other than `me` at the sample?
     #[inline]
     pub fn is_locked_by_other(&self, me: u16) -> bool {
         self.owner.is_some_and(|o| o != me)
@@ -49,6 +52,7 @@ pub struct VLock {
 }
 
 impl VLock {
+    /// An unlocked word at version 0.
     pub fn new() -> Self {
         VLock {
             word: AtomicU64::new(0),
