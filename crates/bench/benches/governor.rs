@@ -1,0 +1,44 @@
+//! E22 — the self-tuning contention governor: the phase-shift workload
+//! (a read-heavy phase, then a write-heavy phase on the *same* instance)
+//! across the configuration axis — `StmConfig::auto()` against each
+//! static clock discipline on a right-sized fixed table.
+//!
+//! Expected shape: auto converges (shrinking its seeded table under the
+//! calm read phase, re-tuning the clock discipline at each shift) and
+//! tracks the per-phase best static configuration, while a static commit
+//! to the wrong discipline stays measurably worse on at least one phase
+//! (`BENCH_governor.json`, written by `overhead_report --json`, records
+//! the trajectory, separating the cold adaptation transient from the
+//! converged steady state).
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench governor`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{governor_configs, governor_phase_shift};
+
+fn governor(c: &mut Criterion) {
+    let threads = 2;
+    let nregs = 1024;
+    let txns_per_phase = 2_000;
+    let mut g = c.benchmark_group("governor/phase-shift");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * threads as u64 * txns_per_phase));
+    for (label, _) in governor_configs(nregs, threads) {
+        g.bench_with_input(BenchmarkId::new(&label, threads), &label, |b, label| {
+            b.iter(|| {
+                // Configs hold per-instance state, so each iteration
+                // rebuilds its own from the axis.
+                let cfg = governor_configs(nregs, threads)
+                    .into_iter()
+                    .find(|(l, _)| l == label)
+                    .unwrap()
+                    .1;
+                governor_phase_shift(label, cfg, threads, nregs, txns_per_phase)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, governor);
+criterion_main!(benches);

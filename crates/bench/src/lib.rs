@@ -743,6 +743,189 @@ pub fn render_stripe_report_json(rows: &[StripeBenchRow], txns_per_thread: u64) 
     out
 }
 
+/// One measured cell of the governor benchmark matrix (config × phase).
+#[derive(Clone, Debug)]
+pub struct GovernorBenchRow {
+    /// Configuration label (`auto`, `static-gv1-striped64`, …).
+    pub config: String,
+    /// Workload phase (`read-heavy` / `write-heavy`).
+    pub phase: &'static str,
+    pub commits_per_sec: f64,
+    /// Generations the governor published *during this phase* (0 for
+    /// static configurations).
+    pub resizes: u64,
+    /// Clock-discipline handoffs the governor performed during this phase
+    /// (0 for static configurations).
+    pub clock_switches: u64,
+}
+
+/// The configuration axis of the governor benchmark: the self-tuning
+/// [`StmConfig::auto`] instance against each static clock discipline on a
+/// right-sized fixed table. Exactly one discipline is the best static
+/// choice per phase and host — and committing statically to the wrong one
+/// is the mis-sizing the governor exists to avoid. (Stripe mis-sizing is
+/// deliberately not on this axis: its penalty is false conflicts, which
+/// need real transaction overlap — on a 1-core host an undersized table
+/// measures *faster*, not slower; see [`stripe_policies`]. The governor's
+/// table trajectory is instead reported by the `auto-cold` rows.)
+pub fn governor_configs(nregs: usize, threads: usize) -> Vec<(String, StmConfig)> {
+    let mut v = vec![("auto".into(), StmConfig::auto(nregs, threads))];
+    for clock in ClockKind::ALL {
+        v.push((
+            format!("static-{}-striped64", clock.label()),
+            StmConfig::new(nregs, threads).striped(64).clock(clock),
+        ));
+    }
+    v
+}
+
+/// Run the governor phase-shift workload on one configured instance: a
+/// read-heavy phase (10% writing transactions) followed — on the *same*
+/// instance, so an adaptive configuration must re-tune mid-run — by a
+/// write-heavy phase (90% writing transactions). Writing transactions
+/// touch only their thread's disjoint register block, so aborts are false
+/// conflicts; read-only transactions sample the whole file. Returns one
+/// row per phase with the phase's throughput and the governor activity
+/// (resize publications, clock handoffs) it triggered.
+pub fn governor_phase_shift(
+    label: &str,
+    cfg: StmConfig,
+    threads: usize,
+    nregs: usize,
+    txns_per_phase: u64,
+) -> Vec<GovernorBenchRow> {
+    let stm = Tl2Stm::with_config(cfg);
+    governor_phase_shift_on(&stm, label, threads, nregs, txns_per_phase)
+}
+
+/// [`governor_phase_shift`] on a caller-owned instance, so a prior pass
+/// can serve as the convergence warm-up: a governed instance that already
+/// lived through one shift starts the next read-heavy phase tuned for the
+/// *write*-heavy end and must re-tune — the converged steady state the
+/// report's `auto` rows measure.
+pub fn governor_phase_shift_on(
+    stm: &Tl2Stm,
+    label: &str,
+    threads: usize,
+    nregs: usize,
+    txns_per_phase: u64,
+) -> Vec<GovernorBenchRow> {
+    const OPS_PER_TXN: usize = 4;
+    let block = nregs / threads;
+    let mut rows = Vec::new();
+    for (phase, write_pct) in [("read-heavy", 10u64), ("write-heavy", 90u64)] {
+        let resizes_before = stm.stripe_resizes();
+        let switches_before = stm.clock_switches();
+        let start = Instant::now();
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let stm = stm.clone();
+                sc.spawn(move || {
+                    let mut h = stm.handle(t);
+                    let base = t * block;
+                    let mut s = (t as u64 + 1) * 0x9E37_79B9 + write_pct;
+                    for _ in 0..txns_per_phase {
+                        s = lcg(s);
+                        // The governor folds whole-commit read/write mix,
+                        // so each transaction is either purely reading or
+                        // writing — the share is the phase's write_pct.
+                        if (s >> 8) % 100 < write_pct {
+                            h.atomic(|tx| {
+                                for _ in 0..OPS_PER_TXN {
+                                    s = lcg(s);
+                                    tx.write(base + (s as usize % block), s | 1)?;
+                                }
+                                Ok(())
+                            });
+                        } else {
+                            h.atomic(|tx| {
+                                let mut acc = 0u64;
+                                for _ in 0..OPS_PER_TXN {
+                                    s = lcg(s);
+                                    acc = acc.wrapping_add(tx.read(s as usize % nregs)?);
+                                }
+                                Ok(acc)
+                            });
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(GovernorBenchRow {
+            config: label.to_string(),
+            phase,
+            commits_per_sec: (threads as u64 * txns_per_phase) as f64 / elapsed,
+            resizes: stm.stripe_resizes() - resizes_before,
+            clock_switches: stm.clock_switches() - switches_before,
+        });
+    }
+    rows
+}
+
+/// Measure the full governor matrix: every configuration of
+/// [`governor_configs`] through the phase-shift workload. The governed
+/// instance runs the shift twice: the first pass is reported as
+/// `auto-cold` (the adaptation transient — the seeded table shrinking
+/// under calm traffic, the first clock handoff), the second as `auto`
+/// (converged steady state: the table already at its tuned size, one
+/// clock re-tune per phase) — the row the best-static comparison is
+/// about.
+pub fn governor_matrix(threads: usize, nregs: usize, txns_per_phase: u64) -> Vec<GovernorBenchRow> {
+    let mut rows = Vec::new();
+    for (label, cfg) in governor_configs(nregs, threads) {
+        if label == "auto" {
+            let stm = Tl2Stm::with_config(cfg);
+            rows.extend(governor_phase_shift_on(
+                &stm,
+                "auto-cold",
+                threads,
+                nregs,
+                txns_per_phase,
+            ));
+            rows.extend(governor_phase_shift_on(
+                &stm,
+                "auto",
+                threads,
+                nregs,
+                txns_per_phase,
+            ));
+        } else {
+            rows.extend(governor_phase_shift(
+                &label,
+                cfg,
+                threads,
+                nregs,
+                txns_per_phase,
+            ));
+        }
+    }
+    rows
+}
+
+/// Render the governor matrix as the `BENCH_governor.json` document
+/// (`bench_governor/v1`): converged-auto throughput per phase against the
+/// best and worst static configurations, plus the governor activity that
+/// got it there — the self-tuning perf trajectory later PRs diff against.
+pub fn render_governor_report_json(rows: &[GovernorBenchRow], txns_per_phase: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_governor/v1\",\n");
+    out.push_str("  \"workload\": \"phase-shift\",\n");
+    out.push_str(&format!("  \"txns_per_phase\": {txns_per_phase},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"phase\": \"{}\", \
+             \"commits_per_sec\": {:.1}, \"resizes\": {}, \"clock_switches\": {}}}{sep}\n",
+            r.config, r.phase, r.commits_per_sec, r.resizes, r.clock_switches
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1011,6 +1194,63 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_valid_json(&render_stripe_report_json(&[], 1));
+    }
+
+    #[test]
+    fn governor_matrix_and_json_report() {
+        // 3_000 txns/phase × 2 threads crosses plenty of 128-commit
+        // governor windows and several 1024-commit table windows, so the
+        // governed rows' self-tuning is deterministic: the cold pass must
+        // shrink the 64-stripe seeded table under the calm read phase and
+        // switch the clock at the write shift; the converged pass must
+        // re-tune the clock once per phase.
+        let rows = governor_matrix(2, 1024, 3_000);
+        // auto-cold + auto + 3 static clocks, × 2 phases.
+        assert_eq!(rows.len(), 10);
+        let cell = |config: &str, phase: &str| {
+            rows.iter()
+                .find(|r| r.config == config && r.phase == phase)
+                .unwrap()
+        };
+        for r in &rows {
+            assert!(r.commits_per_sec > 0.0, "{}/{}", r.config, r.phase);
+            if !r.config.starts_with("auto") {
+                assert_eq!(r.resizes, 0, "static configs never resize");
+                assert_eq!(r.clock_switches, 0, "static configs never switch");
+            }
+        }
+        assert!(
+            cell("auto-cold", "read-heavy").resizes >= 1,
+            "calm read-heavy traffic must shrink the seeded table: {:?}",
+            cell("auto-cold", "read-heavy")
+        );
+        assert!(
+            cell("auto-cold", "write-heavy").clock_switches >= 1,
+            "the write-heavy shift must switch the clock: {:?}",
+            cell("auto-cold", "write-heavy")
+        );
+        // Converged: the instance enters each phase tuned for the other
+        // one and must re-tune exactly as telemetry directs.
+        for phase in ["read-heavy", "write-heavy"] {
+            assert!(
+                cell("auto", phase).clock_switches >= 1,
+                "converged auto must re-tune the clock each phase: {:?}",
+                cell("auto", phase)
+            );
+        }
+        let json = render_governor_report_json(&rows, 3_000);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_governor/v1\"",
+            "\"config\"",
+            "\"phase\"",
+            "\"commits_per_sec\"",
+            "\"resizes\"",
+            "\"clock_switches\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_governor_report_json(&[], 1));
     }
 
     #[test]

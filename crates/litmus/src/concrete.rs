@@ -43,12 +43,18 @@ pub enum Backend {
     Tl2Clock {
         clock: ClockKind,
     },
+    /// TL2 fully self-tuned: the contention governor owns the table
+    /// (adaptive stripes with the shrink side armed) *and* the clock
+    /// ([`ClockKind::Auto`], telemetry-driven GV1 ↔ GV5 handoffs). The
+    /// governor may resize and switch disciplines mid-scenario; none of it
+    /// may be visible to any correctness verdict.
+    Tl2Auto,
     Norec,
     Glock,
 }
 
 impl Backend {
-    pub const ALL: [Backend; 7] = [
+    pub const ALL: [Backend; 8] = [
         Backend::Tl2PerRegister,
         Backend::Tl2Striped { stripes: 8 },
         Backend::Tl2Adaptive,
@@ -58,6 +64,7 @@ impl Backend {
         Backend::Tl2Clock {
             clock: ClockKind::Gv5,
         },
+        Backend::Tl2Auto,
         Backend::Norec,
         Backend::Glock,
     ];
@@ -79,6 +86,7 @@ impl Backend {
             Backend::Tl2Striped { stripes } => format!("tl2/striped-{stripes}"),
             Backend::Tl2Adaptive => "tl2/adaptive".into(),
             Backend::Tl2Clock { clock } => format!("tl2/{}", clock.label()),
+            Backend::Tl2Auto => "tl2/auto".into(),
             Backend::Norec => "norec".into(),
             Backend::Glock => "glock".into(),
         }
@@ -246,8 +254,8 @@ pub struct ScenarioRun {
     /// The recorded history, when recording was requested *and* the
     /// scenario [`Scenario::records_cleanly`].
     pub history: Option<History>,
-    /// Adaptive-table generations published during the run
-    /// (`Some` only on [`Backend::Tl2Adaptive`]).
+    /// Adaptive-table generations published during the run (`Some` only
+    /// on [`Backend::Tl2Adaptive`] and [`Backend::Tl2Auto`]).
     pub stripe_resizes: Option<u64>,
 }
 
@@ -320,6 +328,19 @@ pub fn run_scenario_mode(
         }
         Backend::Tl2Clock { clock } => {
             drive(scenario, &Tl2Stm::with_config(cfg.clock(clock)), backend)
+        }
+        Backend::Tl2Auto => {
+            // The governed backend: same hair-trigger adaptive policy as
+            // `Tl2Adaptive` (so the grow side still fires mid-scenario),
+            // plus the auto clock — which arms shrink and lets the
+            // governor switch disciplines under live traffic.
+            let stm = Tl2Stm::with_config(
+                cfg.adaptive_stripes(Backend::adaptive_policy())
+                    .clock(ClockKind::Auto),
+            );
+            let out = drive(scenario, &stm, backend);
+            stripe_resizes = Some(stm.stripe_resizes());
+            out
         }
         Backend::Norec => drive(scenario, &NorecStm::with_config(cfg), backend),
         Backend::Glock => drive(scenario, &GlockStm::with_config(cfg), backend),

@@ -143,6 +143,11 @@ impl EpochTable {
 /// A completion callback registered on a grace period.
 type Callback = Box<dyn FnOnce() + Send>;
 
+/// A [`GraceDriver`] tick hook: invoked once per driver wakeup (explicit or
+/// fallback tick), outside any engine lock. `Arc`ed so the driver thread
+/// can call it without holding the installation mutex.
+type TickHook = Arc<dyn Fn() + Send + Sync>;
+
 /// State of the (at most one) epoch-table scan in progress.
 struct ScanState {
     /// Period the scan will complete when `pending` drains; 0 = no scan.
@@ -463,6 +468,9 @@ pub struct GraceDriver {
     /// Fallback timeouts the thread woke from with *nothing to do* (the
     /// waste an adaptive idle tick minimizes); shared with the thread.
     idle_wakeups: Arc<AtomicU64>,
+    /// Optional per-wakeup hook (see [`Self::set_tick_hook`]); shared with
+    /// the thread.
+    tick_hook: Arc<Mutex<Option<TickHook>>>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -495,21 +503,41 @@ impl GraceDriver {
         );
         let stop = Arc::new(AtomicBool::new(false));
         let idle_wakeups = Arc::new(AtomicU64::new(0));
+        let tick_hook: Arc<Mutex<Option<TickHook>>> = Arc::new(Mutex::new(None));
         let thread = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
             let idle_wakeups = Arc::clone(&idle_wakeups);
+            let tick_hook = Arc::clone(&tick_hook);
             std::thread::Builder::new()
                 .name("tm-grace-driver".into())
-                .spawn(move || Self::run(&engine, &stop, tick, &idle_wakeups))
+                .spawn(move || Self::run(&engine, &stop, tick, &idle_wakeups, &tick_hook))
                 .expect("spawn grace-period driver thread")
         };
         GraceDriver {
             engine,
             stop,
             idle_wakeups,
+            tick_hook,
             thread: Some(thread),
         }
+    }
+
+    /// Install (or replace) the driver's *tick hook*: a callback the driver
+    /// thread invokes once per wakeup — explicit (issue / callback
+    /// registration) or fallback tick — outside every engine lock. This is
+    /// the periodic-work channel the STM runtime's contention governor
+    /// rides: the hook polls reconfiguration tickets (stripe migrations,
+    /// clock handoffs) so they settle in bounded time even when no
+    /// transaction traffic would otherwise drive the engine. The hook must
+    /// not block indefinitely (a blocked hook blocks period retirement,
+    /// exactly as a blocked completion callback would); it *may* issue
+    /// tickets and drive the engine.
+    pub fn set_tick_hook(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.tick_hook.lock().unwrap() = Some(Arc::new(f));
+        // Wake the thread so the first invocation does not wait out a
+        // backed-off idle tick.
+        self.engine.notify_driver();
     }
 
     /// The engine this driver is attached to.
@@ -534,7 +562,13 @@ impl GraceDriver {
     /// must poll, but at tick granularity, not scheduler granularity.
     const YIELDS_BEFORE_SLEEP: u32 = 64;
 
-    fn run(engine: &GraceEngine, stop: &AtomicBool, min_tick: Duration, idle_wakeups: &AtomicU64) {
+    fn run(
+        engine: &GraceEngine,
+        stop: &AtomicBool,
+        min_tick: Duration,
+        idle_wakeups: &AtomicU64,
+        tick_hook: &Mutex<Option<TickHook>>,
+    ) {
         // The adaptive idle fallback: scaled by observed issue rate. While
         // work keeps arriving the tick sits at `min_tick` (snappy
         // fallback); every fallback wakeup that finds nothing doubles it,
@@ -544,6 +578,14 @@ impl GraceDriver {
         // delayed by the backoff.
         let mut idle_tick = min_tick;
         loop {
+            // Run the tick hook once per wakeup, before draining: cloned
+            // out of the mutex so a slow hook never blocks installation,
+            // and outside every engine lock so it may issue tickets or
+            // drive the engine itself.
+            let hook = tick_hook.lock().unwrap().clone();
+            if let Some(hook) = hook {
+                hook();
+            }
             // Retire everything outstanding. New issues during the inner
             // loop raise `issued`, and the outer re-check picks them up.
             while engine.has_pending() {
@@ -1109,6 +1151,42 @@ mod tests {
             issued_at.elapsed() < Duration::from_secs(5),
             "a backed-off driver must still wake on issue"
         );
+    }
+
+    /// The tick hook runs on every driver wakeup — including pure fallback
+    /// ticks with no engine work — and may itself drive the engine: the
+    /// periodic channel the STM contention governor uses to settle
+    /// reconfigurations in bounded time without transaction traffic.
+    #[test]
+    fn driver_tick_hook_fires_while_idle_and_may_drive() {
+        let eng = GraceEngine::new(2);
+        let driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let ticks = Arc::new(AtomicUsize::new(0));
+        {
+            let ticks = Arc::clone(&ticks);
+            let eng = Arc::clone(&eng);
+            driver.set_tick_hook(move || {
+                ticks.fetch_add(1, Ordering::SeqCst);
+                // Hooks may drive: poll whatever has been issued so far.
+                eng.drive(eng.issued());
+            });
+        }
+        // No issues, no pollers: only fallback ticks can run the hook.
+        sleep_until("three idle tick-hook firings", || {
+            ticks.load(Ordering::SeqCst) >= 3
+        });
+        // A fire-and-forget ticket still retires (the hook coexists with
+        // the drain loop) and its wakeup also ticks the hook.
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            eng.issue().on_complete(move || {
+                fired.store(true, Ordering::SeqCst);
+            });
+        }
+        sleep_until("callback under a hooked driver", || {
+            fired.load(Ordering::SeqCst)
+        });
     }
 
     /// `has_pending`/`issued` track the ticket lifecycle.

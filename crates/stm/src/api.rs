@@ -133,6 +133,16 @@ pub struct Stats {
     /// against — a *gauge*, not a counter: [`Stats::merge`] keeps the
     /// maximum, so a merged view reports the largest table any handle saw.
     pub current_stripes: u64,
+    /// Commits whose write set was empty. Together with
+    /// [`Stats::write_commits`] this is the read/write mix the contention
+    /// governor feeds on when choosing a version-clock discipline.
+    pub read_only_commits: u64,
+    /// Commits that installed at least one write.
+    pub write_commits: u64,
+    /// Clock-discipline switches (GV1 ↔ GV5) this handle's governor fold
+    /// requested on the shared auto clock; each one opens a grace-fenced
+    /// handoff window. See [`crate::clock`].
+    pub clock_switches: u64,
 }
 
 impl Stats {
@@ -161,6 +171,9 @@ impl Stats {
         // Gauge, not counter: the merged view reports the largest table any
         // of the merged handles ran against.
         self.current_stripes = self.current_stripes.max(o.current_stripes);
+        self.read_only_commits += o.read_only_commits;
+        self.write_commits += o.write_commits;
+        self.clock_switches += o.clock_switches;
     }
 }
 
@@ -235,6 +248,9 @@ mod tests {
             false_conflicts: 14,
             stripe_resizes: 15,
             current_stripes: 16,
+            read_only_commits: 17,
+            write_commits: 18,
+            clock_switches: 19,
         };
         let mut acc = Stats::default();
         acc.merge(&x);

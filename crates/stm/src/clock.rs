@@ -42,7 +42,9 @@
 //! the clock at all, so every backend is fence- and checker-agnostic.
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tm_quiesce::{GraceEngine, GraceTicket};
 
 /// Clock-backend selection for timestamp-based policies, used by
 /// [`crate::runtime::StmConfig`].
@@ -56,10 +58,18 @@ pub enum ClockKind {
     /// Slot-local deltas: commits never write the shared line; trailing
     /// readers refresh it on their (single) false abort.
     Gv5,
+    /// Governor-switchable GV1 ↔ GV5: starts in the GV1 discipline and lets
+    /// the contention governor hand off between disciplines online through
+    /// a grace-fenced transition (see [`AutoClock`]). Selecting this kind
+    /// is what arms the governor in TL2 instances.
+    Auto,
 }
 
 impl ClockKind {
-    /// Every clock backend, for matrix tests and benches.
+    /// Every *static* clock backend, for matrix tests and benches. `Auto`
+    /// is deliberately excluded: its discipline is workload-dependent, so
+    /// it has its own governor bench rather than a row in the static
+    /// clock matrices.
     pub const ALL: [ClockKind; 3] = [ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5];
 
     /// Human-readable backend label (bench/report key).
@@ -68,6 +78,7 @@ impl ClockKind {
             ClockKind::Gv1 => "gv1",
             ClockKind::Gv4 => "gv4",
             ClockKind::Gv5 => "gv5",
+            ClockKind::Auto => "auto",
         }
     }
 
@@ -77,6 +88,7 @@ impl ClockKind {
             ClockKind::Gv1 => AnyClock::Gv1(Gv1Clock::new()),
             ClockKind::Gv4 => AnyClock::Gv4(Gv4Clock::new()),
             ClockKind::Gv5 => AnyClock::Gv5(Gv5Clock::new(nthreads)),
+            ClockKind::Auto => AnyClock::Auto(AutoClock::new(nthreads)),
         }
     }
 }
@@ -134,6 +146,8 @@ pub enum AnyClock {
     Gv4(Gv4Clock),
     /// Slot-local deltas.
     Gv5(Gv5Clock),
+    /// Governor-switchable GV1 ↔ GV5.
+    Auto(AutoClock),
 }
 
 macro_rules! delegate {
@@ -142,6 +156,7 @@ macro_rules! delegate {
             AnyClock::Gv1($c) => $e,
             AnyClock::Gv4($c) => $e,
             AnyClock::Gv5($c) => $e,
+            AnyClock::Auto($c) => $e,
         }
     };
 }
@@ -313,6 +328,229 @@ impl VersionClock for Gv5Clock {
     }
 }
 
+/// The stamping discipline an [`AutoClock`] is currently running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoMode {
+    /// `fetch_add` per writing commit (read-mostly workloads: bumps are
+    /// rare and the exclusive-bump elision fast path stays armed).
+    Gv1,
+    /// Slot-local deltas (write-heavy workloads: zero shared-line writes
+    /// per commit, trailing readers pay the refresh instead).
+    Gv5,
+}
+
+impl AutoMode {
+    /// Bench/report key for the discipline.
+    pub fn label(self) -> &'static str {
+        match self {
+            AutoMode::Gv1 => "gv1",
+            AutoMode::Gv5 => "gv5",
+        }
+    }
+}
+
+const MODE_GV1: u64 = 0;
+const MODE_GV5: u64 = 1;
+
+/// Shared handoff state for an in-flight discipline switch: `settled`
+/// gates the GV1 exclusivity fast path, `pending` is the grace ticket the
+/// switch is fenced by (polled from transaction begins for cooperative
+/// liveness, completed by whichever thread drives the period home).
+struct Handoff {
+    settled: AtomicBool,
+    pending: Mutex<Option<GraceTicket>>,
+}
+
+/// Governor-switchable version clock: one monotone global line that can be
+/// stamped under either the GV1 (`fetch_add`) or the GV5 (slot-local
+/// delta) discipline, switched online by the contention governor.
+///
+/// # Why mixing disciplines over one line is sound
+///
+/// Both disciplines uphold the module-level obligation against the *same*
+/// global register: a GV1 stamp is `fetch_add → old + 1 > global ≥ rv`,
+/// and a GV5 stamp is `max(global, own-last) + 1 ≥ global + 1 > rv`, for
+/// every `rv` issued before the stamp (reads always load this one global,
+/// which only ever moves forward via `fetch_add`/`fetch_max`). So *any*
+/// interleaving of the two disciplines — including the handoff window
+/// where in-flight committers still stamp under the old mode — hands out
+/// write stamps strictly above every previously issued read stamp. No
+/// live `rv` can observe a regression, by construction.
+///
+/// What is **not** sound across a handoff is the GV1 exclusivity proof:
+/// `old == rv` only proves "no concurrent commit" if every concurrent
+/// writer bumps the line, which a straggler still stamping under GV5 does
+/// not. The switch therefore publishes the new mode, raises the global
+/// above the old discipline's ceiling (the max of the slot-local stamps,
+/// so the new regime starts strictly above every stamp the old one
+/// issued), and issues a grace ticket; until that period retires — i.e.
+/// until every transaction that could have pinned the old mode has
+/// finished — [`WriteStamp::exclusive`] is suppressed. Only the fast path
+/// waits on the fence, never correctness.
+pub struct AutoClock {
+    global: CachePadded<AtomicU64>,
+    /// Last stamp each slot issued under the GV5 discipline (the old
+    /// discipline's ceiling when switching back to GV1).
+    locals: Box<[CachePadded<AtomicU64>]>,
+    /// Current discipline (`MODE_GV1` / `MODE_GV5`).
+    mode: CachePadded<AtomicU64>,
+    handoff: Arc<Handoff>,
+    switches: AtomicU64,
+}
+
+impl AutoClock {
+    /// A clock at stamp 0, starting in the GV1 discipline.
+    pub fn new(nthreads: usize) -> Self {
+        AutoClock {
+            global: CachePadded::new(AtomicU64::new(0)),
+            locals: (0..nthreads.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mode: CachePadded::new(AtomicU64::new(MODE_GV1)),
+            handoff: Arc::new(Handoff {
+                settled: AtomicBool::new(true),
+                pending: Mutex::new(None),
+            }),
+            switches: AtomicU64::new(0),
+        }
+    }
+
+    /// The discipline stamps are currently drawn under.
+    pub fn mode(&self) -> AutoMode {
+        if self.mode.load(Ordering::SeqCst) == MODE_GV1 {
+            AutoMode::Gv1
+        } else {
+            AutoMode::Gv5
+        }
+    }
+
+    /// Completed discipline switches since construction.
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::SeqCst)
+    }
+
+    /// Has the last switch's grace period retired? While `false`, the GV1
+    /// exclusivity fast path stays suppressed.
+    pub fn settled(&self) -> bool {
+        self.handoff.settled.load(Ordering::SeqCst)
+    }
+
+    /// Request a switch to discipline `want`, fenced by `engine`. Returns
+    /// `true` if this call published the switch; `false` if the clock is
+    /// already in (or still settling into) some mode — at most one handoff
+    /// is in flight at a time, so a raced governor fold simply retries at
+    /// its next window boundary.
+    pub fn request(&self, want: AutoMode, engine: &Arc<GraceEngine>) -> bool {
+        // Claim the (single) handoff slot before touching anything else.
+        if self
+            .handoff
+            .settled
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        if self.mode() == want {
+            self.handoff.settled.store(true, Ordering::SeqCst);
+            return false;
+        }
+        if want == AutoMode::Gv1 {
+            // Leaving GV5: raise the global above every slot-local stamp so
+            // the fetch_add regime resumes strictly above the old ceiling.
+            // A straggler still stamping under GV5 can exceed this snapshot;
+            // that only delays elision re-arming (see type docs), never
+            // stamp ordering.
+            let ceiling = self
+                .locals
+                .iter()
+                .map(|l| l.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            self.global.fetch_max(ceiling, Ordering::SeqCst);
+        }
+        self.mode.store(
+            match want {
+                AutoMode::Gv1 => MODE_GV1,
+                AutoMode::Gv5 => MODE_GV5,
+            },
+            Ordering::SeqCst,
+        );
+        self.switches.fetch_add(1, Ordering::SeqCst);
+        let ticket = engine.issue();
+        *self.handoff.pending.lock().unwrap() = Some(ticket.clone());
+        // Registered after the pending slot is filled and its lock dropped:
+        // the callback (run by whichever thread completes the period) takes
+        // the same lock.
+        let handoff = Arc::clone(&self.handoff);
+        ticket.on_complete(move || {
+            handoff.settled.store(true, Ordering::SeqCst);
+            handoff.pending.lock().unwrap().take();
+        });
+        true
+    }
+
+    /// Give the pending handoff (if any) a non-blocking push — called from
+    /// transaction begins so cooperative-mode instances settle without a
+    /// background driver. `try_lock` keeps concurrent begins from piling up
+    /// on the slot.
+    pub fn poll_settle(&self) {
+        if self.handoff.settled.load(Ordering::SeqCst) {
+            return;
+        }
+        let ticket = match self.handoff.pending.try_lock() {
+            Ok(guard) => guard.clone(),
+            Err(_) => return,
+        };
+        if let Some(t) = ticket {
+            t.poll();
+        }
+    }
+}
+
+impl VersionClock for AutoClock {
+    #[inline]
+    fn read_stamp(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn write_stamp(&self, slot: u16, rv: u64) -> WriteStamp {
+        match self.mode.load(Ordering::SeqCst) {
+            MODE_GV1 => {
+                let old = self.global.fetch_add(1, Ordering::SeqCst);
+                WriteStamp {
+                    wver: old + 1,
+                    bumped: true,
+                    // Exclusivity is only provable once the last handoff's
+                    // grace period retired (no straggler can still stamp
+                    // without bumping the line).
+                    exclusive: old == rv && self.handoff.settled.load(Ordering::SeqCst),
+                }
+            }
+            _ => {
+                let local = &self.locals[usize::from(slot)];
+                let prev = local.load(Ordering::Relaxed);
+                let wver = self.global.load(Ordering::SeqCst).max(prev) + 1;
+                local.store(wver, Ordering::Relaxed);
+                WriteStamp {
+                    wver,
+                    bumped: false,
+                    exclusive: false,
+                }
+            }
+        }
+    }
+
+    fn refresh(&self, observed: u64) -> bool {
+        // Under GV1 stamps never outrun the global, so this is a no-op
+        // there; under GV5 (and across a GV5 → GV1 handoff window, where
+        // orecs may still hold straggler stamps above the global) it
+        // advances the reader view exactly like `Gv5Clock`.
+        self.global.fetch_max(observed, Ordering::SeqCst) < observed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +674,137 @@ mod tests {
         assert_eq!(c.read_stamp(), 3);
         // The next stamp clears the refreshed view.
         assert_eq!(c.write_stamp(0, 3).wver, 4);
+    }
+
+    #[test]
+    fn auto_starts_as_gv1_and_labels() {
+        let c = AutoClock::new(2);
+        assert_eq!(c.mode(), AutoMode::Gv1);
+        assert_eq!(c.mode().label(), "gv1");
+        assert_eq!(AutoMode::Gv5.label(), "gv5");
+        assert_eq!(ClockKind::Auto.label(), "auto");
+        assert!(c.settled());
+        assert_eq!(c.switches(), 0);
+        let rv = c.read_stamp();
+        let s = c.write_stamp(0, rv);
+        assert_eq!(
+            s,
+            WriteStamp {
+                wver: 1,
+                bumped: true,
+                exclusive: true
+            },
+            "settled GV1 discipline behaves exactly like Gv1Clock"
+        );
+    }
+
+    #[test]
+    fn auto_handoff_is_fenced_and_suppresses_elision_until_settled() {
+        let engine = GraceEngine::new(2);
+        let c = AutoClock::new(2);
+        assert!(c.request(AutoMode::Gv5, &engine), "first switch publishes");
+        assert_eq!(c.mode(), AutoMode::Gv5);
+        assert_eq!(c.switches(), 1);
+        assert!(!c.settled(), "the handoff period has not retired yet");
+        assert!(
+            !c.request(AutoMode::Gv1, &engine),
+            "at most one handoff in flight"
+        );
+        // GV5 stamps never touch the shared line or claim exclusivity.
+        let s = c.write_stamp(0, 0);
+        assert!(!s.bumped && !s.exclusive);
+        // No epoch is active, so a single poll drives the period home and
+        // the completion callback re-arms the fast path.
+        c.poll_settle();
+        assert!(c.settled());
+        assert!(c.request(AutoMode::Gv1, &engine), "settled: switch back");
+        assert_eq!(c.switches(), 2);
+        assert!(
+            !c.write_stamp(0, c.read_stamp()).exclusive,
+            "GV1 elision stays suppressed until the return handoff settles"
+        );
+        c.poll_settle();
+        assert!(c.settled());
+        let rv = c.read_stamp();
+        assert!(c.write_stamp(0, rv).exclusive);
+        assert!(
+            !c.request(AutoMode::Gv1, &engine),
+            "no-op requests do not burn the handoff slot"
+        );
+        assert!(c.settled() && c.switches() == 2);
+    }
+
+    #[test]
+    fn auto_gv1_resumes_above_the_gv5_ceiling() {
+        let engine = GraceEngine::new(1);
+        let c = AutoClock::new(2);
+        assert!(c.request(AutoMode::Gv5, &engine));
+        c.poll_settle();
+        // Slot-local stamps run ahead of the (unmoved) global.
+        let mut top = 0;
+        for _ in 0..5 {
+            top = c.write_stamp(1, 0).wver;
+        }
+        assert_eq!(top, 5);
+        assert_eq!(c.read_stamp(), 0, "GV5 commits never moved the global");
+        assert!(c.request(AutoMode::Gv1, &engine));
+        assert!(
+            c.read_stamp() >= top,
+            "switching back raises the global above the old ceiling"
+        );
+        let rv = c.read_stamp();
+        let s = c.write_stamp(0, rv);
+        assert!(s.wver > top, "new-regime stamps sit strictly above it");
+    }
+
+    #[test]
+    fn auto_mixed_disciplines_uphold_stamp_ordering() {
+        // Hammer the clock from 4 slots while a fifth thread keeps
+        // switching disciplines: every stamp must still exceed the rv its
+        // thread started from, even mid-handoff.
+        let engine = GraceEngine::new(4);
+        let c = std::sync::Arc::new(AutoClock::new(4));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let stampers: Vec<_> = (0..4u16)
+                .map(|t| {
+                    let c = std::sync::Arc::clone(&c);
+                    s.spawn(move || {
+                        for _ in 0..2000 {
+                            let rv = c.read_stamp();
+                            let st = c.write_stamp(t, rv);
+                            assert!(st.wver > rv, "wver {} ≤ rv {}", st.wver, rv);
+                            if st.exclusive {
+                                assert_eq!(st.wver, rv + 1);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            {
+                let c = std::sync::Arc::clone(&c);
+                let stop = &stop;
+                let engine = std::sync::Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut want = AutoMode::Gv5;
+                    while !stop.load(Ordering::Relaxed) {
+                        if c.request(want, &engine) {
+                            want = match want {
+                                AutoMode::Gv1 => AutoMode::Gv5,
+                                AutoMode::Gv5 => AutoMode::Gv1,
+                            };
+                        }
+                        c.poll_settle();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            for h in stampers {
+                h.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(c.switches() >= 1, "the toggler switched at least once");
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!   policies: GV1 (`fetch_add` per commit), GV4 (CAS-with-adopt), or
 //!   GV5/TL2C-style slot-local deltas that keep writing commits off the
 //!   shared clock line entirely; selected via [`runtime::StmConfig::clock`].
+//!   `ClockKind::Auto` hands the choice to the **contention governor**,
+//!   which watches the read/write commit mix and switches GV1 ⇄ GV5 at
+//!   run time (grace-fenced handoff), and also shrinks the adaptive lock
+//!   table back when contention subsides —
+//!   [`runtime::StmConfig::auto`] is the recommended arm-everything entry
+//!   point.
 //! * [`tl2`] — TL2 (Fig 9) with buffered writes, a global version clock,
 //!   versioned write-locks, and RCU-style transactional
 //!   [`fences`](api::StmHandle::fence) built on [`tm_quiesce`]. Without a

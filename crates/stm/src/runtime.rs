@@ -145,6 +145,22 @@ impl StmConfig {
         }
     }
 
+    /// The self-tuning configuration — the recommended default when the
+    /// workload is not known in advance. Selects the adaptive striped orec
+    /// table with its stripe count *seeded from `nregs`*
+    /// ([`crate::storage::AdaptivePolicy::default`]'s seed-from-registers
+    /// sentinel) and the governor-switchable [`ClockKind::Auto`] version
+    /// clock, which arms the per-instance contention governor in TL2: a
+    /// control loop over commit/abort telemetry that grows *and shrinks*
+    /// the stripe table and hands off between the GV1 and GV5 clock
+    /// disciplines online, all through epoch-safe, grace-fenced
+    /// reconfigurations (see [`crate::storage`] and [`crate::clock`]).
+    pub fn auto(nregs: usize, nthreads: usize) -> Self {
+        Self::new(nregs, nthreads)
+            .adaptive_stripes(crate::storage::AdaptivePolicy::default())
+            .clock(ClockKind::Auto)
+    }
+
     /// Select the lock-metadata layout for versioned-lock policies.
     pub fn storage(mut self, storage: StorageKind) -> Self {
         self.storage = storage;
@@ -261,6 +277,25 @@ impl Runtime {
     /// The grace-period engine fences are issued through.
     pub fn grace(&self) -> &Arc<GraceEngine> {
         &self.grace
+    }
+
+    /// Install a per-tick hook on the background [`GraceDriver`], if this
+    /// runtime owns one ([`DriverMode::Background`]): the driver thread
+    /// then invokes `f` once per wakeup, outside every engine lock. This is
+    /// how the contention governor gets its liveness under the background
+    /// driver — the hook polls open reconfigurations (stripe migrations,
+    /// clock handoffs) so they settle without transaction traffic. Returns
+    /// whether a driver was present; under [`DriverMode::Cooperative`]
+    /// nothing is installed (`false`) and the same polls ride transaction
+    /// begins instead.
+    pub fn set_tick_hook(&self, f: impl Fn() + Send + Sync + 'static) -> bool {
+        match &self.driver {
+            Some(d) => {
+                d.set_tick_hook(f);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Load register `x` (all data accesses are `SeqCst`; see module docs of
@@ -535,6 +570,12 @@ pub trait PolicyKind: 'static {
     fn build_shared(cfg: &StmConfig) -> Self::Shared;
     /// Mint one per-thread policy over the shared state.
     fn build_policy(shared: &Arc<Self::Shared>) -> Self::Policy;
+    /// Post-construction wiring between the shared state and the runtime,
+    /// called once by [`Stm::with_config`] after both exist. The default
+    /// does nothing; TL2 overrides it to hang the contention governor's
+    /// poll loop off the runtime's background-driver tick (see
+    /// [`Runtime::set_tick_hook`]).
+    fn after_build(_rt: &Arc<Runtime>, _shared: &Arc<Self::Shared>) {}
 }
 
 /// The shared frontend of one STM instance: the [`Runtime`], the
@@ -577,6 +618,7 @@ impl<K: PolicyKind> Stm<K> {
     pub fn with_config(cfg: StmConfig) -> Self {
         let rt = Runtime::new(&cfg);
         let shared = Arc::new(K::build_shared(&cfg));
+        K::after_build(&rt, &shared);
         Stm {
             rt,
             shared,
@@ -939,6 +981,25 @@ mod tests {
         assert_eq!(rt.nregs(), 8);
         assert_eq!(rt.nthreads(), 2);
         assert_eq!(rt.driver_mode(), DriverMode::Background);
+    }
+
+    /// `StmConfig::auto()` is the one-call governed configuration: adaptive
+    /// storage with the seed-from-`nregs` start sentinel plus the
+    /// governor-switchable clock.
+    #[test]
+    fn auto_config_selects_governed_backends() {
+        let cfg = StmConfig::auto(1 << 12, 2);
+        assert_eq!(cfg.clock, ClockKind::Auto);
+        match cfg.storage {
+            StorageKind::Adaptive(p) => {
+                assert_eq!(p.start, 0, "start stays the seed-from-nregs sentinel");
+            }
+            other => panic!("auto() must select adaptive storage, got {other:?}"),
+        }
+        // Everything else stays at the plain defaults.
+        let plain = StmConfig::new(1 << 12, 2);
+        assert_eq!(cfg.backoff, plain.backoff);
+        assert_eq!(cfg.driver, plain.driver);
     }
 
     /// The driver knob spawns (and on drop, drains) a runtime-owned driver;

@@ -46,6 +46,16 @@
 //! transaction ever observes a torn lock table, and no lock or version
 //! update is ever lost across a resize.
 //!
+//! When the contention governor arms a [`ShrinkPolicy`], the same protocol
+//! runs in reverse: after enough consecutive *calm* windows (false-conflict
+//! rate strictly below a low-water mark sitting under the grow threshold —
+//! the hysteresis dead band) the table publishes a **halved** generation
+//! whose stripes merge their two parents conservatively
+//! ([`StripedTable::shrunk_from`]), and retires the oversized parent
+//! through the identical grace-ticket migration window. Grow and shrink
+//! share every line of the migration machinery; only the direction of the
+//! seeding copy differs.
+//!
 //! ```
 //! use tm_stm::prelude::*;
 //!
@@ -104,10 +114,15 @@ impl StorageKind {
     }
 
     /// Build the (possibly adaptive) table set for a register file of
-    /// `nregs` registers — what generation-aware policies consume.
+    /// `nregs` registers — what generation-aware policies consume. This is
+    /// where an [`AdaptivePolicy`] with the `start == 0` sentinel gets its
+    /// initial stripe count seeded from `nregs` (see
+    /// [`AdaptivePolicy::seeded`]).
     pub fn build_tables(self, nregs: usize) -> AnyTables {
         match self {
-            StorageKind::Adaptive(policy) => AnyTables::Adaptive(AdaptiveTable::new(policy)),
+            StorageKind::Adaptive(policy) => {
+                AnyTables::Adaptive(AdaptiveTable::new(policy.seeded(nregs)))
+            }
             fixed => AnyTables::Fixed(fixed.build(nregs)),
         }
     }
@@ -122,8 +137,13 @@ impl StorageKind {
                 format!("striped-{}", stripes.max(1).next_power_of_two())
             }
             StorageKind::Adaptive(p) => {
-                let p = p.normalized();
-                format!("adaptive-{}-{}", p.start, p.max)
+                let n = p.normalized();
+                if p.start == 0 {
+                    // The start is seeded from nregs at build time.
+                    format!("adaptive-auto-{}", n.max)
+                } else {
+                    format!("adaptive-{}-{}", n.start, n.max)
+                }
             }
         }
     }
@@ -375,6 +395,36 @@ impl StripedTable {
         }
         child
     }
+
+    /// A halved table seeded from `parent` — the grow-side inheritance run
+    /// in reverse. Child stripe `s` takes over the registers of parent
+    /// stripes `s` and `s + half` (the two parent stripes whose hashes
+    /// collapse onto `s` under the smaller mask), so it inherits the
+    /// **max** of their versions — conservative: a reader validating
+    /// against the merged stripe can only abort more, never miss a commit
+    /// either parent stripe recorded. Writer hints merge conservatively
+    /// too: agreeing or one-sided hints survive, disagreeing ones become
+    /// [`WriterHint::Shared`] so the false-conflict classifier never calls
+    /// a possibly-real conflict false.
+    pub fn shrunk_from(parent: &StripedTable) -> Self {
+        let half = parent.nstripes() / 2;
+        assert!(half >= 1, "cannot shrink a single-stripe table");
+        let child = StripedTable::new(half);
+        for s in 0..half {
+            let a = parent.sample_stripe(s).version;
+            let b = parent.sample_stripe(s + half).version;
+            child.locks[s].unlock_set_version(a.max(b));
+            let ha = parent.writers[s].load(Ordering::Relaxed);
+            let hb = parent.writers[s + half].load(Ordering::Relaxed);
+            let merged = match (ha, hb) {
+                (0, h) | (h, 0) => h,
+                (a, b) if a == b => a,
+                _ => HINT_SHARED,
+            };
+            child.writers[s].store(merged, Ordering::Relaxed);
+        }
+        child
+    }
 }
 
 impl LockTable for StripedTable {
@@ -441,6 +491,12 @@ impl LockTable for StripedTable {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdaptivePolicy {
     /// Initial stripe count (rounded up to a power of two, min 1).
+    ///
+    /// `0` is a sentinel meaning *seed from the register file*: at build
+    /// time ([`StorageKind::build_tables`]) it is replaced by roughly one
+    /// stripe per 16 registers, clamped to `[1, 64]` — a small file should
+    /// not pay for metadata it cannot contend on, and a huge file still
+    /// starts modest and grows on observed evidence. This is the default.
     pub start: usize,
     /// Stripe-count cap (rounded up to a power of two, min `start`).
     pub max: usize,
@@ -453,7 +509,8 @@ pub struct AdaptivePolicy {
 impl Default for AdaptivePolicy {
     fn default() -> Self {
         AdaptivePolicy {
-            start: 64,
+            // Seed the initial stripe count from nregs at build time.
+            start: 0,
             max: 1 << 16,
             threshold: 5,
             window: 1024,
@@ -463,7 +520,9 @@ impl Default for AdaptivePolicy {
 
 impl AdaptivePolicy {
     /// The policy with its fields clamped to what the table actually
-    /// builds (powers of two, `start <= max`, nonzero window).
+    /// builds (powers of two, `start <= max`, nonzero window). The
+    /// `start == 0` seed-from-nregs sentinel clamps to 1 here; resolve it
+    /// first via [`Self::seeded`] when the register count is known.
     pub fn normalized(self) -> Self {
         let start = self.start.max(1).next_power_of_two();
         AdaptivePolicy {
@@ -471,6 +530,62 @@ impl AdaptivePolicy {
             max: self.max.max(start).next_power_of_two(),
             threshold: self.threshold,
             window: self.window.max(1),
+        }
+    }
+
+    /// Resolve the `start == 0` sentinel against a register file of
+    /// `nregs` registers: roughly one stripe per 16 registers, clamped to
+    /// `[1, 64]` (and, like every start, to `max` by normalization later).
+    /// An explicit nonzero `start` passes through untouched.
+    pub fn seeded(self, nregs: usize) -> Self {
+        if self.start != 0 {
+            return self;
+        }
+        AdaptivePolicy {
+            start: (nregs / 16).clamp(1, 64),
+            ..self
+        }
+    }
+}
+
+/// Shrink-side tuning for the contention governor: the grow-side
+/// [`AdaptivePolicy`] run in reverse, with hysteresis so the table never
+/// oscillates. A shrink is published only when the windowed false-conflict
+/// rate stays *strictly below* [`low_water`](Self::low_water) — which must
+/// sit below the grow [`threshold`](AdaptivePolicy::threshold), leaving a
+/// dead band between the two edges — for
+/// [`calm_windows`](Self::calm_windows) consecutive windows. Any window at
+/// or above the low-water mark, and any grow, resets the calm streak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShrinkPolicy {
+    /// Shrink low-water mark: false conflicts per 100 window commits.
+    pub low_water: u32,
+    /// Consecutive calm windows required before halving.
+    pub calm_windows: u32,
+    /// Never shrink below this stripe count (rounded up to a power of
+    /// two, min 1).
+    pub floor: usize,
+}
+
+impl ShrinkPolicy {
+    /// The hysteresis companion to a grow policy: low-water at half the
+    /// grow threshold (min 1, so the dead band `[low_water, threshold)` is
+    /// nonempty for every threshold ≥ 2), two calm windows, floor 1 — a
+    /// workload with no false conflicts deserves a single stripe; growth
+    /// brings the table back the moment contention returns.
+    pub fn for_grow(p: AdaptivePolicy) -> ShrinkPolicy {
+        ShrinkPolicy {
+            low_water: (p.threshold / 2).max(1),
+            calm_windows: 2,
+            floor: 1,
+        }
+    }
+
+    /// The policy with its floor clamped to what the table actually builds.
+    pub fn normalized(self) -> Self {
+        ShrinkPolicy {
+            floor: self.floor.max(1).next_power_of_two(),
+            ..self
         }
     }
 }
@@ -592,6 +707,9 @@ struct AdaptiveInner {
     window_commits: CachePadded<AtomicU64>,
     window_false: CachePadded<AtomicU64>,
     resizes: AtomicU64,
+    /// Consecutive windows whose false-conflict rate stayed strictly below
+    /// the shrink low-water mark. Written only at window boundaries.
+    calm: AtomicU64,
 }
 
 impl AdaptiveInner {
@@ -622,6 +740,9 @@ impl AdaptiveInner {
 /// migration polling — is off the per-access path.
 pub struct AdaptiveTable {
     policy: AdaptivePolicy,
+    /// Shrink-side policy, present when the contention governor armed it
+    /// (set once at construction time, before the table is shared).
+    shrink: Option<ShrinkPolicy>,
     inner: Arc<AdaptiveInner>,
 }
 
@@ -631,6 +752,7 @@ impl AdaptiveTable {
         let policy = policy.normalized();
         AdaptiveTable {
             policy,
+            shrink: None,
             inner: Arc::new(AdaptiveInner {
                 gen_probe: CachePadded::new(AtomicU64::new(1)),
                 state: Mutex::new(AdaptiveState {
@@ -644,8 +766,16 @@ impl AdaptiveTable {
                 window_commits: CachePadded::new(AtomicU64::new(0)),
                 window_false: CachePadded::new(AtomicU64::new(0)),
                 resizes: AtomicU64::new(0),
+                calm: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Arm the shrink side of the control loop (the contention governor
+    /// calls this at instance construction, before the table is shared).
+    /// Without it the table is grow-only, exactly as before.
+    pub fn enable_shrink(&mut self, p: ShrinkPolicy) {
+        self.shrink = Some(p.normalized());
     }
 
     /// The (normalized) growth policy this table runs.
@@ -653,7 +783,13 @@ impl AdaptiveTable {
         self.policy
     }
 
-    /// Generations published so far minus one — i.e. completed grows.
+    /// The shrink policy, if the governor armed one.
+    pub fn shrink_policy(&self) -> Option<ShrinkPolicy> {
+        self.shrink
+    }
+
+    /// Generations published so far minus one — i.e. completed resizes
+    /// (grows *and* shrinks).
     pub fn resizes(&self) -> u64 {
         self.inner.resizes.load(Ordering::SeqCst)
     }
@@ -694,20 +830,38 @@ impl AdaptiveTable {
     }
 
     /// Count one commit into the open window; at a window boundary,
-    /// evaluate the false-conflict rate and grow the table when it crosses
-    /// the policy threshold. Returns whether a new generation was published
-    /// by this call. `engine` supplies the grace period that retires the
-    /// old generation.
+    /// evaluate the false-conflict rate: grow the table when the rate is at
+    /// or above the policy threshold, and — when a [`ShrinkPolicy`] is
+    /// armed — shrink it after [`ShrinkPolicy::calm_windows`] consecutive
+    /// windows strictly below the low-water mark. The dead band between
+    /// the two edges is the hysteresis that keeps the table from
+    /// oscillating. Returns whether a new generation was published by this
+    /// call. `engine` supplies the grace period that retires the old
+    /// generation.
     pub fn note_commit(&self, engine: &Arc<GraceEngine>) -> bool {
         let c = self.inner.window_commits.fetch_add(1, Ordering::SeqCst) + 1;
         if !c.is_multiple_of(self.policy.window) {
             return false;
         }
         let false_conflicts = self.inner.window_false.swap(0, Ordering::SeqCst);
-        if false_conflicts * 100 < u64::from(self.policy.threshold) * self.policy.window {
-            return false;
+        if false_conflicts * 100 >= u64::from(self.policy.threshold) * self.policy.window {
+            // Contended window: any calm streak is over.
+            self.inner.calm.store(0, Ordering::SeqCst);
+            return self.try_grow(engine);
         }
-        self.try_grow(engine)
+        if let Some(sh) = self.shrink {
+            if false_conflicts * 100 < u64::from(sh.low_water) * self.policy.window {
+                let calm = self.inner.calm.fetch_add(1, Ordering::SeqCst) + 1;
+                if calm >= u64::from(sh.calm_windows) {
+                    self.inner.calm.store(0, Ordering::SeqCst);
+                    return self.try_shrink(engine);
+                }
+            } else {
+                // Inside the dead band: neither grow nor calm.
+                self.inner.calm.store(0, Ordering::SeqCst);
+            }
+        }
+        false
     }
 
     /// Publish a doubled generation, if allowed: no migration may already
@@ -751,6 +905,44 @@ impl AdaptiveTable {
         // fire-and-forget contract: the old generation retires in bounded
         // time with zero pollers. Cooperatively, whoever drives the period
         // home (a begin-time poll, any fence waiter) runs it.
+        let inner = Arc::clone(&self.inner);
+        let period = ticket.period();
+        ticket.on_complete(move || inner.retire(period));
+        true
+    }
+
+    /// Publish a *halved* generation, if allowed: a shrink policy must be
+    /// armed, no migration may already be pending, and the floor must not
+    /// be reached. The migration protocol is the grow side verbatim — the
+    /// two-generation overlap argument in [`TableGen`] never depends on
+    /// the direction of the resize, only on every new-generation
+    /// transaction checking both tables until the parent-only stragglers
+    /// drain — so the same probe-before-issue publication order and the
+    /// same grace-ticket retirement apply (see [`Self::try_grow`] for the
+    /// ordering argument). Returns whether a generation was published.
+    pub fn try_shrink(&self, engine: &Arc<GraceEngine>) -> bool {
+        let Some(sh) = self.shrink else {
+            return false;
+        };
+        let ticket = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.migration.is_some() || st.current.nstripes() <= sh.floor {
+                return false;
+            }
+            let parent = Arc::clone(&st.current.table);
+            let child = Arc::new(StripedTable::shrunk_from(&parent));
+            st.id += 1;
+            st.current = Arc::new(TableGen {
+                table: child,
+                prev: Some(parent),
+            });
+            // Probe store strictly before issue — same chain as try_grow.
+            self.inner.gen_probe.store(st.id, Ordering::SeqCst);
+            self.inner.resizes.fetch_add(1, Ordering::SeqCst);
+            let ticket = engine.issue();
+            st.migration = Some(ticket.clone());
+            ticket
+        };
         let inner = Arc::clone(&self.inner);
         let period = ticket.period();
         ticket.on_complete(move || inner.retire(period));
@@ -951,7 +1143,31 @@ mod tests {
         .normalized();
         assert_eq!((p.start, p.max), (8, 8), "max clamps up to start");
         let d = AdaptivePolicy::default();
-        assert_eq!(d.normalized(), d, "the default is already normalized");
+        assert_eq!(
+            d.start, 0,
+            "the default start is the seed-from-nregs sentinel"
+        );
+        assert_eq!(d.normalized().start, 1, "the sentinel clamps to 1 unseeded");
+    }
+
+    #[test]
+    fn start_seeds_from_nregs() {
+        // One stripe per 16 registers, clamped to [1, 64].
+        assert_eq!(AdaptivePolicy::default().seeded(8).start, 1);
+        assert_eq!(AdaptivePolicy::default().seeded(16).start, 1);
+        assert_eq!(AdaptivePolicy::default().seeded(512).start, 32);
+        assert_eq!(AdaptivePolicy::default().seeded(1 << 20).start, 64);
+        // An explicit start passes through untouched.
+        let explicit = AdaptivePolicy {
+            start: 2,
+            ..AdaptivePolicy::default()
+        };
+        assert_eq!(explicit.seeded(1 << 20).start, 2);
+        // The label reports the sentinel as "auto".
+        assert_eq!(
+            StorageKind::Adaptive(AdaptivePolicy::default()).label(),
+            "adaptive-auto-65536"
+        );
     }
 
     #[test]
@@ -1083,6 +1299,168 @@ mod tests {
     }
 
     #[test]
+    fn shrunk_table_merges_versions_and_hints_conservatively() {
+        let parent = StripedTable::new(4);
+        // Stripe 0: v41, last writer register 9. Stripe 2 (its merge
+        // partner): v7, never written.
+        parent.try_lock_stripe(0, 1).unwrap();
+        parent.unlock_stripe_set_version(0, 41);
+        parent.record_writer(0, 9);
+        parent.try_lock_stripe(2, 1).unwrap();
+        parent.unlock_stripe_set_version(2, 7);
+        // Stripe 1 and 3 disagree on their last writer.
+        parent.record_writer(1, 5);
+        parent.record_writer(3, 6);
+        let child = StripedTable::shrunk_from(&parent);
+        assert_eq!(child.nstripes(), 2);
+        assert_eq!(
+            child.sample_stripe(0).version,
+            41,
+            "merged version is the max of the two parents"
+        );
+        assert!(!child.sample_stripe(0).is_locked());
+        assert_eq!(
+            child.writer_hint(0),
+            WriterHint::Register(9),
+            "a one-sided hint survives the merge"
+        );
+        assert_eq!(
+            child.writer_hint(1),
+            WriterHint::Shared,
+            "disagreeing hints merge to Shared: never classify false"
+        );
+    }
+
+    #[test]
+    fn calm_windows_shrink_and_retire_through_grace() {
+        let engine = GraceEngine::new(2);
+        let mut t = AdaptiveTable::new(AdaptivePolicy {
+            start: 4,
+            max: 8,
+            threshold: 50,
+            window: 2,
+        });
+        t.enable_shrink(ShrinkPolicy {
+            low_water: 25,
+            calm_windows: 2,
+            floor: 1,
+        });
+        assert_eq!(t.nstripes(), 4);
+        // First calm window (0 false conflicts): streak = 1, no publish.
+        assert!(!t.note_commit(&engine));
+        assert!(!t.note_commit(&engine));
+        assert!(!t.migration_pending());
+        // Second consecutive calm window: halve 4 → 2.
+        assert!(!t.note_commit(&engine));
+        assert!(t.note_commit(&engine), "two calm windows publish a shrink");
+        assert_eq!(t.resizes(), 1);
+        assert_eq!(t.nstripes(), 2);
+        assert!(t.migration_pending());
+        let (_, gen) = t.pin();
+        assert_eq!(
+            gen.prev().map(|p| p.nstripes()),
+            Some(4),
+            "the oversized parent rides along through the migration window"
+        );
+        // No second resize while the migration window is open.
+        for _ in 0..4 {
+            t.note_commit(&engine);
+        }
+        assert_eq!(t.resizes(), 1, "one migration at a time");
+        t.poll_migration();
+        assert!(!t.migration_pending(), "grace retires the parent");
+        // Two more calm windows: 2 → 1, then the floor stops the slide.
+        for _ in 0..4 {
+            t.note_commit(&engine);
+        }
+        assert_eq!((t.resizes(), t.nstripes()), (2, 1));
+        t.poll_migration();
+        for _ in 0..8 {
+            t.note_commit(&engine);
+        }
+        assert_eq!(t.nstripes(), 1, "the floor holds");
+        assert_eq!(t.resizes(), 2);
+    }
+
+    #[test]
+    fn hysteresis_dead_band_resets_the_calm_streak() {
+        let engine = GraceEngine::new(1);
+        let mut t = AdaptiveTable::new(AdaptivePolicy {
+            start: 2,
+            max: 2,
+            threshold: 50,
+            window: 2,
+        });
+        t.enable_shrink(ShrinkPolicy {
+            low_water: 25,
+            calm_windows: 2,
+            floor: 1,
+        });
+        // One calm window starts a streak...
+        assert!(!t.note_commit(&engine));
+        assert!(!t.note_commit(&engine), "calm streak = 1");
+        // ...then a contended window (1 false in 2 commits = 50%, the grow
+        // edge; max=2 caps the grow to a no-op) must reset it.
+        t.note_false_conflict();
+        assert!(!t.note_commit(&engine));
+        assert!(!t.note_commit(&engine), "contended window: grow capped");
+        // The streak restarted: one calm window is not enough...
+        assert!(!t.note_commit(&engine));
+        assert!(!t.note_commit(&engine), "streak = 1 again");
+        // ...but the second consecutive one shrinks.
+        assert!(!t.note_commit(&engine));
+        assert!(t.note_commit(&engine), "streak = 2 shrinks");
+        assert_eq!(t.nstripes(), 1);
+    }
+
+    #[test]
+    fn shrink_requires_an_armed_policy() {
+        let engine = GraceEngine::new(1);
+        let t = AdaptiveTable::new(AdaptivePolicy {
+            start: 4,
+            max: 8,
+            threshold: 100,
+            window: 1,
+        });
+        assert!(t.shrink_policy().is_none());
+        assert!(!t.try_shrink(&engine), "grow-only tables never shrink");
+        // Calm forever: still no shrink without an armed policy.
+        for _ in 0..32 {
+            assert!(!t.note_commit(&engine));
+        }
+        assert_eq!((t.resizes(), t.nstripes()), (0, 4));
+    }
+
+    #[test]
+    fn shrink_policy_derives_from_grow_policy() {
+        let sh = ShrinkPolicy::for_grow(AdaptivePolicy {
+            start: 8,
+            max: 64,
+            threshold: 6,
+            window: 16,
+        });
+        assert_eq!(sh.low_water, 3, "low-water at half the grow threshold");
+        assert_eq!(sh.calm_windows, 2);
+        assert_eq!(sh.floor, 1);
+        let sh0 = ShrinkPolicy::for_grow(AdaptivePolicy {
+            threshold: 0,
+            ..AdaptivePolicy::default()
+        });
+        assert_eq!(sh0.low_water, 1, "threshold 0 still gets a sane mark");
+        assert_eq!(
+            ShrinkPolicy {
+                low_water: 1,
+                calm_windows: 2,
+                floor: 3
+            }
+            .normalized()
+            .floor,
+            4,
+            "floors round up to powers of two"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "build_tables")]
     fn fixed_build_rejects_adaptive() {
         StorageKind::Adaptive(AdaptivePolicy::default()).build(8);
@@ -1094,7 +1472,13 @@ mod tests {
             AnyTables::Fixed(t) => assert_eq!(t.nstripes(), 4),
             AnyTables::Adaptive(_) => panic!("striped is fixed"),
         }
+        // The default policy's start seeds from the register count: 16
+        // registers deserve one stripe, a million deserve the 64 cap.
         match StorageKind::Adaptive(AdaptivePolicy::default()).build_tables(16) {
+            AnyTables::Adaptive(t) => assert_eq!(t.nstripes(), 1),
+            AnyTables::Fixed(_) => panic!("adaptive is not fixed"),
+        }
+        match StorageKind::Adaptive(AdaptivePolicy::default()).build_tables(1 << 20) {
             AnyTables::Adaptive(t) => assert_eq!(t.nstripes(), 64),
             AnyTables::Fixed(_) => panic!("adaptive is not fixed"),
         }

@@ -35,13 +35,31 @@
 //! fence policies are unaffected: all variants pay the same cost.)
 
 use crate::api::{Abort, StmHandle};
-use crate::clock::{AnyClock, VersionClock};
-use crate::runtime::{Handle, Policy, PolicyKind, Stm, StmConfig, TxCtx};
+use crate::clock::{AnyClock, AutoClock, AutoMode, ClockKind, VersionClock};
+use crate::runtime::{Handle, Policy, PolicyKind, Runtime, Stm, StmConfig, TxCtx};
 use crate::storage::{
-    AnyLockTable, AnyTables, GenStripe, LockTable, StripeSnap, TableGen, WriterHint,
+    AnyLockTable, AnyTables, GenStripe, LockTable, ShrinkPolicy, StripeSnap, TableGen, WriterHint,
 };
 use crate::vlock::VLockState;
 use std::sync::Arc;
+
+/// Commits per *governor window*: each handle folds its (plain, handle-
+/// local) read-only/writing commit tallies into a clock-discipline decision
+/// every this many commits. The fold requests GV5 when writes are ≥ 60% of
+/// the window (writing commits then stay off the shared clock line) and GV1
+/// when they are ≤ 30% (readers then get fresh `rv`s and writing commits
+/// can elide commit-time re-validation); the band between is hysteresis —
+/// no request, so the discipline never oscillates on a mixed workload.
+/// Between folds a commit touches no governor state that another thread
+/// could observe: the hot path stays at the pre-governor baseline.
+pub const GOVERNOR_WINDOW: u64 = 128;
+
+/// Write share (percent of a governor window) at or above which the fold
+/// requests the GV5 discipline.
+const WRITE_HEAVY_PCT: u64 = 60;
+
+/// Write share at or below which the fold requests the GV1 discipline.
+const READ_HEAVY_PCT: u64 = 30;
 
 /// TL2 state shared by all handles of one instance: the global version
 /// clock and the ownership-record table(s).
@@ -50,6 +68,17 @@ pub struct Tl2Shared {
     /// sit on the transactional hot paths and must stay inlinable.
     clock: AnyClock,
     tables: AnyTables,
+}
+
+impl Tl2Shared {
+    /// The governor-switchable clock, when this instance runs one.
+    #[inline]
+    fn auto_clock(&self) -> Option<&AutoClock> {
+        match &self.clock {
+            AnyClock::Auto(a) => Some(a),
+            _ => None,
+        }
+    }
 }
 
 /// TL2's [`PolicyKind`]: [`StmConfig::storage`] selects per-register vs
@@ -61,9 +90,20 @@ impl PolicyKind for Tl2Kind {
     type Shared = Tl2Shared;
 
     fn build_shared(cfg: &StmConfig) -> Tl2Shared {
+        let mut tables = cfg.storage.build_tables(cfg.nregs);
+        // Selecting the Auto clock is what arms the *full* governor: the
+        // adaptive table additionally gets its shrink side (the grow
+        // migration protocol in reverse, hysteresis-gapped below the grow
+        // threshold), enabled here — before the table is shared, per the
+        // `enable_shrink` contract.
+        if cfg.clock == ClockKind::Auto {
+            if let AnyTables::Adaptive(at) = &mut tables {
+                at.enable_shrink(ShrinkPolicy::for_grow(at.policy()));
+            }
+        }
         Tl2Shared {
             clock: cfg.clock.build(cfg.nthreads),
-            tables: cfg.storage.build_tables(cfg.nregs),
+            tables,
         }
     }
 
@@ -78,7 +118,33 @@ impl PolicyKind for Tl2Kind {
             pinned: None,
             last_txn_wrote: false,
             wver_of_last_commit: 0,
+            gov_ro: 0,
+            gov_wr: 0,
         }
+    }
+
+    fn after_build(rt: &Arc<Runtime>, shared: &Arc<Tl2Shared>) {
+        // Hang the governor's poll loop off the background driver's tick,
+        // when the runtime owns one: open reconfigurations (stripe
+        // migrations, clock handoffs) then settle in bounded time with zero
+        // transaction traffic. Cooperatively-driven runtimes get the same
+        // polls from transaction begins instead (`set_tick_hook` is a no-op
+        // there), so liveness only needs *some* later transaction — the
+        // same contract as every other cooperative grace-period user.
+        let adaptive = matches!(shared.tables, AnyTables::Adaptive(_));
+        let auto = shared.auto_clock().is_some();
+        if !adaptive && !auto {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        rt.set_tick_hook(move || {
+            if let AnyTables::Adaptive(at) = &shared.tables {
+                at.poll_migration();
+            }
+            if let Some(a) = shared.auto_clock() {
+                a.poll_settle();
+            }
+        });
     }
 }
 
@@ -125,6 +191,32 @@ impl Stm<Tl2Kind> {
             AnyTables::Fixed(_) => false,
             AnyTables::Adaptive(at) => at.migration_pending(),
         }
+    }
+
+    /// Clock-discipline switches performed by the shared [`AutoClock`] so
+    /// far (0 under a static clock). The instance-wide view of
+    /// [`crate::api::Stats::clock_switches`].
+    pub fn clock_switches(&self) -> u64 {
+        self.shared().auto_clock().map_or(0, |a| a.switches())
+    }
+
+    /// Label of the version-clock discipline currently in force:
+    /// `"gv1"`/`"gv4"`/`"gv5"` for the static clocks, and under the Auto
+    /// clock whichever discipline the governor last installed.
+    pub fn clock_mode_label(&self) -> &'static str {
+        match &self.shared().clock {
+            AnyClock::Gv1(_) => ClockKind::Gv1.label(),
+            AnyClock::Gv4(_) => ClockKind::Gv4.label(),
+            AnyClock::Gv5(_) => ClockKind::Gv5.label(),
+            AnyClock::Auto(a) => a.mode().label(),
+        }
+    }
+
+    /// Is a clock-discipline handoff currently open — switched but not yet
+    /// grace-settled (Auto clock only)? While open, the GV1 elision fast
+    /// path stays disarmed; correctness never depends on this flag.
+    pub fn clock_handoff_pending(&self) -> bool {
+        self.shared().auto_clock().is_some_and(|a| !a.settled())
     }
 
     /// How many lock words are currently held, across every live
@@ -179,6 +271,14 @@ pub struct Tl2Policy {
     last_txn_wrote: bool,
     /// Write timestamp of the last committed transaction (recorder key).
     wver_of_last_commit: u64,
+    /// Governor fold state: read-only commits since the last fold. Plain
+    /// (non-atomic) handle-local words — a steady-state commit increments
+    /// one of these and writes *nothing* another thread could contend on;
+    /// the shared [`AutoClock`] is only touched at a window boundary whose
+    /// fold leaves the hysteresis band.
+    gov_ro: u64,
+    /// Governor fold state: writing commits since the last fold.
+    gov_wr: u64,
 }
 
 /// The lock-table view one transaction runs against: a fixed table, or the
@@ -367,13 +467,53 @@ impl Tl2Policy {
     /// Commit-epilogue window bookkeeping for adaptive storage: count the
     /// commit and, at a window boundary whose false-conflict rate crosses
     /// the policy threshold, publish a doubled generation (retired through
-    /// the runtime's grace engine).
+    /// the runtime's grace engine) — or, when the governor armed the shrink
+    /// side, a halved one after the required run of calm windows.
     #[inline]
     fn note_window_commit(&self, ctx: &mut TxCtx<'_>) {
         if let AnyTables::Adaptive(at) = &self.shared.tables {
             if at.note_commit(ctx.rt.grace()) {
                 ctx.stats.stripe_resizes += 1;
             }
+        }
+    }
+
+    /// Commit-epilogue governor bookkeeping: tally the commit's read/write
+    /// class into this handle's plain fold counters and, every
+    /// [`GOVERNOR_WINDOW`] commits, fold them into a clock-discipline
+    /// decision on the shared [`AutoClock`] (no-op under a static clock).
+    /// The fold requests GV5 on a write-heavy window and GV1 on a
+    /// read-heavy one, with a no-request hysteresis band between; a granted
+    /// request opens a grace-fenced handoff, counted in
+    /// [`crate::api::Stats::clock_switches`].
+    #[inline]
+    fn note_governor_commit(&mut self, ctx: &mut TxCtx<'_>, wrote: bool) {
+        if wrote {
+            ctx.stats.write_commits += 1;
+            self.gov_wr += 1;
+        } else {
+            ctx.stats.read_only_commits += 1;
+            self.gov_ro += 1;
+        }
+        let total = self.gov_ro + self.gov_wr;
+        if total < GOVERNOR_WINDOW {
+            return;
+        }
+        let writes = self.gov_wr;
+        self.gov_ro = 0;
+        self.gov_wr = 0;
+        let Some(auto) = self.shared.auto_clock() else {
+            return;
+        };
+        let want = if writes * 100 >= total * WRITE_HEAVY_PCT {
+            AutoMode::Gv5
+        } else if writes * 100 <= total * READ_HEAVY_PCT {
+            AutoMode::Gv1
+        } else {
+            return; // hysteresis band: keep the current discipline
+        };
+        if auto.request(want, ctx.rt.grace()) {
+            ctx.stats.clock_switches += 1;
         }
     }
 }
@@ -402,6 +542,16 @@ impl Policy for Tl2Policy {
                 at.repin(&mut self.pinned);
                 ctx.stats.current_stripes =
                     self.pinned.as_ref().map_or(0, |(_, g)| g.nstripes()) as u64;
+            }
+        }
+        // Under the Auto clock, give an open discipline handoff one
+        // non-blocking driving step — the cooperative-mode mirror of the
+        // migration poll above, and what re-arms the GV1 elision fast path
+        // after a switch. The settled check is one atomic load, so a
+        // settled clock (the steady state) pays nothing here.
+        if let Some(auto) = self.shared.auto_clock() {
+            if !auto.settled() {
+                auto.poll_settle();
             }
         }
         self.rv = self.shared.clock.read_stamp();
@@ -453,6 +603,7 @@ impl Policy for Tl2Policy {
             // classic TL2 skips the clock bump and lock phase entirely.
             self.last_txn_wrote = false;
             self.note_window_commit(ctx);
+            self.note_governor_commit(ctx, false);
             return Ok(());
         }
         let t = tables(&self.shared, &self.pinned);
@@ -543,6 +694,7 @@ impl Policy for Tl2Policy {
         self.last_txn_wrote = true;
         self.wver_of_last_commit = wver;
         self.note_window_commit(ctx);
+        self.note_governor_commit(ctx, true);
         Ok(())
     }
 
@@ -595,6 +747,10 @@ mod tests {
                 StmConfig::new(nregs, nthreads).clock(clock),
             ));
         }
+        // The fully-governed configuration: seeded adaptive storage plus
+        // the switchable Auto clock. Scenarios must be oblivious to any
+        // mid-run reconfiguration the governor performs.
+        stms.push(Tl2Stm::with_config(StmConfig::auto(nregs, nthreads)));
         stms
     }
 
@@ -950,6 +1106,65 @@ mod tests {
              read register must not classify as false: {stats:?}"
         );
         assert_eq!(stm.peek(3), 51);
+    }
+
+    #[test]
+    fn commit_mix_counters_split_by_write_set() {
+        for stm in backends(2, 1) {
+            let mut h = stm.handle(0);
+            h.atomic(|tx| tx.read(0)); // read-only
+            h.atomic(|tx| tx.write(0, 1)); // writing
+            h.atomic(|tx| {
+                let v = tx.read(0)?;
+                tx.write(1, v + 1) // writing (read+write)
+            });
+            let s = h.stats();
+            assert_eq!(s.commits, 3);
+            assert_eq!(s.read_only_commits, 1, "{s:?}");
+            assert_eq!(s.write_commits, 2, "{s:?}");
+        }
+    }
+
+    /// The governor's clock fold: a write-heavy window under the Auto clock
+    /// switches the discipline to GV5 (counted in `Stats::clock_switches`),
+    /// and after the grace-fenced handoff settles, a read-heavy window
+    /// switches it back to GV1 — all with cooperative driving only.
+    #[test]
+    fn governor_switches_clock_both_ways() {
+        let stm = Tl2Stm::with_config(StmConfig::auto(4, 1));
+        assert_eq!(stm.clock_mode_label(), "gv1", "auto starts as GV1");
+        let mut h = stm.handle(0);
+        for i in 0..GOVERNOR_WINDOW {
+            h.atomic(|tx| tx.write(0, i + 1));
+        }
+        assert_eq!(h.stats().clock_switches, 1, "write-heavy fold -> GV5");
+        assert_eq!(stm.clock_mode_label(), "gv5");
+        assert_eq!(stm.clock_switches(), 1);
+        // Read-heavy traffic: begins poll the handoff settled, then the
+        // next fold switches back.
+        let mut folds = 0;
+        while stm.clock_mode_label() == "gv5" {
+            for _ in 0..GOVERNOR_WINDOW {
+                h.atomic(|tx| tx.read(0));
+            }
+            folds += 1;
+            assert!(folds < 64, "read-heavy folds must re-install GV1");
+        }
+        assert_eq!(stm.clock_mode_label(), "gv1");
+        assert_eq!(h.stats().clock_switches, 2, "{:?}", h.stats());
+        // Drive the second handoff settled too: once it is, the GV1
+        // elision fast path is re-armed.
+        while stm.clock_handoff_pending() {
+            h.atomic(|tx| tx.read(0));
+        }
+        let before = h.stats().validation_elisions;
+        h.atomic(|tx| tx.write(1, 7));
+        assert_eq!(
+            h.stats().validation_elisions,
+            before + 1,
+            "a settled GV1 discipline must elide again: {:?}",
+            h.stats()
+        );
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Integration tests for the governor's *shrink* side of the adaptive
+//! striped orec table: the grow-side migration protocol run in reverse.
+//! Calm traffic (false-conflict rate under the low-water mark for the
+//! required run of windows) halves the table; the halved generation is
+//! published through the same probe-then-issue protocol as a grow, the
+//! parent retires through the grace engine, and — the epoch-safety
+//! regression — a transaction still pinned to the parent generation keeps
+//! conflicting correctly across the shrink. Mirrors
+//! `adaptive_stripes.rs`'s grow coverage.
+//!
+//! Shrink is armed by selecting [`ClockKind::Auto`] (the governor) on an
+//! adaptive-storage instance; all tests construct through that path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use tm_stm::prelude::*;
+use tm_stm::runtime::DriverMode;
+
+/// A governed (shrink-armed) configuration: adaptive storage + Auto clock.
+/// `threshold` is set high so the grow side stays out of the way and every
+/// observed resize is a shrink.
+fn governed(nregs: usize, nthreads: usize, policy: AdaptivePolicy) -> StmConfig {
+    StmConfig::new(nregs, nthreads)
+        .adaptive_stripes(policy)
+        .clock(ClockKind::Auto)
+}
+
+/// Calm traffic shrinks the table to the floor — under BOTH driver modes —
+/// and once there, further calm windows publish nothing.
+#[test]
+fn calm_commits_shrink_to_the_floor_in_both_driver_modes() {
+    for mode in DriverMode::ALL {
+        let policy = AdaptivePolicy {
+            start: 4,
+            max: 8,
+            threshold: 50,
+            window: 4,
+        };
+        let stm = Tl2Stm::with_config(governed(4, 2, policy).grace_driver(mode));
+        assert_eq!(stm.nstripes(), 4, "{}", mode.label());
+        let mut h = stm.handle(0);
+        // Disjoint single-register writes: zero false conflicts, so every
+        // window is calm and every `calm_windows`-th boundary halves the
+        // table (4 -> 2 -> 1). Cooperative begins (or the background
+        // driver) retire each migration before the next can publish.
+        let mut spins = 0u64;
+        while stm.nstripes() > 1 || stm.migration_pending() {
+            h.atomic(|tx| tx.write(0, spins + 1));
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "{}: table must reach the floor (stuck at {} stripes)",
+                mode.label(),
+                stm.nstripes()
+            );
+        }
+        let s = h.stats();
+        assert!(
+            s.stripe_resizes >= 2,
+            "{}: 4 -> 2 -> 1 takes two shrink publications: {s:?}",
+            mode.label()
+        );
+        assert_eq!(stm.stripe_resizes(), s.stripe_resizes, "{}", mode.label());
+        assert_eq!(
+            stm.locked_stripes(),
+            0,
+            "{}: no lock may be stranded in a retired parent",
+            mode.label()
+        );
+        // At the floor, calm windows must stop publishing generations.
+        let before = stm.stripe_resizes();
+        for i in 0..64u64 {
+            h.atomic(|tx| tx.write(1, i + 1));
+        }
+        assert_eq!(
+            stm.stripe_resizes(),
+            before,
+            "{}: a single-stripe table must never shrink again",
+            mode.label()
+        );
+    }
+}
+
+/// THE epoch-safety regression, shrink edition: a transaction pinned to the
+/// pre-shrink parent generation and still mid-flight when the halved
+/// generation publishes must still conflict with a post-shrink writer. The
+/// parked transaction holds its epoch open, so the parent cannot retire
+/// under it, and every new-generation commit locks and stamps both tables.
+#[test]
+fn pinned_generation_still_conflicts_across_a_shrink() {
+    let policy = AdaptivePolicy {
+        start: 4,
+        max: 8,
+        threshold: 50,
+        window: 2,
+    };
+    let stm = Tl2Stm::with_config(governed(4, 2, policy));
+    assert_eq!(stm.nstripes(), 4);
+    let parked = Arc::new(Barrier::new(2));
+    let resume = Arc::new(Barrier::new(2));
+    let observed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        let straddler = {
+            let stm = stm.clone();
+            let (b1, b2) = (Arc::clone(&parked), Arc::clone(&resume));
+            let observed = Arc::clone(&observed);
+            s.spawn(move || {
+                let mut h = stm.handle(1);
+                let mut first = true;
+                h.atomic(|tx| {
+                    // Read register 0 under the pinned 4-stripe generation,
+                    // then park while the other thread's calm traffic
+                    // shrinks the table and overwrites register 0.
+                    let v = tx.read(0)?;
+                    if first {
+                        first = false;
+                        b1.wait();
+                        b2.wait();
+                    }
+                    observed.store(v, Ordering::SeqCst);
+                    tx.write(1, v + 1)
+                });
+                h.stats()
+            })
+        };
+        parked.wait();
+        let mut w = stm.handle(0);
+        // Two calm windows of two disjoint commits publish the 4 -> 2
+        // shrink while the straddler is parked on the parent...
+        for i in 1..=8u64 {
+            w.atomic(|tx| tx.write(2, i));
+        }
+        assert!(
+            stm.stripe_resizes() >= 1,
+            "calm traffic must have published a shrink under the parked txn"
+        );
+        assert!(
+            stm.migration_pending(),
+            "the parked epoch must pin the parent's retirement open"
+        );
+        // ...then commit to the straddler's read register through the NEW
+        // (halved) generation. The parked transaction must abort, retry,
+        // and observe the new value.
+        w.atomic(|tx| tx.write(0, 7777));
+        resume.wait();
+        let stats = straddler.join().unwrap();
+        assert!(
+            stats.retries >= 1,
+            "a post-shrink commit must still invalidate a pinned-parent \
+             transaction: {stats:?}"
+        );
+    });
+    assert_eq!(
+        observed.load(Ordering::SeqCst),
+        7777,
+        "the retry must observe the post-shrink write"
+    );
+    assert_eq!(stm.peek(1), 7778);
+    assert_eq!(stm.locked_stripes(), 0);
+}
+
+/// Shrinks under live concurrent commit traffic: no committed increment is
+/// lost, no lock word in any generation stays held, and the table really
+/// does come down from its oversized start.
+#[test]
+fn shrink_under_concurrent_commits_loses_nothing() {
+    const THREADS: usize = 4;
+    const INCS: u64 = 300;
+    let policy = AdaptivePolicy {
+        start: 8,
+        max: 16,
+        threshold: 90,
+        window: 8,
+    };
+    let stm = Tl2Stm::with_config(governed(THREADS, THREADS, policy));
+    let mut total = Stats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(t);
+                    for _ in 0..INCS {
+                        h.atomic(|tx| {
+                            let v = tx.read(t)?;
+                            tx.write(t, v + 1)
+                        });
+                    }
+                    h.stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            total.merge(&h.join().unwrap());
+        }
+    });
+    for t in 0..THREADS {
+        assert_eq!(stm.peek(t), INCS, "thread {t} lost increments");
+    }
+    assert_eq!(total.commits, THREADS as u64 * INCS);
+    assert!(
+        total.stripe_resizes >= 1,
+        "calm disjoint traffic must shrink the oversized table: {total:?}"
+    );
+    assert!(
+        stm.nstripes() < 8,
+        "with a 90% grow threshold every resize is a shrink"
+    );
+    assert_eq!(
+        stm.locked_stripes(),
+        0,
+        "no lock may be stranded in any generation after a shrink"
+    );
+    // Retirement rides real grace periods, driven home by plain begins.
+    assert!(stm.runtime().grace().issued() >= 1);
+    let mut h = stm.handle(0);
+    for _ in 0..8 {
+        h.atomic(|tx| tx.read(0));
+    }
+    assert!(
+        !stm.migration_pending(),
+        "begin-time polling must retire the final shrink migration"
+    );
+}
+
+/// The background driver owns shrink-migration liveness exactly as it owns
+/// grow liveness: after the last transaction, the pending parent retires
+/// with zero pollers.
+#[test]
+fn shrink_retires_under_the_background_driver_with_zero_pollers() {
+    let policy = AdaptivePolicy {
+        start: 2,
+        max: 4,
+        threshold: 50,
+        window: 2,
+    };
+    let stm = Tl2Stm::with_config(governed(2, 1, policy).grace_driver(DriverMode::Background));
+    let mut h = stm.handle(0);
+    // Enough calm commits to publish the 2 -> 1 shrink, then go quiet.
+    for i in 0..12u64 {
+        h.atomic(|tx| tx.write(0, i + 1));
+    }
+    assert_eq!(stm.peek(0), 12);
+    assert!(stm.stripe_resizes() >= 1, "the shrink must have published");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while stm.migration_pending() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "driver must retire the shrink migration with zero pollers"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(stm.nstripes(), 1);
+    assert_eq!(stm.locked_stripes(), 0);
+    let s = h.stats();
+    assert!(s.stripe_resizes >= 1, "{s:?}");
+    assert_eq!(
+        s.current_stripes,
+        stm.nstripes() as u64,
+        "the gauge tracks the table the latest transaction ran against"
+    );
+}

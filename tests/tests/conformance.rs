@@ -2,7 +2,8 @@
 //! transfer, privatization, publication, epoch-batch, reader-heavy,
 //! long-transaction, map-rehash, reader-writer-handoff —
 //! `tm_litmus::concrete`) run against TL2-per-register, TL2-striped,
-//! TL2-adaptive, TL2 under the GV4 and GV5 version clocks, NOrec, and
+//! TL2-adaptive, TL2 under the GV4 and GV5 version clocks, TL2-auto (the
+//! contention governor owning both the table and the clock), NOrec, and
 //! Glock through the shared `StmHandle`/`StmFactory` interface, asserting
 //! identical final states and identical checker verdicts on the recorded
 //! histories. Two axes must be invisible to every verdict:
