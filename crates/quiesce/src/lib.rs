@@ -53,8 +53,9 @@
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use tm_telemetry::Telemetry;
 
 /// Per-thread epoch counters. Even values mean the slot is quiescent, odd
 /// values mean a critical section (transaction) is in progress.
@@ -155,6 +156,10 @@ struct ScanState {
     /// Slots still awaited: `(slot, epoch at snapshot)` for every slot that
     /// was active when the scan's snapshot was taken.
     pending: Vec<(usize, u64)>,
+    /// When the scan opened (period closed) — sampled only while telemetry
+    /// is attached and enabled, so the grace-duration histogram can be fed
+    /// at completion.
+    started: Option<Instant>,
 }
 
 /// An asynchronous, batched grace-period engine over an [`EpochTable`].
@@ -212,6 +217,11 @@ pub struct GraceEngine {
     /// same mutex before sleeping, so wakeups cannot be lost.
     wake: Mutex<()>,
     wake_cv: Condvar,
+    /// Optional telemetry sink: set once by the owning runtime. When
+    /// present and enabled, every completed scan records its duration into
+    /// the grace histogram plus a `GraceScan` flight-recorder event. When
+    /// absent, the completion path pays one `OnceLock` load.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl GraceEngine {
@@ -225,13 +235,22 @@ impl GraceEngine {
             scan: Mutex::new(ScanState {
                 target: 0,
                 pending: Vec::new(),
+                started: None,
             }),
             callbacks: Mutex::new(Vec::new()),
             issued: CachePadded::new(AtomicU64::new(0)),
             driver_attached: AtomicBool::new(false),
             wake: Mutex::new(()),
             wake_cv: Condvar::new(),
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Attach a telemetry sink (at most once; later calls are ignored):
+    /// completed scans then feed the grace-duration histogram and record
+    /// `GraceScan` events on the sink's engine slot.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// The epoch table the engine scans. Critical sections register here
@@ -325,6 +344,13 @@ impl GraceEngine {
             let target = self.open.fetch_add(1, Ordering::SeqCst);
             st.target = target;
             st.pending.clear();
+            // Sample the scan-open time only when someone will consume it:
+            // the telemetry-free configuration pays one OnceLock load here.
+            st.started = self
+                .telemetry
+                .get()
+                .filter(|t| t.enabled())
+                .map(|_| Instant::now());
             for t in 0..self.epochs.nthreads() {
                 let e = self.epochs.epoch(t);
                 if e % 2 == 1 {
@@ -336,9 +362,13 @@ impl GraceEngine {
         if st.pending.is_empty() {
             let done = st.target;
             st.target = 0;
+            let started = st.started.take();
             self.scans.fetch_add(1, Ordering::SeqCst);
             self.completed.store(done, Ordering::SeqCst);
             drop(st);
+            if let (Some(tel), Some(s0)) = (self.telemetry.get(), started) {
+                tel.record_grace_scan(done, s0.elapsed().as_nanos() as u64);
+            }
             self.run_callbacks();
         }
         self.is_complete(period)
@@ -710,6 +740,38 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+
+    #[test]
+    fn completed_scans_feed_the_grace_histogram() {
+        use tm_telemetry::{EventKind, TraceConfig};
+        let eng = GraceEngine::new(2);
+        let tel = Telemetry::new(2, TraceConfig::with_capacity(16));
+        eng.set_telemetry(Arc::clone(&tel));
+        eng.epochs().enter(0);
+        let ticket = eng.issue();
+        assert!(!ticket.poll(), "slot 0 still active");
+        eng.epochs().exit(0);
+        ticket.wait();
+        let snap = tel.snapshot();
+        assert_eq!(snap.hists.grace.count(), 1, "one scan, one sample");
+        let scans: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::GraceScan { .. }))
+            .collect();
+        assert_eq!(scans.len(), 1);
+        assert_eq!(scans[0].slot, tel.engine_slot());
+        match scans[0].kind {
+            EventKind::GraceScan { period, .. } => assert_eq!(period, 1),
+            _ => unreachable!(),
+        }
+        // Without telemetry (or with it disabled) nothing is recorded and
+        // the engine behaves identically.
+        let bare = GraceEngine::new(1);
+        bare.set_telemetry(Telemetry::new(1, TraceConfig::off()));
+        bare.issue().wait();
+        assert_eq!(bare.scans(), 1);
+    }
 
     #[test]
     fn epoch_enter_exit_parity() {

@@ -101,6 +101,13 @@ pub struct Stats {
     /// Nanoseconds spent blocked waiting fences out (`fence` /
     /// `fence_join`). Time between `fence_async` and the join — the overlap
     /// an asynchronous fence buys — is deliberately not counted.
+    ///
+    /// `fence_join` feeds each joined wait to this counter *and* to the
+    /// telemetry fence-wait latency histogram
+    /// ([`tm_telemetry::LatencyClass::FenceWait`]), so with telemetry
+    /// enabled the counter equals that histogram's
+    /// [`sum`](tm_telemetry::LatencyHistogram::sum) — this counter is the
+    /// total, the histogram its distribution (asserted in the merge tests).
     pub fence_wait_ns: u64,
     /// Uninstrumented non-transactional reads.
     pub direct_reads: u64,

@@ -43,8 +43,9 @@
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use tm_quiesce::{GraceEngine, GraceTicket};
+use tm_telemetry::{EventKind, Telemetry};
 
 /// Clock-backend selection for timestamp-based policies, used by
 /// [`crate::runtime::StmConfig`].
@@ -396,6 +397,9 @@ pub struct AutoClock {
     mode: CachePadded<AtomicU64>,
     handoff: Arc<Handoff>,
     switches: AtomicU64,
+    /// Late-attached telemetry hub: handoff settlements emit a
+    /// `clock-switch-settle` trace event when present.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl AutoClock {
@@ -413,7 +417,13 @@ impl AutoClock {
                 pending: Mutex::new(None),
             }),
             switches: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach the runtime's telemetry hub (once; later calls are no-ops).
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// The discipline stamps are currently drawn under.
@@ -483,9 +493,15 @@ impl AutoClock {
         // the callback (run by whichever thread completes the period) takes
         // the same lock.
         let handoff = Arc::clone(&self.handoff);
+        let tel = self.telemetry.get().filter(|t| t.enabled()).cloned();
         ticket.on_complete(move || {
             handoff.settled.store(true, Ordering::SeqCst);
             handoff.pending.lock().unwrap().take();
+            if let Some(t) = tel {
+                t.record_engine_event(EventKind::ClockSwitchSettle {
+                    to_gv5: want == AutoMode::Gv5,
+                });
+            }
         });
         true
     }

@@ -56,6 +56,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tm_core::action::Kind;
 use tm_quiesce::GraceTicket;
+use tm_telemetry::{EventKind, Telemetry};
 
 /// A pending (or already-elapsed) transactional fence: completes once every
 /// transaction active at issue has committed or aborted.
@@ -68,6 +69,9 @@ pub struct FenceTicket {
     grace: Option<GraceTicket>,
     /// Recorder and thread slot for the `FEnd` emitted at resolution.
     rec: Option<(Arc<Recorder>, usize)>,
+    /// Telemetry hub and issuing slot for the `fence-retire` trace event
+    /// emitted at resolution (`None` when tracing is off at issue).
+    tel: Option<(Arc<Telemetry>, u16)>,
     resolved: bool,
 }
 
@@ -77,15 +81,22 @@ impl FenceTicket {
         FenceTicket {
             grace: None,
             rec: None,
+            tel: None,
             resolved: true,
         }
     }
 
-    /// A pending fence over `grace`; `rec` emits `FEnd` at resolution.
-    pub(crate) fn issued(grace: GraceTicket, rec: Option<(Arc<Recorder>, usize)>) -> Self {
+    /// A pending fence over `grace`; `rec` emits `FEnd` and `tel` the
+    /// `fence-retire` trace event at resolution.
+    pub(crate) fn issued(
+        grace: GraceTicket,
+        rec: Option<(Arc<Recorder>, usize)>,
+        tel: Option<(Arc<Telemetry>, u16)>,
+    ) -> Self {
         FenceTicket {
             grace: Some(grace),
             rec,
+            tel,
             resolved: false,
         }
     }
@@ -142,15 +153,22 @@ impl FenceTicket {
     pub fn on_complete(mut self, f: impl FnOnce() + Send + 'static) {
         let grace = self.grace.take();
         let rec = self.rec.take();
+        let tel = self.tel.take();
         self.resolved = true; // disarm the blocking drop
         match grace {
             None => f(),
-            Some(g) => g.on_complete(move || {
-                if let Some((r, slot)) = rec {
-                    r.record(slot, Kind::FEnd);
-                }
-                f();
-            }),
+            Some(g) => {
+                let period = g.period();
+                g.on_complete(move || {
+                    if let Some((r, slot)) = rec {
+                        r.record(slot, Kind::FEnd);
+                    }
+                    if let Some((t, slot)) = tel {
+                        t.record_event(slot, EventKind::FenceRetire { period });
+                    }
+                    f();
+                });
+            }
         }
     }
 
@@ -158,6 +176,10 @@ impl FenceTicket {
         self.resolved = true;
         if let Some((r, slot)) = self.rec.take() {
             r.record(slot, Kind::FEnd);
+        }
+        if let Some((t, slot)) = self.tel.take() {
+            let period = self.grace.as_ref().map_or(0, |g| g.period());
+            t.record_event(slot, EventKind::FenceRetire { period });
         }
     }
 }

@@ -49,6 +49,15 @@
 //! * [`record`] — history recording; recorded executions feed the DRF and
 //!   strong-opacity checkers. All policies record through the shared
 //!   runtime, so every algorithm's histories are checkable.
+//! * [`telemetry`] (the re-exported [`tm_telemetry`] crate) — the
+//!   observability layer: per-slot log-bucketed latency histograms (commit,
+//!   abort-to-retry gap, fence wait, grace-period scan) and a per-slot
+//!   flight-recorder ring of runtime events, including every contention
+//!   governor decision with the counters that justified it. Always on at
+//!   one relaxed load per event site; configured via `TM_STM_TRACE`
+//!   (`off` / ring capacity, default 1024 events per slot) or
+//!   [`runtime::StmConfig::trace`], exported through
+//!   [`runtime::Runtime::telemetry_snapshot`].
 //!
 //! ## Quick example
 //!
@@ -91,6 +100,8 @@ pub mod storage;
 pub mod tl2;
 pub mod vlock;
 
+pub use tm_telemetry as telemetry;
+
 /// One-stop imports for driving any STM backend (handles, configs,
 /// tickets, maps, stats).
 pub mod prelude {
@@ -104,4 +115,7 @@ pub mod prelude {
     pub use crate::runtime::{BackoffCfg, DriverMode, StmConfig};
     pub use crate::storage::{AdaptivePolicy, StorageKind};
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
+    pub use tm_telemetry::{
+        AbortCause, EventKind, LatencyClass, TelemetrySnapshot, TraceConfig, TraceEvent,
+    };
 }

@@ -22,11 +22,14 @@ use crate::fence::FenceTicket;
 use crate::record::Recorder;
 use crate::storage::{splitmix64, StorageKind};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tm_core::action::Kind;
 use tm_core::ids::Reg;
 use tm_quiesce::{EpochTable, GraceDriver, GraceEngine};
+use tm_telemetry::{
+    AbortCause, EventKind, LatencyClass, Telemetry, TelemetrySnapshot, TraceConfig,
+};
 
 /// Exponential-backoff tuning for the shared retry loop.
 ///
@@ -128,6 +131,9 @@ pub struct StmConfig {
     pub backoff: BackoffCfg,
     /// Optional history recorder shared by every handle.
     pub recorder: Option<Arc<Recorder>>,
+    /// Flight-recorder / latency-histogram configuration (defaults to
+    /// [`TraceConfig::from_env`], i.e. the `TM_STM_TRACE` knob).
+    pub trace: TraceConfig,
 }
 
 impl StmConfig {
@@ -142,6 +148,7 @@ impl StmConfig {
             driver: DriverMode::from_env(),
             backoff: BackoffCfg::default(),
             recorder: None,
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -207,6 +214,13 @@ impl StmConfig {
         self.recorder = Some(recorder);
         self
     }
+
+    /// Override the telemetry [`TraceConfig`] (flight-recorder capacity /
+    /// off switch) instead of inheriting the `TM_STM_TRACE` default.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// The shared, policy-independent state of one STM instance: register file,
@@ -229,7 +243,17 @@ pub struct Runtime {
     /// cleanly: outstanding periods are drained (callbacks run) first.
     driver: Option<GraceDriver>,
     recorder: Option<Arc<Recorder>>,
+    /// The instance's telemetry hub: per-slot latency histograms plus the
+    /// flight-recorder rings (see [`tm_telemetry`]). Always present; when
+    /// tracing is off every event site costs exactly one relaxed load.
+    telemetry: Arc<Telemetry>,
+    /// Additive per-tick hooks multiplexed onto the background driver's
+    /// single hook slot (governor polls, telemetry export, ...).
+    tick_hooks: Arc<Mutex<Vec<TickHook>>>,
 }
+
+/// One registered driver-tick hook (see [`Runtime::set_tick_hook`]).
+type TickHook = Arc<dyn Fn() + Send + Sync>;
 
 impl Runtime {
     /// Build the shared runtime for one instance (register file, grace
@@ -240,6 +264,8 @@ impl Runtime {
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let grace = GraceEngine::new(cfg.nthreads);
+        let telemetry = Telemetry::new(cfg.nthreads, cfg.trace);
+        grace.set_telemetry(Arc::clone(&telemetry));
         let driver = (cfg.driver == DriverMode::Background)
             .then(|| GraceDriver::spawn(Arc::clone(&grace), GraceDriver::DEFAULT_TICK));
         Arc::new(Runtime {
@@ -247,6 +273,8 @@ impl Runtime {
             grace,
             driver,
             recorder: cfg.recorder.clone(),
+            telemetry,
+            tick_hooks: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -284,18 +312,84 @@ impl Runtime {
     /// then invokes `f` once per wakeup, outside every engine lock. This is
     /// how the contention governor gets its liveness under the background
     /// driver — the hook polls open reconfigurations (stripe migrations,
-    /// clock handoffs) so they settle without transaction traffic. Returns
+    /// clock handoffs) so they settle without transaction traffic — and
+    /// how periodic telemetry export gets its cadence
+    /// ([`Runtime::set_telemetry_export`]). Hooks are *additive*: each
+    /// call registers another hook, all of which run (in registration
+    /// order, outside the registry lock) once per driver wakeup. Returns
     /// whether a driver was present; under [`DriverMode::Cooperative`]
     /// nothing is installed (`false`) and the same polls ride transaction
     /// begins instead.
     pub fn set_tick_hook(&self, f: impl Fn() + Send + Sync + 'static) -> bool {
-        match &self.driver {
-            Some(d) => {
-                d.set_tick_hook(f);
-                true
-            }
-            None => false,
+        let Some(d) = &self.driver else { return false };
+        let mut hooks = self.tick_hooks.lock().unwrap();
+        hooks.push(Arc::new(f));
+        if hooks.len() == 1 {
+            // First registration: point the driver's single hook slot at
+            // the registry. Snapshot under the lock, run outside it, so a
+            // hook may itself register hooks without deadlocking.
+            let registry = Arc::clone(&self.tick_hooks);
+            d.set_tick_hook(move || {
+                let snapshot: Vec<_> = registry.lock().unwrap().clone();
+                for hook in snapshot {
+                    hook();
+                }
+            });
         }
+        true
+    }
+
+    /// This instance's telemetry hub (histograms + flight recorder).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// How many wakeups of the background [`GraceDriver`] found nothing to
+    /// do (driver duty-cycle introspection), or `None` under
+    /// [`DriverMode::Cooperative`].
+    pub fn driver_idle_wakeups(&self) -> Option<u64> {
+        self.driver.as_ref().map(|d| d.idle_wakeups())
+    }
+
+    /// Merge every slot's histograms and flight-recorder ring into one
+    /// [`TelemetrySnapshot`], stamped with this runtime's driver mode and
+    /// (under the background driver) its idle-wakeup count. Coherent but
+    /// not atomic across slots; intended for reporting, not invariants.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        snap.driver_mode = Some(self.driver_mode().label());
+        snap.driver_idle_wakeups = self.driver_idle_wakeups();
+        snap
+    }
+
+    /// Periodically hand a fresh [`TelemetrySnapshot`] to `f`, exporting at
+    /// most once per `every`, clocked by the background driver's tick.
+    /// Returns `false` (and installs nothing) under
+    /// [`DriverMode::Cooperative`] — there is no thread to clock exports;
+    /// call [`Runtime::telemetry_snapshot`] at your own cadence instead.
+    /// The hook holds only a weak reference, so it never keeps the runtime
+    /// alive.
+    pub fn set_telemetry_export(
+        self: &Arc<Self>,
+        every: Duration,
+        f: impl Fn(TelemetrySnapshot) + Send + Sync + 'static,
+    ) -> bool {
+        if self.driver.is_none() {
+            return false;
+        }
+        let rt = Arc::downgrade(self);
+        let last = Mutex::new(None::<Instant>);
+        self.set_tick_hook(move || {
+            let Some(rt) = rt.upgrade() else { return };
+            let now = Instant::now();
+            let mut last = last.lock().unwrap();
+            let due = last.is_none_or(|t| now.duration_since(t) >= every);
+            if due {
+                *last = Some(now);
+                drop(last);
+                f(rt.telemetry_snapshot());
+            }
+        })
     }
 
     /// Load register `x` (all data accesses are `SeqCst`; see module docs of
@@ -389,6 +483,9 @@ pub struct Handle<P: Policy> {
     active: bool,
     stats: Stats,
     backoff: BackoffCfg,
+    /// When the in-flight attempt began, for the commit-latency histogram.
+    /// `None` whenever telemetry is disabled (the clock is never sampled).
+    tx_started: Option<Instant>,
     policy: P,
 }
 
@@ -407,6 +504,7 @@ impl<P: Policy> Handle<P> {
             active: false,
             stats: Stats::default(),
             backoff,
+            tx_started: None,
             policy,
         }
     }
@@ -451,6 +549,14 @@ impl<P: Policy> Handle<P> {
         self.rt.epochs().enter(self.slot as usize);
         self.active = true;
         self.rec(Kind::TxBegin);
+        self.tx_started = if self.rt.telemetry.enabled() {
+            self.rt
+                .telemetry
+                .record_event(self.slot, EventKind::TxBegin);
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
         self.policy.begin(&mut ctx);
         self.rec(Kind::Ok);
@@ -470,7 +576,7 @@ impl<P: Policy> Handle<P> {
                 Ok(v)
             }
             Err(Abort) => {
-                self.finish_abort();
+                self.finish_abort(AbortCause::Read);
                 Err(Abort)
             }
         }
@@ -488,7 +594,7 @@ impl<P: Policy> Handle<P> {
                 Ok(())
             }
             Err(Abort) => {
-                self.finish_abort();
+                self.finish_abort(AbortCause::Write);
                 Err(Abort)
             }
         }
@@ -496,6 +602,7 @@ impl<P: Policy> Handle<P> {
 
     fn do_commit(&mut self) -> Result<(), Abort> {
         self.rec(Kind::TxCommit);
+        let locks_before = self.stats.aborts_lock;
         let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
         match self.policy.commit(&mut ctx) {
             Ok(()) => {
@@ -504,22 +611,41 @@ impl<P: Policy> Handle<P> {
                 // stops waiting for us is guaranteed to have our committed
                 // action in the history (Def A.1 clause 10).
                 self.rec(Kind::Committed);
+                if let Some(t0) = self.tx_started.take() {
+                    self.rt
+                        .telemetry
+                        .record_commit(self.slot, t0.elapsed().as_nanos() as u64);
+                }
                 self.rt.epochs().exit(self.slot as usize);
                 self.active = false;
                 Ok(())
             }
             Err(Abort) => {
-                self.finish_abort();
+                // Policies count their commit-time abort kind before
+                // returning; a grown lock counter distinguishes lock
+                // acquisition failures from validation failures.
+                let cause = if self.stats.aborts_lock > locks_before {
+                    AbortCause::Lock
+                } else {
+                    AbortCause::Validate
+                };
+                self.finish_abort(cause);
                 Err(Abort)
             }
         }
     }
 
     /// Abort epilogue shared by failed ops, failed commits, and user aborts.
-    fn finish_abort(&mut self) {
+    fn finish_abort(&mut self, cause: AbortCause) {
         let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
         self.policy.rollback(&mut ctx);
         self.rec(Kind::Aborted);
+        self.tx_started = None;
+        if self.rt.telemetry.enabled() {
+            self.rt
+                .telemetry
+                .record_event(self.slot, EventKind::TxAbort { cause });
+        }
         self.rt.epochs().exit(self.slot as usize);
         self.active = false;
     }
@@ -651,6 +777,26 @@ impl<K: PolicyKind> Stm<K> {
     pub fn shared(&self) -> &K::Shared {
         &self.shared
     }
+
+    /// Merged telemetry snapshot (see [`Runtime::telemetry_snapshot`]).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.rt.telemetry_snapshot()
+    }
+
+    /// Background-driver idle wakeups (see [`Runtime::driver_idle_wakeups`]).
+    pub fn driver_idle_wakeups(&self) -> Option<u64> {
+        self.rt.driver_idle_wakeups()
+    }
+
+    /// Periodic snapshot export off the background driver's tick (see
+    /// [`Runtime::set_telemetry_export`]).
+    pub fn set_telemetry_export(
+        &self,
+        every: Duration,
+        f: impl Fn(TelemetrySnapshot) + Send + Sync + 'static,
+    ) -> bool {
+        self.rt.set_telemetry_export(every, f)
+    }
 }
 
 impl<K: PolicyKind> StmFactory for Stm<K> {
@@ -684,7 +830,18 @@ impl<P: Policy> StmHandle for Handle<P> {
                 Ok(r) => return r,
                 Err(Abort) => {
                     self.stats.retries += 1;
+                    // The abort-to-retry gap: how long this handle stays
+                    // out of the ring between finalizing an abort and
+                    // re-entering `begin` (here, the backoff pause).
+                    let gap_started = self.rt.telemetry.enabled().then(Instant::now);
                     self.backoff_pause(attempt);
+                    if let Some(t0) = gap_started {
+                        self.rt.telemetry.record_latency(
+                            self.slot,
+                            LatencyClass::AbortGap,
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
                     attempt = attempt.saturating_add(1);
                 }
             }
@@ -718,7 +875,7 @@ impl<P: Policy> StmHandle for Handle<P> {
                 // tx_read/tx_write) from aborts requested by the body.
                 if self.active {
                     self.stats.aborts_user += 1;
-                    self.finish_abort();
+                    self.finish_abort(AbortCause::User);
                 }
                 Err(Abort)
             }
@@ -758,13 +915,31 @@ impl<P: Policy> StmHandle for Handle<P> {
                     .recorder
                     .as_ref()
                     .map(|r| (Arc::clone(r), self.slot as usize));
-                FenceTicket::issued(grace, rec)
+                let tel = if self.rt.telemetry.enabled() {
+                    self.rt.telemetry.record_event(
+                        self.slot,
+                        EventKind::FenceIssue {
+                            period: grace.period(),
+                        },
+                    );
+                    Some((Arc::clone(&self.rt.telemetry), self.slot))
+                } else {
+                    None
+                };
+                FenceTicket::issued(grace, rec, tel)
             }
         }
     }
 
     fn fence_join(&mut self, mut ticket: FenceTicket) {
-        self.stats.fence_wait_ns += ticket.wait().as_nanos() as u64;
+        // One wait, two sinks: the [`Stats::fence_wait_ns`] counter and the
+        // fence-wait latency histogram. With telemetry enabled the counter
+        // is by construction the histogram's sum (asserted in tests).
+        let wait_ns = ticket.wait().as_nanos() as u64;
+        self.stats.fence_wait_ns += wait_ns;
+        self.rt
+            .telemetry
+            .record_latency(self.slot, LatencyClass::FenceWait, wait_ns);
     }
 
     fn stats(&self) -> Stats {

@@ -73,8 +73,9 @@
 use crate::vlock::{VLock, VLockState};
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use tm_quiesce::{GraceEngine, GraceTicket};
+use tm_telemetry::{EventKind, Telemetry};
 
 /// Storage backend selection for versioned-lock policies, used by
 /// [`crate::runtime::StmConfig`].
@@ -710,6 +711,9 @@ struct AdaptiveInner {
     /// Consecutive windows whose false-conflict rate stayed strictly below
     /// the shrink low-water mark. Written only at window boundaries.
     calm: AtomicU64,
+    /// Late-attached telemetry hub: generation publishes and retirements
+    /// emit `stripe-publish` / `stripe-retire` trace events when present.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl AdaptiveInner {
@@ -719,15 +723,24 @@ impl AdaptiveInner {
     /// period home (a polling transaction begin, a fence waiter, or the
     /// background [`tm_quiesce::GraceDriver`]).
     fn retire(&self, period: u64) {
-        let mut st = self.state.lock().unwrap();
-        if st.migration.as_ref().is_some_and(|m| m.period() == period) {
-            st.migration = None;
-            st.id += 1;
-            st.current = Arc::new(TableGen {
-                table: Arc::clone(&st.current.table),
-                prev: None,
-            });
-            self.gen_probe.store(st.id, Ordering::SeqCst);
+        let mut retired_stripes = None;
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.migration.as_ref().is_some_and(|m| m.period() == period) {
+                st.migration = None;
+                st.id += 1;
+                st.current = Arc::new(TableGen {
+                    table: Arc::clone(&st.current.table),
+                    prev: None,
+                });
+                self.gen_probe.store(st.id, Ordering::SeqCst);
+                retired_stripes = Some(st.current.nstripes() as u64);
+            }
+        }
+        if let (Some(stripes), Some(tel)) = (retired_stripes, self.telemetry.get()) {
+            if tel.enabled() {
+                tel.record_engine_event(EventKind::StripeRetire { stripes });
+            }
         }
     }
 }
@@ -767,8 +780,15 @@ impl AdaptiveTable {
                 window_false: CachePadded::new(AtomicU64::new(0)),
                 resizes: AtomicU64::new(0),
                 calm: AtomicU64::new(0),
+                telemetry: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attach the runtime's telemetry hub (once; later calls are no-ops):
+    /// every subsequent generation publish/retire emits a trace event.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.inner.telemetry.set(telemetry);
     }
 
     /// Arm the shrink side of the control loop (the contention governor
@@ -844,17 +864,18 @@ impl AdaptiveTable {
             return false;
         }
         let false_conflicts = self.inner.window_false.swap(0, Ordering::SeqCst);
+        let why = Some((false_conflicts, self.policy.window));
         if false_conflicts * 100 >= u64::from(self.policy.threshold) * self.policy.window {
             // Contended window: any calm streak is over.
             self.inner.calm.store(0, Ordering::SeqCst);
-            return self.try_grow(engine);
+            return self.publish_resized(engine, true, why);
         }
         if let Some(sh) = self.shrink {
             if false_conflicts * 100 < u64::from(sh.low_water) * self.policy.window {
                 let calm = self.inner.calm.fetch_add(1, Ordering::SeqCst) + 1;
                 if calm >= u64::from(sh.calm_windows) {
                     self.inner.calm.store(0, Ordering::SeqCst);
-                    return self.try_shrink(engine);
+                    return self.publish_resized(engine, false, why);
                 }
             } else {
                 // Inside the dead band: neither grow nor calm.
@@ -868,13 +889,56 @@ impl AdaptiveTable {
     /// be pending and the cap must not be reached. Returns whether a
     /// generation was published.
     pub fn try_grow(&self, engine: &Arc<GraceEngine>) -> bool {
-        let ticket = {
+        self.publish_resized(engine, true, None)
+    }
+
+    /// Publish a *halved* generation, if allowed: a shrink policy must be
+    /// armed, no migration may already be pending, and the floor must not
+    /// be reached. The migration protocol is the grow side verbatim — the
+    /// two-generation overlap argument in [`TableGen`] never depends on
+    /// the direction of the resize, only on every new-generation
+    /// transaction checking both tables until the parent-only stragglers
+    /// drain — so the same probe-before-issue publication order and the
+    /// same grace-ticket retirement apply. Returns whether a generation
+    /// was published.
+    pub fn try_shrink(&self, engine: &Arc<GraceEngine>) -> bool {
+        self.publish_resized(engine, false, None)
+    }
+
+    /// The shared publication protocol behind [`Self::try_grow`] and
+    /// [`Self::try_shrink`] (they differ only in the bound check and the
+    /// direction of the resize). `why` carries the window counters that
+    /// justified a governor-driven resize — `(false_conflicts, window)` —
+    /// and lands in the `stripe-publish` trace event; direct `try_*` calls
+    /// pass `None` and trace zeros.
+    fn publish_resized(
+        &self,
+        engine: &Arc<GraceEngine>,
+        grow: bool,
+        why: Option<(u64, u64)>,
+    ) -> bool {
+        let shrink_floor = match (grow, self.shrink) {
+            (true, _) => 0,
+            (false, Some(sh)) => sh.floor,
+            (false, None) => return false,
+        };
+        let (ticket, from_stripes, to_stripes) = {
             let mut st = self.inner.state.lock().unwrap();
-            if st.migration.is_some() || st.current.nstripes() >= self.policy.max {
+            let at_bound = if grow {
+                st.current.nstripes() >= self.policy.max
+            } else {
+                st.current.nstripes() <= shrink_floor
+            };
+            if st.migration.is_some() || at_bound {
                 return false;
             }
             let parent = Arc::clone(&st.current.table);
-            let child = Arc::new(StripedTable::grown_from(&parent));
+            let child = Arc::new(if grow {
+                StripedTable::grown_from(&parent)
+            } else {
+                StripedTable::shrunk_from(&parent)
+            });
+            let (from, to) = (parent.nstripes() as u64, child.nstripes() as u64);
             st.id += 1;
             st.current = Arc::new(TableGen {
                 table: child,
@@ -896,8 +960,20 @@ impl AdaptiveTable {
             self.inner.resizes.fetch_add(1, Ordering::SeqCst);
             let ticket = engine.issue();
             st.migration = Some(ticket.clone());
-            ticket
+            (ticket, from, to)
         };
+        if let Some(tel) = self.inner.telemetry.get() {
+            if tel.enabled() {
+                let (false_conflicts, window) = why.unwrap_or((0, 0));
+                tel.record_engine_event(EventKind::StripePublish {
+                    grow,
+                    from_stripes,
+                    to_stripes,
+                    false_conflicts,
+                    window,
+                });
+            }
+        }
         // Register the retirement as the period's completion callback —
         // outside the state lock, because an already-elapsed period runs
         // the callback immediately on this thread, and `retire` re-locks.
@@ -905,44 +981,6 @@ impl AdaptiveTable {
         // fire-and-forget contract: the old generation retires in bounded
         // time with zero pollers. Cooperatively, whoever drives the period
         // home (a begin-time poll, any fence waiter) runs it.
-        let inner = Arc::clone(&self.inner);
-        let period = ticket.period();
-        ticket.on_complete(move || inner.retire(period));
-        true
-    }
-
-    /// Publish a *halved* generation, if allowed: a shrink policy must be
-    /// armed, no migration may already be pending, and the floor must not
-    /// be reached. The migration protocol is the grow side verbatim — the
-    /// two-generation overlap argument in [`TableGen`] never depends on
-    /// the direction of the resize, only on every new-generation
-    /// transaction checking both tables until the parent-only stragglers
-    /// drain — so the same probe-before-issue publication order and the
-    /// same grace-ticket retirement apply (see [`Self::try_grow`] for the
-    /// ordering argument). Returns whether a generation was published.
-    pub fn try_shrink(&self, engine: &Arc<GraceEngine>) -> bool {
-        let Some(sh) = self.shrink else {
-            return false;
-        };
-        let ticket = {
-            let mut st = self.inner.state.lock().unwrap();
-            if st.migration.is_some() || st.current.nstripes() <= sh.floor {
-                return false;
-            }
-            let parent = Arc::clone(&st.current.table);
-            let child = Arc::new(StripedTable::shrunk_from(&parent));
-            st.id += 1;
-            st.current = Arc::new(TableGen {
-                table: child,
-                prev: Some(parent),
-            });
-            // Probe store strictly before issue — same chain as try_grow.
-            self.inner.gen_probe.store(st.id, Ordering::SeqCst);
-            self.inner.resizes.fetch_add(1, Ordering::SeqCst);
-            let ticket = engine.issue();
-            st.migration = Some(ticket.clone());
-            ticket
-        };
         let inner = Arc::clone(&self.inner);
         let period = ticket.period();
         ticket.on_complete(move || inner.retire(period));

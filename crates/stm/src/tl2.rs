@@ -42,6 +42,7 @@ use crate::storage::{
 };
 use crate::vlock::VLockState;
 use std::sync::Arc;
+use tm_telemetry::EventKind;
 
 /// Commits per *governor window*: each handle folds its (plain, handle-
 /// local) read-only/writing commit tallies into a clock-discipline decision
@@ -131,6 +132,14 @@ impl PolicyKind for Tl2Kind {
         // polls from transaction begins instead (`set_tick_hook` is a no-op
         // there), so liveness only needs *some* later transaction — the
         // same contract as every other cooperative grace-period user.
+        // Late-attach the runtime's telemetry hub to the governed backends,
+        // so their reconfiguration decisions land in the flight recorder.
+        if let AnyTables::Adaptive(at) = &shared.tables {
+            at.set_telemetry(Arc::clone(rt.telemetry()));
+        }
+        if let Some(a) = shared.auto_clock() {
+            a.set_telemetry(Arc::clone(rt.telemetry()));
+        }
         let adaptive = matches!(shared.tables, AnyTables::Adaptive(_));
         let auto = shared.auto_clock().is_some();
         if !adaptive && !auto {
@@ -514,6 +523,19 @@ impl Tl2Policy {
         };
         if auto.request(want, ctx.rt.grace()) {
             ctx.stats.clock_switches += 1;
+            // Trace the decision WITH the fold that justified it, so the
+            // flight recorder can answer "why did the clock switch?".
+            let tel = ctx.rt.telemetry();
+            if tel.enabled() {
+                tel.record_event(
+                    ctx.slot,
+                    EventKind::ClockSwitchRequest {
+                        to_gv5: want == AutoMode::Gv5,
+                        read_commits: total - writes,
+                        write_commits: writes,
+                    },
+                );
+            }
         }
     }
 }

@@ -1,0 +1,437 @@
+//! Integration tests for the telemetry subsystem: the flight recorder and
+//! latency histograms threaded through the runtime, the governor's traced
+//! decisions, the `Stats` ↔ histogram sum identity, snapshot JSON shape,
+//! the periodic export hook, and the disabled-path cost contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_stm::prelude::*;
+use tm_stm::runtime::DriverMode;
+use tm_stm::tl2::GOVERNOR_WINDOW;
+
+/// The tentpole promise of the flight recorder: a governor decision is
+/// recorded *with the counters that justified it*. One write-heavy fold
+/// must trace a GV1→GV5 switch request carrying the fold's read/write
+/// commit split.
+#[test]
+fn governor_switch_event_carries_the_fold_counters() {
+    let stm = Tl2Stm::with_config(
+        StmConfig::new(16, 1)
+            .clock(ClockKind::Auto)
+            .trace(TraceConfig::with_capacity(1024)),
+    );
+    let mut h = stm.handle(0);
+    for i in 0..GOVERNOR_WINDOW {
+        h.atomic(|tx| tx.write(0, i + 1));
+    }
+    assert_eq!(h.stats().clock_switches, 1);
+    let snap = stm.telemetry_snapshot();
+    let requests: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ClockSwitchRequest { .. }))
+        .collect();
+    assert_eq!(requests.len(), 1, "one granted request, one trace event");
+    assert_eq!(requests[0].slot, 0, "attributed to the deciding handle");
+    match requests[0].kind {
+        EventKind::ClockSwitchRequest {
+            to_gv5,
+            read_commits,
+            write_commits,
+        } => {
+            assert!(to_gv5, "a write-heavy fold requests GV5");
+            assert_eq!(read_commits, 0);
+            assert_eq!(write_commits, GOVERNOR_WINDOW);
+        }
+        _ => unreachable!(),
+    }
+    // The decision is also reachable through the dedicated iterator.
+    assert!(snap.governor_decisions().count() >= 1);
+}
+
+/// The grace-fenced handoff's *settlement* is traced too (engine slot),
+/// and under the background driver the settle event appears with zero
+/// transaction traffic after the request.
+#[test]
+fn clock_switch_settle_is_traced_in_both_driver_modes() {
+    for mode in DriverMode::ALL {
+        let stm = Tl2Stm::with_config(
+            StmConfig::auto(16, 1)
+                .grace_driver(mode)
+                .trace(TraceConfig::with_capacity(1024)),
+        );
+        let mut h = stm.handle(0);
+        for i in 0..GOVERNOR_WINDOW {
+            h.atomic(|tx| tx.write(0, i + 1));
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while stm.clock_handoff_pending() {
+            assert!(Instant::now() < deadline, "{}: handoff stuck", mode.label());
+            match mode {
+                DriverMode::Background => std::thread::sleep(Duration::from_millis(1)),
+                DriverMode::Cooperative => {
+                    h.atomic(|tx| tx.read(1));
+                }
+            }
+        }
+        let snap = stm.telemetry_snapshot();
+        let settled = snap.events.iter().any(|e| {
+            matches!(e.kind, EventKind::ClockSwitchSettle { to_gv5: true })
+                && e.slot == stm.runtime().telemetry().engine_slot()
+        });
+        assert!(settled, "{}: no settle event in {:?}", mode.label(), snap);
+        assert_eq!(snap.driver_mode, Some(mode.label()));
+    }
+}
+
+/// Satellite (f): `Stats::fence_wait_ns` is the fence-wait histogram's sum
+/// — `fence_join` feeds the same measured wait to both sinks.
+#[test]
+fn fence_wait_counter_equals_histogram_sum() {
+    let stm = Tl2Stm::with_config(StmConfig::new(2, 2).trace(TraceConfig::with_capacity(256)));
+    let mut h = stm.handle(0);
+    // One uncontended fence, then one genuinely blocked fence.
+    h.fence();
+    let rt = stm.runtime();
+    rt.epochs().enter(1);
+    let release = {
+        let grace = Arc::clone(rt.grace());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            grace.epochs().exit(1);
+        })
+    };
+    h.fence();
+    release.join().unwrap();
+    let s = h.stats();
+    let snap = stm.telemetry_snapshot();
+    assert_eq!(s.fences, 2);
+    assert_eq!(snap.hists.fence_wait.count(), 2, "one sample per join");
+    assert_eq!(
+        snap.hists.fence_wait.sum(),
+        s.fence_wait_ns,
+        "the Stats counter must be exactly the histogram's sum"
+    );
+    assert!(
+        s.fence_wait_ns > 1_000_000,
+        "the blocked fence charged time"
+    );
+    // The ring carries the issue/retire pair for each fence, with matching
+    // grace periods.
+    for kind in ["fence-issue", "fence-retire"] {
+        let n = snap
+            .events
+            .iter()
+            .filter(|e| e.kind.label() == kind)
+            .count();
+        assert_eq!(n, 2, "expected 2 {kind} events");
+    }
+    // Grace scans completed by those fences feed the grace histogram.
+    assert!(snap.hists.grace.count() >= 1, "{:?}", snap.hists.grace);
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::GraceScan { .. })));
+}
+
+/// Commits, aborts (with cause), and retry gaps all land in the snapshot:
+/// the commit histogram counts exactly the committed transactions, a
+/// body-requested abort is traced as `user`, and a failed-validation retry
+/// records an abort-gap sample.
+#[test]
+fn commit_abort_and_retry_telemetry_lands_in_the_snapshot() {
+    let stm = Tl2Stm::with_config(StmConfig::new(8, 2).trace(TraceConfig::with_capacity(1024)));
+    let mut h = stm.handle(0);
+    for i in 0..10u64 {
+        h.atomic(|tx| tx.write(0, i));
+    }
+    let _ = h.try_atomic(|tx| {
+        tx.read(0)?;
+        Err::<(), Abort>(Abort)
+    });
+    let snap = stm.telemetry_snapshot();
+    assert_eq!(snap.hists.commit.count(), h.stats().commits);
+    assert!(snap.hists.commit.quantiles().p999 >= snap.hists.commit.quantiles().p50);
+    let user_aborts = snap
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::TxAbort {
+                    cause: AbortCause::User
+                }
+            )
+        })
+        .count();
+    assert_eq!(user_aborts as u64, h.stats().aborts_user);
+    // Force exactly one validation abort: handle `b` commits a conflicting
+    // write between `a`'s read and `a`'s commit (first attempt only), so
+    // `a` retries once and the retry loop records one abort-gap sample.
+    let mut a = stm.handle(0);
+    let mut b = stm.handle(1);
+    let mut interfered = false;
+    a.atomic(|tx| {
+        let v = tx.read(1)?;
+        if !interfered {
+            interfered = true;
+            b.atomic(|t| t.write(1, v + 100));
+        }
+        tx.write(2, v + 1)
+    });
+    assert_eq!(a.stats().retries, 1, "the interference forces one retry");
+    let snap = stm.telemetry_snapshot();
+    assert_eq!(
+        snap.hists.abort_gap.count(),
+        1,
+        "one abort-gap sample per retry-loop pass"
+    );
+    assert!(snap.events.iter().any(|e| {
+        e.slot == 0
+            && matches!(
+                e.kind,
+                EventKind::TxAbort {
+                    cause: AbortCause::Validate
+                }
+            )
+    }));
+}
+
+/// Satellite (c): structural validation of the snapshot JSON under both
+/// driver modes — balanced objects/arrays/strings/numbers, the
+/// `bench_telemetry/v1` schema stamp, and the driver block.
+#[test]
+fn snapshot_json_is_structurally_valid_in_both_driver_modes() {
+    for mode in DriverMode::ALL {
+        let stm = Tl2Stm::with_config(
+            StmConfig::auto(32, 2)
+                .grace_driver(mode)
+                .trace(TraceConfig::with_capacity(64)),
+        );
+        let mut h = stm.handle(0);
+        for i in 0..GOVERNOR_WINDOW {
+            h.atomic(|tx| tx.write((i % 8) as usize, i + 1));
+        }
+        h.fence();
+        let snap = stm.telemetry_snapshot();
+        let json = snap.to_json();
+        assert_valid_json(&json);
+        assert!(
+            json.contains("\"schema\": \"bench_telemetry/v1\""),
+            "schema stamp missing:\n{json}"
+        );
+        assert!(
+            json.contains(&format!("\"mode\": \"{}\"", mode.label())),
+            "driver mode missing:\n{json}"
+        );
+        match mode {
+            DriverMode::Background => {
+                assert!(json.contains("\"idle_wakeups\""), "{json}");
+                assert!(snap.driver_idle_wakeups.is_some());
+            }
+            DriverMode::Cooperative => {
+                assert!(!json.contains("\"idle_wakeups\""), "{json}");
+                assert_eq!(snap.driver_idle_wakeups, None);
+            }
+        }
+        // Every histogram class renders a row.
+        for label in ["commit", "abort-gap", "fence-wait", "grace"] {
+            assert!(json.contains(&format!("\"class\": \"{label}\"")), "{json}");
+        }
+    }
+}
+
+/// Satellite (a) + tentpole export hook: `driver_idle_wakeups` surfaces
+/// through the runtime, and `set_telemetry_export` clocks snapshots off
+/// the background driver's tick (and refuses cooperatively, where no
+/// thread exists to clock it).
+#[test]
+fn export_hook_fires_on_the_driver_tick() {
+    let coop = Tl2Stm::with_config(StmConfig::new(4, 1).grace_driver(DriverMode::Cooperative));
+    assert_eq!(coop.driver_idle_wakeups(), None);
+    assert!(
+        !coop.set_telemetry_export(Duration::ZERO, |_| {}),
+        "cooperative runtimes have no tick to export on"
+    );
+
+    let stm = Tl2Stm::with_config(
+        StmConfig::new(4, 1)
+            .grace_driver(DriverMode::Background)
+            .trace(TraceConfig::with_capacity(64)),
+    );
+    let mut h = stm.handle(0);
+    h.atomic(|tx| tx.write(0, 7));
+    let exports = Arc::new(AtomicU64::new(0));
+    let seen_commits = Arc::new(AtomicU64::new(0));
+    {
+        let exports = Arc::clone(&exports);
+        let seen = Arc::clone(&seen_commits);
+        assert!(stm.set_telemetry_export(Duration::ZERO, move |snap| {
+            exports.fetch_add(1, Ordering::SeqCst);
+            seen.fetch_max(snap.hists.commit.count(), Ordering::SeqCst);
+        }));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while exports.load(Ordering::SeqCst) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the export hook must fire on the driver tick"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        seen_commits.load(Ordering::SeqCst),
+        1,
+        "exported snapshots carry the merged histograms"
+    );
+    // The driver's duty cycle is visible through the same runtime.
+    assert!(stm.driver_idle_wakeups().is_some());
+}
+
+/// Satellite (b): the `TM_STM_TRACE`-shaped capacity knob bounds each
+/// slot's ring — overflow overwrites the oldest events and is accounted in
+/// `dropped`, never grows memory.
+#[test]
+fn ring_capacity_bounds_the_flight_recorder() {
+    let stm = Tl2Stm::with_config(StmConfig::new(4, 1).trace(TraceConfig::with_capacity(4)));
+    let mut h = stm.handle(0);
+    for i in 0..32u64 {
+        h.atomic(|tx| tx.write(0, i));
+    }
+    let snap = stm.telemetry_snapshot();
+    assert!(snap.enabled);
+    assert_eq!(snap.capacity, 4);
+    // 32 commits × (TxBegin + TxCommit) = 64 events pushed at slot 0; only
+    // the newest `capacity` survive.
+    let slot0 = snap.events.iter().filter(|e| e.slot == 0).count();
+    assert_eq!(slot0, 4);
+    assert_eq!(snap.dropped, 60);
+    // The survivors are the *newest* events (ring overwrites oldest): the
+    // final commit of the loop must still be there.
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::TxCommit { .. })));
+}
+
+/// The disabled-path cost contract (the telemetry twin of
+/// `governor.rs::steady_state_commits_touch_no_governor_shared_state`):
+/// with tracing off, a steady-state commit performs ZERO shared-line
+/// writes on behalf of telemetry — every event site is exactly one relaxed
+/// load of the `enabled` flag, after which nothing is locked, pushed, or
+/// counted. Pinned observably: no slot cell is ever locked for writing, so
+/// the snapshot stays identically empty, and the begin path never samples
+/// the clock (`Instant::now`) for a commit-latency it would never record.
+#[test]
+fn disabled_telemetry_costs_one_relaxed_load_per_event_site() {
+    let stm = Tl2Stm::with_config(
+        StmConfig::auto(16, 1)
+            .grace_driver(DriverMode::Cooperative)
+            .trace(TraceConfig::off()),
+    );
+    assert!(!stm.runtime().telemetry().enabled());
+    let mut h = stm.handle(0);
+    // A busy, governor-active workload: commits, a fold boundary, fences.
+    for i in 0..GOVERNOR_WINDOW {
+        h.atomic(|tx| tx.write(0, i + 1));
+    }
+    h.fence();
+    let snap = stm.telemetry_snapshot();
+    assert!(!snap.enabled);
+    assert_eq!(snap.capacity, 0);
+    assert_eq!(snap.dropped, 0, "disabled rings never even count drops");
+    assert!(snap.events.is_empty(), "no event reached any ring");
+    for class in LatencyClass::ALL {
+        assert_eq!(
+            snap.hists.get(class).count(),
+            0,
+            "{}: no sample reached any histogram",
+            class.label()
+        );
+        assert_eq!(snap.hists.get(class).sum(), 0);
+    }
+    // The runtime stays fully functional — the counters the paper's
+    // experiments rely on are untouched by the off switch.
+    assert_eq!(h.stats().commits, GOVERNOR_WINDOW);
+    assert_eq!(h.stats().fences, 1);
+}
+
+/// Minimal structural JSON check (no serde in this build): validates
+/// balanced objects/arrays, quoted strings, and bare numbers — the same
+/// validator the bench crate runs over its reports, so the telemetry JSON
+/// stays consumable by the same tooling (no `true`/`false`/`null` tokens).
+fn assert_valid_json(s: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_digit() || b"+-.eE".contains(&b[j])) {
+                    j += 1;
+                }
+                Ok(j)
+            }
+            _ => Err(format!("unexpected byte at {i}")),
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    let b = s.as_bytes();
+    let end = value(b, 0).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{s}"));
+    assert_eq!(skip_ws(b, end), b.len(), "trailing garbage:\n{s}");
+}

@@ -1,0 +1,1097 @@
+//! # tm-telemetry — flight recorder + latency histograms for the STM runtime
+//!
+//! The runtime self-tunes (clock handoffs, stripe migrations, grace-fenced
+//! reconfigurations), and flat counters cannot explain *why* it did what it
+//! did or what the latency *distribution* looked like while it happened.
+//! This crate is the always-on observability layer the rest of the
+//! workspace threads through itself:
+//!
+//! * [`LatencyHistogram`] — log-bucketed (power-of-two) latency
+//!   distributions as plain `u64` arrays: zero atomics in the type, `merge`
+//!   in the same style as the runtime's `Stats`, and
+//!   p50/p90/p99/p999 extraction ([`LatencyHistogram::quantiles`]).
+//!   [`LatencyHistograms`] bundles the four distributions the runtime
+//!   tracks (commit latency, abort→retry gap, fence wait, grace-period
+//!   duration) behind named fields, so a forgotten field breaks the
+//!   merge-identity test's exhaustive literal at compile time.
+//! * [`TraceRing`] — a fixed-capacity, overwrite-oldest flight recorder of
+//!   [`TraceEvent`]s: transaction begin/commit/abort-with-cause, fence
+//!   issue/retire, grace scans, and every governor decision (clock switch
+//!   request/settle, stripe publish/retire), each carrying the counters
+//!   that justified it ([`EventKind`]).
+//! * [`Telemetry`] — the per-instance container: one mutex-guarded
+//!   [`SlotTelemetry`] cell per thread slot (plus one *engine* slot for
+//!   events raised off-transaction: grace scans, handoff settles,
+//!   generation retirements), an [`Instant`] epoch for timestamps, and a
+//!   single `enabled` flag. **Disabled cost is one relaxed load per event
+//!   site** — no lock, no clock sample, no allocation; the runtime's
+//!   steady-state test pins this. Enabled cost per event is one
+//!   uncontended lock of the caller's own padded cell (the same per-slot
+//!   pattern as the history recorder) plus plain-array arithmetic — the
+//!   histograms and rings themselves contain no atomics.
+//! * [`TelemetrySnapshot`] — merges histograms and rings across every slot
+//!   into one coherent view, rendered as hand-rolled JSON
+//!   ([`TelemetrySnapshot::to_json`], schema `bench_telemetry/v1`, same
+//!   style as the `BENCH_*.json` artifacts).
+//!
+//! Capacity is selected at construction via [`TraceConfig`]; the runtime
+//! reads the `TM_STM_TRACE` environment knob once
+//! ([`TraceConfig::from_env`]): `off` disables telemetry entirely, a
+//! number selects the per-slot ring capacity (default 1024 events/slot).
+
+#![warn(missing_docs)]
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples whose
+/// nanosecond value has its highest set bit at position `i` (bucket 0 also
+/// holds 0). 64 buckets cover the full `u64` range — no sample is ever out
+/// of range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log-bucketed latency distribution: plain `u64` arrays, no atomics.
+///
+/// Samples are nanoseconds; `record` is two array ops and two adds. The
+/// quantile extraction returns the *upper edge* of the bucket containing
+/// the requested rank — an overestimate by at most 2x, which is the
+/// resolution bargain every power-of-two histogram makes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// The p50/p90/p99/p999 view of one [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median (nanoseconds, bucket upper edge).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a nanosecond sample: the position of its highest
+    /// set bit (0 maps to bucket 0).
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        63 - (ns | 1).leading_zeros() as usize
+    }
+
+    /// Inclusive upper edge of bucket `i` (the value quantiles report).
+    pub fn bucket_upper_edge(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Record one nanosecond sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (nanoseconds, saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw bucket array (for sparkline rendering and report code).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Accumulate `o` into `self`, bucket-wise — the same shape as
+    /// `Stats::merge`: counters add, nothing is lost.
+    pub fn merge(&mut self, o: &LatencyHistogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += o.count;
+        self.sum = self.sum.saturating_add(o.sum);
+    }
+
+    /// The value at quantile `q` (in `[0, 1]`): the upper edge of the
+    /// bucket holding the `ceil(q * count)`-th smallest sample. 0 when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::bucket_upper_edge(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The standard report quartet: p50/p90/p99/p999.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// The four latency distributions the runtime tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyClass {
+    /// Transaction begin → successful commit, per attempt that committed.
+    Commit,
+    /// Abort → next retry of the same `atomic` call (the backoff gap).
+    AbortGap,
+    /// Time blocked in `fence`/`fence_join`. When telemetry is enabled,
+    /// the sum of this distribution equals `Stats::fence_wait_ns` —
+    /// `fence_join` feeds both from the same measurement.
+    FenceWait,
+    /// Grace-period duration: scan start (period close) → scan completion.
+    Grace,
+}
+
+impl LatencyClass {
+    /// Every class, in report order.
+    pub const ALL: [LatencyClass; 4] = [
+        LatencyClass::Commit,
+        LatencyClass::AbortGap,
+        LatencyClass::FenceWait,
+        LatencyClass::Grace,
+    ];
+
+    /// Report key for the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyClass::Commit => "commit",
+            LatencyClass::AbortGap => "abort-gap",
+            LatencyClass::FenceWait => "fence-wait",
+            LatencyClass::Grace => "grace",
+        }
+    }
+}
+
+/// The runtime's latency histograms, one field per [`LatencyClass`].
+///
+/// A struct with named fields — not an array — on purpose: the
+/// merge-identity test constructs an exhaustive literal, so adding a class
+/// here without extending [`LatencyHistograms::merge`] (and every report)
+/// breaks the build, the same guard `Stats` uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistograms {
+    /// Begin → commit latency of committed attempts.
+    pub commit: LatencyHistogram,
+    /// Abort → retry gap of the shared `atomic` loop.
+    pub abort_gap: LatencyHistogram,
+    /// Blocked fence-wait time (`Stats::fence_wait_ns`'s distribution).
+    pub fence_wait: LatencyHistogram,
+    /// Grace-period (epoch-table scan) durations.
+    pub grace: LatencyHistogram,
+}
+
+impl LatencyHistograms {
+    /// Record one sample into the `class` distribution.
+    #[inline]
+    pub fn record(&mut self, class: LatencyClass, ns: u64) {
+        self.get_mut(class).record(ns);
+    }
+
+    /// The distribution for `class`.
+    pub fn get(&self, class: LatencyClass) -> &LatencyHistogram {
+        match class {
+            LatencyClass::Commit => &self.commit,
+            LatencyClass::AbortGap => &self.abort_gap,
+            LatencyClass::FenceWait => &self.fence_wait,
+            LatencyClass::Grace => &self.grace,
+        }
+    }
+
+    /// Mutable access to the distribution for `class`.
+    pub fn get_mut(&mut self, class: LatencyClass) -> &mut LatencyHistogram {
+        match class {
+            LatencyClass::Commit => &mut self.commit,
+            LatencyClass::AbortGap => &mut self.abort_gap,
+            LatencyClass::FenceWait => &mut self.fence_wait,
+            LatencyClass::Grace => &mut self.grace,
+        }
+    }
+
+    /// Accumulate `o` into `self`, field by field (`Stats::merge` style).
+    pub fn merge(&mut self, o: &LatencyHistograms) {
+        self.commit.merge(&o.commit);
+        self.abort_gap.merge(&o.abort_gap);
+        self.fence_wait.merge(&o.fence_wait);
+        self.grace.merge(&o.grace);
+    }
+}
+
+/// Why a transaction attempt aborted (the flight recorder's classification
+/// of `TxAbort` events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Read-time validation failure.
+    Read,
+    /// Write-op failure (rare; policies that can fail buffered writes).
+    Write,
+    /// Commit-time lock acquisition failure.
+    Lock,
+    /// Commit-time read-set re-validation failure.
+    Validate,
+    /// `Err(Abort)` returned by the transaction body.
+    User,
+}
+
+impl AbortCause {
+    /// Report key for the cause.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::Read => "read",
+            AbortCause::Write => "write",
+            AbortCause::Lock => "lock",
+            AbortCause::Validate => "validate",
+            AbortCause::User => "user",
+        }
+    }
+
+    /// Stable numeric encoding (JSON field value).
+    fn code(self) -> u64 {
+        match self {
+            AbortCause::Read => 0,
+            AbortCause::Write => 1,
+            AbortCause::Lock => 2,
+            AbortCause::Validate => 3,
+            AbortCause::User => 4,
+        }
+    }
+}
+
+/// One flight-recorder event: the runtime's taxonomy of things worth
+/// reconstructing after the fact. Governor decisions carry the counters
+/// that justified them, so a snapshot can answer "why did it switch?"
+/// without correlating external logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction attempt began.
+    TxBegin,
+    /// A transaction attempt committed, with its begin→commit latency.
+    TxCommit {
+        /// Begin → commit latency of this attempt (nanoseconds).
+        latency_ns: u64,
+    },
+    /// A transaction attempt aborted.
+    TxAbort {
+        /// Why it aborted.
+        cause: AbortCause,
+    },
+    /// A privatization fence was requested (`fence_async`).
+    FenceIssue {
+        /// Grace period the fence ticket was stamped with.
+        period: u64,
+    },
+    /// A fence ticket resolved (its grace period elapsed).
+    FenceRetire {
+        /// Grace period the ticket was stamped with.
+        period: u64,
+    },
+    /// A grace period completed: one epoch-table scan retired it (and every
+    /// fence ticket batched behind it).
+    GraceScan {
+        /// The retired period.
+        period: u64,
+        /// Scan start (period close) → completion (nanoseconds).
+        duration_ns: u64,
+    },
+    /// The contention governor's fold requested (and was granted) a clock
+    /// discipline switch. Carries the fold's window counters — the
+    /// evidence the decision was made on.
+    ClockSwitchRequest {
+        /// `true`: GV1→GV5 (write-heavy window); `false`: GV5→GV1.
+        to_gv5: bool,
+        /// Read-only commits in the fold's window.
+        read_commits: u64,
+        /// Writing commits in the fold's window.
+        write_commits: u64,
+    },
+    /// A clock handoff's grace period retired: the switch settled and the
+    /// GV1 elision fast path re-armed.
+    ClockSwitchSettle {
+        /// The discipline that is now settled.
+        to_gv5: bool,
+    },
+    /// The adaptive table published a resized generation, opening a
+    /// grace-fenced migration window. Carries the window evidence.
+    StripePublish {
+        /// `true`: grow (doubled); `false`: governor shrink (halved).
+        grow: bool,
+        /// Stripe count before the resize.
+        from_stripes: u64,
+        /// Stripe count after the resize.
+        to_stripes: u64,
+        /// False conflicts observed in the deciding window (0 when the
+        /// resize was requested directly, outside a window boundary).
+        false_conflicts: u64,
+        /// Commits in the deciding window (0 for direct requests).
+        window: u64,
+    },
+    /// A migration window closed: the old generation was retired by its
+    /// grace period's completion callback.
+    StripeRetire {
+        /// Stripe count of the surviving (current) generation.
+        stripes: u64,
+    },
+}
+
+impl EventKind {
+    /// Report key for the event kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TxBegin => "tx-begin",
+            EventKind::TxCommit { .. } => "tx-commit",
+            EventKind::TxAbort { .. } => "tx-abort",
+            EventKind::FenceIssue { .. } => "fence-issue",
+            EventKind::FenceRetire { .. } => "fence-retire",
+            EventKind::GraceScan { .. } => "grace-scan",
+            EventKind::ClockSwitchRequest { .. } => "clock-switch-request",
+            EventKind::ClockSwitchSettle { .. } => "clock-switch-settle",
+            EventKind::StripePublish { .. } => "stripe-publish",
+            EventKind::StripeRetire { .. } => "stripe-retire",
+        }
+    }
+
+    /// The event's payload as `(name, value)` pairs, in declaration order —
+    /// what the JSON renderer and the human report both consume. Booleans
+    /// encode as 0/1, [`AbortCause`] as its stable code.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::TxBegin => vec![],
+            EventKind::TxCommit { latency_ns } => vec![("latency_ns", latency_ns)],
+            EventKind::TxAbort { cause } => vec![("cause", cause.code())],
+            EventKind::FenceIssue { period } => vec![("period", period)],
+            EventKind::FenceRetire { period } => vec![("period", period)],
+            EventKind::GraceScan {
+                period,
+                duration_ns,
+            } => vec![("period", period), ("duration_ns", duration_ns)],
+            EventKind::ClockSwitchRequest {
+                to_gv5,
+                read_commits,
+                write_commits,
+            } => vec![
+                ("to_gv5", u64::from(to_gv5)),
+                ("read_commits", read_commits),
+                ("write_commits", write_commits),
+            ],
+            EventKind::ClockSwitchSettle { to_gv5 } => vec![("to_gv5", u64::from(to_gv5))],
+            EventKind::StripePublish {
+                grow,
+                from_stripes,
+                to_stripes,
+                false_conflicts,
+                window,
+            } => vec![
+                ("grow", u64::from(grow)),
+                ("from_stripes", from_stripes),
+                ("to_stripes", to_stripes),
+                ("false_conflicts", false_conflicts),
+                ("window", window),
+            ],
+            EventKind::StripeRetire { stripes } => vec![("stripes", stripes)],
+        }
+    }
+
+    /// Is this one of the contention governor's decisions (clock switches,
+    /// stripe resizes) — the events `stm_inspect`'s "last N decisions"
+    /// section renders?
+    pub fn is_governor_decision(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ClockSwitchRequest { .. }
+                | EventKind::ClockSwitchSettle { .. }
+                | EventKind::StripePublish { .. }
+                | EventKind::StripeRetire { .. }
+        )
+    }
+}
+
+/// One timestamped flight-recorder entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the owning [`Telemetry`]'s construction.
+    pub at_ns: u64,
+    /// Thread slot that raised the event ([`Telemetry::engine_slot`] for
+    /// off-transaction events: grace scans, settles, retirements).
+    pub slot: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A fixed-capacity, overwrite-oldest ring of [`TraceEvent`]s — the
+/// per-slot flight recorder. Plain data, no atomics; concurrency control
+/// is the owning [`Telemetry`]'s per-slot cell.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    /// Next write position (== oldest entry once the ring has wrapped).
+    head: usize,
+    capacity: usize,
+    /// Events overwritten since construction (ring wrapped past them).
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (0 = record none).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: Vec::new(),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest once full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            // First lap: grow lazily so an idle slot costs no memory.
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.dropped += 1;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The construction-time capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten (lost to the ring wrapping) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held events, oldest first.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = if self.buf.len() < self.capacity {
+            // Not yet wrapped: buf[0..] is already oldest-first.
+            (&self.buf[..0], &self.buf[..])
+        } else {
+            (&self.buf[..self.head], &self.buf[self.head..])
+        };
+        older.iter().chain(newer.iter())
+    }
+}
+
+/// Per-slot telemetry cell: this slot's histograms and flight-recorder
+/// ring. Plain data — the owning [`Telemetry`] wraps each cell in its own
+/// padded mutex.
+#[derive(Clone, Debug, Default)]
+pub struct SlotTelemetry {
+    /// The slot's latency distributions.
+    pub hists: LatencyHistograms,
+    /// The slot's flight recorder.
+    pub ring: TraceRing,
+}
+
+/// Construction-time telemetry configuration: the flight-recorder capacity
+/// per slot, with 0 meaning *telemetry off* (histograms included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity per slot; 0 disables all telemetry.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Default flight-recorder capacity: 1024 events per thread slot.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Telemetry fully disabled: every event site costs one relaxed load.
+    pub fn off() -> Self {
+        TraceConfig { capacity: 0 }
+    }
+
+    /// Telemetry enabled with `capacity` events per slot (`off()` if 0).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig { capacity }
+    }
+
+    /// Is any recording enabled?
+    pub fn is_enabled(self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Process-wide default, read once (the `TM_STM_DRIVER` pattern):
+    /// `TM_STM_TRACE=off` disables telemetry, `TM_STM_TRACE=<n>` selects a
+    /// per-slot ring capacity of `n` events, unset or unparsable means the
+    /// default ([`Self::DEFAULT_CAPACITY`] events/slot, enabled).
+    pub fn from_env() -> Self {
+        static CFG: std::sync::OnceLock<TraceConfig> = std::sync::OnceLock::new();
+        *CFG.get_or_init(|| Self::parse(std::env::var("TM_STM_TRACE").ok().as_deref()))
+    }
+
+    /// The `TM_STM_TRACE` grammar, factored out of [`Self::from_env`] so
+    /// tests can exercise it without mutating the process environment.
+    pub fn parse(v: Option<&str>) -> Self {
+        match v.map(str::trim) {
+            Some("off") | Some("0") => Self::off(),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) => Self::with_capacity(n),
+                Err(_) => Self::default(),
+            },
+            None => Self::default(),
+        }
+    }
+}
+
+/// The per-instance telemetry container: one padded, mutex-guarded
+/// [`SlotTelemetry`] cell per thread slot plus one *engine* slot, an
+/// enabled flag, and the timestamp epoch.
+///
+/// ## Cost model
+///
+/// *Disabled* (`TraceConfig::off()` / `TM_STM_TRACE=off`): every
+/// `record_*` call is one relaxed load of `enabled` and an immediate
+/// return — no lock, no `Instant::now`, no shared-line write. *Enabled*:
+/// one uncontended lock of the caller's own cache-padded cell (slots are
+/// thread-private, so the lock word is too) plus plain-array updates. The
+/// only cross-slot traffic is [`Telemetry::snapshot`], which walks the
+/// cells one at a time.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    capacity: usize,
+    epoch: Instant,
+    /// `nslots + 1` cells: the last is the engine slot.
+    slots: Box<[CachePadded<Mutex<SlotTelemetry>>]>,
+}
+
+impl Telemetry {
+    /// A telemetry container for `nslots` thread slots (one extra engine
+    /// slot is added internally), configured by `cfg`.
+    pub fn new(nslots: usize, cfg: TraceConfig) -> Arc<Self> {
+        let total = nslots + 1;
+        assert!(
+            total <= usize::from(u16::MAX),
+            "slot count exceeds the 16-bit event encoding"
+        );
+        Arc::new(Telemetry {
+            enabled: AtomicBool::new(cfg.is_enabled()),
+            capacity: cfg.capacity,
+            epoch: Instant::now(),
+            slots: (0..total)
+                .map(|_| {
+                    CachePadded::new(Mutex::new(SlotTelemetry {
+                        hists: LatencyHistograms::default(),
+                        ring: TraceRing::new(cfg.capacity),
+                    }))
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        })
+    }
+
+    /// Is recording enabled? One relaxed load — the whole disabled-path
+    /// cost of every event site.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The pseudo-slot engine-side events are recorded under (grace scans,
+    /// handoff settles, generation retirements — work not attributable to
+    /// any one transaction slot).
+    pub fn engine_slot(&self) -> u16 {
+        (self.slots.len() - 1) as u16
+    }
+
+    /// Per-slot flight-recorder capacity this instance was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Nanoseconds since this telemetry instance was constructed (the
+    /// timebase of every [`TraceEvent::at_ns`]).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn with_slot(&self, slot: u16, f: impl FnOnce(&mut SlotTelemetry)) {
+        let cell = &self.slots[usize::from(slot)];
+        f(&mut cell.lock().unwrap());
+    }
+
+    /// Record one event into `slot`'s ring. No-op (one relaxed load) when
+    /// disabled.
+    #[inline]
+    pub fn record_event(&self, slot: u16, kind: EventKind) {
+        if !self.enabled() {
+            return;
+        }
+        let at_ns = self.now_ns();
+        self.with_slot(slot, |s| s.ring.push(TraceEvent { at_ns, slot, kind }));
+    }
+
+    /// Record one event into the engine slot's ring.
+    #[inline]
+    pub fn record_engine_event(&self, kind: EventKind) {
+        self.record_event(self.engine_slot(), kind);
+    }
+
+    /// Record one latency sample into `slot`'s `class` histogram. No-op
+    /// (one relaxed load) when disabled.
+    #[inline]
+    pub fn record_latency(&self, slot: u16, class: LatencyClass, ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.with_slot(slot, |s| s.hists.record(class, ns));
+    }
+
+    /// Commit fast-path combination: one lock for both the commit-latency
+    /// sample and the `TxCommit` event.
+    #[inline]
+    pub fn record_commit(&self, slot: u16, latency_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let at_ns = self.now_ns();
+        self.with_slot(slot, |s| {
+            s.hists.commit.record(latency_ns);
+            s.ring.push(TraceEvent {
+                at_ns,
+                slot,
+                kind: EventKind::TxCommit { latency_ns },
+            });
+        });
+    }
+
+    /// Grace-scan combination (engine slot): the grace-duration sample and
+    /// the `GraceScan` event under one lock.
+    pub fn record_grace_scan(&self, period: u64, duration_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let at_ns = self.now_ns();
+        let slot = self.engine_slot();
+        self.with_slot(slot, |s| {
+            s.hists.grace.record(duration_ns);
+            s.ring.push(TraceEvent {
+                at_ns,
+                slot,
+                kind: EventKind::GraceScan {
+                    period,
+                    duration_ns,
+                },
+            });
+        });
+    }
+
+    /// Merge every slot's histograms and ring into one coherent snapshot
+    /// (events sorted by timestamp). Driver fields are left unset — the
+    /// runtime layer fills them in, since only it knows the driver mode.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut hists = LatencyHistograms::default();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for cell in self.slots.iter() {
+            let s = cell.lock().unwrap();
+            hists.merge(&s.hists);
+            events.extend(s.ring.iter_in_order().copied());
+            dropped += s.ring.dropped();
+        }
+        events.sort_by_key(|e| (e.at_ns, e.slot));
+        TelemetrySnapshot {
+            enabled: self.enabled(),
+            capacity: self.capacity,
+            dropped,
+            hists,
+            events,
+            driver_mode: None,
+            driver_idle_wakeups: None,
+        }
+    }
+}
+
+/// A merged, instance-wide view of the telemetry at one moment: histograms
+/// summed across slots, flight-recorder events interleaved by timestamp,
+/// and (when the runtime fills them in) the grace driver's duty cycle.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Was recording enabled when the snapshot was taken?
+    pub enabled: bool,
+    /// Per-slot ring capacity of the instance.
+    pub capacity: usize,
+    /// Events lost to ring overwrites across all slots.
+    pub dropped: u64,
+    /// Histograms merged across every slot.
+    pub hists: LatencyHistograms,
+    /// All held events, oldest first (ties broken by slot).
+    pub events: Vec<TraceEvent>,
+    /// The runtime's grace-driver mode label (`"cooperative"` /
+    /// `"background"`), filled by `Runtime::telemetry_snapshot`.
+    pub driver_mode: Option<&'static str>,
+    /// The background driver's idle wakeups so far (its duty-cycle
+    /// numerator), when the runtime owns one.
+    pub driver_idle_wakeups: Option<u64>,
+}
+
+impl TelemetrySnapshot {
+    /// The governor decisions held in the snapshot, oldest first.
+    pub fn governor_decisions(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.kind.is_governor_decision())
+    }
+
+    /// Render the snapshot as hand-rolled JSON, schema `bench_telemetry/v1`
+    /// (the `BENCH_clocks.json` house style: no serde, numbers and strings
+    /// only — booleans encode as 0/1 so the workspace's minimal structural
+    /// validator covers every byte).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench_telemetry/v1\",\n");
+        out.push_str(&format!("  \"enabled\": {},\n", u64::from(self.enabled)));
+        out.push_str(&format!("  \"capacity\": {},\n", self.capacity));
+        out.push_str(&format!("  \"dropped_events\": {},\n", self.dropped));
+        out.push_str(&format!(
+            "  \"driver\": {{\"mode\": \"{}\"{}}},\n",
+            self.driver_mode.unwrap_or("unknown"),
+            self.driver_idle_wakeups
+                .map(|w| format!(", \"idle_wakeups\": {w}"))
+                .unwrap_or_default()
+        ));
+        out.push_str("  \"histograms\": [\n");
+        for (i, class) in LatencyClass::ALL.iter().enumerate() {
+            let h = self.hists.get(*class);
+            let q = h.quantiles();
+            let sep = if i + 1 == LatencyClass::ALL.len() {
+                ""
+            } else {
+                ","
+            };
+            let buckets = h
+                .buckets()
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"count\": {}, \"sum_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+                 \"buckets\": [{}]}}{sep}\n",
+                class.label(),
+                h.count(),
+                h.sum(),
+                q.p50,
+                q.p90,
+                q.p99,
+                q.p999,
+                buckets
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i + 1 == self.events.len() { "" } else { "," };
+            let mut row = format!(
+                "    {{\"t_ns\": {}, \"slot\": {}, \"kind\": \"{}\"",
+                e.at_ns,
+                e.slot,
+                e.kind.label()
+            );
+            for (name, value) in e.kind.fields() {
+                row.push_str(&format!(", \"{name}\": {value}"));
+            }
+            row.push_str(&format!("}}{sep}\n"));
+            out.push_str(&row);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_edges() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 63);
+        assert_eq!(LatencyHistogram::bucket_upper_edge(0), 1);
+        assert_eq!(LatencyHistogram::bucket_upper_edge(1), 3);
+        assert_eq!(LatencyHistogram::bucket_upper_edge(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = LatencyHistogram::default();
+        // 90 fast samples (bucket of 100ns = index 6, edge 127) and 10 slow
+        // ones (bucket of 1_000_000ns = index 19, edge 1_048_575).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.p50, 127);
+        assert_eq!(q.p90, 127);
+        assert_eq!(q.p99, (1 << 20) - 1);
+        assert_eq!(q.p999, (1 << 20) - 1);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 1_000_000);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0, "empty: 0");
+    }
+
+    /// The merge-forgets-new-field guard, `Stats` style: merging a default
+    /// into an exhaustive literal must reproduce it exactly. A bucket or a
+    /// counter a future PR adds to `LatencyHistogram` but forgets in
+    /// `merge` fails the equality; a new *field* breaks this literal at
+    /// compile time.
+    #[test]
+    fn histogram_merge_into_default_is_identity() {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = i as u64 + 1;
+        }
+        let x = LatencyHistogram {
+            buckets,
+            count: buckets.iter().sum(),
+            sum: 987_654,
+        };
+        let mut acc = LatencyHistogram::default();
+        acc.merge(&x);
+        assert_eq!(acc, x, "LatencyHistogram::merge must cover every field");
+    }
+
+    /// Same guard one level up: the exhaustive `LatencyHistograms` literal
+    /// breaks at compile time when a class field is added, and the equality
+    /// fails when `merge` forgets one.
+    #[test]
+    fn histograms_merge_into_default_is_identity() {
+        let mut sample = LatencyHistogram::default();
+        sample.record(17);
+        sample.record(40_000);
+        let mut other = LatencyHistogram::default();
+        other.record(3);
+        let x = LatencyHistograms {
+            commit: sample,
+            abort_gap: other,
+            fence_wait: sample,
+            grace: other,
+        };
+        let mut acc = LatencyHistograms::default();
+        acc.merge(&x);
+        assert_eq!(acc, x, "LatencyHistograms::merge must cover every field");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        let ev = |n: u64| TraceEvent {
+            at_ns: n,
+            slot: 0,
+            kind: EventKind::TxBegin,
+        };
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        let order: Vec<u64> = r.iter_in_order().map(|e| e.at_ns).collect();
+        assert_eq!(order, vec![1, 2], "pre-wrap order is insertion order");
+        r.push(ev(3));
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 3, "capacity bounds the ring");
+        assert_eq!(r.dropped(), 2, "two events were overwritten");
+        let order: Vec<u64> = r.iter_in_order().map(|e| e.at_ns).collect();
+        assert_eq!(order, vec![3, 4, 5], "oldest-first after wrapping");
+        let mut z = TraceRing::new(0);
+        z.push(ev(9));
+        assert!(z.is_empty(), "zero-capacity ring records nothing");
+    }
+
+    #[test]
+    fn trace_config_grammar() {
+        assert_eq!(TraceConfig::parse(None).capacity, 1024, "default on");
+        assert!(TraceConfig::parse(None).is_enabled());
+        assert!(!TraceConfig::parse(Some("off")).is_enabled());
+        assert!(!TraceConfig::parse(Some("0")).is_enabled());
+        assert_eq!(TraceConfig::parse(Some("256")).capacity, 256);
+        assert_eq!(TraceConfig::parse(Some(" 64 ")).capacity, 64);
+        assert_eq!(
+            TraceConfig::parse(Some("banana")).capacity,
+            TraceConfig::DEFAULT_CAPACITY,
+            "unparsable falls back to the default, not to off"
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let t = Telemetry::new(2, TraceConfig::off());
+        assert!(!t.enabled());
+        t.record_event(0, EventKind::TxBegin);
+        t.record_latency(1, LatencyClass::Commit, 55);
+        t.record_commit(0, 99);
+        t.record_grace_scan(1, 1000);
+        let s = t.snapshot();
+        assert!(!s.enabled);
+        assert!(s.events.is_empty());
+        assert_eq!(s.hists.commit.count(), 0);
+        assert_eq!(s.hists.grace.count(), 0);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn snapshot_merges_slots_and_sorts_events() {
+        let t = Telemetry::new(2, TraceConfig::with_capacity(16));
+        t.record_commit(1, 200);
+        t.record_commit(0, 100);
+        t.record_latency(0, LatencyClass::FenceWait, 30);
+        t.record_grace_scan(7, 4000);
+        let s = t.snapshot();
+        assert!(s.enabled);
+        assert_eq!(s.hists.commit.count(), 2, "commit samples merge");
+        assert_eq!(s.hists.commit.sum(), 300);
+        assert_eq!(s.hists.fence_wait.count(), 1);
+        assert_eq!(s.hists.grace.count(), 1);
+        assert_eq!(s.events.len(), 3, "2 commits + 1 grace scan");
+        assert!(
+            s.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "events are timestamp-sorted"
+        );
+        assert_eq!(
+            s.events
+                .iter()
+                .filter(|e| e.slot == t.engine_slot())
+                .count(),
+            1,
+            "the grace scan landed on the engine slot"
+        );
+    }
+
+    #[test]
+    fn event_labels_and_fields_cover_the_taxonomy() {
+        let all = [
+            EventKind::TxBegin,
+            EventKind::TxCommit { latency_ns: 1 },
+            EventKind::TxAbort {
+                cause: AbortCause::Lock,
+            },
+            EventKind::FenceIssue { period: 2 },
+            EventKind::FenceRetire { period: 2 },
+            EventKind::GraceScan {
+                period: 2,
+                duration_ns: 3,
+            },
+            EventKind::ClockSwitchRequest {
+                to_gv5: true,
+                read_commits: 4,
+                write_commits: 124,
+            },
+            EventKind::ClockSwitchSettle { to_gv5: true },
+            EventKind::StripePublish {
+                grow: true,
+                from_stripes: 4,
+                to_stripes: 8,
+                false_conflicts: 9,
+                window: 128,
+            },
+            EventKind::StripeRetire { stripes: 8 },
+        ];
+        let labels: Vec<&str> = all.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "labels are distinct");
+        let governor = all.iter().filter(|k| k.is_governor_decision()).count();
+        assert_eq!(governor, 4, "the four governor decision kinds");
+        for k in &all {
+            for (name, _) in k.fields() {
+                assert!(!name.is_empty());
+            }
+        }
+        assert_eq!(AbortCause::User.label(), "user");
+    }
+
+    #[test]
+    fn json_has_schema_and_event_payloads() {
+        let t = Telemetry::new(1, TraceConfig::with_capacity(8));
+        t.record_commit(0, 150);
+        t.record_event(
+            0,
+            EventKind::ClockSwitchRequest {
+                to_gv5: true,
+                read_commits: 0,
+                write_commits: 128,
+            },
+        );
+        let mut s = t.snapshot();
+        s.driver_mode = Some("background");
+        s.driver_idle_wakeups = Some(5);
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"bench_telemetry/v1\""));
+        assert!(json.contains("\"class\": \"commit\""));
+        assert!(json.contains("\"kind\": \"clock-switch-request\""));
+        assert!(json.contains("\"write_commits\": 128"));
+        assert!(json.contains("\"mode\": \"background\""));
+        assert!(json.contains("\"idle_wakeups\": 5"));
+    }
+}
