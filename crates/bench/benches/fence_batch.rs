@@ -13,7 +13,7 @@ fn fence_batch(c: &mut Criterion) {
     for &n in &[1usize, 4, 16] {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
-            let stm = Tl2Stm::new(16, n);
+            let stm = Tl2Stm::with_config(StmConfig::new(16, n).chaos_off());
             let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
             b.iter(|| {
                 for h in handles.iter_mut() {
@@ -22,7 +22,7 @@ fn fence_batch(c: &mut Criterion) {
             });
         });
         g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
-            let stm = Tl2Stm::new(16, n);
+            let stm = Tl2Stm::with_config(StmConfig::new(16, n).chaos_off());
             let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
             b.iter(|| fence_all(handles.iter_mut()));
         });

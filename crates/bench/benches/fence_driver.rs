@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tm_stm::prelude::*;
 
 fn stm_with(mode: DriverMode, n: usize) -> Tl2Stm {
-    Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode))
+    Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode).chaos_off())
 }
 
 fn fence_driver(c: &mut Criterion) {

@@ -13,7 +13,7 @@ fn fence_scaling(c: &mut Criterion) {
     g.sample_size(20);
     for bg in [0usize, 1, 2, max_bg].into_iter().filter(|&b| b <= max_bg) {
         g.bench_with_input(BenchmarkId::new("active_threads", bg), &bg, |b, &bg| {
-            let stm = Tl2Stm::new(256, bg + 1);
+            let stm = Tl2Stm::with_config(StmConfig::new(256, bg + 1).chaos_off());
             let stop = Arc::new(AtomicBool::new(false));
             let mut workers = Vec::new();
             for t in 0..bg {

@@ -179,6 +179,7 @@ fn main() {
         );
         let stm = Tl2Stm::with_config(
             StmConfig::auto(1024, 2)
+                .chaos_off()
                 .grace_driver(mode)
                 .trace(TraceConfig::with_capacity(4096)),
         );

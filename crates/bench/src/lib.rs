@@ -5,6 +5,11 @@
 //! length, write share, register count (contention), thread count, and
 //! fence policy — the knobs that drive the fence-overhead results of Yoo et
 //! al. cited in the paper's Sec 1.
+//!
+//! Every instance constructed here is `chaos_off()`: benchmarks are
+//! measurements, and letting a `TM_STM_CHAOS` seed (the fault-injection CI
+//! pass) perturb them would silently corrupt reported numbers and break
+//! the exact-counter pins in this crate's unit tests.
 
 use std::time::Instant;
 use tm_stm::prelude::*;
@@ -254,24 +259,34 @@ pub fn mix_throughput(kind: StmKind, threads: usize, cfg: &MixCfg, policy: Fence
     }
     let start = Instant::now();
     match kind {
-        StmKind::Tl2 => run!(Tl2Stm::new(total_regs, threads)),
+        StmKind::Tl2 => run!(Tl2Stm::with_config(
+            StmConfig::new(total_regs, threads).chaos_off()
+        )),
         StmKind::Tl2Striped { stripes } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(total_regs, threads).striped(stripes)
+                StmConfig::new(total_regs, threads)
+                    .striped(stripes)
+                    .chaos_off()
             ))
         }
         StmKind::Tl2Adaptive { policy } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(total_regs, threads).adaptive_stripes(policy)
+                StmConfig::new(total_regs, threads)
+                    .adaptive_stripes(policy)
+                    .chaos_off()
             ))
         }
         StmKind::Tl2Clock { clock } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(total_regs, threads).clock(clock)
+                StmConfig::new(total_regs, threads).clock(clock).chaos_off()
             ))
         }
-        StmKind::Norec => run!(NorecStm::new(total_regs, threads)),
-        StmKind::Glock => run!(GlockStm::new(total_regs, threads)),
+        StmKind::Norec => run!(NorecStm::with_config(
+            StmConfig::new(total_regs, threads).chaos_off()
+        )),
+        StmKind::Glock => run!(GlockStm::with_config(
+            StmConfig::new(total_regs, threads).chaos_off()
+        )),
     }
     let total = (threads as u64 * cfg.txns_per_thread) as f64;
     total / start.elapsed().as_secs_f64()
@@ -286,7 +301,7 @@ pub fn contended_counter(
     incs_per_thread: u64,
     backoff: BackoffCfg,
 ) -> (f64, Stats) {
-    let stm = Tl2Stm::with_config(StmConfig::new(1, threads).backoff(backoff));
+    let stm = Tl2Stm::with_config(StmConfig::new(1, threads).backoff(backoff).chaos_off());
     let start = Instant::now();
     let stats = std::thread::scope(|sc| {
         let workers: Vec<_> = (0..threads)
@@ -395,24 +410,32 @@ pub fn privatization_throughput(
     }
 
     let lost: u64 = match kind {
-        StmKind::Tl2 => run!(Tl2Stm::new(nregs, threads)),
+        StmKind::Tl2 => run!(Tl2Stm::with_config(
+            StmConfig::new(nregs, threads).chaos_off()
+        )),
         StmKind::Tl2Striped { stripes } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(nregs, threads).striped(stripes)
+                StmConfig::new(nregs, threads).striped(stripes).chaos_off()
             ))
         }
         StmKind::Tl2Adaptive { policy } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(nregs, threads).adaptive_stripes(policy)
+                StmConfig::new(nregs, threads)
+                    .adaptive_stripes(policy)
+                    .chaos_off()
             ))
         }
         StmKind::Tl2Clock { clock } => {
             run!(Tl2Stm::with_config(
-                StmConfig::new(nregs, threads).clock(clock)
+                StmConfig::new(nregs, threads).clock(clock).chaos_off()
             ))
         }
-        StmKind::Norec => run!(NorecStm::new(nregs, threads)),
-        StmKind::Glock => run!(GlockStm::new(nregs, threads)),
+        StmKind::Norec => run!(NorecStm::with_config(
+            StmConfig::new(nregs, threads).chaos_off()
+        )),
+        StmKind::Glock => run!(GlockStm::with_config(
+            StmConfig::new(nregs, threads).chaos_off()
+        )),
     };
     let rps = cfg.rounds as f64 / start.elapsed().as_secs_f64();
     (rps, lost)
@@ -431,7 +454,9 @@ pub fn disjoint_write_throughput(
 ) -> (f64, Stats) {
     const REGS_PER_THREAD: usize = 8;
     const WRITES_PER_TXN: usize = 4;
-    let mut cfg = StmConfig::new(threads * REGS_PER_THREAD, threads).clock(clock);
+    let mut cfg = StmConfig::new(threads * REGS_PER_THREAD, threads)
+        .clock(clock)
+        .chaos_off();
     if let Some(stripes) = stripes {
         cfg = cfg.striped(stripes);
     }
@@ -494,7 +519,7 @@ pub fn fence_matrix(privatizers_axis: &[usize], rounds: u64) -> Vec<FenceBenchRo
     let mut rows = Vec::new();
     for mode in DriverMode::ALL {
         for &n in privatizers_axis {
-            let stm = Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode));
+            let stm = Tl2Stm::with_config(StmConfig::new(16, n).grace_driver(mode).chaos_off());
             let mut handles: Vec<_> = (0..n).map(|t| stm.handle(t)).collect();
             let start = Instant::now();
             for _ in 0..rounds {
@@ -619,7 +644,7 @@ pub fn stripe_churn_throughput(
         "stripe-churn needs at least one register per thread"
     );
     let block = nregs / threads;
-    let stm = Tl2Stm::with_config(StmConfig::new(nregs, threads).storage(storage));
+    let stm = Tl2Stm::with_config(StmConfig::new(nregs, threads).storage(storage).chaos_off());
     let start = Instant::now();
     let stats = std::thread::scope(|sc| {
         let workers: Vec<_> = (0..threads)
@@ -769,11 +794,14 @@ pub struct GovernorBenchRow {
 /// measures *faster*, not slower; see [`stripe_policies`]. The governor's
 /// table trajectory is instead reported by the `auto-cold` rows.)
 pub fn governor_configs(nregs: usize, threads: usize) -> Vec<(String, StmConfig)> {
-    let mut v = vec![("auto".into(), StmConfig::auto(nregs, threads))];
+    let mut v = vec![("auto".into(), StmConfig::auto(nregs, threads).chaos_off())];
     for clock in ClockKind::ALL {
         v.push((
             format!("static-{}-striped64", clock.label()),
-            StmConfig::new(nregs, threads).striped(64).clock(clock),
+            StmConfig::new(nregs, threads)
+                .striped(64)
+                .clock(clock)
+                .chaos_off(),
         ));
     }
     v

@@ -55,7 +55,8 @@ use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
-use tm_telemetry::Telemetry;
+use tm_chaos::{Chaos, Site};
+use tm_telemetry::{EventKind, Telemetry};
 
 /// Per-thread epoch counters. Even values mean the slot is quiescent, odd
 /// values mean a critical section (transaction) is in progress.
@@ -149,17 +150,42 @@ type Callback = Box<dyn FnOnce() + Send>;
 /// can call it without holding the installation mutex.
 type TickHook = Arc<dyn Fn() + Send + Sync>;
 
+/// One slot a scan is still waiting on.
+struct PendingSlot {
+    /// Epoch-table slot index.
+    slot: usize,
+    /// The slot's (odd) epoch at snapshot time; it has moved once the live
+    /// counter differs.
+    epoch: u64,
+    /// Already named in a [`EventKind::StallReport`] for *this* scan — the
+    /// once-per-slot-per-scan dedup.
+    reported: bool,
+}
+
 /// State of the (at most one) epoch-table scan in progress.
 struct ScanState {
     /// Period the scan will complete when `pending` drains; 0 = no scan.
     target: u64,
-    /// Slots still awaited: `(slot, epoch at snapshot)` for every slot that
-    /// was active when the scan's snapshot was taken.
-    pending: Vec<(usize, u64)>,
-    /// When the scan opened (period closed) — sampled only while telemetry
-    /// is attached and enabled, so the grace-duration histogram can be fed
-    /// at completion.
+    /// Slots still awaited: every slot that was active when the scan's
+    /// snapshot was taken and has not moved since.
+    pending: Vec<PendingSlot>,
+    /// When the scan opened (period closed). Always sampled — it feeds both
+    /// the grace-duration histogram at completion and the stall detector's
+    /// "pinned for how long" arithmetic while the scan is waiting.
     started: Option<Instant>,
+}
+
+/// One epoch slot the stall detector caught pinned past the threshold while
+/// a grace scan was waiting on it — the observable face of a thread parked
+/// (or dead, or panicked without unwinding) inside a transaction.
+#[derive(Clone, Debug)]
+pub struct StallInfo {
+    /// The offending epoch-table slot.
+    pub slot: usize,
+    /// How long the scan had been waiting on it when detected.
+    pub pinned: Duration,
+    /// The grace period the scan is trying to retire.
+    pub period: u64,
 }
 
 /// An asynchronous, batched grace-period engine over an [`EpochTable`].
@@ -222,6 +248,15 @@ pub struct GraceEngine {
     /// the grace histogram plus a `GraceScan` flight-recorder event. When
     /// absent, the completion path pays one `OnceLock` load.
     telemetry: OnceLock<Arc<Telemetry>>,
+    /// Optional fault-injection plan: set once by the owning runtime. An
+    /// armed plan may stretch scan steps ([`Site::GraceScan`] delays) —
+    /// exactly the descheduled-scanner hazard the stall detector and the
+    /// bounded fence waits exist for.
+    chaos: OnceLock<Arc<Chaos>>,
+    /// Stall threshold in nanoseconds (see [`Self::set_stall_threshold`]).
+    stall_threshold_ns: AtomicU64,
+    /// Total [`StallInfo`] reports raised (each slot at most once per scan).
+    stall_reports: CachePadded<AtomicU64>,
 }
 
 impl GraceEngine {
@@ -243,7 +278,38 @@ impl GraceEngine {
             wake: Mutex::new(()),
             wake_cv: Condvar::new(),
             telemetry: OnceLock::new(),
+            chaos: OnceLock::new(),
+            stall_threshold_ns: AtomicU64::new(Self::DEFAULT_STALL_THRESHOLD.as_nanos() as u64),
+            stall_reports: CachePadded::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Default [stall threshold](Self::set_stall_threshold): long enough
+    /// that an honest scan on a loaded host never trips it, short enough
+    /// that a parked transaction is named within a driver tick or two.
+    pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_millis(100);
+
+    /// Attach a fault-injection plan (at most once; later calls ignored):
+    /// scan steps then consult it for [`Site::GraceScan`] delays.
+    pub fn set_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.chaos.set(chaos);
+    }
+
+    /// Reconfigure how long a scan must wait on one unmoved slot before the
+    /// slot is considered *stalled* (reported via [`Self::check_stalls`]).
+    pub fn set_stall_threshold(&self, threshold: Duration) {
+        self.stall_threshold_ns
+            .store(threshold.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The current stall threshold.
+    pub fn stall_threshold(&self) -> Duration {
+        Duration::from_nanos(self.stall_threshold_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total stall reports raised so far (each slot at most once per scan).
+    pub fn stall_reports(&self) -> u64 {
+        self.stall_reports.load(Ordering::SeqCst)
     }
 
     /// Attach a telemetry sink (at most once; later calls are ignored):
@@ -337,6 +403,11 @@ impl GraceEngine {
         let Ok(mut st) = self.scan.try_lock() else {
             return self.is_complete(period);
         };
+        // Fault injection: a scanner descheduled mid-step, with the scan
+        // lock held — the hazard bounded fence waits must survive.
+        if let Some(chaos) = self.chaos.get() {
+            chaos.maybe_delay(Site::GraceScan);
+        }
         if st.target == 0 {
             // Close the open period; tickets issued from here on join the
             // next one. The snapshot below is therefore taken after every
@@ -344,21 +415,22 @@ impl GraceEngine {
             let target = self.open.fetch_add(1, Ordering::SeqCst);
             st.target = target;
             st.pending.clear();
-            // Sample the scan-open time only when someone will consume it:
-            // the telemetry-free configuration pays one OnceLock load here.
-            st.started = self
-                .telemetry
-                .get()
-                .filter(|t| t.enabled())
-                .map(|_| Instant::now());
+            // Sampled unconditionally: the stall detector needs a wall-clock
+            // origin while the scan waits, not only at completion. One clock
+            // read per scan, amortized over the whole table sweep.
+            st.started = Some(Instant::now());
             for t in 0..self.epochs.nthreads() {
                 let e = self.epochs.epoch(t);
                 if e % 2 == 1 {
-                    st.pending.push((t, e));
+                    st.pending.push(PendingSlot {
+                        slot: t,
+                        epoch: e,
+                        reported: false,
+                    });
                 }
             }
         }
-        st.pending.retain(|&(t, e)| self.epochs.epoch(t) == e);
+        st.pending.retain(|p| self.epochs.epoch(p.slot) == p.epoch);
         if st.pending.is_empty() {
             let done = st.target;
             st.target = 0;
@@ -372,6 +444,73 @@ impl GraceEngine {
             self.run_callbacks();
         }
         self.is_complete(period)
+    }
+
+    /// Stall detection: if the in-progress scan has been waiting past the
+    /// [threshold](Self::set_stall_threshold), name every still-unmoved slot
+    /// it is pinned on — once per slot per scan — raising an
+    /// [`EventKind::StallReport`] on the telemetry engine slot for each.
+    /// Returns the *newly* reported stalls. Called from the [`GraceDriver`]
+    /// tick and from bounded ticket waits; cheap when no scan is open
+    /// (one `try_lock`), and never blocks on a busy scan lock.
+    pub fn check_stalls(&self) -> Vec<StallInfo> {
+        let Ok(mut st) = self.scan.try_lock() else {
+            return Vec::new();
+        };
+        self.collect_stalls(&mut st, true)
+    }
+
+    /// The slots currently pinned past the stall threshold, without the
+    /// once-per-scan dedup or telemetry side effects — the view a timed-out
+    /// fence wait embeds in its error so the caller can name the offender
+    /// even when the driver tick already reported it.
+    pub fn current_stalls(&self) -> Vec<StallInfo> {
+        let Ok(mut st) = self.scan.try_lock() else {
+            return Vec::new();
+        };
+        self.collect_stalls(&mut st, false)
+    }
+
+    fn collect_stalls(&self, st: &mut ScanState, report: bool) -> Vec<StallInfo> {
+        if st.target == 0 {
+            return Vec::new();
+        }
+        let Some(s0) = st.started else {
+            return Vec::new();
+        };
+        let pinned = s0.elapsed();
+        if pinned < self.stall_threshold() {
+            return Vec::new();
+        }
+        let period = st.target;
+        let mut out = Vec::new();
+        for p in st.pending.iter_mut() {
+            // A slot that moved since the snapshot is no stall — the scan
+            // just has not re-checked yet.
+            if self.epochs.epoch(p.slot) != p.epoch {
+                continue;
+            }
+            if report {
+                if p.reported {
+                    continue;
+                }
+                p.reported = true;
+                self.stall_reports.fetch_add(1, Ordering::SeqCst);
+                if let Some(tel) = self.telemetry.get() {
+                    tel.record_engine_event(EventKind::StallReport {
+                        stalled_slot: p.slot as u64,
+                        pinned_ns: pinned.as_nanos() as u64,
+                        period,
+                    });
+                }
+            }
+            out.push(StallInfo {
+                slot: p.slot,
+                pinned,
+                period,
+            });
+        }
+        out
     }
 
     /// Register `f` to run when `period` completes (immediately, on this
@@ -446,11 +585,54 @@ impl GraceTicket {
 
     /// Block (cooperatively) until the grace period has elapsed: drive one
     /// step, yield, repeat. Never hard-spins — on a single-core host the
-    /// yield is what lets the awaited transactions run at all.
+    /// yield is what lets the awaited transactions run at all. Periodically
+    /// runs the [stall detector](GraceEngine::check_stalls), so an unbounded
+    /// wait pinned by a parked transaction at least *names* the offender in
+    /// telemetry while it waits.
     pub fn wait(&self) {
+        let mut steps = 0u32;
         while !self.engine.drive(self.period) {
+            steps = steps.wrapping_add(1);
+            if steps.is_multiple_of(Self::STALL_CHECK_EVERY) {
+                self.engine.check_stalls();
+            }
             std::thread::yield_now();
         }
+    }
+
+    /// Driving steps between stall-detector runs inside [`Self::wait`] /
+    /// [`Self::wait_timeout`]: rare enough that the `Instant` sample and
+    /// scan `try_lock` cost nothing against thousands of yields, frequent
+    /// enough that a stalled wait reports within tens of milliseconds.
+    const STALL_CHECK_EVERY: u32 = 1024;
+
+    /// [`Self::wait`], bounded: give up after `timeout`, returning a
+    /// [`WaitTimeout`] that names every slot the scan is pinned on. The
+    /// ticket itself stays valid — the grace period is still outstanding
+    /// and may be re-waited, polled, or handed a callback; a timeout only
+    /// bounds *this* wait, it never abandons the period.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<(), WaitTimeout> {
+        let deadline = Instant::now() + timeout;
+        let mut steps = 0u32;
+        while !self.engine.drive(self.period) {
+            steps = steps.wrapping_add(1);
+            if steps.is_multiple_of(Self::STALL_CHECK_EVERY) {
+                self.engine.check_stalls();
+            }
+            if Instant::now() >= deadline {
+                // Report (driver may be absent) and collect the undeduped
+                // view, so the error names offenders already reported by an
+                // earlier tick.
+                self.engine.check_stalls();
+                return Err(WaitTimeout {
+                    period: self.period,
+                    waited: timeout,
+                    stalled: self.engine.current_stalls(),
+                });
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
     }
 
     /// Run `f` when the grace period elapses (immediately if it already
@@ -465,6 +647,42 @@ impl GraceTicket {
         self.engine.on_complete(self.period, f);
     }
 }
+
+/// A bounded [`GraceTicket::wait_timeout`] expired before its grace period
+/// completed. Carries everything the caller needs to act on the stall:
+/// which period is stuck and which epoch slots it is pinned on (empty when
+/// the wait was simply too short for an honest scan — distinguish via
+/// `stalled.is_empty()`).
+#[derive(Clone, Debug)]
+pub struct WaitTimeout {
+    /// The grace period still outstanding.
+    pub period: u64,
+    /// How long the caller waited.
+    pub waited: Duration,
+    /// Slots pinned past the stall threshold at timeout (undeduped view).
+    pub stalled: Vec<StallInfo>,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grace period {} incomplete after {:?}",
+            self.period, self.waited
+        )?;
+        if !self.stalled.is_empty() {
+            let slots: Vec<String> = self
+                .stalled
+                .iter()
+                .map(|s| format!("{} ({:?})", s.slot, s.pinned))
+                .collect();
+            write!(f, "; stalled slots: {}", slots.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
 
 /// A background grace-period driver: one parked thread that owns the
 /// liveness of fire-and-forget tickets on a [`GraceEngine`].
@@ -627,6 +845,12 @@ impl GraceDriver {
                         steps += 1;
                         std::thread::yield_now();
                     } else {
+                        // Tick granularity: the natural cadence for the
+                        // stall detector — a scan that keeps the driver in
+                        // this branch past the threshold is exactly a
+                        // pinned-slot stall, and the driver is the one
+                        // thread guaranteed to be watching.
+                        engine.check_stalls();
                         std::thread::sleep(min_tick);
                     }
                 }

@@ -1,7 +1,8 @@
 //! The public STM interface shared by all implementations.
 
-use crate::fence::FenceTicket;
+use crate::fence::{FenceTicket, FenceTimeout};
 use std::fmt;
+use std::time::Duration;
 
 /// A transaction attempt was aborted (conflict, validation failure, or an
 /// explicit user abort). The enclosing `atomic` retries; `try_atomic`
@@ -56,6 +57,28 @@ pub trait StmHandle {
     /// Wait a fence ticket out on this handle, charging the blocked time to
     /// [`Stats::fence_wait_ns`].
     fn fence_join(&mut self, ticket: FenceTicket);
+
+    /// [`Self::fence_join`], bounded: give up after `timeout`, returning a
+    /// [`FenceTimeout`] that names every epoch slot the grace scan is
+    /// pinned on (when the stall detector has seen them). The ticket stays
+    /// with the caller and remains pending — re-wait it, poll it, or hand
+    /// it to [`FenceTicket::on_complete`]; dropping it still blocks until
+    /// the grace period elapses.
+    ///
+    /// **Never wait a fence out from inside a transaction** (neither this
+    /// method nor [`Self::fence_join`]): the grace period waits for every
+    /// active transaction, including the waiter's own, so the wait can only
+    /// end by timing out — and the stall detector will eventually name the
+    /// waiting slot itself as the offender.
+    ///
+    /// Blocked time is charged to [`Stats::fence_wait_ns`] whether or not
+    /// the wait times out; stalled slots surfaced by a timeout are counted
+    /// in [`Stats::stalls_detected`].
+    fn fence_join_timeout(
+        &mut self,
+        ticket: &mut FenceTicket,
+        timeout: Duration,
+    ) -> Result<(), FenceTimeout>;
 
     /// Transactional fence: blocks until every transaction active at the
     /// call has committed or aborted (paper Fig 7 lines 33–39). Exactly
@@ -150,6 +173,19 @@ pub struct Stats {
     /// requested on the shared auto clock; each one opens a grace-fenced
     /// handoff window. See [`crate::clock`].
     pub clock_switches: u64,
+    /// Panics that unwound out of a transaction body or commit on this
+    /// handle. Each one was intercepted, rolled back (locks released, epoch
+    /// slot exited, abort recorded with
+    /// [`tm_telemetry::AbortCause::Panic`]), and resumed.
+    pub panics_unwound: u64,
+    /// Retry-budget exhaustions that escalated this handle to irrevocable
+    /// serial mode (the runtime-wide escalation token). See
+    /// [`crate::runtime::RetryPolicy`].
+    pub escalations: u64,
+    /// Stalled epoch slots surfaced to this handle by timed-out fence
+    /// waits ([`StmHandle::fence_join_timeout`]) — each one a thread parked
+    /// (or dead) inside a transaction past the engine's stall threshold.
+    pub stalls_detected: u64,
 }
 
 impl Stats {
@@ -181,6 +217,9 @@ impl Stats {
         self.read_only_commits += o.read_only_commits;
         self.write_commits += o.write_commits;
         self.clock_switches += o.clock_switches;
+        self.panics_unwound += o.panics_unwound;
+        self.escalations += o.escalations;
+        self.stalls_detected += o.stalls_detected;
     }
 }
 
@@ -258,6 +297,9 @@ mod tests {
             read_only_commits: 17,
             write_commits: 18,
             clock_switches: 19,
+            panics_unwound: 20,
+            escalations: 21,
+            stalls_detected: 22,
         };
         let mut acc = Stats::default();
         acc.merge(&x);

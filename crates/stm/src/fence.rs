@@ -55,7 +55,7 @@ use crate::record::Recorder;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tm_core::action::Kind;
-use tm_quiesce::GraceTicket;
+use tm_quiesce::{GraceTicket, StallInfo};
 use tm_telemetry::{EventKind, Telemetry};
 
 /// A pending (or already-elapsed) transactional fence: completes once every
@@ -140,6 +140,36 @@ impl FenceTicket {
         start.elapsed()
     }
 
+    /// [`Self::wait`], bounded: give up after `timeout`, returning a
+    /// [`FenceTimeout`] naming every epoch slot the grace scan is pinned on
+    /// (via the engine's stall detector) — the caller can bound a
+    /// privatization wait and point at the offending thread instead of
+    /// hanging forever behind a closure parked inside a transaction.
+    ///
+    /// A timeout bounds *this wait only*: the ticket stays pending (the
+    /// grace period is still owed) and may be re-waited, polled, or given a
+    /// callback. Dropping a timed-out ticket still blocks until the period
+    /// elapses — a requested fence is never silently lost; hand it to
+    /// [`Self::on_complete`] to walk away without blocking. On success,
+    /// returns the time spent blocked, like [`Self::wait`].
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Duration, FenceTimeout> {
+        if self.resolved {
+            return Ok(Duration::ZERO);
+        }
+        let start = Instant::now();
+        if let Some(g) = &self.grace {
+            if let Err(e) = g.wait_timeout(timeout) {
+                return Err(FenceTimeout {
+                    period: e.period,
+                    waited: start.elapsed(),
+                    stalled: e.stalled,
+                });
+            }
+        }
+        self.resolve();
+        Ok(start.elapsed())
+    }
+
     /// Run `f` when the fence resolves: immediately (on this thread) if it
     /// already has, otherwise on whichever thread completes the grace
     /// period. The `FEnd` is recorded just before `f` runs (from the
@@ -183,6 +213,44 @@ impl FenceTicket {
         }
     }
 }
+
+/// A bounded fence wait ([`FenceTicket::wait_timeout`] /
+/// [`StmHandle::fence_join_timeout`]) expired before its grace period
+/// completed. Names the offenders when the stall detector has them: an
+/// empty `stalled` means the wait was simply shorter than an honest scan
+/// (or the [stall threshold](tm_quiesce::GraceEngine::set_stall_threshold)
+/// has not elapsed yet); a non-empty one names epoch slots pinned past the
+/// threshold — threads parked (or dead) inside a transaction.
+#[derive(Clone, Debug)]
+pub struct FenceTimeout {
+    /// The grace period still outstanding.
+    pub period: u64,
+    /// How long this wait blocked before giving up.
+    pub waited: Duration,
+    /// Epoch slots pinned past the stall threshold at timeout.
+    pub stalled: Vec<StallInfo>,
+}
+
+impl std::fmt::Display for FenceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fence (grace period {}) incomplete after {:?}",
+            self.period, self.waited
+        )?;
+        if !self.stalled.is_empty() {
+            let slots: Vec<String> = self
+                .stalled
+                .iter()
+                .map(|s| format!("{} (pinned {:?})", s.slot, s.pinned))
+                .collect();
+            write!(f, "; stalled slots: {}", slots.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FenceTimeout {}
 
 impl Drop for FenceTicket {
     /// A requested fence is never lost: dropping an unresolved ticket waits

@@ -58,6 +58,18 @@
 //!   (`off` / ring capacity, default 1024 events per slot) or
 //!   [`runtime::StmConfig::trace`], exported through
 //!   [`runtime::Runtime::telemetry_snapshot`].
+//! * **Hardening** (this crate + [`tm_chaos`], re-exported as [`chaos`]) —
+//!   panic-safe unwind paths (a panicking transaction body or commit
+//!   releases every lock and its epoch slot, records an
+//!   [`AbortCause::Panic`](tm_telemetry::AbortCause) abort, and resumes the
+//!   unwind; only an unwind *through commit write-back* poisons the
+//!   handle), retry budgets ([`runtime::RetryPolicy`]) that escalate to an
+//!   irrevocable serial mode instead of spinning forever, grace-engine
+//!   stall detection with bounded fence waits
+//!   ([`api::StmHandle::fence_join_timeout`]), and seeded deterministic
+//!   fault injection at the lock-acquire / validation / clock-bump /
+//!   grace-scan sites via `TM_STM_CHAOS=<seed>` or
+//!   [`runtime::StmConfig::chaos_seed`].
 //!
 //! ## Quick example
 //!
@@ -100,6 +112,7 @@ pub mod storage;
 pub mod tl2;
 pub mod vlock;
 
+pub use tm_chaos as chaos;
 pub use tm_telemetry as telemetry;
 
 /// One-stop imports for driving any STM backend (handles, configs,
@@ -107,14 +120,15 @@ pub use tm_telemetry as telemetry;
 pub mod prelude {
     pub use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
     pub use crate::clock::ClockKind;
-    pub use crate::fence::{fence_all, FenceTicket};
+    pub use crate::fence::{fence_all, FenceTicket, FenceTimeout};
     pub use crate::glock::{GlockHandle, GlockStm};
     pub use crate::map::{freeze_all, TxMap};
     pub use crate::norec::{NorecHandle, NorecStm};
     pub use crate::record::Recorder;
-    pub use crate::runtime::{BackoffCfg, DriverMode, StmConfig};
+    pub use crate::runtime::{BackoffCfg, DriverMode, RetryPolicy, StmConfig};
     pub use crate::storage::{AdaptivePolicy, StorageKind};
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
+    pub use tm_chaos::{Chaos, Site as ChaosSite};
     pub use tm_telemetry::{
         AbortCause, EventKind, LatencyClass, TelemetrySnapshot, TraceConfig, TraceEvent,
     };

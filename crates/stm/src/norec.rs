@@ -18,6 +18,7 @@ use crate::runtime::{FenceMode, Handle, Policy, PolicyKind, Stm, StmConfig, TxCt
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tm_chaos::Site;
 
 /// NOrec state shared by all handles: the global sequence lock
 /// (even = stable, odd = a writer is committing).
@@ -82,6 +83,14 @@ impl NorecPolicy {
     /// the snapshot is advanced to a stable clock at which the read set was
     /// re-confirmed.
     fn validate(&mut self, ctx: &mut TxCtx<'_>) -> Result<u64, Abort> {
+        // A forced abort here is indistinguishable from the value check
+        // below catching an intervening writer. Injection sites live only
+        // where the sequence lock is *not* held by us: a fault inside the
+        // odd window could wedge every `wait_even` spinner.
+        if ctx.rt.chaos_abort(ctx.slot, Site::Validate) {
+            ctx.stats.aborts_validate += 1;
+            return Err(Abort);
+        }
         loop {
             let s = self.wait_even();
             for &(x, v) in &self.rset {
@@ -128,6 +137,12 @@ impl Policy for NorecPolicy {
     fn commit(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), Abort> {
         if self.wset.is_empty() {
             return Ok(()); // read-only: the snapshot was always consistent
+        }
+        // A forced abort here is indistinguishable from losing the CAS race
+        // below to a writer whose commit then invalidated our read set.
+        if ctx.rt.chaos_abort(ctx.slot, Site::LockAcquire) {
+            ctx.stats.aborts_lock += 1;
+            return Err(Abort);
         }
         // Acquire the sequence lock from a validated snapshot.
         while self

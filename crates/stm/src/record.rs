@@ -69,6 +69,25 @@ impl Recorder {
         self.logs[t].lock().unwrap().push((s, kind));
     }
 
+    /// Record a request/response pair as *globally adjacent* actions: both
+    /// sequence numbers are drawn with one `fetch_add(2)`, so no concurrent
+    /// [`Self::record`] can land between them. Non-transactional accesses
+    /// need this — Def A.1 clause 7 requires a direct access's response to
+    /// immediately follow its request in the global order, and a direct
+    /// access really is one machine op (the request/response framing is a
+    /// modelling artifact). Recording them with two separate `record` calls
+    /// makes clause 7 a race: any action another thread records inside the
+    /// two-call window lands between the pair and the history is rejected
+    /// with `NonAtomicNtxAccess` — a once-in-many-runs conformance flake
+    /// under load, fixed here.
+    #[inline]
+    pub fn record_pair(&self, t: usize, req: Kind, resp: Kind) {
+        let s = self.seq.fetch_add(2, Ordering::SeqCst);
+        let mut log = self.logs[t].lock().unwrap();
+        log.push((s, req));
+        log.push((s + 1, resp));
+    }
+
     /// Number of actions recorded so far.
     pub fn len(&self) -> usize {
         self.seq.load(Ordering::SeqCst) as usize
@@ -169,6 +188,46 @@ mod tests {
         payloads.sort_unstable();
         payloads.dedup();
         assert_eq!(payloads.len(), (nthreads * per_thread) as usize);
+    }
+
+    /// Clause-7 regression: a non-transactional request/response recorded
+    /// via [`Recorder::record_pair`] stays *globally adjacent* no matter
+    /// how much another thread records concurrently. (Recording the pair
+    /// as two separate `record` calls makes this test — and, rarely, the
+    /// conformance suite on direct-access scenarios — fail with an action
+    /// interleaved between request and response.)
+    #[test]
+    fn record_pair_is_globally_adjacent_under_concurrent_traffic() {
+        use std::sync::Arc;
+        let r = Arc::new(Recorder::new(2));
+        std::thread::scope(|s| {
+            {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    // A polling rival: each RetVal is a standalone action
+                    // free to land anywhere in the global order.
+                    for i in 0..4000u64 {
+                        r.record(1, Kind::RetVal(i));
+                    }
+                });
+            }
+            for i in 0..4000u64 {
+                r.record_pair(0, Kind::Write(Reg(0), i + 1), Kind::RetUnit);
+            }
+        });
+        let h = r.snapshot_history();
+        assert_eq!(h.len(), 4000 + 2 * 4000);
+        for (i, a) in h.actions().iter().enumerate() {
+            if let Kind::Write(..) = a.kind {
+                assert_eq!(a.thread, ThreadId(0));
+                let next = &h.actions()[i + 1];
+                assert_eq!(
+                    (next.thread, next.kind),
+                    (ThreadId(0), Kind::RetUnit),
+                    "response not adjacent to its request at index {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,12 +18,15 @@
 
 use crate::api::{Abort, Stats, StmFactory, StmHandle, TxScope};
 use crate::clock::ClockKind;
-use crate::fence::FenceTicket;
+use crate::fence::{FenceTicket, FenceTimeout};
 use crate::record::Recorder;
 use crate::storage::{splitmix64, StorageKind};
+use crossbeam::utils::CachePadded;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tm_chaos::{Chaos, Site};
 use tm_core::action::Kind;
 use tm_core::ids::Reg;
 use tm_quiesce::{EpochTable, GraceDriver, GraceEngine};
@@ -64,6 +67,47 @@ impl BackoffCfg {
             spin_base: 0,
             max_shift: 0,
             yield_after: u32::MAX,
+        }
+    }
+}
+
+/// The retry budget of the shared `atomic` loop: how many optimistic
+/// attempts (and how much wall-clock) a transaction may burn before the
+/// runtime stops gambling and *escalates* — takes the runtime-wide
+/// escalation token, drains in-flight transactions, and re-runs the body
+/// serialized and effectively irrevocable (see
+/// [`Handle`]'s escalation path). The default is unlimited — the classic
+/// optimistic loop — so budgets are strictly opt-in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Escalate after this many aborted attempts (`None` = never by count).
+    pub max_attempts: Option<u32>,
+    /// Escalate once the transaction has been retrying this long, measured
+    /// from its first `begin` (`None` = never by time). Checked *before*
+    /// the backoff pause, so an expired transaction escalates immediately
+    /// instead of paying one last sleep first.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// The default: retry forever, never escalate.
+    pub fn unlimited() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// Escalate after `n` aborted attempts.
+    pub fn attempts(n: u32) -> Self {
+        RetryPolicy {
+            max_attempts: Some(n),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Escalate once `d` of wall-clock has been spent retrying.
+    pub fn deadline(d: Duration) -> Self {
+        RetryPolicy {
+            deadline: Some(d),
+            ..RetryPolicy::default()
         }
     }
 }
@@ -129,11 +173,18 @@ pub struct StmConfig {
     pub driver: DriverMode,
     /// Retry-loop backoff tuning.
     pub backoff: BackoffCfg,
+    /// Retry budget before escalating to the irrevocable serial fallback
+    /// (defaults to unlimited — never escalate).
+    pub retry: RetryPolicy,
     /// Optional history recorder shared by every handle.
     pub recorder: Option<Arc<Recorder>>,
     /// Flight-recorder / latency-histogram configuration (defaults to
     /// [`TraceConfig::from_env`], i.e. the `TM_STM_TRACE` knob).
     pub trace: TraceConfig,
+    /// Fault-injection seed (defaults to [`tm_chaos::seed_from_env`], i.e.
+    /// the `TM_STM_CHAOS` knob; `None` = injection off, one relaxed load
+    /// per site).
+    pub chaos: Option<u64>,
 }
 
 impl StmConfig {
@@ -147,8 +198,10 @@ impl StmConfig {
             clock: ClockKind::default(),
             driver: DriverMode::from_env(),
             backoff: BackoffCfg::default(),
+            retry: RetryPolicy::default(),
             recorder: None,
             trace: TraceConfig::from_env(),
+            chaos: tm_chaos::seed_from_env(),
         }
     }
 
@@ -209,6 +262,28 @@ impl StmConfig {
         self
     }
 
+    /// Bound the retry loop: escalate to the irrevocable serial fallback
+    /// once the budget is exhausted (see [`RetryPolicy`]).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arm deterministic fault injection with `seed` (see [`tm_chaos`]),
+    /// overriding the `TM_STM_CHAOS` environment default for this instance.
+    pub fn chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos = Some(seed);
+        self
+    }
+
+    /// Force fault injection off for this instance, overriding a
+    /// `TM_STM_CHAOS` environment default (overhead pin tests rely on
+    /// this running unperturbed under the chaos CI pass).
+    pub fn chaos_off(mut self) -> Self {
+        self.chaos = None;
+        self
+    }
+
     /// Attach a history [`Recorder`] shared by every handle.
     pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
@@ -250,6 +325,15 @@ pub struct Runtime {
     /// Additive per-tick hooks multiplexed onto the background driver's
     /// single hook slot (governor polls, telemetry export, ...).
     tick_hooks: Arc<Mutex<Vec<TickHook>>>,
+    /// The instance's fault-injection plan (see [`tm_chaos`]). Always
+    /// present; inert unless the config carried a seed, in which case
+    /// policies consult it at their injection sites.
+    chaos: Arc<Chaos>,
+    /// The runtime-wide escalation token: 0 = free, otherwise `slot + 1` of
+    /// the handle running irrevocably. While held, every other handle parks
+    /// at the begin gate (before its epoch entry), so the holder can drain
+    /// in-flight transactions and run alone.
+    escalation: CachePadded<AtomicU64>,
 }
 
 /// One registered driver-tick hook (see [`Runtime::set_tick_hook`]).
@@ -266,6 +350,8 @@ impl Runtime {
         let grace = GraceEngine::new(cfg.nthreads);
         let telemetry = Telemetry::new(cfg.nthreads, cfg.trace);
         grace.set_telemetry(Arc::clone(&telemetry));
+        let chaos = Chaos::new(cfg.chaos);
+        grace.set_chaos(Arc::clone(&chaos));
         let driver = (cfg.driver == DriverMode::Background)
             .then(|| GraceDriver::spawn(Arc::clone(&grace), GraceDriver::DEFAULT_TICK));
         Arc::new(Runtime {
@@ -275,6 +361,8 @@ impl Runtime {
             recorder: cfg.recorder.clone(),
             telemetry,
             tick_hooks: Arc::new(Mutex::new(Vec::new())),
+            chaos,
+            escalation: CachePadded::new(AtomicU64::new(0)),
         })
     }
 
@@ -342,6 +430,77 @@ impl Runtime {
     /// This instance's telemetry hub (histograms + flight recorder).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// This instance's fault-injection plan (inert unless the config
+    /// carried a seed). Tests arm one-shot panics through this.
+    pub fn chaos(&self) -> &Arc<Chaos> {
+        &self.chaos
+    }
+
+    /// Should this visit to `site` by `slot` behave as the injected
+    /// conflict? One relaxed load when injection is off. An escalated
+    /// handle is exempt — its attempt is irrevocable by contract, and a
+    /// forced abort there could livelock the very fallback that exists to
+    /// guarantee progress.
+    #[inline]
+    pub fn chaos_abort(&self, slot: u16, site: Site) -> bool {
+        if !self.chaos.enabled() {
+            return false;
+        }
+        if self.escalation.load(Ordering::Relaxed) == u64::from(slot) + 1 {
+            return false;
+        }
+        self.chaos.should_abort(site)
+    }
+
+    /// Maybe stall this visit to `site` (inert plans return after one
+    /// relaxed load).
+    #[inline]
+    pub fn chaos_delay(&self, site: Site) {
+        self.chaos.maybe_delay(site);
+    }
+
+    /// The slot currently holding the escalation token, if any.
+    pub fn escalated(&self) -> Option<usize> {
+        match self.escalation.load(Ordering::Acquire) {
+            0 => None,
+            s => Some((s - 1) as usize),
+        }
+    }
+
+    /// The begin gate: park while another handle runs escalated. Sits
+    /// *before* the epoch entry in [`Handle`]'s begin path, so gated
+    /// threads hold no epoch slot (and no policy lock) — which is what
+    /// lets the escalated handle's drain terminate.
+    #[inline]
+    fn escalation_gate(&self, slot: u16) {
+        let me = u64::from(slot) + 1;
+        loop {
+            let cur = self.escalation.load(Ordering::Acquire);
+            if cur == 0 || cur == me {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Take the escalation token (spins; at most one holder at a time).
+    fn escalation_acquire(&self, slot: u16) {
+        let me = u64::from(slot) + 1;
+        while self
+            .escalation
+            .compare_exchange_weak(0, me, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Release the escalation token (must hold it).
+    fn escalation_release(&self, slot: u16) {
+        let prev = self.escalation.swap(0, Ordering::AcqRel);
+        debug_assert_eq!(prev, u64::from(slot) + 1, "released a token not held");
     }
 
     /// How many wakeups of the background [`GraceDriver`] found nothing to
@@ -483,6 +642,16 @@ pub struct Handle<P: Policy> {
     active: bool,
     stats: Stats,
     backoff: BackoffCfg,
+    /// Retry budget before escalation (see [`RetryPolicy`]).
+    retry: RetryPolicy,
+    /// Set when a panic unwound through `commit` itself: the policy's
+    /// buffered state may be torn (a write-back can be half applied), so
+    /// atomicity can no longer be promised on this handle. Every later
+    /// `atomic`/`try_atomic` fails fast with a clear panic instead of
+    /// silently running on the wreck. The *runtime* stays healthy — the
+    /// unwind released every lock and the epoch slot — only this handle is
+    /// condemned.
+    poisoned: bool,
     /// When the in-flight attempt began, for the commit-latency histogram.
     /// `None` whenever telemetry is disabled (the clock is never sampled).
     tx_started: Option<Instant>,
@@ -504,9 +673,23 @@ impl<P: Policy> Handle<P> {
             active: false,
             stats: Stats::default(),
             backoff,
+            retry: RetryPolicy::default(),
+            poisoned: false,
             tx_started: None,
             policy,
         }
+    }
+
+    /// Bound this handle's retry loop (normally inherited from
+    /// [`StmConfig::retry`] by [`Stm::handle`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Did a panic unwind through this handle's commit, condemning it?
+    /// (See the poisoning contract on [`StmHandle::atomic`].)
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The shared runtime this handle runs against.
@@ -533,11 +716,24 @@ impl<P: Policy> Handle<P> {
     }
 
     #[inline]
+    fn rec_pair(&self, req: Kind, resp: Kind) {
+        if let Some(r) = &self.rt.recorder {
+            r.record_pair(self.slot as usize, req, resp);
+        }
+    }
+
+    #[inline]
     fn ctx<'a>(rt: &'a Runtime, stats: &'a mut Stats, slot: u16) -> TxCtx<'a> {
         TxCtx { rt, stats, slot }
     }
 
     fn begin(&mut self) {
+        // The irrevocability gate: while another handle holds the
+        // escalation token, park here — strictly *before* the epoch entry,
+        // so a gated thread pins no epoch slot and the escalated handle's
+        // drain (`wait_quiescent`) terminates. One relaxed-ish load when
+        // nobody is escalated.
+        self.rt.escalation_gate(self.slot);
         // Epoch entry strictly before the TxBegin record — the mirror of
         // the commit path (Committed recorded before the epoch exit). If
         // TxBegin were recorded first, a fence sampling the epoch table in
@@ -603,9 +799,30 @@ impl<P: Policy> Handle<P> {
     fn do_commit(&mut self) -> Result<(), Abort> {
         self.rec(Kind::TxCommit);
         let locks_before = self.stats.aborts_lock;
-        let mut ctx = Self::ctx(&self.rt, &mut self.stats, self.slot);
-        match self.policy.commit(&mut ctx) {
-            Ok(()) => {
+        // Commit runs under unwind protection: a panic inside the policy
+        // (reachable via fault injection, or an allocation failure in a
+        // write-back) must not leak write-set locks or the epoch slot. The
+        // policy's own unwind guards release any locks it holds (TL2's
+        // commit guard, glock's rollback); here we finalize the attempt and
+        // condemn the handle — the write-back may be half applied, so
+        // atomicity cannot be promised on it again.
+        let commit_result = {
+            let mut ctx = TxCtx {
+                rt: &self.rt,
+                stats: &mut self.stats,
+                slot: self.slot,
+            };
+            let policy = &mut self.policy;
+            catch_unwind(AssertUnwindSafe(|| policy.commit(&mut ctx)))
+        };
+        match commit_result {
+            Err(payload) => {
+                self.poisoned = true;
+                self.stats.panics_unwound += 1;
+                self.finish_abort(AbortCause::Panic);
+                resume_unwind(payload);
+            }
+            Ok(Ok(())) => {
                 self.stats.commits += 1;
                 // Response recorded before the epoch exit, so a fence that
                 // stops waiting for us is guaranteed to have our committed
@@ -620,7 +837,7 @@ impl<P: Policy> Handle<P> {
                 self.active = false;
                 Ok(())
             }
-            Err(Abort) => {
+            Ok(Err(Abort)) => {
                 // Policies count their commit-time abort kind before
                 // returning; a grown lock counter distinguishes lock
                 // acquisition failures from validation failures.
@@ -679,6 +896,70 @@ impl<P: Policy> Handle<P> {
         }
         self.stats.backoff_ns += start.elapsed().as_nanos() as u64;
     }
+
+    /// The graceful-degradation fallback of the `atomic` loop: the retry
+    /// budget is spent, so stop gambling and run serialized. Takes the
+    /// runtime-wide escalation token (parking every other handle at the
+    /// begin gate), drains in-flight transactions, and re-runs the body
+    /// with the whole runtime to itself — the global-lock policy's
+    /// guarantee, reconstructed for every policy as a fallback path.
+    ///
+    /// Effectively irrevocable rather than absolutely: a transaction that
+    /// passed the begin gate *before* the token was taken may still slip
+    /// one conflicting commit in, aborting the drained attempt once — but
+    /// it then parks at its next begin, so the retry-under-token loop is
+    /// bounded by that one racing window (fault injection is explicitly
+    /// exempt from aborting an escalated attempt, see
+    /// [`Runtime::chaos_abort`]). Heavy contention therefore degrades to
+    /// serialized progress instead of livelock.
+    #[cold]
+    fn run_escalated<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
+        attempts: u32,
+        deadline_expired: bool,
+    ) -> R {
+        self.rt.escalation_acquire(self.slot);
+        // Token released on *every* exit — including a panicking body
+        // unwinding through the escalated attempt. Leaking it would park
+        // every other handle forever, turning one bad closure into a
+        // runtime-wide deadlock.
+        struct TokenGuard(Arc<Runtime>, u16);
+        impl Drop for TokenGuard {
+            fn drop(&mut self) {
+                self.0.escalation_release(self.1);
+            }
+        }
+        let guard = TokenGuard(Arc::clone(&self.rt), self.slot);
+        self.stats.escalations += 1;
+        if self.rt.telemetry.enabled() {
+            self.rt.telemetry.record_event(
+                self.slot,
+                EventKind::Escalation {
+                    attempts: u64::from(attempts),
+                    deadline_expired,
+                },
+            );
+        }
+        loop {
+            // Drain: wait until every other slot is quiescent. Newcomers
+            // are parked at the begin gate (checked before epoch entry), so
+            // this terminates; we are not inside a transaction ourselves.
+            self.rt.epochs().wait_quiescent(Some(self.slot as usize));
+            match self.try_atomic(&mut *body) {
+                Ok(r) => {
+                    drop(guard);
+                    return r;
+                }
+                Err(Abort) => {
+                    // Only the one racing window (or a user abort the body
+                    // keeps returning) lands here; re-drain and go again.
+                    self.stats.retries += 1;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
 }
 
 /// An algorithm's construction recipe: how to build its instance-shared
@@ -711,6 +992,7 @@ pub struct Stm<K: PolicyKind> {
     rt: Arc<Runtime>,
     shared: Arc<K::Shared>,
     backoff: BackoffCfg,
+    retry: RetryPolicy,
 }
 
 // Manual impl: `#[derive(Clone)]` would demand `K: Clone` needlessly.
@@ -720,6 +1002,7 @@ impl<K: PolicyKind> Clone for Stm<K> {
             rt: Arc::clone(&self.rt),
             shared: Arc::clone(&self.shared),
             backoff: self.backoff,
+            retry: self.retry,
         }
     }
 }
@@ -749,17 +1032,20 @@ impl<K: PolicyKind> Stm<K> {
             rt,
             shared,
             backoff: cfg.backoff,
+            retry: cfg.retry,
         }
     }
 
     /// A handle bound to thread slot `slot` (< `nthreads`).
     pub fn handle(&self, slot: usize) -> Handle<K::Policy> {
-        Handle::new(
+        let mut h = Handle::new(
             Arc::clone(&self.rt),
             slot,
             K::build_policy(&self.shared),
             self.backoff,
-        )
+        );
+        h.set_retry_policy(self.retry);
+        h
     }
 
     /// Current register value (unsynchronized snapshot; test/report helper).
@@ -824,17 +1110,31 @@ impl<P: Policy> TxScope for HandleTx<'_, P> {
 
 impl<P: Policy> StmHandle for Handle<P> {
     fn atomic<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>) -> R {
-        let mut attempt: u32 = 0;
+        let mut attempts: u32 = 0;
+        // Sample the deadline origin only when a deadline is set: the
+        // unlimited default never touches the clock.
+        let deadline = self.retry.deadline.map(|d| Instant::now() + d);
         loop {
             match self.try_atomic(&mut body) {
                 Ok(r) => return r,
                 Err(Abort) => {
                     self.stats.retries += 1;
+                    attempts = attempts.saturating_add(1);
+                    // Budget check strictly before the backoff pause: an
+                    // exhausted transaction escalates immediately instead
+                    // of paying one last sleep on its way to the fallback
+                    // (the deadline case would be the worst — expired *and*
+                    // sleeping the longest backoff of its run).
+                    let out_of_attempts = self.retry.max_attempts.is_some_and(|m| attempts >= m);
+                    let deadline_expired = deadline.is_some_and(|d| Instant::now() >= d);
+                    if out_of_attempts || deadline_expired {
+                        return self.run_escalated(&mut body, attempts, deadline_expired);
+                    }
                     // The abort-to-retry gap: how long this handle stays
                     // out of the ring between finalizing an abort and
                     // re-entering `begin` (here, the backoff pause).
                     let gap_started = self.rt.telemetry.enabled().then(Instant::now);
-                    self.backoff_pause(attempt);
+                    self.backoff_pause(attempts - 1);
                     if let Some(t0) = gap_started {
                         self.rt.telemetry.record_latency(
                             self.slot,
@@ -842,7 +1142,6 @@ impl<P: Policy> StmHandle for Handle<P> {
                             t0.elapsed().as_nanos() as u64,
                         );
                     }
-                    attempt = attempt.saturating_add(1);
                 }
             }
         }
@@ -852,13 +1151,32 @@ impl<P: Policy> StmHandle for Handle<P> {
         &mut self,
         mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Abort>,
     ) -> Result<R, Abort> {
+        assert!(
+            !self.poisoned,
+            "STM handle (slot {}) is poisoned: a previous attempt panicked during \
+             commit, so its buffered writes may be half applied; discard this handle",
+            self.slot
+        );
         self.begin();
+        // The body runs under unwind protection: a panicking closure must
+        // not leak the epoch slot (wedging every future grace period) or,
+        // under the global lock, the lock its begin acquired. On unwind the
+        // attempt is finalized exactly like an abort — rollback, `Aborted`
+        // recorded, epoch exited, `AbortCause::Panic` traced — and then the
+        // unwind resumes to the caller untouched.
         let attempt = {
             let mut tx = HandleTx(self);
-            body(&mut tx)
+            catch_unwind(AssertUnwindSafe(|| body(&mut tx)))
         };
         match attempt {
-            Ok(r) => {
+            Err(payload) => {
+                if self.active {
+                    self.stats.panics_unwound += 1;
+                    self.finish_abort(AbortCause::Panic);
+                }
+                resume_unwind(payload);
+            }
+            Ok(Ok(r)) => {
                 // A body that swallowed an op-level abort (instead of
                 // propagating it with `?`) reaches here with the attempt
                 // already finalized: rolled back, `Aborted` recorded, epoch
@@ -870,7 +1188,7 @@ impl<P: Policy> StmHandle for Handle<P> {
                 self.do_commit()?;
                 Ok(r)
             }
-            Err(Abort) => {
+            Ok(Err(Abort)) => {
                 // Distinguish op-level aborts (already finalized in
                 // tx_read/tx_write) from aborts requested by the body.
                 if self.active {
@@ -883,18 +1201,19 @@ impl<P: Policy> StmHandle for Handle<P> {
     }
 
     fn read_direct(&mut self, x: usize) -> u64 {
-        self.rec(Kind::Read(Reg(x as u32)));
         let v = self.rt.load(x);
         self.stats.direct_reads += 1;
-        self.rec(Kind::RetVal(v));
+        // One `record_pair`, not two `rec`s: clause 7 requires the pair to
+        // be *globally* adjacent, which two separate sequence draws cannot
+        // guarantee against concurrent recorders.
+        self.rec_pair(Kind::Read(Reg(x as u32)), Kind::RetVal(v));
         v
     }
 
     fn write_direct(&mut self, x: usize, v: u64) {
-        self.rec(Kind::Write(Reg(x as u32), v));
         self.rt.store(x, v);
         self.stats.direct_writes += 1;
-        self.rec(Kind::RetUnit);
+        self.rec_pair(Kind::Write(Reg(x as u32), v), Kind::RetUnit);
     }
 
     fn fence_async(&mut self) -> FenceTicket {
@@ -940,6 +1259,31 @@ impl<P: Policy> StmHandle for Handle<P> {
         self.rt
             .telemetry
             .record_latency(self.slot, LatencyClass::FenceWait, wait_ns);
+    }
+
+    fn fence_join_timeout(
+        &mut self,
+        ticket: &mut FenceTicket,
+        timeout: Duration,
+    ) -> Result<(), FenceTimeout> {
+        match ticket.wait_timeout(timeout) {
+            Ok(waited) => {
+                let wait_ns = waited.as_nanos() as u64;
+                self.stats.fence_wait_ns += wait_ns;
+                self.rt
+                    .telemetry
+                    .record_latency(self.slot, LatencyClass::FenceWait, wait_ns);
+                Ok(())
+            }
+            Err(e) => {
+                // The timed-out wait still blocked the handle; charge it.
+                // The histogram records only completed joins, so counter
+                // and histogram-sum diverge by exactly the timed-out waits.
+                self.stats.fence_wait_ns += e.waited.as_nanos() as u64;
+                self.stats.stalls_detected += e.stalled.len() as u64;
+                Err(e)
+            }
+        }
     }
 
     fn stats(&self) -> Stats {

@@ -42,6 +42,7 @@ use crate::storage::{
 };
 use crate::vlock::VLockState;
 use std::sync::Arc;
+use tm_chaos::Site;
 use tm_telemetry::EventKind;
 
 /// Commits per *governor window*: each handle folds its (plain, handle-
@@ -295,6 +296,7 @@ pub struct Tl2Policy {
 /// a migration window). A free function over the two policy fields — not a
 /// method — so the borrow stays field-precise and the hot paths can keep
 /// mutating the read/write sets alongside it.
+#[derive(Clone, Copy)]
 enum Tables<'a> {
     Fixed(&'a AnyLockTable),
     Gen(&'a TableGen),
@@ -437,6 +439,27 @@ impl Tables<'_> {
 fn release(t: &Tables<'_>, stripes: &[GenStripe]) {
     for &gs in stripes {
         t.unlock(gs);
+    }
+}
+
+/// Unwind safety net for the commit's lock-holding window: releases every
+/// held lock word on drop unless disarmed. Armed from the moment the full
+/// write set is locked until the normal unlock loop has run, it guarantees
+/// a panic anywhere in between — an injected one at the clock bump or
+/// validation, or a genuine bug in write-back — leaves `locked_stripes() ==
+/// 0` behind instead of wedging every future committer. Ordinary abort
+/// returns ride the same drop.
+struct LockGuard<'a, 'b> {
+    t: Tables<'b>,
+    stripes: &'a [GenStripe],
+    armed: bool,
+}
+
+impl Drop for LockGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.armed {
+            release(&self.t, self.stripes);
+        }
     }
 }
 
@@ -606,6 +629,12 @@ impl Policy for Tl2Policy {
             ctx.stats.aborts_read += 1;
             return Err(Abort);
         }
+        // A forced abort here is indistinguishable from the version check
+        // above catching an intervening commit.
+        if ctx.rt.chaos_abort(ctx.slot, Site::Validate) {
+            ctx.stats.aborts_read += 1;
+            return Err(Abort);
+        }
         self.rset.push(x);
         Ok(val)
     }
@@ -652,6 +681,13 @@ impl Policy for Tl2Policy {
         // Abort paths need no `last_txn_wrote` update here: the runtime
         // calls `rollback` on every abort, which performs it.
         for (taken, &gs) in self.stripes.iter().enumerate() {
+            // A forced abort here is indistinguishable from losing the
+            // trylock race below: release what we took, walk the same path.
+            if ctx.rt.chaos_abort(ctx.slot, Site::LockAcquire) {
+                release(&t, &self.stripes[..taken]);
+                ctx.stats.aborts_lock += 1;
+                return Err(Abort);
+            }
             if t.try_lock(gs, ctx.slot).is_err() {
                 release(&t, &self.stripes[..taken]);
                 // Re-hash the failed lock word back to one of our write-set
@@ -663,12 +699,21 @@ impl Policy for Tl2Policy {
                 return Err(Abort);
             }
         }
+        // Every lock word is held from here on: arm the unwind safety net.
+        // Abort returns below drop it armed (releasing the set); the normal
+        // path disarms it right after the unlock loop.
+        let mut locks = LockGuard {
+            t,
+            stripes: &self.stripes,
+            armed: true,
+        };
         // wver := the clock backend's write stamp (Fig 7 line 19 is the GV1
         // `fetch_and_increment`; GV4 may adopt a concurrent winner's stamp,
         // GV5 stamps from a slot-local delta without touching the shared
         // line). Must happen after the locks above: the exclusivity proof
         // below relies on every concurrent writer holding its locks before
         // sampling the clock.
+        ctx.rt.chaos_delay(Site::ClockBump);
         let stamp = self.shared.clock.write_stamp(ctx.slot, self.rv);
         ctx.stats.clock_bumps += u64::from(stamp.bumped);
         let wver = stamp.wver;
@@ -685,13 +730,20 @@ impl Policy for Tl2Policy {
             debug_assert_eq!(wver, self.rv + 1);
             ctx.stats.validation_elisions += 1;
         } else {
+            // A forced abort here is indistinguishable from the loop below
+            // finding an intervening commit; the armed guard releases the
+            // whole lock set on return.
+            if ctx.rt.chaos_abort(ctx.slot, Site::Validate) {
+                ctx.stats.aborts_validate += 1;
+                return Err(Abort);
+            }
             // Validate the read set (lines 20–26). A stripe we hold
             // ourselves still fails on `rv < version` if someone committed
-            // to it between our read and our lock acquisition.
+            // to it between our read and our lock acquisition. The armed
+            // `locks` guard releases the lock set on the abort return.
             for &x in &self.rset {
                 let s = t.snap(x);
                 if s.is_locked_by_other(ctx.slot) || self.rv < s.version_max() {
-                    release(&t, &self.stripes);
                     if self.rv < s.version_max() {
                         self.refresh_on_stale_rv(ctx, s.version_max());
                     }
@@ -712,6 +764,10 @@ impl Policy for Tl2Policy {
         for &gs in &self.stripes {
             t.unlock_set_version(gs, wver);
         }
+        // Locks are released; disarm (and end) the unwind guard before the
+        // epilogue below re-borrows `self` mutably.
+        locks.armed = false;
+        drop(locks);
         // The read-only case early-returned above, so this commit wrote.
         self.last_txn_wrote = true;
         self.wver_of_last_commit = wver;

@@ -1,0 +1,229 @@
+//! Deterministic fault injection (`tm-chaos`) end to end: seeded runs
+//! inject real faults yet change no observable final state or checker
+//! verdict; the disabled path costs nothing observable; seeded decisions
+//! are reproducible; and the escalated fallback is exempt by contract.
+
+use std::sync::Arc;
+use tm_core::opacity::{check_strong_opacity, CheckOptions};
+use tm_stm::chaos::Site;
+use tm_stm::prelude::*;
+use tm_stm::tl2::GOVERNOR_WINDOW;
+
+const SEEDS: [u64; 3] = [7, 0xC0FFEE, 424_242];
+const THREADS: usize = 3;
+const NREGS: usize = 8;
+const TXNS: u64 = 200;
+
+/// The commutative-increment workload: whatever the interleaving (and
+/// whatever faults are injected), the final register file is exactly
+/// `THREADS` increments per (thread-iteration, register) pairing — so a
+/// chaos run must reproduce the fault-free finals bit for bit.
+fn run_workload<F: StmFactory>(stm: &F) -> Vec<u64> {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(t);
+                for i in 0..TXNS {
+                    let r = (i as usize) % NREGS;
+                    h.atomic(|tx| {
+                        let v = tx.read(r)?;
+                        tx.write(r, v + 1)
+                    });
+                }
+                h.fence();
+            });
+        }
+    });
+    (0..NREGS).map(|r| stm.peek(r)).collect()
+}
+
+/// The recorded variant: the history checkers require globally *unique*
+/// written values (well-formedness clause 3 counts every attempt, aborted
+/// ones included), so each thread writes a thread-tagged per-**attempt**
+/// counter into its own register while reading the registers everyone
+/// writes — plenty of real conflicts for injection to amplify.
+fn run_recorded<F: StmFactory>(stm: &F) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = stm.clone();
+            s.spawn(move || {
+                let mut h = stm.handle(t);
+                let mut attempt = 0u64;
+                for i in 0..TXNS {
+                    let r = (i as usize) % NREGS;
+                    h.atomic(|tx| {
+                        attempt += 1;
+                        let _ = tx.read(r)?;
+                        tx.write(t, ((t as u64 + 1) << 40) | attempt)
+                    });
+                }
+                h.fence();
+            });
+        }
+    });
+}
+
+/// Tentpole acceptance: the conformance workload under ≥3 chaos seeds
+/// produces finals identical to the fault-free baseline, and its recorded
+/// history still passes the checker, on TL2 (striped + per-register) and
+/// NOrec. Forced aborts must be semantically invisible.
+#[test]
+fn seeded_injection_preserves_finals_and_verdicts() {
+    let expected: Vec<u64> = {
+        let stm = Tl2Stm::with_config(StmConfig::new(NREGS, THREADS).chaos_off());
+        run_workload(&stm)
+    };
+    for seed in SEEDS {
+        // TL2 striped, recorded: the history must draw the *same verdicts*
+        // as any fault-free run — well-formed, DRF (purely transactional),
+        // and strongly opaque — with injection demonstrably active.
+        let rec = Arc::new(Recorder::new(THREADS));
+        let stm = Tl2Stm::with_config(
+            StmConfig::new(NREGS, THREADS)
+                .striped(4)
+                .chaos_seed(seed)
+                .recorder(Arc::clone(&rec)),
+        );
+        run_recorded(&stm);
+        assert!(
+            stm.runtime().chaos().injected_total() > 0,
+            "seed {seed}: the run must actually have been perturbed"
+        );
+        let hist = rec.snapshot_history();
+        assert_eq!(
+            hist.validate(),
+            Ok(()),
+            "seed {seed}: the recorded history stays well-formed"
+        );
+        assert!(
+            tm_core::hb::is_drf(&hist),
+            "seed {seed}: a transactional-only history is DRF"
+        );
+        check_strong_opacity(&hist, &CheckOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: not strongly opaque: {e:?}"));
+
+        // TL2 per-register.
+        let stm = Tl2Stm::with_config(StmConfig::new(NREGS, THREADS).chaos_seed(seed));
+        assert_eq!(run_workload(&stm), expected, "seed {seed}: tl2");
+
+        // NOrec.
+        let stm = NorecStm::with_config(StmConfig::new(NREGS, THREADS).chaos_seed(seed));
+        assert_eq!(run_workload(&stm), expected, "seed {seed}: norec");
+    }
+}
+
+/// The disabled-cost contract (the PR 7 telemetry technique): with no
+/// seed, every site is one relaxed load — observable as *zero* injected
+/// faults, zero forced aborts, and untouched commit accounting over a
+/// full governor window.
+#[test]
+fn disabled_chaos_costs_one_relaxed_load_per_site() {
+    let stm = Tl2Stm::with_config(
+        StmConfig::auto(16, 1)
+            .grace_driver(tm_stm::runtime::DriverMode::Cooperative)
+            .trace(TraceConfig::off())
+            .chaos_off(),
+    );
+    let chaos = stm.runtime().chaos();
+    assert!(
+        !chaos.enabled(),
+        "chaos_off really is off, whatever the env"
+    );
+    let mut h = stm.handle(0);
+    for i in 0..GOVERNOR_WINDOW {
+        h.atomic(|tx| tx.write((i % 16) as usize, i));
+    }
+    h.fence();
+    assert_eq!(chaos.injected_total(), 0);
+    for site in Site::ALL {
+        assert_eq!(chaos.injected_aborts(site), 0, "{}", site.label());
+        assert_eq!(chaos.injected_delays(site), 0, "{}", site.label());
+    }
+    assert_eq!(h.stats().commits, GOVERNOR_WINDOW);
+    assert_eq!(
+        h.stats().aborts_total(),
+        0,
+        "a single-threaded run with injection off never aborts"
+    );
+}
+
+/// Same seed, same single-threaded workload ⇒ bit-identical fault plan and
+/// abort accounting. (That *different* seeds draw different decision
+/// sequences is asserted at the `tm-chaos` unit level, where the raw
+/// sequences — not just their counts — are comparable.)
+#[test]
+fn same_seed_is_deterministic() {
+    fn run(seed: u64) -> (u64, u64, u64, Vec<u64>) {
+        let stm = Tl2Stm::with_config(
+            StmConfig::new(NREGS, 1)
+                .striped(4)
+                .chaos_seed(seed)
+                .trace(TraceConfig::off()),
+        );
+        let mut h = stm.handle(0);
+        for i in 0..400u64 {
+            let r = (i as usize) % NREGS;
+            h.atomic(|tx| {
+                let v = tx.read(r)?;
+                tx.write(r, v + 1)
+            });
+        }
+        let s = h.stats();
+        let injected = Site::ALL
+            .iter()
+            .map(|&site| {
+                stm.runtime().chaos().injected_aborts(site)
+                    + stm.runtime().chaos().injected_delays(site)
+            })
+            .collect();
+        (
+            s.retries,
+            s.aborts_read + s.aborts_lock + s.aborts_validate,
+            s.commits,
+            injected,
+        )
+    }
+    let a = run(99);
+    assert_eq!(a, run(99), "a seed fully determines a single-threaded run");
+    assert!(a.3.iter().sum::<u64>() > 0, "the plan actually fires");
+}
+
+/// The escalated fallback is exempt from injection: with a one-attempt
+/// budget under a seeded plan, every injected abort escalates — and the
+/// escalated (irrevocable) attempt must then commit instead of being
+/// re-aborted by chaos, or the progress guarantee is gone.
+#[test]
+fn escalated_attempts_are_exempt_from_injection() {
+    let stm = Tl2Stm::with_config(
+        StmConfig::new(4, 1)
+            .chaos_seed(3)
+            .retry(RetryPolicy::attempts(1)),
+    );
+    let mut h = stm.handle(0);
+    for _ in 0..500u64 {
+        h.atomic(|tx| {
+            let v = tx.read(0)?;
+            tx.write(0, v + 1)
+        });
+    }
+    assert_eq!(stm.peek(0), 500, "every increment lands");
+    assert!(
+        h.stats().escalations > 0,
+        "a 1-attempt budget under seeded chaos must escalate"
+    );
+    assert_eq!(h.stats().commits, 500);
+    assert!(stm.runtime().escalated().is_none(), "token released");
+}
+
+/// The `TM_STM_CHAOS` knob parser (the config path reads it through
+/// [`tm_stm::chaos::seed_from_env`] at construction; the parse rules are
+/// testable directly).
+#[test]
+fn chaos_env_knob_parse_rules() {
+    assert_eq!(tm_stm::chaos::parse("42"), Some(42));
+    assert_eq!(tm_stm::chaos::parse("0xBEEF"), Some(0xBEEF));
+    assert_eq!(tm_stm::chaos::parse("off"), None);
+    assert_eq!(tm_stm::chaos::parse(""), None);
+    assert_eq!(tm_stm::chaos::parse("nonsense"), None);
+}

@@ -49,7 +49,13 @@ fn disjoint_writes(stm: &Tl2Stm) -> Stats {
 }
 
 fn stm_with(clock: ClockKind) -> Tl2Stm {
-    Tl2Stm::with_config(StmConfig::new(THREADS * REGS_PER_THREAD, THREADS).clock(clock))
+    // chaos_off: these tests pin exact commit/bump/abort counters, which a
+    // TM_STM_CHAOS env seed (the fault-injection CI pass) would perturb.
+    Tl2Stm::with_config(
+        StmConfig::new(THREADS * REGS_PER_THREAD, THREADS)
+            .clock(clock)
+            .chaos_off(),
+    )
 }
 
 /// The tentpole acceptance criterion: on a disjoint-write multi-thread

@@ -270,6 +270,10 @@ pub enum AbortCause {
     Validate,
     /// `Err(Abort)` returned by the transaction body.
     User,
+    /// The transaction body (or a fault-injected commit step) panicked; the
+    /// runtime rolled the attempt back, released every lock and the epoch
+    /// slot, recorded this abort, and resumed the unwind.
+    Panic,
 }
 
 impl AbortCause {
@@ -281,6 +285,7 @@ impl AbortCause {
             AbortCause::Lock => "lock",
             AbortCause::Validate => "validate",
             AbortCause::User => "user",
+            AbortCause::Panic => "panic",
         }
     }
 
@@ -292,6 +297,7 @@ impl AbortCause {
             AbortCause::Lock => 2,
             AbortCause::Validate => 3,
             AbortCause::User => 4,
+            AbortCause::Panic => 5,
         }
     }
 }
@@ -370,6 +376,28 @@ pub enum EventKind {
         /// Stripe count of the surviving (current) generation.
         stripes: u64,
     },
+    /// A handle exhausted its retry budget and escalated to the irrevocable
+    /// serial fallback: it took the runtime-wide escalation token, drained
+    /// in-flight transactions, and re-ran its body serialized.
+    Escalation {
+        /// Aborted attempts paid before escalating.
+        attempts: u64,
+        /// `true` when the wall-clock deadline (not the attempt cap)
+        /// triggered the escalation.
+        deadline_expired: bool,
+    },
+    /// The grace engine noticed an epoch slot pinned past the stall
+    /// threshold while a scan was waiting on it — the signature of a thread
+    /// parked (or dead) inside a transaction. Raised from the driver tick
+    /// and from bounded fence waits, once per slot per scan.
+    StallReport {
+        /// The epoch slot holding up the scan.
+        stalled_slot: u64,
+        /// How long the scan has been waiting on it (nanoseconds).
+        pinned_ns: u64,
+        /// The grace period the scan is trying to retire.
+        period: u64,
+    },
 }
 
 impl EventKind {
@@ -386,6 +414,8 @@ impl EventKind {
             EventKind::ClockSwitchSettle { .. } => "clock-switch-settle",
             EventKind::StripePublish { .. } => "stripe-publish",
             EventKind::StripeRetire { .. } => "stripe-retire",
+            EventKind::Escalation { .. } => "escalation",
+            EventKind::StallReport { .. } => "stall-report",
         }
     }
 
@@ -427,6 +457,22 @@ impl EventKind {
                 ("window", window),
             ],
             EventKind::StripeRetire { stripes } => vec![("stripes", stripes)],
+            EventKind::Escalation {
+                attempts,
+                deadline_expired,
+            } => vec![
+                ("attempts", attempts),
+                ("deadline_expired", u64::from(deadline_expired)),
+            ],
+            EventKind::StallReport {
+                stalled_slot,
+                pinned_ns,
+                period,
+            } => vec![
+                ("stalled_slot", stalled_slot),
+                ("pinned_ns", pinned_ns),
+                ("period", period),
+            ],
         }
     }
 
@@ -1055,6 +1101,15 @@ mod tests {
                 window: 128,
             },
             EventKind::StripeRetire { stripes: 8 },
+            EventKind::Escalation {
+                attempts: 5,
+                deadline_expired: false,
+            },
+            EventKind::StallReport {
+                stalled_slot: 3,
+                pinned_ns: 7_000_000,
+                period: 2,
+            },
         ];
         let labels: Vec<&str> = all.iter().map(|k| k.label()).collect();
         let mut dedup = labels.clone();
@@ -1069,6 +1124,16 @@ mod tests {
             }
         }
         assert_eq!(AbortCause::User.label(), "user");
+        assert_eq!(AbortCause::Panic.label(), "panic");
+        assert!(
+            !EventKind::StallReport {
+                stalled_slot: 0,
+                pinned_ns: 0,
+                period: 0,
+            }
+            .is_governor_decision(),
+            "hardening events are not governor decisions"
+        );
     }
 
     #[test]
