@@ -1,0 +1,35 @@
+//! E23 — the typed frontend: a bounded producer/consumer queue over a
+//! `TVar<VecDeque<u64>>`, handed off item by item under each retry
+//! strategy. `blocking` sleeps on the read set and is woken by the other
+//! side's conflicting commit; `spin` reruns with backoff. Every committed
+//! queue replacement retires the displaced value box through the grace
+//! engine, so the workload also measures the typed layer's epoch-based
+//! reclamation under sustained traffic (`BENCH_tvar.json`, written by
+//! `overhead_report --json`, records throughput and the EBR batching
+//! factor).
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench tvar_queue`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::{retry_strategy_label, tvar_queue_throughput};
+use tm_stm::prelude::RetryStrategy;
+
+fn tvar_queue(c: &mut Criterion) {
+    let items = 2_000u64;
+    let mut g = c.benchmark_group("tvar/bounded-queue");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(items));
+    for strategy in [RetryStrategy::Block, RetryStrategy::Spin] {
+        g.bench_with_input(
+            BenchmarkId::new(retry_strategy_label(strategy), items),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| tvar_queue_throughput(strategy, items));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tvar_queue);
+criterion_main!(benches);

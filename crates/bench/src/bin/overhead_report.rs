@@ -8,16 +8,18 @@
 //! (backend × clock × threads on the disjoint-write workload), the fence
 //! matrix (driver mode × privatizers on the batched-fence workload), the
 //! stripe matrix (storage policy × threads × register-file size on the
-//! stripe-churn workload), and the governor matrix (auto vs static
-//! configurations on the phase-shift workload), writing them to
-//! `BENCH_clocks.json`, `BENCH_fences.json`, `BENCH_stripes.json`, and
-//! `BENCH_governor.json` — the machine-readable perf trajectories later
-//! PRs diff against. `overhead_report --json [txns_per_thread]`.
+//! stripe-churn workload), the governor matrix (auto vs static
+//! configurations on the phase-shift workload), and the typed-frontend
+//! matrix (blocking vs spinning retry on the bounded-queue handoff),
+//! writing them to `BENCH_clocks.json`, `BENCH_fences.json`,
+//! `BENCH_stripes.json`, `BENCH_governor.json`, and `BENCH_tvar.json` —
+//! the machine-readable perf trajectories later PRs diff against.
+//! `overhead_report --json [txns_per_thread]`.
 
 use tm_bench::{
     clock_matrix, fence_matrix, governor_matrix, mix_throughput, render_clock_report_json,
     render_fence_report_json, render_governor_report_json, render_stripe_report_json,
-    standard_workloads, stripe_matrix, FencePolicy, StmKind,
+    render_tvar_report_json, standard_workloads, stripe_matrix, tvar_matrix, FencePolicy, StmKind,
 };
 
 fn clock_json_report(txns_per_thread: u64) {
@@ -92,6 +94,19 @@ fn governor_json_report(txns_per_phase: u64) {
     eprintln!("wrote {path} ({} rows)", best.len());
 }
 
+fn tvar_json_report(items: u64) {
+    eprintln!(
+        "measuring typed-frontend matrix (blocking vs spin retry, \
+         {items}-item bounded-queue handoff)…"
+    );
+    let rows = tvar_matrix(items);
+    let json = render_tvar_report_json(&rows, items);
+    let path = "BENCH_tvar.json";
+    std::fs::write(path, &json).expect("write BENCH_tvar.json");
+    println!("{json}");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
@@ -107,6 +122,7 @@ fn main() {
         // fold and table windows — and long enough measurement windows to
         // rise above timer noise — whatever smoke count CI passed.
         governor_json_report(txns.max(20_000));
+        tvar_json_report(txns);
         return;
     }
 

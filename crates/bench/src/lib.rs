@@ -11,8 +11,11 @@
 //! pass) perturb them would silently corrupt reported numbers and break
 //! the exact-counter pins in this crate's unit tests.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 use tm_stm::prelude::*;
+use tm_stm::tl2::Tl2Kind;
+use tm_stm::tvar::TypedStm;
 
 /// Deterministic splitmix-style RNG step.
 #[inline]
@@ -954,6 +957,123 @@ pub fn render_governor_report_json(rows: &[GovernorBenchRow], txns_per_phase: u6
     out
 }
 
+/// One measured cell of the typed-frontend benchmark
+/// (retry strategy × bounded-queue handoff).
+#[derive(Clone, Debug)]
+pub struct TVarBenchRow {
+    /// Retry strategy label (`blocking` / `spin`).
+    pub strategy: &'static str,
+    /// Items handed producer → consumer per second.
+    pub items_per_sec: f64,
+    /// Displaced value boxes retired through the grace engine.
+    pub retired_boxes: u64,
+    /// Retired boxes actually freed by completing-scan collection.
+    pub collected_boxes: u64,
+    /// Collection passes that freed at least one box: `retired_boxes /
+    /// collect_passes` is the reclamation batching factor.
+    pub collect_passes: u64,
+}
+
+/// The [`RetryStrategy`] label used across tvar bench rows.
+pub fn retry_strategy_label(strategy: RetryStrategy) -> &'static str {
+    match strategy {
+        RetryStrategy::Block => "blocking",
+        RetryStrategy::Spin => "spin",
+    }
+}
+
+/// The typed-frontend handoff workload: a bounded (capacity-8) queue in a
+/// `TVar<VecDeque<u64>>`, one producer pushing `1..=items` (blocking via
+/// `Transaction::retry` on full), one consumer draining (blocking on
+/// empty), both under the given [`RetryStrategy`]. Every committed queue
+/// replacement retires the displaced box through the grace engine, so the
+/// run doubles as an EBR throughput measurement: the returned row carries
+/// the retire/collect counters alongside items/sec.
+pub fn tvar_queue_throughput(strategy: RetryStrategy, items: u64) -> TVarBenchRow {
+    const CAP: usize = 8;
+    let typed: TypedStm<Tl2Kind> = TypedStm::with_config(StmConfig::new(4, 2).chaos_off());
+    let queue = typed.new_tvar(VecDeque::<u64>::new());
+    let start = Instant::now();
+    std::thread::scope(|sc| {
+        let producer_typed = typed.clone();
+        let producer_queue = queue.clone();
+        sc.spawn(move || {
+            let mut h = producer_typed.handle(0);
+            h.set_retry_strategy(strategy);
+            for item in 1..=items {
+                h.atomically(|tx| {
+                    let mut q = tx.read(&producer_queue)?;
+                    if q.len() >= CAP {
+                        return tx.retry();
+                    }
+                    q.push_back(item);
+                    tx.write(&producer_queue, q)
+                });
+            }
+        });
+        let mut h = typed.handle(1);
+        h.set_retry_strategy(strategy);
+        for _ in 0..items {
+            h.atomically(|tx| {
+                let mut q = tx.read(&queue)?;
+                match q.pop_front() {
+                    None => tx.retry(),
+                    Some(item) => {
+                        tx.write(&queue, q)?;
+                        Ok(item)
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    // Settle reclamation outside the timed region: the fence's completing
+    // scan collects everything the handoff retired.
+    typed.handle(0).inner().fence();
+    let grace = typed.stm().runtime().grace();
+    TVarBenchRow {
+        strategy: retry_strategy_label(strategy),
+        items_per_sec: items as f64 / elapsed,
+        retired_boxes: grace.retired_boxes(),
+        collected_boxes: grace.collected_boxes(),
+        collect_passes: grace.collect_passes(),
+    }
+}
+
+/// Measure the typed-frontend matrix: the bounded-queue handoff under
+/// each retry strategy (blocking sleep-on-read-set vs spinning rerun).
+pub fn tvar_matrix(items: u64) -> Vec<TVarBenchRow> {
+    [RetryStrategy::Block, RetryStrategy::Spin]
+        .into_iter()
+        .map(|s| tvar_queue_throughput(s, items))
+        .collect()
+}
+
+/// Render the tvar matrix as the `BENCH_tvar.json` document
+/// (`bench_tvar/v1`) — the typed-frontend perf trajectory: spin vs
+/// blocking handoff throughput plus the EBR batching factor
+/// (`boxes_per_collect` = retired boxes / collection passes).
+pub fn render_tvar_report_json(rows: &[TVarBenchRow], items: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_tvar/v1\",\n");
+    out.push_str("  \"workload\": \"bounded-queue-handoff\",\n");
+    out.push_str(&format!("  \"items\": {items},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let per_collect = r.retired_boxes as f64 / r.collect_passes.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"items_per_sec\": {:.1}, \
+             \"retired_boxes\": {}, \"collected_boxes\": {}, \
+             \"collect_passes\": {}, \"boxes_per_collect\": {per_collect:.2}}}{sep}\n",
+            r.strategy, r.items_per_sec, r.retired_boxes, r.collected_boxes, r.collect_passes
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1279,6 +1399,40 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_valid_json(&render_governor_report_json(&[], 1));
+    }
+
+    #[test]
+    fn tvar_matrix_and_json_report() {
+        let rows = tvar_matrix(200);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].strategy, "blocking");
+        assert_eq!(rows[1].strategy, "spin");
+        for r in &rows {
+            assert!(r.items_per_sec > 0.0, "{}", r.strategy);
+            // Every committed queue replacement retires the displaced box:
+            // 200 producer pushes + 200 consumer pops, minimum (retries
+            // that reach commit add more).
+            assert!(r.retired_boxes >= 400, "{}: {r:?}", r.strategy);
+            assert_eq!(
+                r.collected_boxes, r.retired_boxes,
+                "{}: the settling fence collects everything",
+                r.strategy
+            );
+        }
+        let json = render_tvar_report_json(&rows, 200);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_tvar/v1\"",
+            "\"strategy\"",
+            "\"items_per_sec\"",
+            "\"retired_boxes\"",
+            "\"collected_boxes\"",
+            "\"collect_passes\"",
+            "\"boxes_per_collect\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_tvar_report_json(&[], 1));
     }
 
     #[test]

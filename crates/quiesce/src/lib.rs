@@ -21,7 +21,13 @@
 //!   an [`EpochTable`]: callers obtain a [`GraceTicket`] instead of
 //!   blocking, and every ticket issued during the same open period is
 //!   resolved by one shared scan of the epoch table — the `call_rcu` to
-//!   [`EpochTable::wait_quiescent`]'s `synchronize_rcu`.
+//!   [`EpochTable::wait_quiescent`]'s `synchronize_rcu`. The engine is
+//!   also an *epoch-based reclamation* facility:
+//!   [`GraceEngine::defer_drop`] retires a heap allocation under the open
+//!   period, and the completing scan drops every retirement whose period
+//!   has elapsed (the `kfree_rcu` to `issue`'s `call_rcu`). Anything still
+//!   retired when the engine itself drops is freed then — exactly once in
+//!   every configuration.
 //! * [`GraceDriver`] — an *optional* background thread that retires grace
 //!   periods with **zero** pollers or waiters. Without a driver the engine
 //!   advances only cooperatively, so a fire-and-forget
@@ -145,6 +151,10 @@ impl EpochTable {
 /// A completion callback registered on a grace period.
 type Callback = Box<dyn FnOnce() + Send>;
 
+/// A retired heap allocation awaiting its grace period: dropping the box is
+/// the reclamation.
+type Retired = Box<dyn Send>;
+
 /// A [`GraceDriver`] tick hook: invoked once per driver wakeup (explicit or
 /// fallback tick), outside any engine lock. `Arc`ed so the driver thread
 /// can call it without holding the installation mutex.
@@ -257,6 +267,18 @@ pub struct GraceEngine {
     stall_threshold_ns: AtomicU64,
     /// Total [`StallInfo`] reports raised (each slot at most once per scan).
     stall_reports: CachePadded<AtomicU64>,
+    /// Deferred-drop list: allocations retired via [`Self::defer_drop`],
+    /// each stamped with the period that was open at retirement. Collected
+    /// by the completing scan; whatever remains drops with the engine.
+    retired: Mutex<Vec<(u64, Retired)>>,
+    /// Total allocations ever retired through [`Self::defer_drop`].
+    retired_total: CachePadded<AtomicU64>,
+    /// Total retired allocations dropped by collection passes (excludes
+    /// leftovers freed at engine drop).
+    collected_total: CachePadded<AtomicU64>,
+    /// Collection passes that actually dropped something — with
+    /// `retired_total` this is the reclamation batching factor.
+    collect_passes: CachePadded<AtomicU64>,
 }
 
 impl GraceEngine {
@@ -281,6 +303,10 @@ impl GraceEngine {
             chaos: OnceLock::new(),
             stall_threshold_ns: AtomicU64::new(Self::DEFAULT_STALL_THRESHOLD.as_nanos() as u64),
             stall_reports: CachePadded::new(AtomicU64::new(0)),
+            retired: Mutex::new(Vec::new()),
+            retired_total: CachePadded::new(AtomicU64::new(0)),
+            collected_total: CachePadded::new(AtomicU64::new(0)),
+            collect_passes: CachePadded::new(AtomicU64::new(0)),
         })
     }
 
@@ -388,6 +414,76 @@ impl GraceEngine {
         }
     }
 
+    /// Retire a heap allocation through the engine: `garbage` is stamped
+    /// with the open period and dropped by the first scan to complete it —
+    /// i.e. only after every critical section active *now* has exited, so
+    /// in-epoch readers still dereferencing the allocation stay safe. This
+    /// is the epoch-based-reclamation face of the engine: the `kfree_rcu`
+    /// to [`Self::issue`]'s `call_rcu`.
+    ///
+    /// Never blocks beyond the retire-list mutex. Retirement counts as
+    /// pending work ([`Self::has_pending`]), so an attached [`GraceDriver`]
+    /// collects it within bounded time with zero pollers; without a driver
+    /// it is collected by whichever caller next completes a scan, and at
+    /// the latest when the engine drops. Either way each retired box is
+    /// dropped exactly once.
+    pub fn defer_drop(&self, garbage: Retired) {
+        let period = self.open.load(Ordering::SeqCst);
+        self.retired.lock().unwrap().push((period, garbage));
+        self.retired_total.fetch_add(1, Ordering::SeqCst);
+        // Mirror `issue`: raise the pending view so a driver (or drop
+        // drain) knows reclamation work is outstanding, and wake it.
+        self.issued.fetch_max(period, Ordering::SeqCst);
+        self.notify_driver();
+    }
+
+    /// Total allocations ever retired through [`Self::defer_drop`].
+    pub fn retired_boxes(&self) -> u64 {
+        self.retired_total.load(Ordering::SeqCst)
+    }
+
+    /// Total retired allocations dropped by collection passes so far.
+    pub fn collected_boxes(&self) -> u64 {
+        self.collected_total.load(Ordering::SeqCst)
+    }
+
+    /// Collection passes that dropped at least one retired allocation.
+    /// `retired_boxes / collect_passes` is the reclamation batching factor.
+    pub fn collect_passes(&self) -> u64 {
+        self.collect_passes.load(Ordering::SeqCst)
+    }
+
+    /// Retired allocations still awaiting their grace period.
+    pub fn retired_pending(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+
+    /// Drop every retirement whose period has completed. Runs on the scan
+    /// completion path (and is cheap to call anytime): take the list under
+    /// its lock, keep the not-yet-due entries, drop the due ones *outside*
+    /// the lock — a retired value's own drop may retire more.
+    fn collect_retired(&self) {
+        let due: Vec<(u64, Retired)> = {
+            let mut retired = self.retired.lock().unwrap();
+            if retired.is_empty() {
+                return;
+            }
+            let completed = self.completed();
+            let (due, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut *retired)
+                .into_iter()
+                .partition(|(p, _)| *p <= completed);
+            *retired = keep;
+            due
+        };
+        if due.is_empty() {
+            return;
+        }
+        self.collected_total
+            .fetch_add(due.len() as u64, Ordering::SeqCst);
+        self.collect_passes.fetch_add(1, Ordering::SeqCst);
+        drop(due);
+    }
+
     /// One cooperative, non-blocking driving step toward completing
     /// `period`; returns whether it has completed. If no scan is in
     /// progress, this closes the open period and snapshots the epoch table;
@@ -442,6 +538,7 @@ impl GraceEngine {
                 tel.record_grace_scan(done, s0.elapsed().as_nanos() as u64);
             }
             self.run_callbacks();
+            self.collect_retired();
         }
         self.is_complete(period)
     }
@@ -1510,6 +1607,79 @@ mod tests {
         }
         stop.store(true, Ordering::SeqCst);
         worker.join().unwrap();
+    }
+
+    /// A drop-counting payload: every drop bumps the shared counter, so
+    /// leaks (count short) and double drops (count high / UB caught by
+    /// miri-style reasoning) are both visible.
+    struct CountedDrop(Arc<AtomicUsize>);
+    impl Drop for CountedDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// EBR core contract: a retirement is pinned by every critical section
+    /// active at `defer_drop` and dropped exactly once after they exit.
+    #[test]
+    fn defer_drop_waits_for_grace_then_drops_once() {
+        let eng = GraceEngine::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        eng.epochs().enter(0);
+        eng.defer_drop(Box::new(CountedDrop(Arc::clone(&drops))));
+        assert_eq!(eng.retired_pending(), 1);
+        assert!(eng.has_pending(), "retirement counts as pending work");
+        let t = eng.issue();
+        assert!(!t.poll(), "slot 0 still active");
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "pinned by the section");
+        eng.epochs().exit(0);
+        t.wait();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "dropped exactly once");
+        assert_eq!(eng.retired_boxes(), 1);
+        assert_eq!(eng.collected_boxes(), 1);
+        assert!(eng.collect_passes() >= 1);
+        assert_eq!(eng.retired_pending(), 0);
+    }
+
+    /// Retirements batch behind one scan exactly like tickets do.
+    #[test]
+    fn retirements_coalesce_behind_one_collection_pass() {
+        let eng = GraceEngine::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            eng.defer_drop(Box::new(CountedDrop(Arc::clone(&drops))));
+        }
+        eng.issue().wait();
+        assert_eq!(drops.load(Ordering::SeqCst), 16);
+        assert_eq!(eng.collect_passes(), 1, "16 boxes, one pass");
+    }
+
+    /// The zero-poller liveness extends to reclamation: with a driver
+    /// attached, `defer_drop` alone (no tickets, no pollers) is collected
+    /// within bounded time.
+    #[test]
+    fn driver_collects_retirements_with_zero_pollers() {
+        let eng = GraceEngine::new(2);
+        let _driver = GraceDriver::spawn(Arc::clone(&eng), GraceDriver::DEFAULT_TICK);
+        let drops = Arc::new(AtomicUsize::new(0));
+        eng.defer_drop(Box::new(CountedDrop(Arc::clone(&drops))));
+        sleep_until("driver to collect the retirement", || {
+            drops.load(Ordering::SeqCst) == 1
+        });
+        assert_eq!(eng.collected_boxes(), 1);
+    }
+
+    /// Whatever is still retired when the engine drops is freed then —
+    /// exactly once, never leaked.
+    #[test]
+    fn engine_drop_frees_uncollected_retirements() {
+        let eng = GraceEngine::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        eng.defer_drop(Box::new(CountedDrop(Arc::clone(&drops))));
+        eng.defer_drop(Box::new(CountedDrop(Arc::clone(&drops))));
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "nobody drove a scan");
+        drop(eng);
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "freed with the engine");
     }
 
     /// Many threads hammering enter/exit while a fencer loops: smoke test

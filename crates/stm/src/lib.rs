@@ -42,6 +42,15 @@
 //!   accesses are exposed to the delayed-commit and doomed-transaction
 //!   anomalies of the paper's Fig 1 — with the fence, privatization is safe
 //!   (the paper's DRF discipline).
+//! * [`tvar`] — the typed frontend: [`tvar::TVar<T>`] cells mapped onto
+//!   runtime registers (the register holds a pointer to an `Arc`-boxed
+//!   value), [`tvar::TypedHandle::atomically`] with `?` propagation and
+//!   [`tvar::Transaction::or`]/`optionally` combinators, and blocking
+//!   [`tvar::Transaction::retry`] — sleep on the read set, woken by any
+//!   conflicting commit. Old value boxes displaced at commit are retired
+//!   through the grace engine's epoch-based reclamation
+//!   ([`tm_quiesce::GraceEngine::defer_drop`]): the paper's "privatization
+//!   safety is safe reclamation", used as the typed layer's memory manager.
 //! * [`norec`] — a NOrec-style STM (related work \[10\]): privatization-safe
 //!   without fences; the comparison point for the fence-cost benchmarks.
 //! * [`glock`] — single-global-lock STM: the trivially strongly atomic
@@ -110,6 +119,7 @@ pub mod record;
 pub mod runtime;
 pub mod storage;
 pub mod tl2;
+pub mod tvar;
 pub mod vlock;
 
 pub use tm_chaos as chaos;
@@ -128,6 +138,9 @@ pub mod prelude {
     pub use crate::runtime::{BackoffCfg, DriverMode, RetryPolicy, StmConfig};
     pub use crate::storage::{AdaptivePolicy, StorageKind};
     pub use crate::tl2::{Tl2Handle, Tl2Stm};
+    pub use crate::tvar::{
+        RetryStrategy, StmError, StmResult, TVar, Transaction, TypedHandle, TypedStm,
+    };
     pub use tm_chaos::{Chaos, Site as ChaosSite};
     pub use tm_telemetry::{
         AbortCause, EventKind, LatencyClass, TelemetrySnapshot, TraceConfig, TraceEvent,

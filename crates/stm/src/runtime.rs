@@ -24,7 +24,7 @@ use crate::storage::{splitmix64, StorageKind};
 use crossbeam::utils::CachePadded;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tm_chaos::{Chaos, Site};
 use tm_core::action::Kind;
@@ -334,6 +334,72 @@ pub struct Runtime {
     /// at the begin gate (before its epoch entry), so the holder can drain
     /// in-flight transactions and run alone.
     escalation: CachePadded<AtomicU64>,
+    /// Blocking-retry wait registry: `(register, waiter)` pairs, one entry
+    /// per watched register of every parked [`RetryWaiter`]. Commit
+    /// write-backs consult it through [`Runtime::store`]'s wake hook.
+    retry_waiters: Mutex<Vec<(usize, Arc<RetryWaiter>)>>,
+    /// Number of live registry entries — the one load the store fast path
+    /// pays. Raised *after* pushing entries (under the registry lock) and
+    /// lowered after removing them; both `SeqCst`, which is what makes the
+    /// validate-then-sleep protocol lost-wakeup-free (see
+    /// [`Runtime::store`]).
+    retry_waiter_count: CachePadded<AtomicU64>,
+}
+
+/// The wait-on-retry control block of one blocking `retry`: the parked
+/// transaction sleeps on the condvar, and any commit that writes one of
+/// the registers the waiter registered on marks it woken. Spurious wakeups
+/// are fine (the transaction just re-runs); lost wakeups are not —
+/// the registration / validation / sleep protocol in
+/// `tvar::TypedHandle::atomically` guarantees a conflicting commit either
+/// aborts the validation read or delivers this wakeup.
+pub struct RetryWaiter {
+    state: Mutex<RetryWaitState>,
+    cv: Condvar,
+}
+
+struct RetryWaitState {
+    woken: bool,
+    /// Register whose store delivered the wakeup (`usize::MAX` until then).
+    woke_reg: usize,
+}
+
+impl RetryWaiter {
+    /// A fresh, unwoken control block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(RetryWaiter {
+            state: Mutex::new(RetryWaitState {
+                woken: false,
+                woke_reg: usize::MAX,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Mark the waiter woken by a store to `reg` and notify it. Idempotent;
+    /// the first wake's register wins.
+    fn wake(&self, reg: usize) {
+        let mut st = self.state.lock().unwrap();
+        if !st.woken {
+            st.woken = true;
+            st.woke_reg = reg;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until woken; returns the register whose store woke us.
+    pub fn sleep(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        while !st.woken {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.woke_reg
+    }
+
+    /// Has a conflicting store already woken this waiter?
+    pub fn is_woken(&self) -> bool {
+        self.state.lock().unwrap().woken
+    }
 }
 
 /// One registered driver-tick hook (see [`Runtime::set_tick_hook`]).
@@ -363,6 +429,8 @@ impl Runtime {
             tick_hooks: Arc::new(Mutex::new(Vec::new())),
             chaos,
             escalation: CachePadded::new(AtomicU64::new(0)),
+            retry_waiters: Mutex::new(Vec::new()),
+            retry_waiter_count: CachePadded::new(AtomicU64::new(0)),
         })
     }
 
@@ -559,9 +627,69 @@ impl Runtime {
     }
 
     /// Store register `x`.
+    ///
+    /// Doubles as the blocking-retry wake hook: every commit write-back
+    /// (TL2, NOrec, glock) and direct write lands here, so after the value
+    /// store we check — one `SeqCst` *load*, no new shared-line writes on
+    /// the fast path — whether any waiter is parked, and take the cold
+    /// wake path only then. Lost-wakeup freedom is an SC total-order
+    /// argument: the waiter does `[raise count][validation load]`, the
+    /// committer does `[value store][count load]`; if the committer reads
+    /// count `0`, its store precedes the waiter's validation, which then
+    /// observes the new value and refuses to sleep. If the count is
+    /// nonzero the committer scans the registry under its lock, which
+    /// either finds the waiter (wake) or serializes before its
+    /// registration push — and the mutex hand-off then makes the store
+    /// visible to the waiter's validation.
     #[inline]
     pub fn store(&self, x: usize, v: u64) {
-        self.values[x].store(v, Ordering::SeqCst)
+        self.values[x].store(v, Ordering::SeqCst);
+        if self.retry_waiter_count.load(Ordering::SeqCst) != 0 {
+            self.wake_retry_waiters(x);
+        }
+    }
+
+    #[cold]
+    fn wake_retry_waiters(&self, x: usize) {
+        let waiters = self.retry_waiters.lock().unwrap();
+        for (reg, w) in waiters.iter() {
+            if *reg == x {
+                w.wake(x);
+            }
+        }
+    }
+
+    /// Register a parked blocking-`retry` transaction on every register in
+    /// its read set. Entries are pushed under the registry lock *before*
+    /// the count is raised; the caller must validate its reads *after*
+    /// this returns and sleep only if they are unchanged (see
+    /// [`Runtime::store`] for why that ordering is lost-wakeup-free).
+    pub fn register_retry_waiter(&self, regs: &[usize], w: &Arc<RetryWaiter>) {
+        let mut ws = self.retry_waiters.lock().unwrap();
+        for &r in regs {
+            ws.push((r, Arc::clone(w)));
+        }
+        drop(ws);
+        self.retry_waiter_count
+            .fetch_add(regs.len() as u64, Ordering::SeqCst);
+    }
+
+    /// Remove every registry entry of `w` (matched by `Arc` identity) and
+    /// lower the fast-path count accordingly. Idempotent.
+    pub fn deregister_retry_waiter(&self, w: &Arc<RetryWaiter>) {
+        let mut ws = self.retry_waiters.lock().unwrap();
+        let before = ws.len();
+        ws.retain(|(_, x)| !Arc::ptr_eq(x, w));
+        let removed = (before - ws.len()) as u64;
+        drop(ws);
+        if removed > 0 {
+            self.retry_waiter_count.fetch_sub(removed, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of live retry-registry entries (test helper).
+    pub fn retry_waiter_entries(&self) -> u64 {
+        self.retry_waiter_count.load(Ordering::SeqCst)
     }
 
     /// Unsynchronized snapshot of a register (test/report helper).
@@ -706,6 +834,14 @@ impl<P: Policy> Handle<P> {
     /// [`crate::tl2::Tl2Policy::last_commit_wver`]).
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Crate-internal: the typed `atomically` loop drives `try_atomic`
+    /// itself (a blocking-retry sleep has to happen between attempts, not
+    /// inside one) and counts its re-runs in the same [`Stats::retries`]
+    /// counter the shared `atomic` loop uses.
+    pub(crate) fn note_retry(&mut self) {
+        self.stats.retries += 1;
     }
 
     #[inline]
@@ -868,8 +1004,11 @@ impl<P: Policy> Handle<P> {
     }
 
     /// One exponential-backoff pause after the `attempt`-th consecutive
-    /// abort; time spent is charged to [`Stats::backoff_ns`].
-    fn backoff_pause(&mut self, attempt: u32) {
+    /// abort; time spent is charged to [`Stats::backoff_ns`]. Crate-visible
+    /// so the typed frontend's `atomically` loop (which drives
+    /// `try_atomic` itself to interleave blocking-retry sleeps) backs off
+    /// identically to [`StmHandle::atomic`].
+    pub(crate) fn backoff_pause(&mut self, attempt: u32) {
         let cfg = self.backoff;
         // Widen to u64 and saturate: BackoffCfg is an unvalidated public
         // knob, and spin_base << shift must not overflow for any input.
@@ -1056,6 +1195,12 @@ impl<K: PolicyKind> Stm<K> {
     /// The shared runtime of this instance.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+
+    /// The shared runtime by `Arc` (crate-internal: the typed frontend's
+    /// slot space keeps the runtime alive past this `Stm`).
+    pub(crate) fn runtime_arc(&self) -> Arc<Runtime> {
+        Arc::clone(&self.rt)
     }
 
     /// The algorithm's instance-shared state (for algorithm-specific
@@ -1276,10 +1421,14 @@ impl<P: Policy> StmHandle for Handle<P> {
                 Ok(())
             }
             Err(e) => {
-                // The timed-out wait still blocked the handle; charge it.
-                // The histogram records only completed joins, so counter
-                // and histogram-sum diverge by exactly the timed-out waits.
-                self.stats.fence_wait_ns += e.waited.as_nanos() as u64;
+                // The timed-out wait still blocked the handle: charge both
+                // sinks, same as a completed join, so `Stats::fence_wait_ns`
+                // stays exactly the fence-wait histogram's sum.
+                let wait_ns = e.waited.as_nanos() as u64;
+                self.stats.fence_wait_ns += wait_ns;
+                self.rt
+                    .telemetry
+                    .record_latency(self.slot, LatencyClass::FenceWait, wait_ns);
                 self.stats.stalls_detected += e.stalled.len() as u64;
                 Err(e)
             }

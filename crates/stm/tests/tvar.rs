@@ -1,0 +1,228 @@
+//! EBR correctness for the typed frontend: every `TVar` payload instance
+//! ever created — initial values, committed replacements, buffered writes
+//! of aborted or panicking bodies, boxes freed on failed commits — is
+//! dropped exactly once, under both driver modes. A leak leaves
+//! `created > dropped`; a double-drop overshoots (or crashes outright).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tm_stm::prelude::*;
+use tm_stm::tl2::Tl2Kind;
+use tm_stm::tvar::TypedStm;
+
+/// A payload that counts its instances: `new` and `Clone` bump `created`,
+/// `Drop` bumps `dropped`. Balanced counters at the end mean no instance
+/// leaked and none was freed twice.
+#[derive(Debug)]
+struct Counted {
+    n: u64,
+    created: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl Counted {
+    fn new(n: u64, created: &Arc<AtomicU64>, dropped: &Arc<AtomicU64>) -> Self {
+        created.fetch_add(1, Ordering::SeqCst);
+        Counted {
+            n,
+            created: Arc::clone(created),
+            dropped: Arc::clone(dropped),
+        }
+    }
+}
+
+impl Clone for Counted {
+    fn clone(&self) -> Self {
+        Counted::new(self.n, &self.created, &self.dropped)
+    }
+}
+
+impl Drop for Counted {
+    fn drop(&mut self) {
+        self.dropped.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn config(mode: DriverMode) -> StmConfig {
+    let mut cfg = StmConfig::new(16, 3);
+    cfg.driver = mode;
+    cfg
+}
+
+/// The full lifecycle mix: contended increments (commit-time aborts retire
+/// and free boxes on both paths), explicit conflict re-runs, and bodies
+/// that panic before and after buffering writes. Every `Counted` instance
+/// must come back.
+fn lifecycle_drops_every_instance_once(mode: DriverMode) {
+    let created = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    {
+        let stm: TypedStm<Tl2Kind> = TypedStm::with_config(config(mode));
+        let var = stm.new_tvar(Counted::new(0, &created, &dropped));
+        let other = stm.new_tvar(Counted::new(100, &created, &dropped));
+
+        std::thread::scope(|s| {
+            for slot in 0..2 {
+                let stm = stm.clone();
+                let var = var.clone();
+                let created = Arc::clone(&created);
+                let dropped = Arc::clone(&dropped);
+                s.spawn(move || {
+                    let mut h = stm.handle(slot);
+                    for i in 0..200u64 {
+                        h.atomically(|tx| {
+                            let cur = tx.read(&var)?;
+                            tx.write(&var, Counted::new(cur.n + 1, &created, &dropped))
+                        });
+                        // A few bodies unwind mid-flight: before any write
+                        // (no buffered payloads) and after one (the
+                        // buffered `Counted` must still be dropped).
+                        if i % 50 == 7 {
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                h.atomically(|tx| -> StmResult<()> {
+                                    if i % 100 == 7 {
+                                        let cur = tx.read(&var)?;
+                                        tx.write(&var, Counted::new(cur.n, &created, &dropped))?;
+                                    }
+                                    panic!("injected body panic");
+                                })
+                            }));
+                            assert!(r.is_err(), "the body panic must surface");
+                        }
+                    }
+                });
+            }
+            // A third thread exercises the read/retry path against `other`.
+            let stm2 = stm.clone();
+            let other2 = other.clone();
+            s.spawn(move || {
+                let mut h = stm2.handle(2);
+                h.set_retry_strategy(RetryStrategy::Spin);
+                let seen = h.atomically(|tx| {
+                    let v = tx.read(&other2)?;
+                    if v.n < 100 {
+                        tx.retry()
+                    } else {
+                        Ok(v.n)
+                    }
+                });
+                assert_eq!(seen, 100);
+            });
+        });
+
+        let final_n = stm.handle(0).atomically(|tx| Ok(tx.read(&var)?.n));
+        assert_eq!(
+            final_n, 400,
+            "every committed increment applied exactly once"
+        );
+
+        let grace = stm.stm().runtime().grace();
+        assert!(
+            grace.retired_boxes() >= 400,
+            "each committed replacement retires the displaced box (saw {})",
+            grace.retired_boxes()
+        );
+    }
+    // Everything is dropped: instance, vars, handles — the runtime and its
+    // grace engine drained (pending retirements freed at engine drop).
+    assert_eq!(
+        created.load(Ordering::SeqCst),
+        dropped.load(Ordering::SeqCst),
+        "every payload instance dropped exactly once (no leak, no double-drop)"
+    );
+    assert!(created.load(Ordering::SeqCst) > 0, "the workload ran");
+}
+
+#[test]
+fn lifecycle_drops_every_instance_once_cooperative() {
+    lifecycle_drops_every_instance_once(DriverMode::Cooperative);
+}
+
+#[test]
+fn lifecycle_drops_every_instance_once_background() {
+    lifecycle_drops_every_instance_once(DriverMode::Background);
+}
+
+/// Under the background driver, retirements are collected *during* the run
+/// (amortized under the driver tick), not just at engine drop: after a
+/// fence the displaced boxes of earlier commits are free.
+#[test]
+fn background_driver_collects_while_running() {
+    let created = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let stm: TypedStm<Tl2Kind> = TypedStm::with_config(config(DriverMode::Background));
+    let var = stm.new_tvar(Counted::new(0, &created, &dropped));
+    let mut h = stm.handle(0);
+    for _ in 0..32 {
+        h.atomically(|tx| {
+            let cur = tx.read(&var)?;
+            tx.write(&var, Counted::new(cur.n + 1, &created, &dropped))
+        });
+    }
+    // A fence shares (at latest) the open period of the last retirement,
+    // so joining it guarantees that period completed — and the completing
+    // scan collects everything retired under it.
+    h.inner().fence();
+    let grace = stm.stm().runtime().grace();
+    assert_eq!(grace.retired_boxes(), 32, "one retirement per replacement");
+    assert_eq!(
+        grace.collected_boxes(),
+        32,
+        "post-fence, every retirement is collected"
+    );
+    assert_eq!(grace.retired_pending(), 0);
+}
+
+/// The cooperative path: with no background driver, a polled fence is what
+/// advances periods — and its completing scan collects the retirements.
+#[test]
+fn cooperative_fence_collects_retirements() {
+    let created = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let stm: TypedStm<Tl2Kind> = TypedStm::with_config(config(DriverMode::Cooperative));
+    let var = stm.new_tvar(Counted::new(0, &created, &dropped));
+    let mut h = stm.handle(0);
+    for _ in 0..8 {
+        h.atomically(|tx| {
+            let cur = tx.read(&var)?;
+            tx.write(&var, Counted::new(cur.n + 1, &created, &dropped))
+        });
+    }
+    h.inner().fence();
+    let grace = stm.stm().runtime().grace();
+    assert_eq!(grace.retired_boxes(), 8);
+    assert_eq!(grace.collected_boxes(), 8);
+    // The freed boxes' payloads really dropped (8 displaced values; reads
+    // cloned more instances, so compare through the retire accounting, not
+    // the raw counters).
+    assert!(dropped.load(Ordering::SeqCst) >= 8);
+}
+
+/// The nested-`atomically` guard holds across handle and instance
+/// boundaries: any second typed transaction on the same thread panics.
+#[test]
+fn nested_atomically_is_rejected_across_instances() {
+    let stm: TypedStm<Tl2Kind> = TypedStm::new(8, 2);
+    let inner_stm: TypedStm<Tl2Kind> = TypedStm::new(8, 2);
+    let v = stm.new_tvar(1u64);
+    let w = inner_stm.new_tvar(2u64);
+    let mut h = stm.handle(0);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        h.atomically(|tx| {
+            let mut h2 = inner_stm.handle(0);
+            let w2 = w.clone();
+            h2.atomically(move |tx2| tx2.read(&w2)); // must panic
+            tx.read(&v)
+        })
+    }));
+    let payload = r.expect_err("nested atomically must panic");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("nested atomically"), "unexpected panic: {msg}");
+    // The guard reset on unwind: this thread can transact again.
+    assert_eq!(stm.handle(1).atomically(|tx| tx.read(&v)), 1);
+}

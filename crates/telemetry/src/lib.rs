@@ -10,10 +10,11 @@
 //!   distributions as plain `u64` arrays: zero atomics in the type, `merge`
 //!   in the same style as the runtime's `Stats`, and
 //!   p50/p90/p99/p999 extraction ([`LatencyHistogram::quantiles`]).
-//!   [`LatencyHistograms`] bundles the four distributions the runtime
+//!   [`LatencyHistograms`] bundles the five distributions the runtime
 //!   tracks (commit latency, abort→retry gap, fence wait, grace-period
-//!   duration) behind named fields, so a forgotten field breaks the
-//!   merge-identity test's exhaustive literal at compile time.
+//!   duration, blocking-retry sleep) behind named fields, so a forgotten
+//!   field breaks the merge-identity test's exhaustive literal at compile
+//!   time.
 //! * [`TraceRing`] — a fixed-capacity, overwrite-oldest flight recorder of
 //!   [`TraceEvent`]s: transaction begin/commit/abort-with-cause, fence
 //!   issue/retire, grace scans, and every governor decision (clock switch
@@ -167,28 +168,33 @@ impl LatencyHistogram {
     }
 }
 
-/// The four latency distributions the runtime tracks.
+/// The five latency distributions the runtime tracks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LatencyClass {
     /// Transaction begin → successful commit, per attempt that committed.
     Commit,
     /// Abort → next retry of the same `atomic` call (the backoff gap).
     AbortGap,
-    /// Time blocked in `fence`/`fence_join`. When telemetry is enabled,
-    /// the sum of this distribution equals `Stats::fence_wait_ns` —
-    /// `fence_join` feeds both from the same measurement.
+    /// Time blocked in `fence`/`fence_join` — including bounded waits that
+    /// timed out. When telemetry is enabled, the sum of this distribution
+    /// equals `Stats::fence_wait_ns`: every fence join feeds both sinks
+    /// from the same measurement.
     FenceWait,
     /// Grace-period duration: scan start (period close) → scan completion.
     Grace,
+    /// Time a blocking `retry` spent asleep on its wait-on-retry control
+    /// block, per sleep (registration → conflicting-commit wakeup).
+    RetrySleep,
 }
 
 impl LatencyClass {
     /// Every class, in report order.
-    pub const ALL: [LatencyClass; 4] = [
+    pub const ALL: [LatencyClass; 5] = [
         LatencyClass::Commit,
         LatencyClass::AbortGap,
         LatencyClass::FenceWait,
         LatencyClass::Grace,
+        LatencyClass::RetrySleep,
     ];
 
     /// Report key for the class.
@@ -198,6 +204,7 @@ impl LatencyClass {
             LatencyClass::AbortGap => "abort-gap",
             LatencyClass::FenceWait => "fence-wait",
             LatencyClass::Grace => "grace",
+            LatencyClass::RetrySleep => "retry-sleep",
         }
     }
 }
@@ -218,6 +225,8 @@ pub struct LatencyHistograms {
     pub fence_wait: LatencyHistogram,
     /// Grace-period (epoch-table scan) durations.
     pub grace: LatencyHistogram,
+    /// Blocking-retry sleep durations (registration → wakeup).
+    pub retry_sleep: LatencyHistogram,
 }
 
 impl LatencyHistograms {
@@ -234,6 +243,7 @@ impl LatencyHistograms {
             LatencyClass::AbortGap => &self.abort_gap,
             LatencyClass::FenceWait => &self.fence_wait,
             LatencyClass::Grace => &self.grace,
+            LatencyClass::RetrySleep => &self.retry_sleep,
         }
     }
 
@@ -244,6 +254,7 @@ impl LatencyHistograms {
             LatencyClass::AbortGap => &mut self.abort_gap,
             LatencyClass::FenceWait => &mut self.fence_wait,
             LatencyClass::Grace => &mut self.grace,
+            LatencyClass::RetrySleep => &mut self.retry_sleep,
         }
     }
 
@@ -253,6 +264,7 @@ impl LatencyHistograms {
         self.abort_gap.merge(&o.abort_gap);
         self.fence_wait.merge(&o.fence_wait);
         self.grace.merge(&o.grace);
+        self.retry_sleep.merge(&o.retry_sleep);
     }
 }
 
@@ -386,6 +398,16 @@ pub enum EventKind {
         /// triggered the escalation.
         deadline_expired: bool,
     },
+    /// A blocking `retry` sleep ended: a conflicting commit wrote one of
+    /// the registers the waiter was registered on (or the waiter was woken
+    /// spuriously) and the transaction is about to re-run.
+    RetryWake {
+        /// The register whose commit write delivered the wakeup.
+        reg: u64,
+        /// How long the waiter slept (nanoseconds) — the same measurement
+        /// the `retry-sleep` histogram records.
+        slept_ns: u64,
+    },
     /// The grace engine noticed an epoch slot pinned past the stall
     /// threshold while a scan was waiting on it — the signature of a thread
     /// parked (or dead) inside a transaction. Raised from the driver tick
@@ -415,6 +437,7 @@ impl EventKind {
             EventKind::StripePublish { .. } => "stripe-publish",
             EventKind::StripeRetire { .. } => "stripe-retire",
             EventKind::Escalation { .. } => "escalation",
+            EventKind::RetryWake { .. } => "retry-wake",
             EventKind::StallReport { .. } => "stall-report",
         }
     }
@@ -464,6 +487,9 @@ impl EventKind {
                 ("attempts", attempts),
                 ("deadline_expired", u64::from(deadline_expired)),
             ],
+            EventKind::RetryWake { reg, slept_ns } => {
+                vec![("reg", reg), ("slept_ns", slept_ns)]
+            }
             EventKind::StallReport {
                 stalled_slot,
                 pinned_ns,
@@ -982,6 +1008,7 @@ mod tests {
             abort_gap: other,
             fence_wait: sample,
             grace: other,
+            retry_sleep: sample,
         };
         let mut acc = LatencyHistograms::default();
         acc.merge(&x);
@@ -1104,6 +1131,10 @@ mod tests {
             EventKind::Escalation {
                 attempts: 5,
                 deadline_expired: false,
+            },
+            EventKind::RetryWake {
+                reg: 6,
+                slept_ns: 12_000,
             },
             EventKind::StallReport {
                 stalled_slot: 3,

@@ -29,7 +29,11 @@
 //! backend (`Scenario::records_cleanly`): `TxMap`'s fixed key/flag
 //! encodings cannot satisfy Def A.1 clause 3 (globally unique write
 //! values) under retries, so only behavioral conformance is asserted
-//! there.
+//! there. `Scenario::TVarQueue` is unrecorded for the same structural
+//! reason — the typed frontend's register writes are heap addresses, not
+//! normalizable values — and additionally stakes a liveness claim: both
+//! sides block via `Transaction::retry`, so a lost wakeup on any backend
+//! deadlocks the suite instead of merely failing an assert.
 
 use tm_core::action::Kind;
 use tm_litmus::concrete::{
@@ -197,6 +201,16 @@ fn map_rehash_conforms_across_backends() {
 #[test]
 fn reader_writer_handoff_conforms_across_backends() {
     assert_conformance(Scenario::ReaderWriterHandoff);
+}
+
+/// The typed-frontend scenario: a bounded producer/consumer queue over a
+/// `TVar<VecDeque<u64>>` with blocking `retry` on both full and empty.
+/// Every backend must deliver all items exactly once, in FIFO order, with
+/// an empty residual queue — and must *wake* the blocked side after every
+/// conflicting commit (termination is part of the assertion).
+#[test]
+fn tvar_queue_conforms_across_backends() {
+    assert_conformance(Scenario::TVarQueue);
 }
 
 /// The adaptive acceptance bar: on `Backend::Tl2Adaptive`, MapRehash's
