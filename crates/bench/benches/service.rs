@@ -1,0 +1,32 @@
+//! E24 — the service: the end-to-end sharded KV workload (zipfian client
+//! fleet over `TxMap` shards, typed `TVar` sessions, background
+//! freeze/snapshot cycle) at bench scale. One criterion sample is one
+//! whole fleet run, so the measurement covers the paper's full discipline
+//! — instrumented ops, privatize-and-scan, fences, publish-back —
+//! composed the way a real service would compose them
+//! (`BENCH_service.json`, written by `overhead_report --json`, records
+//! throughput plus per-op-class p50/p99/p999).
+//!
+//! Reproduce with: `cargo bench -p tm-bench --bench service`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_bench::service_matrix;
+
+fn service(c: &mut Criterion) {
+    let ops_per_client = 400u64;
+    let clients = tm_service::ServiceCfg::full().clients as u64;
+    let mut g = c.benchmark_group("service/sharded-kv");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops_per_client * clients));
+    g.bench_with_input(
+        BenchmarkId::new("tl2-fleet", ops_per_client),
+        &ops_per_client,
+        |b, &ops| {
+            b.iter(|| service_matrix(ops));
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, service);
+criterion_main!(benches);

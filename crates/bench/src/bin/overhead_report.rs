@@ -10,16 +10,19 @@
 //! stripe matrix (storage policy × threads × register-file size on the
 //! stripe-churn workload), the governor matrix (auto vs static
 //! configurations on the phase-shift workload), and the typed-frontend
-//! matrix (blocking vs spinning retry on the bounded-queue handoff),
-//! writing them to `BENCH_clocks.json`, `BENCH_fences.json`,
-//! `BENCH_stripes.json`, `BENCH_governor.json`, and `BENCH_tvar.json` —
-//! the machine-readable perf trajectories later PRs diff against.
+//! matrix (blocking vs spinning retry on the bounded-queue handoff), and
+//! the service matrix (the end-to-end sharded-KV fleet with per-op-class
+//! latency tails), writing them to `BENCH_clocks.json`,
+//! `BENCH_fences.json`, `BENCH_stripes.json`, `BENCH_governor.json`,
+//! `BENCH_tvar.json`, and `BENCH_service.json` — the machine-readable
+//! perf trajectories later PRs diff against.
 //! `overhead_report --json [txns_per_thread]`.
 
 use tm_bench::{
     clock_matrix, fence_matrix, governor_matrix, mix_throughput, render_clock_report_json,
-    render_fence_report_json, render_governor_report_json, render_stripe_report_json,
-    render_tvar_report_json, standard_workloads, stripe_matrix, tvar_matrix, FencePolicy, StmKind,
+    render_fence_report_json, render_governor_report_json, render_service_report_json,
+    render_stripe_report_json, render_tvar_report_json, service_matrix, standard_workloads,
+    stripe_matrix, tvar_matrix, FencePolicy, StmKind,
 };
 
 fn clock_json_report(txns_per_thread: u64) {
@@ -107,6 +110,29 @@ fn tvar_json_report(items: u64) {
     eprintln!("wrote {path} ({} rows)", rows.len());
 }
 
+fn service_json_report(ops_per_client: u64) {
+    let cfg = tm_service::ServiceCfg {
+        ops_per_client,
+        ..tm_service::ServiceCfg::full()
+    };
+    eprintln!(
+        "measuring service matrix ({} shards x {} keys, {} clients x {ops_per_client} ops, \
+         zipf theta {:.2})…",
+        cfg.shards, cfg.keys_per_shard, cfg.clients, cfg.theta
+    );
+    let (report, rows) = service_matrix(ops_per_client);
+    let json = render_service_report_json(&report, &rows, &cfg);
+    let path = "BENCH_service.json";
+    std::fs::write(path, &json).expect("write BENCH_service.json");
+    println!("{json}");
+    eprintln!(
+        "wrote {path} ({} rows, {} snapshots, {} scan anomalies)",
+        rows.len(),
+        report.snapshots,
+        report.scan_anomalies
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
@@ -123,6 +149,7 @@ fn main() {
         // rise above timer noise — whatever smoke count CI passed.
         governor_json_report(txns.max(20_000));
         tvar_json_report(txns);
+        service_json_report(txns);
         return;
     }
 

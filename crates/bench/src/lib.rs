@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 use tm_stm::prelude::*;
+use tm_stm::telemetry::OpClass;
 use tm_stm::tl2::Tl2Kind;
 use tm_stm::tvar::TypedStm;
 
@@ -1074,6 +1075,95 @@ pub fn render_tvar_report_json(rows: &[TVarBenchRow], items: u64) -> String {
     out
 }
 
+/// One per-op-class row of the service benchmark: how many requests of
+/// this class the fleet completed and where its latency tail sits.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchRow {
+    /// Op-class label (`get` / `put` / `rmw` / `scan` / `publish`).
+    pub class: &'static str,
+    /// Requests of this class completed across the fleet.
+    pub count: u64,
+    /// Median latency (nanoseconds, histogram bucket upper edge).
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency.
+    pub p999_ns: u64,
+}
+
+/// Run the full-scale service workload (`tm_service::ServiceCfg::full`
+/// with `ops_per_client` substituted) on TL2 and return the fleet report
+/// plus one latency row per op class. Unrecorded by design — the typed
+/// session registers hold heap addresses — so this is the bench-scale
+/// companion of the recorded `Scenario::Service` conformance run.
+pub fn service_matrix(ops_per_client: u64) -> (tm_service::ServiceReport, Vec<ServiceBenchRow>) {
+    let cfg = tm_service::ServiceCfg {
+        ops_per_client,
+        ..tm_service::ServiceCfg::full()
+    };
+    let stm = Tl2Stm::with_config(StmConfig::new(cfg.nregs(), cfg.nthreads()).chaos_off());
+    let report = tm_service::run_service(&stm, &cfg);
+    let rows = OpClass::ALL
+        .iter()
+        .map(|&class| {
+            let h = report.hists.get(class);
+            let q = h.quantiles();
+            ServiceBenchRow {
+                class: class.label(),
+                count: h.count(),
+                p50_ns: q.p50,
+                p99_ns: q.p99,
+                p999_ns: q.p999,
+            }
+        })
+        .collect();
+    (report, rows)
+}
+
+/// Render one service run as the `BENCH_service.json` document
+/// (`bench_service/v1`): fleet shape and throughput at the top, one
+/// latency row per op class underneath. `scan_anomalies` is included so
+/// trajectory diffs would catch a privatization-safety regression showing
+/// up at bench scale before any litmus test shrinks it.
+pub fn render_service_report_json(
+    report: &tm_service::ServiceReport,
+    rows: &[ServiceBenchRow],
+    cfg: &tm_service::ServiceCfg,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_service/v1\",\n");
+    out.push_str("  \"workload\": \"sharded-kv-service\",\n");
+    out.push_str(&format!("  \"shards\": {},\n", cfg.shards));
+    out.push_str(&format!("  \"keys_per_shard\": {},\n", cfg.keys_per_shard));
+    out.push_str(&format!("  \"clients\": {},\n", cfg.clients));
+    out.push_str(&format!("  \"ops_per_client\": {},\n", cfg.ops_per_client));
+    out.push_str(&format!("  \"zipf_theta\": {:.2},\n", cfg.theta));
+    out.push_str(&format!(
+        "  \"elapsed_secs\": {:.4},\n",
+        report.elapsed_secs
+    ));
+    out.push_str(&format!("  \"total_ops\": {},\n", report.total_ops));
+    out.push_str(&format!("  \"ops_per_sec\": {:.1},\n", report.ops_per_sec));
+    out.push_str(&format!("  \"snapshots\": {},\n", report.snapshots));
+    out.push_str(&format!(
+        "  \"scan_anomalies\": {},\n",
+        report.scan_anomalies
+    ));
+    out.push_str(&format!("  \"resident_keys\": {},\n", report.resident_keys));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"count\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}}}{sep}\n",
+            r.class, r.count, r.p50_ns, r.p99_ns, r.p999_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1433,6 +1523,62 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_valid_json(&render_tvar_report_json(&[], 1));
+    }
+
+    #[test]
+    fn service_matrix_and_json_report() {
+        let (report, rows) = service_matrix(60);
+        assert_eq!(rows.len(), 5);
+        let labels: Vec<&str> = rows.iter().map(|r| r.class).collect();
+        assert_eq!(labels, ["get", "put", "rmw", "scan", "publish"]);
+        assert!(report.ops_per_sec > 0.0);
+        assert_eq!(report.scan_anomalies, 0, "bulk reads must be stable");
+        assert_eq!(
+            report.session_ops, report.op_counts,
+            "typed sessions must account for every timed op"
+        );
+        assert_eq!(
+            report.total_ops,
+            rows.iter().map(|r| r.count).sum::<u64>(),
+            "every op lands in exactly one class row"
+        );
+        // Scans are 5% of a 4x60-op fleet — and every scan also issues a
+        // publish-back, so both tail classes must have fired.
+        assert!(rows[3].count > 0, "no scans in {rows:?}");
+        assert_eq!(rows[3].count, rows[4].count, "publish pairs with scan");
+        for r in &rows {
+            if r.count > 0 {
+                assert!(
+                    r.p50_ns > 0 && r.p50_ns <= r.p99_ns && r.p99_ns <= r.p999_ns,
+                    "{r:?}"
+                );
+            }
+        }
+        let cfg = tm_service::ServiceCfg {
+            ops_per_client: 60,
+            ..tm_service::ServiceCfg::full()
+        };
+        let json = render_service_report_json(&report, &rows, &cfg);
+        assert_valid_json(&json);
+        for key in [
+            "\"schema\": \"bench_service/v1\"",
+            "\"shards\"",
+            "\"keys_per_shard\"",
+            "\"clients\"",
+            "\"ops_per_client\"",
+            "\"zipf_theta\"",
+            "\"ops_per_sec\"",
+            "\"snapshots\"",
+            "\"scan_anomalies\"",
+            "\"class\"",
+            "\"count\"",
+            "\"p50_ns\"",
+            "\"p99_ns\"",
+            "\"p999_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_valid_json(&render_service_report_json(&report, &[], &cfg));
     }
 
     #[test]

@@ -171,10 +171,28 @@ pub enum Scenario {
     /// into plain registers after the run; displaced queue boxes flow
     /// through the grace engine's deferred reclamation on every backend.
     TVarQueue,
+    /// The service harness's conformance scale: the same workload *shape*
+    /// as `tm-service`'s sharded KV store (zipfian key popularity via
+    /// `tm_service::Zipf`, the get/put/rmw/scan op mix via
+    /// `tm_service::OpMix`), re-expressed over plain registers so every
+    /// write can carry a per-attempt nonce and the history records
+    /// cleanly. Two zipfian clients issue guarded mixed traffic into two
+    /// register shards while an owner cycles privatize → fence →
+    /// double-read scan → stamp → publish-back over them, then settles
+    /// each shard under a final privatization.
+    Service,
+    /// The ROADMAP's *mixed publication-under-load* scenario: one writer
+    /// repeatedly re-privatizes, rewrites, and republishes a payload
+    /// (round 1 is the pure Fig 2 publication — fresh data, `xpo;txwr`,
+    /// no fence; later rounds each cross a privatization fence) while two
+    /// readers hammer the flag with guarded transactional snapshots. Any
+    /// torn payload a reader observes under a published flag counts as
+    /// lost.
+    PubUnderLoad,
 }
 
 impl Scenario {
-    pub const ALL: [Scenario; 9] = [
+    pub const ALL: [Scenario; 11] = [
         Scenario::Bank,
         Scenario::Privatization,
         Scenario::Publication,
@@ -184,6 +202,8 @@ impl Scenario {
         Scenario::MapRehash,
         Scenario::ReaderWriterHandoff,
         Scenario::TVarQueue,
+        Scenario::Service,
+        Scenario::PubUnderLoad,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -197,6 +217,8 @@ impl Scenario {
             Scenario::MapRehash => "map_rehash",
             Scenario::ReaderWriterHandoff => "reader_writer_handoff",
             Scenario::TVarQueue => "tvar_queue",
+            Scenario::Service => "service",
+            Scenario::PubUnderLoad => "pub_under_load",
         }
     }
 
@@ -210,6 +232,8 @@ impl Scenario {
             Scenario::MapRehash => MR_REGS,
             Scenario::ReaderWriterHandoff => 3,
             Scenario::TVarQueue => TQ_REGS,
+            Scenario::Service => SV_REGS,
+            Scenario::PubUnderLoad => 2,
         }
     }
 
@@ -224,6 +248,8 @@ impl Scenario {
             | Scenario::TVarQueue => 2,
             Scenario::EpochBatch => EB_THREADS,
             Scenario::ReaderHeavy => 1 + RH_READERS,
+            // Owner + two zipfian clients / writer + two readers.
+            Scenario::Service | Scenario::PubUnderLoad => 3,
         }
     }
 
@@ -237,6 +263,8 @@ impl Scenario {
                 | Scenario::LongTx
                 | Scenario::MapRehash
                 | Scenario::ReaderWriterHandoff
+                | Scenario::Service
+                | Scenario::PubUnderLoad
         )
     }
 
@@ -255,6 +283,12 @@ impl Scenario {
     /// writes are heap addresses — run-dependent values the checkers'
     /// reads-from inference (clause 3) cannot normalize — so it too runs
     /// unrecorded, asserting behavioral conformance only.
+    ///
+    /// [`Scenario::Service`] exists precisely to record what `tm-service`
+    /// cannot (the full-scale harness writes `TxMap` encodings and typed
+    /// heap addresses): the same workload shape over plain registers,
+    /// every write — including the owner's privatized direct stamps —
+    /// carrying a per-attempt nonce.
     pub fn records_cleanly(&self) -> bool {
         !matches!(self, Scenario::MapRehash | Scenario::TVarQueue)
     }
@@ -384,6 +418,8 @@ fn drive<K: PolicyKind>(scenario: Scenario, stm: &Stm<K>, backend: Backend) -> (
         Scenario::MapRehash => map_rehash(stm, backend.txns_can_overlap()),
         Scenario::ReaderWriterHandoff => reader_writer_handoff(stm),
         Scenario::TVarQueue => tvar_queue(stm),
+        Scenario::Service => service(stm),
+        Scenario::PubUnderLoad => pub_under_load(stm),
     };
     let final_regs = (0..scenario.nregs())
         .map(|x| project(scenario, x, stm.peek(x)))
@@ -417,6 +453,14 @@ fn project(scenario: Scenario, x: usize, v: u64) -> u64 {
         // The settle registers are exact; the typed register was reset to
         // the 0 sentinel when the `TypedStm` instance dropped.
         Scenario::TVarQueue => v,
+        // Shard flags carry the phase under a nonce; settled shard data is
+        // exact.
+        Scenario::Service if x.is_multiple_of(SV_SHARD_REGS) => v & SV_PHASE_MASK,
+        Scenario::Service => v,
+        // The flag's semantic content is phase + round; the payload is
+        // exact.
+        Scenario::PubUnderLoad if x == PU_FLAG => v & PU_SEM_MASK,
+        Scenario::PubUnderLoad => v,
     }
 }
 
@@ -1285,6 +1329,279 @@ fn tvar_queue<K: PolicyKind>(stm: &Stm<K>) -> u64 {
     lost
 }
 
+/// Shards in the conformance-scale service.
+const SV_SHARDS: usize = 2;
+/// Keys (data registers) per shard.
+const SV_KEYS: usize = 3;
+/// Registers per shard: one freeze flag + the keys.
+const SV_SHARD_REGS: usize = 1 + SV_KEYS;
+const SV_REGS: usize = SV_SHARDS * SV_SHARD_REGS;
+/// Requests each zipfian client issues.
+const SV_OPS: u64 = 40;
+/// Owner privatize → scan → publish cycles over the whole store.
+const SV_CYCLES: u64 = 3;
+/// Low flag bits carry the phase (1 = privatized, 2 = open); bits above
+/// are a per-write nonce.
+const SV_PHASE_MASK: u64 = 3;
+const SV_PRIVATE: u64 = 1;
+const SV_OPEN: u64 = 2;
+/// Key `i`'s settled value (`SV_SETTLE_BASE + i`, below every nonce
+/// space).
+pub const SV_SETTLE_BASE: u64 = 0x5E00;
+
+/// Shard `s`'s freeze-flag register.
+fn sv_flag(s: usize) -> usize {
+    s * SV_SHARD_REGS
+}
+
+/// Shard `s`'s data register for in-shard key `k`.
+fn sv_data(s: usize, k: usize) -> usize {
+    s * SV_SHARD_REGS + 1 + k
+}
+
+/// Expected deterministic final registers: every shard left privatized
+/// (flag phase 1) with its keys settled to `SV_SETTLE_BASE + global key`.
+pub fn service_expected_finals() -> Vec<u64> {
+    let mut regs = vec![0u64; SV_REGS];
+    for s in 0..SV_SHARDS {
+        regs[sv_flag(s)] = SV_PRIVATE;
+        for k in 0..SV_KEYS {
+            regs[sv_data(s, k)] = SV_SETTLE_BASE + (s * SV_KEYS + k) as u64;
+        }
+    }
+    regs
+}
+
+/// The conformance-scale service: the `tm-service` workload shape —
+/// zipfian key popularity ([`tm_service::Zipf`] + [`tm_service::spread`]),
+/// the mixed op class ([`tm_service::OpMix`]), a store owner running
+/// privatize-and-scan / publish-back maintenance — over plain registers
+/// with per-attempt nonced values, so the recorded history satisfies
+/// Def A.1 clause 3 under any retry schedule (including chaos).
+///
+/// Clients issue flag-guarded transactional ops (get / put / rmw /
+/// whole-shard scan — writes skipped while the shard is privatized);
+/// the owner cycles over both shards (privatize → fence → uninstrumented
+/// double-read of every key, mismatch = lost → unique direct stamp,
+/// read-back mismatch = lost → nonced publish-back), joins the clients,
+/// and settles every shard under one final privatization each.
+///
+/// Value spaces (disjoint, all non-initial): owner stamps carry bit 62,
+/// client writes bit `52 + client`, flag nonces bit 44, settle constants
+/// sit below 2^16.
+fn service<F: StmFactory>(stm: &F) -> u64 {
+    use tm_service::{spread, OpMix, SplitMix64, Zipf};
+    use tm_stm::telemetry::OpClass;
+
+    let key_space = (SV_SHARDS * SV_KEYS) as u64;
+    std::thread::scope(|s| {
+        let clients: Vec<_> = (0..2u64)
+            .map(|t| {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(1 + t as usize);
+                    let zipf = Zipf::new(key_space as usize, 0.9);
+                    let mix = OpMix::read_heavy();
+                    let mut rng = SplitMix64::new(0xC0FFEE ^ ((t + 1) * 0x9E37));
+                    // Per-attempt nonce, disjoint per client (bit 52 + t).
+                    let mut nonce = 0u64;
+                    let tag = 1u64 << (52 + t);
+                    for _ in 0..SV_OPS {
+                        let class = mix.pick(rng.next_u64());
+                        let key = spread(zipf.sample(rng.next_u64()) as u64, key_space) as usize;
+                        let (shard, slot) = (key / SV_KEYS, key % SV_KEYS);
+                        h.atomic(|tx| {
+                            nonce += 1;
+                            let open = tx.read(sv_flag(shard))? & SV_PHASE_MASK != SV_PRIVATE;
+                            match class {
+                                OpClass::Get => {
+                                    if open {
+                                        tx.read(sv_data(shard, slot))?;
+                                    }
+                                }
+                                OpClass::Put => {
+                                    if open {
+                                        tx.write(sv_data(shard, slot), tag | nonce)?;
+                                    }
+                                }
+                                OpClass::Rmw => {
+                                    if open {
+                                        tx.read(sv_data(shard, slot))?;
+                                        tx.write(sv_data(shard, slot), tag | nonce)?;
+                                    }
+                                }
+                                OpClass::Scan => {
+                                    // Client-side scan is transactional (only
+                                    // the owner privatizes): one consistent
+                                    // guarded snapshot of the whole shard.
+                                    if open {
+                                        for k in 0..SV_KEYS {
+                                            tx.read(sv_data(shard, k))?;
+                                        }
+                                    }
+                                }
+                                OpClass::Publish => unreachable!("never issued directly"),
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+
+        let mut h = stm.handle(0);
+        let mut lost = 0u64;
+        let mut flag_nonce = 0u64;
+        let mut set_flag = |h: &mut F::Handle, s: usize, phase: u64| {
+            h.atomic(|tx| {
+                flag_nonce += 1;
+                tx.write(sv_flag(s), (1 << 44) | (flag_nonce << 2) | phase)
+            });
+        };
+        for cycle in 0..SV_CYCLES {
+            for shard in 0..SV_SHARDS {
+                set_flag(&mut h, shard, SV_PRIVATE);
+                h.fence();
+                for k in 0..SV_KEYS {
+                    let reg = sv_data(shard, k);
+                    // The privatized snapshot must be stable: two
+                    // uninstrumented reads that disagree mean a zombie
+                    // writer crossed the fence.
+                    if h.read_direct(reg) != h.read_direct(reg) {
+                        lost += 1;
+                    }
+                    let id = 1 + (cycle * key_space) + (shard * SV_KEYS + k) as u64;
+                    let stamp = (1 << 62) | id;
+                    h.write_direct(reg, stamp);
+                    if h.read_direct(reg) != stamp {
+                        lost += 1;
+                    }
+                }
+                set_flag(&mut h, shard, SV_OPEN);
+            }
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        // Settle: privatize each shard once more and leave its keys at
+        // known constants — the clients are gone, so the finals are exact.
+        for shard in 0..SV_SHARDS {
+            set_flag(&mut h, shard, SV_PRIVATE);
+            h.fence();
+            for k in 0..SV_KEYS {
+                let reg = sv_data(shard, k);
+                let settle = SV_SETTLE_BASE + (shard * SV_KEYS + k) as u64;
+                h.write_direct(reg, settle);
+                if h.read_direct(reg) != settle {
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    })
+}
+
+const PU_FLAG: usize = 0;
+const PU_DATA: usize = 1;
+/// Publication rounds; round 1 is fence-free (fresh data), later rounds
+/// re-privatize first.
+const PU_ROUNDS: u64 = 4;
+/// Low flag bits: phase (1 = privatized, 2 = published); next ten bits:
+/// the round; everything above: a per-write nonce.
+const PU_PHASE_MASK: u64 = 3;
+const PU_PRIVATE: u64 = 1;
+const PU_PUBLISHED: u64 = 2;
+const PU_ROUND_SHIFT: u64 = 2;
+const PU_SEM_MASK: u64 = (1 << 12) - 1;
+
+/// Round `r`'s payload (bit 62 keeps the space disjoint from flags).
+fn pu_pay(r: u64) -> u64 {
+    (1 << 62) | r
+}
+
+/// Expected deterministic final registers: flag published at the last
+/// round (nonce stripped), payload intact.
+pub fn pub_under_load_expected_finals() -> Vec<u64> {
+    vec![
+        (PU_ROUNDS << PU_ROUND_SHIFT) | PU_PUBLISHED,
+        pu_pay(PU_ROUNDS),
+    ]
+}
+
+/// Publication races under sustained reader traffic: the writer
+/// alternates the payload between published and re-privatized states —
+/// round 1 is the paper's Fig 2 publication exactly (non-transactional
+/// fresh write, then the publishing flag transaction, no fence); every
+/// later round privatizes (flag → fence), verifies the old payload with
+/// an uninstrumented read, rewrites it directly, and republishes. Two
+/// readers poll with guarded transactional snapshots the whole time: a
+/// snapshot that pairs a published flag for round `r` with anything but
+/// round `r`'s payload is torn and counts as lost.
+fn pub_under_load<F: StmFactory>(stm: &F) -> u64 {
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..2usize)
+            .map(|t| {
+                let stm = stm.clone();
+                s.spawn(move || {
+                    let mut h = stm.handle(1 + t);
+                    let mut lost = 0u64;
+                    let mut seen = 0u64;
+                    while seen < PU_ROUNDS {
+                        let snap = h.atomic(|tx| {
+                            let f = tx.read(PU_FLAG)?;
+                            if f & PU_PHASE_MASK == PU_PUBLISHED {
+                                Ok(Some((
+                                    (f & PU_SEM_MASK) >> PU_ROUND_SHIFT,
+                                    tx.read(PU_DATA)?,
+                                )))
+                            } else {
+                                Ok(None)
+                            }
+                        });
+                        if let Some((r, d)) = snap {
+                            if d != pu_pay(r) {
+                                lost += 1; // torn publication
+                            }
+                            seen = seen.max(r);
+                        }
+                        std::thread::yield_now();
+                    }
+                    lost
+                })
+            })
+            .collect();
+
+        let mut h = stm.handle(0);
+        let mut lost = 0u64;
+        let mut nonce = 0u64;
+        let mut set_flag = |h: &mut F::Handle, phase: u64, round: u64| {
+            h.atomic(|tx| {
+                nonce += 1;
+                tx.write(PU_FLAG, (nonce << 12) | (round << PU_ROUND_SHIFT) | phase)
+            });
+        };
+        for r in 1..=PU_ROUNDS {
+            if r == 1 {
+                // Fig 2: fresh payload, never yet accessible — publication
+                // is safe by `xpo;txwr`, no fence.
+                h.write_direct(PU_DATA, pu_pay(1));
+            } else {
+                set_flag(&mut h, PU_PRIVATE, r);
+                h.fence();
+                if h.read_direct(PU_DATA) != pu_pay(r - 1) {
+                    lost += 1; // the privatized payload went stale
+                }
+                h.write_direct(PU_DATA, pu_pay(r));
+                if h.read_direct(PU_DATA) != pu_pay(r) {
+                    lost += 1;
+                }
+            }
+            set_flag(&mut h, PU_PUBLISHED, r);
+        }
+        readers.into_iter().map(|r| r.join().unwrap()).sum::<u64>() + lost
+    })
+}
+
 /// Expected deterministic final registers for a scenario.
 pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
     match scenario {
@@ -1297,6 +1614,8 @@ pub fn expected_finals(scenario: Scenario) -> Vec<u64> {
         Scenario::MapRehash => map_rehash_expected_finals(),
         Scenario::ReaderWriterHandoff => reader_writer_handoff_expected_finals(),
         Scenario::TVarQueue => tvar_queue_expected_finals(),
+        Scenario::Service => service_expected_finals(),
+        Scenario::PubUnderLoad => pub_under_load_expected_finals(),
     }
 }
 

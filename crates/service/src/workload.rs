@@ -1,0 +1,411 @@
+//! The closed-loop workload: a client fleet issuing the mixed op class
+//! against [`ShardedKv`] under zipfian key popularity, one typed
+//! [`TVar`] session per client (every request bumps the client's
+//! per-class session counters through `atomically` — the cross-check
+//! that the typed and untyped surfaces compose), and a background
+//! freeze/snapshot cycle riding the grace engine. Latency is recorded
+//! per op class into [`OpClassHistograms`]; the fleet-wide report merges
+//! client views exactly like the runtime merges per-slot telemetry.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tm_stm::prelude::*;
+use tm_stm::runtime::{PolicyKind, Stm};
+use tm_stm::telemetry::{OpClass, OpClassHistograms};
+
+use crate::store::ShardedKv;
+use crate::zipf::{spread, SplitMix64, Zipf};
+
+/// Request mix in percent; the four directly-issued classes must sum to
+/// 100 (publish-back is never issued alone — it is the tail of every
+/// scan).
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Point-lookup share.
+    pub get_pct: u32,
+    /// Insert-or-update share.
+    pub put_pct: u32,
+    /// Read-modify-write share.
+    pub rmw_pct: u32,
+    /// Privatize-and-scan share (each also issues one publish-back).
+    pub scan_pct: u32,
+}
+
+impl OpMix {
+    /// The default service mix: read-dominated with a steady trickle of
+    /// bulk maintenance, the shape the paper's discipline targets.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            get_pct: 55,
+            put_pct: 25,
+            rmw_pct: 15,
+            scan_pct: 5,
+        }
+    }
+
+    /// Pick a class from one raw uniform draw.
+    pub fn pick(&self, raw: u64) -> OpClass {
+        let total = self.get_pct + self.put_pct + self.rmw_pct + self.scan_pct;
+        assert_eq!(total, 100, "op mix must sum to 100");
+        let r = (raw % 100) as u32;
+        if r < self.get_pct {
+            OpClass::Get
+        } else if r < self.get_pct + self.put_pct {
+            OpClass::Put
+        } else if r < self.get_pct + self.put_pct + self.rmw_pct {
+            OpClass::Rmw
+        } else {
+            OpClass::Scan
+        }
+    }
+}
+
+/// Shape of one service run. [`ServiceCfg::nregs`]/[`ServiceCfg::nthreads`]
+/// tell the caller how big an STM instance to build — the store's
+/// registers sit at the bottom, the typed session region above them
+/// (`TypedStm::over` at base [`ServiceCfg::kv_regs`]), one thread slot
+/// per client plus one for the snapshotter.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceCfg {
+    /// Number of shards.
+    pub shards: usize,
+    /// Keys per shard (shard capacity; in-range keys always store).
+    pub keys_per_shard: u64,
+    /// Closed-loop clients (one thread slot each).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub ops_per_client: u64,
+    /// Zipfian skew over the global key space, in `[0, 1)`.
+    pub theta: f64,
+    /// Request mix.
+    pub mix: OpMix,
+    /// Fleet seed; every run with the same seed issues the same
+    /// per-client op sequences.
+    pub seed: u64,
+    /// Pause between background snapshot cycles.
+    pub snapshot_pause: Duration,
+}
+
+impl ServiceCfg {
+    /// Conformance/differential scale: small enough to run across all
+    /// backends × driver modes in a test, large enough that freezes,
+    /// fences, and cross-shard traffic all actually happen.
+    pub fn small() -> Self {
+        ServiceCfg {
+            shards: 2,
+            keys_per_shard: 8,
+            clients: 2,
+            ops_per_client: 150,
+            theta: 0.9,
+            mix: OpMix::read_heavy(),
+            seed: 0xC0FFEE,
+            snapshot_pause: Duration::from_micros(200),
+        }
+    }
+
+    /// Bench scale: the unrecorded full-size run `BENCH_service.json`
+    /// reports on.
+    pub fn full() -> Self {
+        ServiceCfg {
+            shards: 8,
+            keys_per_shard: 1024,
+            clients: 4,
+            ops_per_client: 10_000,
+            theta: 0.9,
+            mix: OpMix::read_heavy(),
+            seed: 0xC0FFEE,
+            snapshot_pause: Duration::from_micros(500),
+        }
+    }
+
+    /// Registers the store occupies (the typed session region starts
+    /// here).
+    pub fn kv_regs(&self) -> usize {
+        ShardedKv::regs_needed(self.shards, self.keys_per_shard)
+    }
+
+    /// Total registers a run needs: the store plus one typed session
+    /// variable per client.
+    pub fn nregs(&self) -> usize {
+        self.kv_regs() + self.clients
+    }
+
+    /// Thread slots a run needs: the clients plus the snapshotter.
+    pub fn nthreads(&self) -> usize {
+        self.clients + 1
+    }
+
+    /// Global key space.
+    pub fn key_space(&self) -> u64 {
+        self.shards as u64 * self.keys_per_shard
+    }
+}
+
+/// What one service run measured.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Wall-clock run time in seconds.
+    pub elapsed_secs: f64,
+    /// Requests completed across the fleet (scans and their publish-backs
+    /// count separately — every histogram sample is one op).
+    pub total_ops: u64,
+    /// Throughput (total ops / elapsed).
+    pub ops_per_sec: f64,
+    /// Completed ops per class, indexed by [`OpClass::index`].
+    pub op_counts: [u64; 5],
+    /// Fleet-wide latency distributions per class.
+    pub hists: OpClassHistograms,
+    /// Background snapshot cycles completed.
+    pub snapshots: u64,
+    /// Privatization-safety violations observed by any bulk reader
+    /// (double-read mismatches or out-of-range keys). Must be 0.
+    pub scan_anomalies: u64,
+    /// Per-class op counts as accumulated in the clients' typed session
+    /// [`TVar`]s — must equal `op_counts` (the typed/untyped cross-check).
+    pub session_ops: [u64; 5],
+    /// Merged runtime stats across the fleet.
+    pub stats: Stats,
+    /// Keys resident in the store at the end of the run.
+    pub resident_keys: usize,
+}
+
+struct ClientOutcome {
+    hists: OpClassHistograms,
+    counts: [u64; 5],
+    anomalies: u64,
+    stats: Stats,
+}
+
+/// Run the service on an existing STM instance. The caller builds the
+/// instance from [`ServiceCfg::nregs`]/[`ServiceCfg::nthreads`] (any
+/// backend, clock, storage, driver mode, or chaos setting — the harness
+/// is an STM client like any other). Runs are unrecorded by design: the
+/// typed session registers hold run-dependent heap addresses, which can
+/// never satisfy the checker's unique-value rule — the recorded
+/// conformance variant lives in `tm_litmus::concrete::Scenario::Service`.
+pub fn run_service<K: PolicyKind>(stm: &Stm<K>, cfg: &ServiceCfg) -> ServiceReport {
+    let kv = ShardedKv::new(0, cfg.shards, cfg.keys_per_shard);
+    let typed = TypedStm::over(stm.clone(), cfg.kv_regs());
+    let sessions: Vec<TVar<[u64; 5]>> = (0..cfg.clients)
+        .map(|_| typed.new_tvar([0u64; 5]))
+        .collect();
+    let zipf = Zipf::new(cfg.key_space() as usize, cfg.theta);
+
+    let outcomes: Mutex<Vec<ClientOutcome>> = Mutex::new(Vec::new());
+    let mut snapshots = 0u64;
+    let mut snap_anomalies = 0u64;
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for (client, session) in sessions.iter().enumerate() {
+            let typed = typed.clone();
+            let session = session.clone();
+            let kv = &kv;
+            let zipf = &zipf;
+            let outcomes = &outcomes;
+            s.spawn(move || {
+                let outcome = run_client(cfg, client, typed, session, kv, zipf);
+                outcomes.lock().expect("outcome sink").push(outcome);
+            });
+        }
+        // The background freeze/snapshot cycle: whole-store snapshots
+        // behind one grace period each, until the fleet drains. At least
+        // one cycle always runs, so even the shortest run exercises the
+        // batched-freeze path concurrently with live traffic.
+        let mut h = stm.handle(cfg.clients);
+        loop {
+            let (_entries, anomalies) = kv.snapshot_all(&mut h);
+            snapshots += 1;
+            snap_anomalies += anomalies;
+            // The fleet's drain is the stop signal: each client pushes
+            // its outcome as its last act, so a full sink means no more
+            // traffic — take one final snapshot and stop.
+            if outcomes.lock().expect("outcome sink").len() >= cfg.clients {
+                break;
+            }
+            std::thread::sleep(cfg.snapshot_pause);
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut hists = OpClassHistograms::default();
+    let mut op_counts = [0u64; 5];
+    let mut scan_anomalies = snap_anomalies;
+    let mut stats = Stats::default();
+    for o in outcomes.into_inner().expect("outcome sink") {
+        hists.merge(&o.hists);
+        for (acc, c) in op_counts.iter_mut().zip(o.counts) {
+            *acc += c;
+        }
+        scan_anomalies += o.anomalies;
+        stats.merge(&o.stats);
+    }
+
+    // Fold the typed sessions back out — the cross-check that every op
+    // the fleet timed was also committed through the typed surface.
+    let mut th = typed.handle(0);
+    let session_ops = th.atomically(|tx| {
+        let mut sum = [0u64; 5];
+        for session in &sessions {
+            let v = tx.read(session)?;
+            for (acc, c) in sum.iter_mut().zip(v) {
+                *acc += c;
+            }
+        }
+        Ok(sum)
+    });
+
+    let (dump, dump_anomalies) = kv.dump_all(th.inner());
+    scan_anomalies += dump_anomalies;
+
+    let total_ops: u64 = op_counts.iter().sum();
+    let elapsed_secs = elapsed.as_secs_f64().max(f64::EPSILON);
+    ServiceReport {
+        elapsed_secs,
+        total_ops,
+        ops_per_sec: total_ops as f64 / elapsed_secs,
+        op_counts,
+        hists,
+        snapshots,
+        scan_anomalies,
+        session_ops,
+        stats,
+        resident_keys: dump.len(),
+    }
+}
+
+fn run_client<K: PolicyKind>(
+    cfg: &ServiceCfg,
+    client: usize,
+    typed: TypedStm<K>,
+    session: TVar<[u64; 5]>,
+    kv: &ShardedKv,
+    zipf: &Zipf,
+) -> ClientOutcome {
+    let mut th = typed.handle(client);
+    let mut rng =
+        SplitMix64::new(cfg.seed ^ (client as u64 + 1).wrapping_mul(0x5851_F42D_4C95_7F2D));
+    let mut hists = OpClassHistograms::default();
+    let mut counts = [0u64; 5];
+    let mut anomalies = 0u64;
+    for _ in 0..cfg.ops_per_client {
+        let class = cfg.mix.pick(rng.next_u64());
+        let key = spread(zipf.sample(rng.next_u64()) as u64, cfg.key_space());
+        let mut bump = [0u64; 5];
+        match class {
+            OpClass::Get => {
+                let t0 = Instant::now();
+                kv.get(th.inner(), key);
+                hists.record(OpClass::Get, t0.elapsed().as_nanos() as u64);
+            }
+            OpClass::Put => {
+                let val = rng.next_u64();
+                let t0 = Instant::now();
+                kv.put(th.inner(), key, val);
+                hists.record(OpClass::Put, t0.elapsed().as_nanos() as u64);
+            }
+            OpClass::Rmw => {
+                let delta = rng.next_u64() >> 56;
+                let t0 = Instant::now();
+                kv.rmw(th.inner(), key, delta);
+                hists.record(OpClass::Rmw, t0.elapsed().as_nanos() as u64);
+            }
+            OpClass::Scan => {
+                let shard = kv.shard_of(key);
+                let t0 = Instant::now();
+                let (frozen, _entries, anom) = kv.privatize_and_scan(th.inner(), shard);
+                hists.record(OpClass::Scan, t0.elapsed().as_nanos() as u64);
+                anomalies += anom;
+                let t1 = Instant::now();
+                frozen.publish_back(th.inner());
+                hists.record(OpClass::Publish, t1.elapsed().as_nanos() as u64);
+                counts[OpClass::Publish.index()] += 1;
+                bump[OpClass::Publish.index()] = 1;
+            }
+            OpClass::Publish => unreachable!("publish is never issued directly"),
+        }
+        counts[class.index()] += 1;
+        bump[class.index()] += 1;
+        // The session write: every request commits through the typed
+        // surface too, on the same handle the untyped op just used.
+        th.atomically(|tx| {
+            let mut v = tx.read(&session)?;
+            for (acc, b) in v.iter_mut().zip(bump) {
+                *acc += b;
+            }
+            tx.write(&session, v)
+        });
+    }
+    let stats = th.inner().stats();
+    ClientOutcome {
+        hists,
+        counts,
+        anomalies,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_stm::tl2::Tl2Stm;
+
+    #[test]
+    fn op_mix_picks_cover_the_issued_classes() {
+        let mix = OpMix::read_heavy();
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..2_000 {
+            seen[mix.pick(rng.next_u64()).index()] = true;
+        }
+        assert_eq!(
+            seen,
+            [true, true, true, true, false],
+            "all four issued classes drawn, publish never drawn directly"
+        );
+    }
+
+    #[test]
+    fn small_service_run_balances_and_stays_anomaly_free() {
+        let cfg = ServiceCfg::small();
+        let stm = Tl2Stm::with_config(StmConfig::new(cfg.nregs(), cfg.nthreads()));
+        let report = run_service(&stm, &cfg);
+        let issued = cfg.clients as u64 * cfg.ops_per_client;
+        let scans = report.op_counts[OpClass::Scan.index()];
+        assert_eq!(
+            report.total_ops,
+            issued + scans,
+            "every issued op plus one publish per scan"
+        );
+        assert_eq!(
+            report.op_counts[OpClass::Publish.index()],
+            scans,
+            "every scan published back"
+        );
+        assert_eq!(report.session_ops, report.op_counts, "typed sessions agree");
+        assert_eq!(report.scan_anomalies, 0, "privatized reads must be stable");
+        assert_eq!(report.hists.total_count(), report.total_ops);
+        assert!(report.snapshots >= 1, "the background cycle must run");
+        assert!(report.resident_keys > 0, "puts must land");
+        assert!(report.ops_per_sec > 0.0);
+    }
+
+    /// Determinism of the *issue* side: two runs with one seed issue
+    /// identical per-client op sequences (the differential test's
+    /// foundation). Interleavings differ; the sequences must not.
+    #[test]
+    fn same_seed_same_op_counts() {
+        let cfg = ServiceCfg {
+            clients: 1,
+            ops_per_client: 300,
+            ..ServiceCfg::small()
+        };
+        let stm = Tl2Stm::with_config(StmConfig::new(cfg.nregs(), cfg.nthreads()));
+        let a = run_service(&stm, &cfg);
+        let stm2 = Tl2Stm::with_config(StmConfig::new(cfg.nregs(), cfg.nthreads()));
+        let b = run_service(&stm2, &cfg);
+        assert_eq!(a.op_counts, b.op_counts);
+        assert_eq!(a.resident_keys, b.resident_keys);
+    }
+}

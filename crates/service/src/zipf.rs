@@ -1,0 +1,190 @@
+//! Skewed key popularity: a YCSB-style zipfian rank sampler, a
+//! rank-to-key spreading permutation (so the hottest ranks don't all land
+//! in shard 0), and the seeded splitmix64 generator the client fleet
+//! draws from. Everything here is deterministic in the seed — the
+//! property-based differential test and the recorded conformance scenario
+//! both rely on replayable op sequences.
+
+/// Seeded splitmix64: the fleet's per-client PRNG. Deterministic,
+/// `Copy`-cheap, and the same mixer `TxMap` hashes keys with.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Zipfian rank sampler over `0..n` (rank 0 most popular), YCSB's
+/// `ZipfianGenerator` construction: one O(n) harmonic precomputation,
+/// then O(1) per sample from a raw uniform draw.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A sampler over `n ≥ 1` ranks with skew `theta` in `[0, 1)`
+    /// (0 = uniform-ish, 0.99 = the classic YCSB hot-spot).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "zipf over an empty rank space");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(n.min(2), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n > 1 {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        } else {
+            0.0
+        };
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Map one raw uniform draw (e.g. from [`SplitMix64`]) to a rank in
+    /// `0..n`.
+    pub fn sample(&self, raw: u64) -> usize {
+        if self.n == 1 {
+            return 0;
+        }
+        // Top 53 bits → uniform in [0, 1).
+        let u = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.n - 1)
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Bijective rank→key permutation over `0..n`: popular ranks spread
+/// across the whole key space (and therefore across shards) instead of
+/// clustering at the low keys. Multiplicative with a unit multiplier —
+/// deterministic, and its own inverse exists (it is a permutation), which
+/// the unit test asserts by exhaustion.
+pub fn spread(rank: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let mut m = 0x9E37_79B9_7F4A_7C15u64 % n;
+    if m == 0 {
+        m = 1;
+    }
+    while gcd(m, n) != 1 {
+        m = (m + 1) % n;
+        if m == 0 {
+            m = 1;
+        }
+    }
+    ((rank as u128 * m as u128 + n as u128 / 2) % n as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_moves() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "draws must not repeat immediately");
+    }
+
+    #[test]
+    fn zipf_ranks_are_in_range_and_skewed() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(rng.next_u64());
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 must dominate the tail decisively at theta = 0.9.
+        assert!(
+            counts[0] > 10 * counts[50].max(1),
+            "rank 0 drew {} vs rank 50's {}",
+            counts[0],
+            counts[50]
+        );
+        // And the tail is still reachable.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 50);
+    }
+
+    #[test]
+    fn zipf_single_rank_and_uniformish_theta_zero() {
+        let one = Zipf::new(1, 0.5);
+        assert_eq!(one.sample(u64::MAX), 0);
+        let z = Zipf::new(16, 0.0);
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 16];
+        for _ in 0..4_000 {
+            seen[z.sample(rng.next_u64())] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "theta 0 must reach every rank");
+    }
+
+    #[test]
+    fn spread_is_a_permutation() {
+        for n in [1u64, 2, 5, 6, 16, 48, 100] {
+            let mut seen = vec![false; n as usize];
+            for r in 0..n {
+                let k = spread(r, n);
+                assert!(k < n, "spread({r}, {n}) = {k} out of range");
+                assert!(!seen[k as usize], "spread collides at n={n}, rank {r}");
+                seen[k as usize] = true;
+            }
+        }
+    }
+}

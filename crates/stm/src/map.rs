@@ -217,11 +217,22 @@ impl TxMap {
 /// pattern for one handle: every flag transaction completes before the
 /// fence is requested, so recorded histories stay well-formed.
 pub fn freeze_all<H: StmHandle>(maps: &[TxMap], h: &mut H) {
+    let ticket = freeze_all_async(maps, h);
+    h.fence_join(ticket);
+}
+
+/// Non-blocking form of [`freeze_all`]: set every freeze flag (one
+/// transaction per map) and return the single fence ticket covering all
+/// of them. Bulk (uninstrumented) access to *any* of the maps is only
+/// safe after the ticket resolves. This is what a background
+/// freeze/snapshot cycle wants — request the grace period, keep serving,
+/// and join the ticket when the snapshot pass actually starts.
+pub fn freeze_all_async<H: StmHandle>(maps: &[TxMap], h: &mut H) -> FenceTicket {
     for m in maps {
         let flag = m.flag_reg();
         h.atomic(|tx| tx.write(flag, 1));
     }
-    h.fence();
+    h.fence_async()
 }
 
 impl TxMap {
@@ -417,6 +428,38 @@ mod tests {
         assert_eq!(h.stats().fences, 1);
         for (i, m) in maps.iter().enumerate() {
             assert_eq!(m.iter_frozen(&mut h), vec![(1, 10 + i as u64)]);
+            m.thaw(&mut h);
+        }
+    }
+
+    /// The non-blocking batched freeze: the ticket is issued after every
+    /// flag transaction, the handle keeps working while it is
+    /// outstanding, and joining it makes bulk access safe — still one
+    /// epoch-table scan for all maps.
+    #[test]
+    fn freeze_all_async_returns_one_joinable_ticket() {
+        let maps: Vec<TxMap> = (0..2)
+            .map(|i| TxMap::new(i * TxMap::regs_needed(8), 8))
+            .collect();
+        let stm = Tl2Stm::with_config(
+            crate::runtime::StmConfig::new(2 * TxMap::regs_needed(8), 1)
+                .grace_driver(crate::runtime::DriverMode::Cooperative),
+        );
+        let mut h = stm.handle(0);
+        for (i, m) in maps.iter().enumerate() {
+            h.atomic(|tx| m.insert(tx, 7, 70 + i as u64).map(|_| ()));
+        }
+        let ticket = freeze_all_async(&maps, &mut h);
+        // The fence is requested but not yet waited on: the handle still
+        // serves transactions against unfrozen state elsewhere.
+        h.fence_join(ticket);
+        assert_eq!(
+            stm.runtime().grace().scans(),
+            1,
+            "2 async map freezes must share one epoch-table scan"
+        );
+        for (i, m) in maps.iter().enumerate() {
+            assert_eq!(m.iter_frozen(&mut h), vec![(7, 70 + i as u64)]);
             m.thaw(&mut h);
         }
     }

@@ -15,6 +15,12 @@
 //!   duration, blocking-retry sleep) behind named fields, so a forgotten
 //!   field breaks the merge-identity test's exhaustive literal at compile
 //!   time.
+//! * [`OpClass`] / [`OpClassHistograms`] — the service harness's
+//!   per-operation-class views over the same histogram type: the
+//!   end-to-end sharded KV workload (`tm-service`) classifies every request
+//!   (get / put / rmw / privatize-and-scan / publish-back) and reports
+//!   p50/p99/p999 per class, merged client-by-client exactly like the
+//!   per-slot runtime histograms.
 //! * [`TraceRing`] — a fixed-capacity, overwrite-oldest flight recorder of
 //!   [`TraceEvent`]s: transaction begin/commit/abort-with-cause, fence
 //!   issue/retire, grace scans, and every governor decision (clock switch
@@ -265,6 +271,127 @@ impl LatencyHistograms {
         self.fence_wait.merge(&o.fence_wait);
         self.grace.merge(&o.grace);
         self.retry_sleep.merge(&o.retry_sleep);
+    }
+}
+
+/// The service harness's operation classes — the request taxonomy of the
+/// end-to-end sharded KV workload (`tm-service`): point reads, point
+/// writes, read-modify-write cycles, and the paper-critical
+/// privatize-and-scan / publish-back pair that exercises the fence and
+/// grace machinery under production-shaped traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Transactional point lookup.
+    Get,
+    /// Transactional insert-or-update.
+    Put,
+    /// Transactional read-modify-write (lookup + dependent update in one
+    /// transaction).
+    Rmw,
+    /// Privatize-and-scan: freeze a shard (flag transaction + fence), then
+    /// bulk-read it uninstrumented — the paper's motivating bulk-operation
+    /// pattern, measured from freeze request to scan completion.
+    Scan,
+    /// Publish-back: the thaw transaction returning a scanned shard to
+    /// transactional traffic (safe without a fence by `xpo;txwr`).
+    Publish,
+}
+
+impl OpClass {
+    /// Every class, in report order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Get,
+        OpClass::Put,
+        OpClass::Rmw,
+        OpClass::Scan,
+        OpClass::Publish,
+    ];
+
+    /// Report key for the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::Put => "put",
+            OpClass::Rmw => "rmw",
+            OpClass::Scan => "scan",
+            OpClass::Publish => "publish",
+        }
+    }
+
+    /// Position of the class in [`OpClass::ALL`] — the index services use
+    /// for fixed-size per-class counter arrays (`[u64; 5]`).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Get => 0,
+            OpClass::Put => 1,
+            OpClass::Rmw => 2,
+            OpClass::Scan => 3,
+            OpClass::Publish => 4,
+        }
+    }
+}
+
+/// Per-op-class latency distributions for the service harness, one field
+/// per [`OpClass`] — the same named-field discipline as
+/// [`LatencyHistograms`]: the merge-identity test constructs an exhaustive
+/// literal, so adding a class here without extending
+/// [`OpClassHistograms::merge`] (and every report) breaks the build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpClassHistograms {
+    /// Point-lookup latency.
+    pub get: LatencyHistogram,
+    /// Insert-or-update latency.
+    pub put: LatencyHistogram,
+    /// Read-modify-write latency.
+    pub rmw: LatencyHistogram,
+    /// Privatize-and-scan latency (freeze request → scan completion).
+    pub scan: LatencyHistogram,
+    /// Publish-back (thaw) latency.
+    pub publish: LatencyHistogram,
+}
+
+impl OpClassHistograms {
+    /// Record one nanosecond sample into the `class` distribution.
+    #[inline]
+    pub fn record(&mut self, class: OpClass, ns: u64) {
+        self.get_mut(class).record(ns);
+    }
+
+    /// The distribution for `class`.
+    pub fn get(&self, class: OpClass) -> &LatencyHistogram {
+        match class {
+            OpClass::Get => &self.get,
+            OpClass::Put => &self.put,
+            OpClass::Rmw => &self.rmw,
+            OpClass::Scan => &self.scan,
+            OpClass::Publish => &self.publish,
+        }
+    }
+
+    /// Mutable access to the distribution for `class`.
+    pub fn get_mut(&mut self, class: OpClass) -> &mut LatencyHistogram {
+        match class {
+            OpClass::Get => &mut self.get,
+            OpClass::Put => &mut self.put,
+            OpClass::Rmw => &mut self.rmw,
+            OpClass::Scan => &mut self.scan,
+            OpClass::Publish => &mut self.publish,
+        }
+    }
+
+    /// Total samples across every class (the service's op count).
+    pub fn total_count(&self) -> u64 {
+        OpClass::ALL.iter().map(|&c| self.get(c).count()).sum()
+    }
+
+    /// Accumulate `o` into `self`, field by field (`Stats::merge` style) —
+    /// how the service merges per-client views into the fleet-wide report.
+    pub fn merge(&mut self, o: &OpClassHistograms) {
+        self.get.merge(&o.get);
+        self.put.merge(&o.put);
+        self.rmw.merge(&o.rmw);
+        self.scan.merge(&o.scan);
+        self.publish.merge(&o.publish);
     }
 }
 
@@ -1013,6 +1140,108 @@ mod tests {
         let mut acc = LatencyHistograms::default();
         acc.merge(&x);
         assert_eq!(acc, x, "LatencyHistograms::merge must cover every field");
+    }
+
+    /// The per-class views the service harness reports through: every
+    /// [`OpClass`] distribution must place known-latency synthetic samples
+    /// in the right power-of-two bucket and report the documented bucket
+    /// upper edges as its percentiles.
+    #[test]
+    fn op_class_percentiles_match_synthetic_samples() {
+        let mut h = OpClassHistograms::default();
+        // Per class: 98 samples at `base` ns and 2 at 1000*base ns, with a
+        // distinct base per class so a routing bug (recording into the
+        // wrong field) shifts a percentile and fails loudly.
+        let bases: [(OpClass, u64); 5] = [
+            (OpClass::Get, 100),
+            (OpClass::Put, 300),
+            (OpClass::Rmw, 900),
+            (OpClass::Scan, 20_000),
+            (OpClass::Publish, 500),
+        ];
+        for (class, base) in bases {
+            for _ in 0..98 {
+                h.record(class, base);
+            }
+            for _ in 0..2 {
+                h.record(class, 1000 * base);
+            }
+        }
+        for (class, base) in bases {
+            let hist = h.get(class);
+            assert_eq!(hist.count(), 100, "{}", class.label());
+            assert_eq!(hist.sum(), 98 * base + 2 * 1000 * base, "{}", class.label());
+            let q = hist.quantiles();
+            let fast_edge =
+                LatencyHistogram::bucket_upper_edge(LatencyHistogram::bucket_index(base));
+            let slow_edge =
+                LatencyHistogram::bucket_upper_edge(LatencyHistogram::bucket_index(1000 * base));
+            // Ranks: p50 → 50th, p99 → 99th (the first slow sample),
+            // p999 → 100th — quantiles report bucket upper edges.
+            assert_eq!(q.p50, fast_edge, "{}", class.label());
+            assert_eq!(q.p90, fast_edge, "{}", class.label());
+            assert_eq!(q.p99, slow_edge, "{}", class.label());
+            assert_eq!(q.p999, slow_edge, "{}", class.label());
+        }
+        assert_eq!(h.total_count(), 500);
+        let labels: Vec<&str> = OpClass::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "op-class labels are distinct");
+    }
+
+    /// The merge-forgets-new-field guard for the op-class views: the
+    /// exhaustive literal breaks at compile time when a class field is
+    /// added, and the equality fails when `merge` forgets one.
+    #[test]
+    fn op_class_merge_into_default_is_identity() {
+        let mut a = LatencyHistogram::default();
+        a.record(64);
+        let mut b = LatencyHistogram::default();
+        b.record(1024);
+        b.record(5);
+        let x = OpClassHistograms {
+            get: a,
+            put: b,
+            rmw: a,
+            scan: b,
+            publish: a,
+        };
+        let mut acc = OpClassHistograms::default();
+        acc.merge(&x);
+        assert_eq!(acc, x, "OpClassHistograms::merge must cover every field");
+        // Merging twice doubles every count — the per-client fold the
+        // service report relies on.
+        acc.merge(&x);
+        assert_eq!(acc.total_count(), 2 * x.total_count());
+    }
+
+    /// A `TelemetrySnapshot` built from known-latency synthetic samples
+    /// must report the documented bucket-edge percentiles per runtime
+    /// class — the same guarantee the op-class views give the service.
+    #[test]
+    fn snapshot_percentiles_match_synthetic_samples() {
+        let t = Telemetry::new(2, TraceConfig::with_capacity(8));
+        // 9 fast + 1 slow commit sample, split across two slots: the
+        // merged snapshot must see one distribution.
+        for _ in 0..5 {
+            t.record_latency(0, LatencyClass::Commit, 200);
+        }
+        for _ in 0..4 {
+            t.record_latency(1, LatencyClass::Commit, 200);
+        }
+        t.record_latency(1, LatencyClass::Commit, 3_000_000);
+        let s = t.snapshot();
+        let q = s.hists.commit.quantiles();
+        assert_eq!(s.hists.commit.count(), 10);
+        let fast_edge = LatencyHistogram::bucket_upper_edge(LatencyHistogram::bucket_index(200));
+        let slow_edge =
+            LatencyHistogram::bucket_upper_edge(LatencyHistogram::bucket_index(3_000_000));
+        assert_eq!(q.p50, fast_edge);
+        assert_eq!(q.p90, fast_edge, "rank 9 of 10 is still a fast sample");
+        assert_eq!(q.p99, slow_edge, "rank 10 of 10 is the slow sample");
+        assert_eq!(q.p999, slow_edge);
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //! normalizable values — and additionally stakes a liveness claim: both
 //! sides block via `Transaction::retry`, so a lost wakeup on any backend
 //! deadlocks the suite instead of merely failing an assert.
+//!
+//! `Scenario::Service` is the suite's largest recorded scenario: the
+//! `tm-service` workload shape (zipfian mixed traffic, an owner running
+//! privatize-and-scan / publish-back maintenance) re-expressed over plain
+//! registers with per-attempt nonced values precisely so it *can* record
+//! cleanly where the full-scale harness cannot. `Scenario::PubUnderLoad`
+//! covers the remaining ROADMAP scenario-space item: repeated
+//! publication/re-privatization races under sustained reader traffic.
 
 use tm_core::action::Kind;
 use tm_litmus::concrete::{
@@ -211,6 +219,29 @@ fn reader_writer_handoff_conforms_across_backends() {
 #[test]
 fn tvar_queue_conforms_across_backends() {
     assert_conformance(Scenario::TVarQueue);
+}
+
+/// The service scenario (tentpole): the end-to-end sharded KV workload
+/// shape at conformance scale — two zipfian clients issuing the mixed op
+/// class under flag guards while the owner cycles privatize-and-scan /
+/// publish-back over both register shards and settles them under final
+/// privatizations. The largest recorded scenario in the suite: checker
+/// verdicts (well-formed, DRF, strongly opaque) must agree across all 8
+/// backends × both driver modes, and the per-attempt nonce discipline
+/// must hold under any retry schedule (the chaos CI pass reruns this
+/// with forced aborts).
+#[test]
+fn service_conforms_across_backends() {
+    assert_conformance(Scenario::Service);
+}
+
+/// The publication-under-load scenario (ROADMAP): fresh publication, then
+/// privatize → rewrite → republish cycles, with two readers continuously
+/// taking guarded snapshots. A reader pairing a published flag with the
+/// wrong round's payload is a torn publication and fails the suite.
+#[test]
+fn pub_under_load_conforms_across_backends() {
+    assert_conformance(Scenario::PubUnderLoad);
 }
 
 /// The adaptive acceptance bar: on `Backend::Tl2Adaptive`, MapRehash's

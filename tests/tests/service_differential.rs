@@ -1,0 +1,127 @@
+//! Property-based differential test for the service store: random op
+//! sequences from the service's taxonomy (get / put / rmw / remove /
+//! privatize-and-scan) run single-threaded through `ShardedKv` on every
+//! backend — under both grace-period driver modes and under one seeded
+//! chaos configuration — and the final store contents must equal a
+//! sequential `HashMap` reference model's, entry for entry. The scans
+//! exercise the freeze → fence → uninstrumented-read → thaw path on
+//! every backend (their double-read stability check must report zero
+//! anomalies), so the privatization machinery is inside the differential
+//! loop, not beside it.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tm_litmus::concrete::Backend;
+use tm_service::{Op, ShardedKv};
+use tm_stm::prelude::*;
+use tm_stm::runtime::{PolicyKind, Stm, StmConfig};
+
+const SHARDS: usize = 2;
+const KEYS_PER_SHARD: u64 = 8;
+const KEY_SPACE: u64 = SHARDS as u64 * KEYS_PER_SHARD;
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..KEY_SPACE).prop_map(|key| Op::Get { key }),
+            (0..KEY_SPACE, 1u64..1_000_000).prop_map(|(key, val)| Op::Put { key, val }),
+            (0..KEY_SPACE, 1u64..1_000).prop_map(|(key, delta)| Op::Rmw { key, delta }),
+            (0..KEY_SPACE).prop_map(|key| Op::Remove { key }),
+            (0..SHARDS).prop_map(|shard| Op::Scan { shard }),
+        ],
+        1..32,
+    )
+}
+
+/// Replay `ops` through a fresh store on `stm` and observe the final
+/// contents (sorted), asserting the bulk readers saw a stable snapshot.
+fn replay<K: PolicyKind>(stm: &Stm<K>, ops: &[Op], label: &str) -> Vec<(u64, u64)> {
+    let kv = ShardedKv::new(0, SHARDS, KEYS_PER_SHARD);
+    let mut h = stm.handle(0);
+    for op in ops {
+        op.apply(&kv, &mut h);
+    }
+    let (dump, anomalies) = kv.dump_all(&mut h);
+    assert_eq!(anomalies, 0, "{label}: privatized reads must be stable");
+    dump
+}
+
+/// One store-shaped config per run; `chaos` pins the deterministic fault
+/// injector independent of the `TM_STM_CHAOS` environment.
+fn config(mode: DriverMode, chaos: Option<u64>) -> StmConfig {
+    let cfg = StmConfig::new(ShardedKv::regs_needed(SHARDS, KEYS_PER_SHARD), 1).grace_driver(mode);
+    match chaos {
+        Some(seed) => cfg.chaos_seed(seed),
+        None => cfg,
+    }
+}
+
+fn replay_backend(
+    backend: Backend,
+    mode: DriverMode,
+    chaos: Option<u64>,
+    ops: &[Op],
+) -> Vec<(u64, u64)> {
+    let cfg = config(mode, chaos);
+    let label = format!("{}/{}/chaos={chaos:?}", backend.label(), mode.label());
+    match backend {
+        Backend::Tl2PerRegister => replay(&Tl2Stm::with_config(cfg), ops, &label),
+        Backend::Tl2Striped { stripes } => {
+            replay(&Tl2Stm::with_config(cfg.striped(stripes)), ops, &label)
+        }
+        Backend::Tl2Adaptive => replay(
+            &Tl2Stm::with_config(cfg.adaptive_stripes(Backend::adaptive_policy())),
+            ops,
+            &label,
+        ),
+        Backend::Tl2Clock { clock } => replay(&Tl2Stm::with_config(cfg.clock(clock)), ops, &label),
+        Backend::Tl2Auto => replay(
+            &Tl2Stm::with_config(
+                cfg.adaptive_stripes(Backend::adaptive_policy())
+                    .clock(ClockKind::Auto),
+            ),
+            ops,
+            &label,
+        ),
+        Backend::Norec => replay(&NorecStm::with_config(cfg), ops, &label),
+        Backend::Glock => replay(&GlockStm::with_config(cfg), ops, &label),
+    }
+}
+
+fn model_finals(ops: &[Op]) -> Vec<(u64, u64)> {
+    let mut model = HashMap::new();
+    for op in ops {
+        op.apply_model(&mut model);
+    }
+    let mut expect: Vec<(u64, u64)> = model.into_iter().collect();
+    expect.sort_unstable();
+    expect
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every backend × both driver modes, plus one seeded-chaos replay per
+    /// backend (forced aborts at the lock/validate/clock/grace sites must
+    /// be invisible to the final state): all must agree with the
+    /// sequential model.
+    #[test]
+    fn service_ops_match_sequential_model(ops in arb_ops()) {
+        let expect = model_finals(&ops);
+        for backend in Backend::ALL {
+            for mode in DriverMode::ALL {
+                let got = replay_backend(backend, mode, None, &ops);
+                prop_assert_eq!(
+                    &got, &expect,
+                    "{}/{} diverges from the model", backend.label(), mode.label()
+                );
+            }
+            let got = replay_backend(backend, DriverMode::Cooperative, Some(7), &ops);
+            prop_assert_eq!(
+                &got, &expect,
+                "{}/chaos(7) diverges from the model", backend.label()
+            );
+        }
+    }
+}
